@@ -1,0 +1,225 @@
+(* Command-line interface to the library: build graphs from compact
+   specifications, run deciders and verification games, apply
+   reductions, and evaluate the §5.2 formulas.
+
+     lph decide  --machine eulerian --graph cycle:6
+     lph verify  --colors 3 --graph complete:4
+     lph logic   --formula hamiltonian --graph cycle:5
+     lph reduce  --reduction co-hamiltonian --graph path:3 --labels 101
+     lph classes --max-level 3                                          *)
+
+open Lph_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* graph specifications: family:params, with optional label string     *)
+
+let parse_graph spec labels =
+  let fail msg = `Error (false, msg) in
+  let base =
+    match String.split_on_char ':' spec with
+    | [ "cycle"; n ] -> Ok (Generators.cycle (int_of_string n))
+    | [ "path"; n ] -> Ok (Generators.path (int_of_string n))
+    | [ "complete"; n ] -> Ok (Generators.complete (int_of_string n))
+    | [ "star"; n ] -> Ok (Generators.star (int_of_string n))
+    | [ "grid"; dims ] -> begin
+        match String.split_on_char 'x' dims with
+        | [ r; c ] -> Ok (Generators.grid ~rows:(int_of_string r) ~cols:(int_of_string c) ())
+        | _ -> Error "grid spec must be grid:RxC"
+      end
+    | [ "tree"; d ] -> Ok (Generators.balanced_binary_tree ~depth:(int_of_string d) ())
+    | [ "node"; label ] -> Ok (Graph.singleton label)
+    | [ "node" ] -> Ok (Graph.singleton "")
+    | _ -> Error "unknown graph spec (cycle:N path:N complete:N star:N grid:RxC tree:D node[:LABEL])"
+  in
+  match base with
+  | Error e -> fail e
+  | Ok g -> begin
+      match labels with
+      | None -> `Ok g
+      | Some s ->
+          if String.length s <> Graph.card g then
+            fail
+              (Printf.sprintf "label string has %d characters but the graph has %d nodes"
+                 (String.length s) (Graph.card g))
+          else begin
+            try `Ok (Graph.with_labels g (Array.init (Graph.card g) (fun u -> String.make 1 s.[u])))
+            with Graph.Invalid m -> fail m
+          end
+    end
+
+let graph_term =
+  let spec =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph family, e.g. cycle:6, grid:3x4, node:101.")
+  in
+  let labels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "l"; "labels" ] ~docv:"BITS" ~doc:"One label character (0/1) per node.")
+  in
+  Term.(ret (const parse_graph $ spec $ labels))
+
+(* ------------------------------------------------------------------ *)
+
+let decide_cmd =
+  let machine_arg =
+    Arg.(
+      value
+      & opt string "eulerian"
+      & info [ "m"; "machine" ] ~docv:"NAME"
+          ~doc:"One of: eulerian, all-selected, constant-label, even-label-ones.")
+  in
+  let run machine g =
+    let m =
+      match machine with
+      | "eulerian" -> Some Machines.eulerian
+      | "all-selected" -> Some Machines.all_selected
+      | "constant-label" -> Some Machines.constant_labelling
+      | "even-label-ones" -> Some Machines.even_label_ones
+      | _ -> None
+    in
+    match m with
+    | None -> `Error (false, "unknown machine " ^ machine)
+    | Some m ->
+        let ids = Identifiers.make_global g in
+        let r = Turing.run m g ~ids () in
+        Format.printf "%a@." Graph.pp g;
+        Format.printf "machine %s: %s in %d round(s)@." m.Turing.name
+          (if Turing.accepts r then "ACCEPT" else "REJECT")
+          r.Turing.stats.Turing.rounds;
+        List.iter
+          (fun u -> Format.printf "  node %d verdict %s@." u (Turing.verdict r u))
+          (Graph.nodes g);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "decide" ~doc:"Run a distributed Turing machine as an LP-decider.")
+    Term.(ret (const run $ machine_arg $ graph_term))
+
+let verify_cmd =
+  let colors_arg =
+    Arg.(value & opt int 3 & info [ "k"; "colors" ] ~docv:"K" ~doc:"Number of colours.")
+  in
+  let run k g =
+    let verifier = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier k) in
+    let ids = Identifiers.make_global g in
+    let universes = [ Candidates.color_universe k ] in
+    let value = Game.sigma_accepts verifier g ~ids ~universes in
+    Format.printf "%a@." Graph.pp g;
+    Format.printf "%d-COLORABLE by the certificate game: %b (ground truth %b)@." k value
+      (Properties.k_colorable k g);
+    (match Game.eve_witness verifier g ~ids ~universes with
+    | Some certs ->
+        Format.printf "Eve's colours: %s@."
+          (String.concat " " (Array.to_list (Array.map (fun c -> string_of_int (Bitstring.to_int c)) certs)))
+    | None -> Format.printf "Eve has no winning certificate.@.");
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Play the NLP certificate game for k-colourability.")
+    Term.(ret (const run $ colors_arg $ graph_term))
+
+let logic_cmd =
+  let formula_arg =
+    Arg.(
+      value
+      & opt string "all-selected"
+      & info [ "f"; "formula" ] ~docv:"NAME"
+          ~doc:
+            "One of: all-selected, not-all-selected, 2col, 3col, non-3col, hamiltonian, \
+             non-hamiltonian.")
+  in
+  let run name g =
+    let formula =
+      match name with
+      | "all-selected" -> Some Graph_formulas.all_selected
+      | "not-all-selected" -> Some Graph_formulas.not_all_selected
+      | "2col" -> Some Graph_formulas.two_colorable
+      | "3col" -> Some Graph_formulas.three_colorable
+      | "non-3col" -> Some Graph_formulas.non_3_colorable
+      | "hamiltonian" -> Some Graph_formulas.hamiltonian
+      | "non-hamiltonian" -> Some Graph_formulas.non_hamiltonian
+      | _ -> None
+    in
+    match formula with
+    | None -> `Error (false, "unknown formula " ^ name)
+    | Some phi ->
+        let level, first = Logic_syntax.level phi in
+        Format.printf "%a@." Graph.pp g;
+        Format.printf "sentence %s: level %d%s, size %d@." name level
+          (match first with
+          | Some Logic_syntax.Ex -> " (Σ)"
+          | Some Logic_syntax.All -> " (Π)"
+          | None -> "")
+          (Formula.size phi);
+        Format.printf "holds on $G: %b@." (Graph_formulas.holds g phi);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "logic" ~doc:"Model-check a §5.2 sentence on the graph's structural representation.")
+    Term.(ret (const run $ formula_arg $ graph_term))
+
+let reduce_cmd =
+  let reduction_arg =
+    Arg.(
+      value
+      & opt string "eulerian"
+      & info [ "r"; "reduction" ] ~docv:"NAME"
+          ~doc:"One of: eulerian, hamiltonian, co-hamiltonian, cook-levin-2col.")
+  in
+  let run name g =
+    let pick =
+      match name with
+      | "eulerian" -> Some (Eulerian_red.reduction, ("ALL-SELECTED", Properties.all_selected), Properties.eulerian)
+      | "hamiltonian" ->
+          Some (Hamiltonian_red.reduction, ("ALL-SELECTED", Properties.all_selected), Properties.hamiltonian)
+      | "co-hamiltonian" ->
+          Some
+            ( Hamiltonian_red.co_reduction,
+              ("NOT-ALL-SELECTED", Properties.not_all_selected),
+              Properties.hamiltonian )
+      | "cook-levin-2col" ->
+          Some
+            ( Cook_levin.reduction Graph_formulas.two_colorable,
+              ("2-COLORABLE", Properties.two_colorable),
+              fun image -> Boolean_graph.satisfiable image )
+      | _ -> None
+    in
+    match pick with
+    | None -> `Error (false, "unknown reduction " ^ name)
+    | Some (red, (src_name, src), tgt) ->
+        let ids = Identifiers.make_global g in
+        let image = Cluster.apply red g ~ids in
+        Format.printf "%a@." Graph.pp g;
+        Format.printf "reduction %s: %d nodes -> %d nodes, %d edges@." red.Cluster.name (Graph.card g)
+          (Graph.card image) (Graph.num_edges image);
+        Format.printf "G ∈ %s: %b;  f(G) ∈ target: %b;  equivalence: %s@." src_name (src g) (tgt image)
+          (if src g = tgt image then "HOLDS" else "VIOLATED");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Apply a local-polynomial reduction and check the defining equivalence.")
+    Term.(ret (const run $ reduction_arg $ graph_term))
+
+let classes_cmd =
+  let max_arg = Arg.(value & opt int 3 & info [ "max-level" ] ~docv:"L" ~doc:"Highest level.") in
+  let run l =
+    let classes = Classes.figure_one_levels l in
+    Format.printf "%-10s %-8s %-22s@." "class" "level" "game (move order)";
+    List.iter
+      (fun c ->
+        Format.printf "%-10s %-8d %-22s@." (Classes.name c) c.Classes.level
+          (String.concat ""
+             (List.map (function Game.Eve -> "∃" | Game.Adam -> "∀") (Classes.move_order c))))
+      classes;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "classes" ~doc:"List the classes of Figure 1/11.") Term.(ret (const run $ max_arg))
+
+let () =
+  let info = Cmd.info "lph" ~version:Lph_core.version ~doc:"A LOCAL view of the polynomial hierarchy." in
+  exit (Cmd.eval (Cmd.group info [ decide_cmd; verify_cmd; logic_cmd; reduce_cmd; classes_cmd ]))

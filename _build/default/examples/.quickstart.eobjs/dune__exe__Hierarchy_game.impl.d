@@ -1,0 +1,1 @@
+examples/hierarchy_game.ml: Fagin Format Generators Graph Graph_formulas Identifiers List Logic_syntax Lph_core Printf Properties String

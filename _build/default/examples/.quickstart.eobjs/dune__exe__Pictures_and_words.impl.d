@@ -1,0 +1,1 @@
+examples/pictures_and_words.ml: Automata_word Dfa Format Formula Graph List Lph_core Mso_to_dfa Pic_languages Pic_to_graph Picture Pumping Tiling

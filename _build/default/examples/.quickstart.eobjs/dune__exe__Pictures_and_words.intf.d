@@ -1,0 +1,1 @@
+examples/pictures_and_words.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arbiter Array Bitstring Candidates Format Game Generators Graph Graph_formulas Identifiers Lph_core Machines Properties String Turing

@@ -1,0 +1,1 @@
+examples/separation_lab.ml: Arbiter Array Candidates Format Game Generators Graph Identifiers List Lph_core Separations String

@@ -1,0 +1,113 @@
+(* Section 9's machinery: tiling systems on pictures, the
+   picture-to-graph encoding behind the infiniteness proof, and the
+   Büchi–Elgot–Trakhtenbrot compiler on words.
+
+   Run with: dune exec examples/pictures_and_words.exe *)
+
+open Lph_core
+module F = Formula
+
+let () =
+  print_endline "=== Pictures, tiling systems and words (Section 9) ===\n";
+
+  (* Tiling systems: the automaton model equivalent to existential
+     monadic second-order logic on pictures (Theorem 29). *)
+  print_endline "--- Tiling recognition ---";
+  Format.printf "squares tiling system on blank pictures:@.";
+  for r = 1 to 5 do
+    Format.printf "  %dx1..%dx5: " r r;
+    for c = 1 to 5 do
+      Format.printf "%s"
+        (if Tiling.recognizes Tiling.squares (Picture.constant ~bits:0 ~rows:r ~cols:c "") then "■"
+         else "·")
+    done;
+    Format.printf "@."
+  done;
+  let p = Picture.of_rows [ [ "1"; "0"; "1" ]; [ "0"; "0"; "1" ]; [ "1"; "0"; "1" ] ] in
+  Format.printf "@.first-row-equals-last-row on%a@." Picture.pp p;
+  Format.printf "  recogniser: %b; predicate: %b@.@."
+    (Tiling.recognizes Tiling.first_row_equals_last_row p)
+    (Pic_languages.first_row_equals_last_row p);
+
+  (* MSO on pictures. *)
+  print_endline "--- Monadic second-order logic on pictures ---";
+  List.iter
+    (fun (r, c) ->
+      let q = Picture.constant ~bits:1 ~rows:r ~cols:c "0" in
+      Format.printf "  mso_square on %dx%d: %b@." r c (Pic_languages.holds q Pic_languages.mso_square))
+    [ (2, 2); (2, 3); (3, 3) ];
+
+  (* The Matz witness family: the languages that stratify the monadic
+     hierarchy, and through Sections 9.2.1-9.2.2 the local-polynomial
+     hierarchy itself. *)
+  Format.printf "@.Matz witness languages L_k (height = k-fold exponential of width):@.";
+  List.iter
+    (fun k ->
+      Format.printf "  L_%d with width 2 needs height %d@." k (Pic_languages.tower k 2))
+    [ 0; 1; 2; 3 ];
+
+  (* Picture-to-graph encoding (Section 9.2.2). *)
+  print_endline "\n--- Pictures as labelled graphs ---";
+  let p = Picture.of_rows [ [ "1"; "0" ]; [ "0"; "1" ] ] in
+  let g = Pic_to_graph.encode p in
+  Format.printf "2x2 picture encodes to a graph with %d nodes and %d edges@." (Graph.card g)
+    (Graph.num_edges g);
+  (match Pic_to_graph.decode g with
+  | Some q -> Format.printf "decoding recovers the picture: %b@." (Picture.equal p q)
+  | None -> print_endline "decode failed!");
+  Format.printf "transferred squareness holds on the encoding: %b@."
+    (Pic_to_graph.graph_property_of Pic_languages.is_square g);
+
+  (* Words: the BET compiler. *)
+  print_endline "\n--- MSO on words -> DFA (Büchi–Elgot–Trakhtenbrot) ---";
+  let x_at v = F.App ("X", [ v ]) in
+  let even_parity =
+    F.Exists_so
+      ( "X",
+        1,
+        F.conj
+          [
+            F.Forall
+              ( "f",
+                F.Implies
+                  ( F.Not (F.Exists ("p", F.Binary (1, "p", "f"))),
+                    F.Iff (x_at "f", F.Unary (1, "f")) ) );
+            F.Forall
+              ( "a",
+                F.Forall
+                  ( "b",
+                    F.Implies
+                      ( F.Binary (1, "a", "b"),
+                        F.Iff (x_at "b", F.Iff (x_at "a", F.Not (F.Unary (1, "b")))) ) ) );
+            F.Forall
+              ("l", F.Implies (F.Not (F.Exists ("q", F.Binary (1, "l", "q"))), F.Not (x_at "l")));
+          ] )
+  in
+  let dfa = Mso_to_dfa.compile ~bits:1 even_parity in
+  Format.printf "'even number of 1s' (monadic Σ1 sentence) compiles to a DFA with %d states@."
+    dfa.Dfa.states;
+  List.iter
+    (fun w ->
+      Format.printf "  %-8s dfa: %-5b logic: %b@." w
+        (Dfa.accepts dfa (Automata_word.of_bitstring w))
+        (Mso_to_dfa.holds ~bits:1 (Automata_word.of_bitstring w) even_parity))
+    [ "1"; "11"; "1010"; "111" ];
+
+  (* Pumping: the classical tool Section 9.3 uses to push properties
+     outside the hierarchy. *)
+  print_endline "\n--- Pumping lemma ---";
+  let w = Automata_word.of_bitstring "110110" in
+  (match Pumping.decompose dfa w with
+  | None -> print_endline "word too short"
+  | Some d ->
+      Format.printf "decomposition of 110110: x=%s y=%s z=%s@."
+        (Automata_word.to_bitstring d.Pumping.prefix)
+        (Automata_word.to_bitstring d.Pumping.loop)
+        (Automata_word.to_bitstring d.Pumping.suffix);
+      List.iter
+        (fun i ->
+          let pumped = Pumping.pump d i in
+          Format.printf "  y^%d: %-12s accepted: %b@." i
+            (Automata_word.to_bitstring pumped)
+            (Dfa.accepts dfa pumped))
+        [ 0; 1; 2; 3 ])

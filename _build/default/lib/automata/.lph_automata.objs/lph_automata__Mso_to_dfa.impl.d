@@ -1,0 +1,1 @@
+lib/automata/mso_to_dfa.ml: Array Dfa Fun Hashtbl List Lph_logic Nfa Printf Word

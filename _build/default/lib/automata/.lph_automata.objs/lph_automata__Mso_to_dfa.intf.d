@@ -1,0 +1,1 @@
+lib/automata/mso_to_dfa.mli: Dfa Lph_logic

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Dfa Fun Hashtbl Int List Queue Set

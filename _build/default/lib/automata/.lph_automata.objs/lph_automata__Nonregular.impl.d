@@ -1,0 +1,1 @@
+lib/automata/nonregular.ml: Dfa Hashtbl List Word

@@ -1,0 +1,1 @@
+lib/automata/pumping.ml: Array Dfa Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/automata/pumping.mli: Dfa

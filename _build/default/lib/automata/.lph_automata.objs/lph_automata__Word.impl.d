@@ -1,0 +1,1 @@
+lib/automata/word.ml: Array Fun List Lph_structure Lph_util Printf String

@@ -1,0 +1,1 @@
+lib/automata/word_graph.ml: Array Dfa List Lph_graph Lph_machine Lph_util Option

@@ -1,0 +1,1 @@
+lib/automata/word_graph.mli: Dfa Lph_graph Lph_hierarchy Lph_machine

@@ -1,0 +1,156 @@
+type t = {
+  alphabet : int;
+  states : int;
+  start : int;
+  accept : bool array;
+  delta : int array array;
+}
+
+let create ~alphabet ~states ~start ~accept ~delta =
+  if alphabet < 1 || states < 1 then invalid_arg "Dfa.create: empty automaton";
+  let accept_arr = Array.make states false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= states then invalid_arg "Dfa.create: accept state out of range";
+      accept_arr.(s) <- true)
+    accept;
+  let table =
+    Array.init states (fun s ->
+        Array.init alphabet (fun a ->
+            let s' = delta s a in
+            if s' < 0 || s' >= states then invalid_arg "Dfa.create: transition out of range";
+            s'))
+  in
+  { alphabet; states; start; accept = accept_arr; delta = table }
+
+let step d s a =
+  if a < 0 || a >= d.alphabet then invalid_arg "Dfa.step: letter out of range";
+  d.delta.(s).(a)
+
+let run d word = List.fold_left (fun s a -> step d s a) d.start word
+
+let accepts d word = d.accept.(run d word)
+
+let complement d = { d with accept = Array.map not d.accept }
+
+let product d1 d2 ~both =
+  if d1.alphabet <> d2.alphabet then invalid_arg "Dfa.product: alphabet mismatch";
+  let states = d1.states * d2.states in
+  let pair s1 s2 = (s1 * d2.states) + s2 in
+  {
+    alphabet = d1.alphabet;
+    states;
+    start = pair d1.start d2.start;
+    accept =
+      Array.init states (fun s -> both d1.accept.(s / d2.states) d2.accept.(s mod d2.states));
+    delta =
+      Array.init states (fun s ->
+          let s1 = s / d2.states and s2 = s mod d2.states in
+          Array.init d1.alphabet (fun a -> pair d1.delta.(s1).(a) d2.delta.(s2).(a)));
+  }
+
+let find_accepted ?max_len d =
+  let limit = match max_len with Some l -> l | None -> d.states in
+  let visited = Array.make d.states false in
+  let queue = Queue.create () in
+  visited.(d.start) <- true;
+  Queue.add (d.start, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let s, path = Queue.pop queue in
+       if d.accept.(s) then begin
+         result := Some (List.rev path);
+         raise Exit
+       end;
+       if List.length path < limit then
+         for a = 0 to d.alphabet - 1 do
+           let s' = d.delta.(s).(a) in
+           if not visited.(s') then begin
+             visited.(s') <- true;
+             Queue.add (s', a :: path) queue
+           end
+         done
+     done
+   with Exit -> ());
+  !result
+
+let is_empty d = Option.is_none (find_accepted d)
+
+let equivalent d1 d2 =
+  is_empty (product d1 d2 ~both:(fun a b -> a <> b))
+
+let reachable d =
+  let seen = Array.make d.states false in
+  let queue = Queue.create () in
+  seen.(d.start) <- true;
+  Queue.add d.start queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun s' ->
+        if not seen.(s') then begin
+          seen.(s') <- true;
+          Queue.add s' queue
+        end)
+      d.delta.(s)
+  done;
+  seen
+
+let minimize d =
+  let seen = reachable d in
+  (* Moore refinement on reachable states *)
+  let classes = Array.init d.states (fun s -> if d.accept.(s) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of a state: its class plus the classes of its successors *)
+    let signatures = Hashtbl.create 16 in
+    let next_class = ref 0 in
+    let new_classes = Array.make d.states 0 in
+    for s = 0 to d.states - 1 do
+      if seen.(s) then begin
+        let signature = (classes.(s), Array.to_list (Array.map (fun s' -> classes.(s')) d.delta.(s))) in
+        let c =
+          match Hashtbl.find_opt signatures signature with
+          | Some c -> c
+          | None ->
+              let c = !next_class in
+              incr next_class;
+              Hashtbl.replace signatures signature c;
+              c
+        in
+        new_classes.(s) <- c
+      end
+    done;
+    let distinct_old =
+      List.length
+        (List.sort_uniq compare
+           (List.filteri (fun s _ -> seen.(s)) (Array.to_list classes)))
+    in
+    if !next_class <> distinct_old then changed := true;
+    Array.blit new_classes 0 classes 0 d.states
+  done;
+  let count = 1 + Array.fold_left max 0 (Array.mapi (fun s c -> if seen.(s) then c else 0) classes) in
+  let repr = Array.make count (-1) in
+  for s = d.states - 1 downto 0 do
+    if seen.(s) then repr.(classes.(s)) <- s
+  done;
+  {
+    alphabet = d.alphabet;
+    states = count;
+    start = classes.(d.start);
+    accept = Array.init count (fun c -> d.accept.(repr.(c)));
+    delta = Array.init count (fun c -> Array.map (fun s' -> classes.(s')) d.delta.(repr.(c)));
+  }
+
+let enumerate d ~max_len =
+  let rec go len prefix_state prefix =
+    let here = if d.accept.(prefix_state) then [ List.rev prefix ] else [] in
+    if len = max_len then here
+    else
+      here
+      @ List.concat
+          (List.init d.alphabet (fun a -> go (len + 1) d.delta.(prefix_state).(a) (a :: prefix)))
+  in
+  go 0 d.start []

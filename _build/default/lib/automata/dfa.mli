@@ -1,0 +1,45 @@
+(** Deterministic finite automata over integer alphabets
+    [0 .. alphabet - 1]. The workhorse of the Büchi–Elgot–Trakhtenbrot
+    pipeline (Section 9.3 uses its consequences — the pumping lemma and
+    the regularity of MSO-definable word languages — to exhibit
+    properties outside the local-polynomial hierarchy). *)
+
+type t = {
+  alphabet : int;
+  states : int;  (** states are 0 .. states - 1 *)
+  start : int;
+  accept : bool array;
+  delta : int array array;  (** delta.(state).(letter) *)
+}
+
+val create : alphabet:int -> states:int -> start:int -> accept:int list -> delta:(int -> int -> int) -> t
+
+val step : t -> int -> int -> int
+val run : t -> int list -> int
+(** Final state on a word. *)
+
+val accepts : t -> int list -> bool
+
+val complement : t -> t
+
+val product : t -> t -> both:(bool -> bool -> bool) -> t
+(** Product automaton accepting via the boolean combination of the two
+    acceptance verdicts (e.g. [(&&)] for intersection, [(||)] for
+    union). Alphabets must agree. *)
+
+val find_accepted : ?max_len:int -> t -> int list option
+(** A shortest accepted word (BFS); [None] if the language is empty
+    (or nothing accepted within [max_len], default unbounded by
+    state count). *)
+
+val is_empty : t -> bool
+
+val equivalent : t -> t -> bool
+(** Language equality (via emptiness of the symmetric difference). *)
+
+val minimize : t -> t
+(** Moore partition refinement; also drops unreachable states. *)
+
+val enumerate : t -> max_len:int -> int list list
+(** All accepted words of length at most [max_len] (for test
+    comparisons). *)

@@ -1,0 +1,186 @@
+module F = Lph_logic.Formula
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Variable collection: every variable gets a dedicated track, so all  *)
+(* intermediate automata share one alphabet.                           *)
+
+let collect_vars ~bits formula =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let declare v =
+    if Hashtbl.mem seen v then unsupported "duplicate binder name %s" v;
+    Hashtbl.replace seen v ();
+    order := v :: !order
+  in
+  let rec go = function
+    | F.True | F.False -> ()
+    | F.Unary (i, _) -> if i > bits then unsupported "unary relation %d beyond bit width" i
+    | F.Binary (i, _, _) -> if i <> 1 then unsupported "binary relation %d on words" i
+    | F.Eq _ -> ()
+    | F.App (_, xs) -> if List.length xs <> 1 then unsupported "non-monadic second-order variable"
+    | F.Not f | F.Exists (_, f) | F.Forall (_, f) -> go_binder f
+    | F.Or (f, g) | F.And (f, g) | F.Implies (f, g) | F.Iff (f, g) ->
+        go f;
+        go g
+    | F.Exists_near (_, _, f) | F.Forall_near (_, _, f) -> go f
+    | F.Exists_so (_, k, f) | F.Forall_so (_, k, f) ->
+        if k <> 1 then unsupported "non-monadic second-order quantifier";
+        go f
+  and go_binder f = go f in
+  let rec binders = function
+    | F.True | F.False | F.Unary _ | F.Binary _ | F.Eq _ | F.App _ -> ()
+    | F.Not f -> binders f
+    | F.Or (f, g) | F.And (f, g) | F.Implies (f, g) | F.Iff (f, g) ->
+        binders f;
+        binders g
+    | F.Exists (x, f) | F.Forall (x, f) ->
+        declare x;
+        binders f
+    | F.Exists_near (x, _, f) | F.Forall_near (x, _, f) ->
+        declare x;
+        binders f
+    | F.Exists_so (r, _, f) | F.Forall_so (r, _, f) ->
+        declare r;
+        binders f
+  in
+  go formula;
+  binders formula;
+  List.rev !order
+
+(* ------------------------------------------------------------------ *)
+(* Letters: low [bits] bits are the symbol, then one bit per track.    *)
+
+type ctx = { bits : int; tracks : string array }
+
+let alphabet ctx = 1 lsl (ctx.bits + Array.length ctx.tracks)
+
+let track_index ctx v =
+  let found = ref (-1) in
+  Array.iteri (fun i w -> if w = v then found := i) ctx.tracks;
+  if !found < 0 then unsupported "free variable %s (not a sentence?)" v;
+  ctx.bits + !found
+
+let bit letter i = (letter lsr i) land 1 = 1
+
+let with_bit letter i b = if b then letter lor (1 lsl i) else letter land lnot (1 lsl i)
+
+(* ------------------------------------------------------------------ *)
+(* Building blocks.                                                    *)
+
+let accept_all ctx =
+  Dfa.create ~alphabet:(alphabet ctx) ~states:1 ~start:0 ~accept:[ 0 ] ~delta:(fun _ _ -> 0)
+
+let reject_all ctx =
+  Dfa.create ~alphabet:(alphabet ctx) ~states:1 ~start:0 ~accept:[] ~delta:(fun _ _ -> 0)
+
+(* exactly one position carries the track of v *)
+let singleton ctx v =
+  let i = track_index ctx v in
+  Dfa.create ~alphabet:(alphabet ctx) ~states:3 ~start:0 ~accept:[ 1 ] ~delta:(fun s a ->
+      if not (bit a i) then s else match s with 0 -> 1 | _ -> 2)
+
+let validity ctx fo_vars =
+  List.fold_left
+    (fun acc v -> Dfa.minimize (Dfa.product acc (singleton ctx v) ~both:( && )))
+    (accept_all ctx) fo_vars
+
+(* the position marked by x satisfies [test letter] (and x is marked
+   exactly once) *)
+let at_position ctx x test =
+  let i = track_index ctx x in
+  Dfa.create ~alphabet:(alphabet ctx) ~states:3 ~start:0 ~accept:[ 1 ] ~delta:(fun s a ->
+      if not (bit a i) then s
+      else match s with 0 -> if test a then 1 else 2 | _ -> 2)
+
+let eq_dfa ctx x y =
+  if x = y then singleton ctx x
+  else begin
+    let ix = track_index ctx x and iy = track_index ctx y in
+    Dfa.create ~alphabet:(alphabet ctx) ~states:3 ~start:0 ~accept:[ 1 ] ~delta:(fun s a ->
+        match (s, bit a ix, bit a iy) with
+        | s, false, false -> s
+        | 0, true, true -> 1
+        | _ -> 2)
+  end
+
+let successor_dfa ctx x y =
+  if x = y then reject_all ctx
+  else begin
+    let ix = track_index ctx x and iy = track_index ctx y in
+    (* states: 0 = waiting for x, 1 = x seen at the previous position,
+       2 = done, 3 = dead *)
+    Dfa.create ~alphabet:(alphabet ctx) ~states:4 ~start:0 ~accept:[ 2 ] ~delta:(fun s a ->
+        let mx = bit a ix and my = bit a iy in
+        match s with
+        | 0 -> if mx && my then 3 else if mx then 1 else if my then 3 else 0
+        | 1 -> if my && not mx then 2 else 3
+        | 2 -> if mx || my then 3 else 2
+        | _ -> 3)
+  end
+
+(* project the track of v away: don't-care semantics on that track *)
+let project ctx v dfa =
+  let i = track_index ctx v in
+  let nfa =
+    {
+      Nfa.alphabet = alphabet ctx;
+      states = dfa.Dfa.states;
+      starts = [ dfa.Dfa.start ];
+      accept = dfa.Dfa.accept;
+      delta =
+        (fun s a ->
+          List.sort_uniq compare
+            [ dfa.Dfa.delta.(s).(with_bit a i false); dfa.Dfa.delta.(s).(with_bit a i true) ]);
+    }
+  in
+  Dfa.minimize (Nfa.determinize nfa)
+
+(* ------------------------------------------------------------------ *)
+
+let free_fo = F.free_fo
+
+let rec compile_formula ctx (formula : F.t) : Dfa.t =
+  let m = Dfa.minimize in
+  match formula with
+  | F.True -> accept_all ctx
+  | F.False -> reject_all ctx
+  | F.Unary (i, x) -> at_position ctx x (fun a -> bit a (i - 1))
+  | F.App (r, [ x ]) -> at_position ctx x (fun a -> bit a (track_index ctx r))
+  | F.App _ -> unsupported "non-monadic application"
+  | F.Eq (x, y) -> eq_dfa ctx x y
+  | F.Binary (1, x, y) -> successor_dfa ctx x y
+  | F.Binary (i, _, _) -> unsupported "binary relation %d" i
+  | F.Not f ->
+      m (Dfa.product (Dfa.complement (compile_formula ctx f)) (validity ctx (free_fo f)) ~both:( && ))
+  | F.And (f, g) -> m (Dfa.product (compile_formula ctx f) (compile_formula ctx g) ~both:( && ))
+  | F.Or (f, g) -> m (Dfa.product (compile_formula ctx f) (compile_formula ctx g) ~both:( || ))
+  | F.Implies (f, g) -> compile_formula ctx (F.Or (F.Not f, g))
+  | F.Iff (f, g) -> compile_formula ctx (F.And (F.Implies (f, g), F.Implies (g, f)))
+  | F.Exists (x, f) -> project ctx x (compile_formula ctx f)
+  | F.Forall (x, f) -> compile_formula ctx (F.Not (F.Exists (x, F.Not f)))
+  | F.Exists_near (x, y, f) ->
+      compile_formula ctx
+        (F.Exists (x, F.And (F.Or (F.Binary (1, x, y), F.Binary (1, y, x)), f)))
+  | F.Forall_near (x, y, f) ->
+      compile_formula ctx
+        (F.Not (F.Exists (x, F.And (F.Or (F.Binary (1, x, y), F.Binary (1, y, x)), F.Not f))))
+  | F.Exists_so (r, 1, f) -> project ctx r (compile_formula ctx f)
+  | F.Forall_so (r, 1, f) -> compile_formula ctx (F.Not (F.Exists_so (r, 1, F.Not f)))
+  | F.Exists_so _ | F.Forall_so _ -> unsupported "non-monadic second-order quantifier"
+
+let compile ~bits formula =
+  if not (Lph_logic.Syntax.is_sentence formula) then invalid_arg "Mso_to_dfa.compile: not a sentence";
+  let tracks = Array.of_list (collect_vars ~bits formula) in
+  let ctx = { bits; tracks } in
+  let full = compile_formula ctx formula in
+  (* restrict to the pure word alphabet: all tracks zero *)
+  Dfa.minimize
+    (Dfa.create ~alphabet:(1 lsl bits) ~states:full.Dfa.states ~start:full.Dfa.start
+       ~accept:(List.filteri (fun s _ -> full.Dfa.accept.(s)) (List.init full.Dfa.states Fun.id))
+       ~delta:(fun s a -> full.Dfa.delta.(s).(a)))
+
+let holds ~bits word formula = Lph_logic.Eval.holds (Word.structure ~bits word) formula

@@ -1,0 +1,29 @@
+(** The Büchi–Elgot–Trakhtenbrot theorem, constructively: compile a
+    sentence of monadic second-order logic over words into an
+    equivalent DFA. Formulas use the word signature — ⊙_1 .. ⊙_bits for
+    the letter bits and ⇀1 for the successor relation — with monadic
+    second-order variables and (bounded or unbounded) first-order
+    quantifiers; bounded quantifiers are desugared using the successor
+    relation.
+
+    The compilation follows the classical track construction: automata
+    run over the alphabet 2^(bits + #variables); atoms enforce the
+    singleton discipline of their first-order tracks, negation
+    re-intersects with the validity automaton of the free variables,
+    and quantifiers project their track away (subset construction,
+    minimised at each step). *)
+
+exception Unsupported of string
+(** Raised for non-monadic second-order variables, binary relations
+    other than ⇀1, unary relations beyond the bit width, or duplicate
+    binder names. *)
+
+val compile : bits:int -> Lph_logic.Formula.t -> Dfa.t
+(** The DFA over the alphabet [2^bits] equivalent to the sentence on
+    {e non-empty} words (the empty word has no structure; the DFA's
+    verdict on it is the formula evaluated on the empty domain, which
+    we fix by convention to the automaton's behaviour — tests compare
+    only non-empty words). *)
+
+val holds : bits:int -> int list -> Lph_logic.Formula.t -> bool
+(** Reference semantics via {!Word.structure} and the model checker. *)

@@ -1,0 +1,71 @@
+type t = {
+  alphabet : int;
+  states : int;
+  starts : int list;
+  accept : bool array;
+  delta : int -> int -> int list;
+}
+
+let of_dfa (d : Dfa.t) =
+  {
+    alphabet = d.Dfa.alphabet;
+    states = d.Dfa.states;
+    starts = [ d.Dfa.start ];
+    accept = d.Dfa.accept;
+    delta = (fun s a -> [ d.Dfa.delta.(s).(a) ]);
+  }
+
+module Iset = Set.Make (Int)
+
+let determinize n =
+  let index = Hashtbl.create 64 in
+  let subsets = ref [] in
+  let count = ref 0 in
+  let intern set =
+    match Hashtbl.find_opt index set with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.replace index set i;
+        subsets := (i, set) :: !subsets;
+        i
+  in
+  let start_set = Iset.of_list n.starts in
+  let start = intern start_set in
+  let transitions = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (start, start_set) queue;
+  let processed = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let i, set = Queue.pop queue in
+    if not (Hashtbl.mem processed i) then begin
+      Hashtbl.replace processed i ();
+      for a = 0 to n.alphabet - 1 do
+        let next =
+          Iset.fold (fun s acc -> Iset.union acc (Iset.of_list (n.delta s a))) set Iset.empty
+        in
+        let was_known = Hashtbl.mem index next in
+        let j = intern next in
+        Hashtbl.replace transitions (i, a) j;
+        if not was_known then Queue.add (j, next) queue
+      done
+    end
+  done;
+  let states = !count in
+  let accept_of = Array.make states false in
+  List.iter
+    (fun (i, set) -> accept_of.(i) <- Iset.exists (fun s -> n.accept.(s)) set)
+    !subsets;
+  Dfa.create ~alphabet:n.alphabet ~states ~start
+    ~accept:(List.filteri (fun i _ -> accept_of.(i)) (List.init states Fun.id))
+    ~delta:(fun s a -> Hashtbl.find transitions (s, a))
+
+let accepts n word =
+  let module S = Iset in
+  let final =
+    List.fold_left
+      (fun set a -> S.fold (fun s acc -> S.union acc (S.of_list (n.delta s a))) set S.empty)
+      (S.of_list n.starts) word
+  in
+  Iset.exists (fun s -> n.accept.(s)) final

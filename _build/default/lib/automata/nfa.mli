@@ -1,0 +1,18 @@
+(** Nondeterministic finite automata (no ε-transitions) and the subset
+    construction — used by the MSO compiler to project quantified
+    tracks away. *)
+
+type t = {
+  alphabet : int;
+  states : int;
+  starts : int list;
+  accept : bool array;
+  delta : int -> int -> int list;  (** state -> letter -> successors *)
+}
+
+val of_dfa : Dfa.t -> t
+
+val determinize : t -> Dfa.t
+(** Subset construction over reachable subsets. *)
+
+val accepts : t -> int list -> bool

@@ -1,0 +1,40 @@
+let eq01 word =
+  let zeros = List.length (List.filter (fun a -> a = 0) word) in
+  2 * zeros = List.length word
+
+let rec repeat k x = if k = 0 then [] else x :: repeat (k - 1) x
+
+let refute_eq01 (d : Dfa.t) =
+  if d.Dfa.alphabet <> 2 then invalid_arg "Nonregular.refute_eq01: alphabet must be {0,1}";
+  let k = d.Dfa.states in
+  let balanced = repeat k 0 @ repeat k 1 in
+  if not (Dfa.accepts d balanced) then Some balanced
+  else begin
+    (* The run on 0^k visits k+1 states: some state repeats within the
+       0-block. Pumping that loop changes the number of 0s only, so the
+       pumped word is unbalanced; a candidate built from a real DFA
+       still accepts it. *)
+    let seen = Hashtbl.create 16 in
+    let rec find_loop state pos =
+      match Hashtbl.find_opt seen state with
+      | Some first -> (first, pos)
+      | None ->
+          Hashtbl.replace seen state pos;
+          find_loop (Dfa.step d state 0) (pos + 1)
+    in
+    let first, pos = find_loop d.Dfa.start 0 in
+    let loop_len = pos - first in
+    let pumped = repeat (k + loop_len) 0 @ repeat k 1 in
+    if Dfa.accepts d pumped && not (eq01 pumped) then Some pumped
+    else if not (Dfa.accepts d pumped) && eq01 pumped then Some pumped
+    else
+      (* For a genuine DFA the pumped word reaches the same final state
+         as the balanced one, so one of the cases above must fire; as a
+         backstop against degenerate candidates, search exhaustively. *)
+      List.find_opt
+        (fun w -> Dfa.accepts d w <> eq01 w)
+        (Word.all_words ~alphabet:2 ~max_len:(min 12 ((2 * k) + 2)))
+  end
+
+let agrees_up_to d predicate ~max_len =
+  List.for_all (fun w -> Dfa.accepts d w = predicate w) (Word.all_words ~alphabet:2 ~max_len)

@@ -1,0 +1,22 @@
+(** Executable non-regularity arguments (Section 9.3 uses the pumping
+    lemma to place properties outside the local-polynomial hierarchy;
+    this module mechanises the refutation step).
+
+    The canonical example: EQ01, the language of words with as many 0s
+    as 1s. Given any candidate DFA, {!refute_eq01} produces a concrete
+    word on which the candidate disagrees with EQ01 — either it rejects
+    the balanced word 0^k 1^k, or pumping a loop inside the 0-block
+    yields an unbalanced word the candidate still accepts. *)
+
+val eq01 : int list -> bool
+(** Membership in EQ01 over the alphabet {0, 1}. *)
+
+val refute_eq01 : Dfa.t -> int list option
+(** A witness word on which the candidate differs from EQ01
+    ([None] would mean the refutation failed — impossible for a true
+    DFA, so tests expect [Some]). The candidate's alphabet must be 2. *)
+
+val agrees_up_to : Dfa.t -> (int list -> bool) -> max_len:int -> bool
+(** Exhaustively compare a DFA with a predicate on all words up to the
+    given length (how one checks that a refuted candidate was at least
+    plausible). *)

@@ -1,0 +1,34 @@
+type decomposition = { prefix : int list; loop : int list; suffix : int list }
+
+let decompose (d : Dfa.t) word =
+  if not (Dfa.accepts d word) || List.length word < d.Dfa.states then None
+  else begin
+    (* find the first repeated state along the run *)
+    let seen = Hashtbl.create 16 in
+    let rec scan state pos rest =
+      match Hashtbl.find_opt seen state with
+      | Some first ->
+          let arr = Array.of_list word in
+          let slice a b = Array.to_list (Array.sub arr a (b - a)) in
+          Some
+            {
+              prefix = slice 0 first;
+              loop = slice first pos;
+              suffix = slice pos (Array.length arr);
+            }
+      | None -> begin
+          Hashtbl.replace seen state pos;
+          match rest with
+          | [] -> None
+          | a :: rest -> scan d.Dfa.delta.(state).(a) (pos + 1) rest
+        end
+    in
+    scan d.Dfa.start 0 word
+  end
+
+let pump d i =
+  let rec repeat k = if k = 0 then [] else d.loop @ repeat (k - 1) in
+  d.prefix @ repeat i @ d.suffix
+
+let verify dfa d ~upto =
+  List.for_all (fun i -> Dfa.accepts dfa (pump d i)) (List.init (upto + 1) Fun.id)

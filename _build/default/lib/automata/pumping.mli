@@ -1,0 +1,17 @@
+(** The pumping lemma for regular languages, constructively: Section 9.3
+    of the paper uses it (together with Büchi–Elgot–Trakhtenbrot) to
+    exhibit graph properties outside the local-polynomial hierarchy. *)
+
+type decomposition = { prefix : int list; loop : int list; suffix : int list }
+(** [word = prefix @ loop @ suffix] with [loop] non-empty and
+    [length (prefix @ loop) <= pumping constant]. *)
+
+val decompose : Dfa.t -> int list -> decomposition option
+(** A pumping decomposition of an accepted word of length at least the
+    number of states; [None] if the word is rejected or too short. *)
+
+val pump : decomposition -> int -> int list
+(** [pump d i]: prefix · loop^i · suffix. *)
+
+val verify : Dfa.t -> decomposition -> upto:int -> bool
+(** All pumped variants up to exponent [upto] are accepted. *)

@@ -1,0 +1,28 @@
+let of_bitstring s =
+  List.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> 0
+      | '1' -> 1
+      | c -> invalid_arg (Printf.sprintf "Word.of_bitstring: %c" c))
+
+let to_bitstring w = String.concat "" (List.map (fun a -> if a = 1 then "1" else "0") w)
+
+let structure ~bits word =
+  let n = List.length word in
+  if n = 0 then invalid_arg "Word.structure: empty word";
+  let letters = Array.of_list word in
+  let unary =
+    Array.init bits (fun j ->
+        List.filter (fun p -> (letters.(p) lsr j) land 1 = 1) (List.init n Fun.id))
+  in
+  let successor = List.init (n - 1) (fun p -> (p, p + 1)) in
+  Lph_structure.Structure.create ~card:n ~unary ~binary:[| successor |]
+
+let all_words ~alphabet ~max_len =
+  let letters = List.init alphabet Fun.id in
+  let rec go len =
+    if len > max_len then []
+    else
+      List.of_seq (Lph_util.Combinat.product (List.init len (fun _ -> letters))) @ go (len + 1)
+  in
+  go 0

@@ -1,0 +1,15 @@
+(** Words over t-bit letters, and their structural representations.
+    A letter is an integer in [0 .. 2^bits); bit j of a letter is
+    [(letter lsr j) land 1]. Strings over {0,1} are 1-bit words. *)
+
+val of_bitstring : string -> int list
+(** Each character becomes a 1-bit letter. *)
+
+val to_bitstring : int list -> string
+
+val structure : bits:int -> int list -> Lph_structure.Structure.t
+(** The word structure: one element per position, ⊙_(j+1) marks bit j,
+    ⇀1 is the successor relation. Requires a non-empty word. *)
+
+val all_words : alphabet:int -> max_len:int -> int list list
+(** Every word of length at most [max_len]. *)

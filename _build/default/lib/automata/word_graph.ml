@@ -1,0 +1,147 @@
+module G = Lph_graph.Labeled_graph
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+module C = Lph_util.Codec
+
+let letter_of_label = function "0" -> Some 0 | "1" -> Some 1 | _ -> None
+
+let path_word g =
+  let n = G.card g in
+  let letters = List.map (fun u -> letter_of_label (G.label g u)) (G.nodes g) in
+  if List.exists Option.is_none letters then None
+  else begin
+    let letter u = Option.get (letter_of_label (G.label g u)) in
+    if n = 1 then Some [ letter 0 ]
+    else begin
+      let endpoints = List.filter (fun u -> G.degree g u = 1) (G.nodes g) in
+      let interior_ok = List.for_all (fun u -> G.degree g u <= 2) (G.nodes g) in
+      match (endpoints, interior_ok) with
+      | [ e1; _ ], true ->
+          (* connected + max degree 2 + two endpoints = a path *)
+          let rec walk prev u acc =
+            let acc = letter u :: acc in
+            match List.filter (fun v -> Some v <> prev) (G.neighbours g u) with
+            | [ v ] -> walk (Some u) v acc
+            | [] -> List.rev acc
+            | _ -> List.rev acc
+          in
+          let w = walk None e1 [] in
+          Some (min w (List.rev w))
+      | _ -> None
+    end
+  end
+
+let property_of_language lang g =
+  match path_word g with Some w -> lang w || lang (List.rev w) | None -> false
+
+(* ------------------------------------------------------------------ *)
+
+let cert_codec : (string option * int) C.t = C.pair (C.option C.string) C.int
+
+let decode_cert cert = try Some (C.decode_bits cert_codec cert) with Failure _ -> None
+
+let encode_cert pred state = C.encode_bits cert_codec (pred, state)
+
+let dfa_verifier (d : Dfa.t) =
+  Gather.algo ~name:"dfa-path-verifier" ~radius:1 ~levels:1 ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries * d.Dfa.states);
+      let entries = ball.Gather.entries in
+      let neighbours = List.filter (fun e -> e.Gather.dist = 1) entries in
+      let self = List.find (fun e -> e.Gather.dist = 0) entries in
+      let cert_of e = decode_cert (List.hd (Lph_util.Bitstring.split_hash e.Gather.cert)) in
+      match (letter_of_label ctx.LA.label, cert_of self) with
+      | None, _ | _, None -> false
+      | Some letter, Some (pred, state) ->
+          let ok_shape = ctx.LA.degree <= 2 && state >= 0 && state < d.Dfa.states in
+          (* how many neighbours name me as their predecessor *)
+          let succ_count =
+            List.length
+              (List.filter
+                 (fun e ->
+                   match cert_of e with
+                   | Some (Some p, _) -> p = ctx.LA.ident
+                   | _ -> false)
+                 neighbours)
+          in
+          let chain_ok =
+            match pred with
+            | None ->
+                (* the start of the word: an endpoint in the initial state,
+                   feeding every remaining neighbour *)
+                ctx.LA.degree <= 1 && state = d.Dfa.start && succ_count = ctx.LA.degree
+            | Some p -> begin
+                match List.find_opt (fun e -> e.Gather.ident = p) neighbours with
+                | None -> false
+                | Some pe -> begin
+                    match (cert_of pe, letter_of_label pe.Gather.label) with
+                    | Some (_, ps), Some pa ->
+                        Dfa.step d ps pa = state && succ_count = ctx.LA.degree - 1
+                    | _ -> false
+                  end
+              end
+          in
+          let end_ok =
+            (* a node with no successor is the last letter: its post-state
+               must accept *)
+            succ_count > 0 || d.Dfa.accept.(Dfa.step d state letter)
+          in
+          ok_shape && chain_ok && end_ok)
+
+let orient_states d order letters =
+  let rec go state = function
+    | [] -> Some []
+    | a :: rest -> begin
+        match go (Dfa.step d state a) rest with
+        | Some states -> Some (state :: states)
+        | None -> None
+      end
+  in
+  match go d.Dfa.start letters with
+  | Some states when Dfa.accepts d letters -> Some (List.combine order states)
+  | _ -> None
+
+let dfa_certificates d g ~ids =
+  let n = G.card g in
+  let letter u = letter_of_label (G.label g u) in
+  if List.exists (fun u -> letter u = None) (G.nodes g) then None
+  else begin
+    let orders =
+      if n = 1 then [ [ 0 ] ]
+      else begin
+        let endpoints = List.filter (fun u -> G.degree g u = 1) (G.nodes g) in
+        let interior_ok = List.for_all (fun u -> G.degree g u <= 2) (G.nodes g) in
+        if List.length endpoints <> 2 || not interior_ok then []
+        else
+          List.map
+            (fun e ->
+              let rec walk prev u acc =
+                let acc = u :: acc in
+                match List.filter (fun v -> Some v <> prev) (G.neighbours g u) with
+                | [ v ] -> walk (Some u) v acc
+                | _ -> List.rev acc
+              in
+              walk None e [])
+            endpoints
+      end
+    in
+    let try_order order =
+      let letters = List.map (fun u -> Option.get (letter u)) order in
+      match orient_states d order letters with
+      | None -> None
+      | Some pairs ->
+          let certs = Array.make n "" in
+          List.iteri
+            (fun i (u, state) ->
+              let pred = if i = 0 then None else Some ids.(List.nth order (i - 1)) in
+              certs.(u) <- encode_cert pred state)
+            pairs;
+          Some certs
+    in
+    List.find_map try_order orders
+  end
+
+let cert_universe (d : Dfa.t) g ~ids u =
+  let preds = None :: List.map (fun v -> Some ids.(v)) (G.neighbours g u) in
+  List.concat_map
+    (fun pred -> List.init d.Dfa.states (fun s -> encode_cert pred s))
+    preds

@@ -1,0 +1,42 @@
+(** Words as labelled path graphs — the bridge Section 9.3 uses to
+    carry automata-theoretic lower bounds (pumping,
+    Büchi–Elgot–Trakhtenbrot) into the LOCAL world.
+
+    A path graph with 1-bit labels spells a word in two directions;
+    since graph properties are closed under isomorphism, the induced
+    property of a word language accepts a path iff the language
+    contains the word read in {e either} direction.
+
+    On the promise class of path graphs, every {e regular} language is
+    NLP-verifiable with constant-size certificates: Eve certifies each
+    node with its position's DFA state and predecessor, and one round
+    of local checks validates the run ({!dfa_verifier},
+    {!dfa_certificates}). The same verifier is unsound on cycles —
+    paths and long cycles are locally indistinguishable, the recurring
+    theme of Section 9.1 — and non-regular languages escape the
+    construction entirely ({!Nonregular}). *)
+
+val path_word : Lph_graph.Labeled_graph.t -> int list option
+(** The word spelled by a path graph with 1-bit labels, read from its
+    lexicographically-smaller endpoint (by identifier-free convention:
+    the orientation yielding the smaller word); [None] if the graph is
+    not a 1-bit-labelled path. Single nodes are length-1 words. *)
+
+val property_of_language : (int list -> bool) -> Lph_graph.Labeled_graph.t -> bool
+(** The induced graph property: the graph is a path and the language
+    contains its word in at least one direction. *)
+
+val dfa_verifier : Dfa.t -> Lph_machine.Local_algo.packed
+(** The one-certificate verifier (levels = 1): each node's certificate
+    encodes (predecessor identifier option, DFA state before reading
+    this node's letter). Sound and complete on path graphs. *)
+
+val dfa_certificates :
+  Dfa.t -> Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> Lph_graph.Certificates.t option
+(** The honest prover: certificates for an accepted path ([None] if the
+    graph is not a path or the DFA rejects both directions). *)
+
+val cert_universe : Dfa.t -> Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> Lph_hierarchy.Game.universe
+(** All well-formed certificates per node (predecessor among the closed
+    neighbourhood, any DFA state) — a restrictive universe in the sense
+    of Lemma 8, for exact game solving. *)

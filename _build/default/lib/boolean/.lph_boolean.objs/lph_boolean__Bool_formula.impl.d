@@ -1,0 +1,1 @@
+lib/boolean/bool_formula.ml: Buffer Char Format List Lph_util Printf Set String

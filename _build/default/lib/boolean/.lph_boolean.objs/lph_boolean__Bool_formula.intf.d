@@ -1,0 +1,1 @@
+lib/boolean/bool_formula.mli: Format

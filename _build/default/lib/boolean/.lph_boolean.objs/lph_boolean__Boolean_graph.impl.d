@@ -1,0 +1,1 @@
+lib/boolean/boolean_graph.ml: Array Bool_formula Fun Hashtbl List Lph_graph Printf Solver Tseytin

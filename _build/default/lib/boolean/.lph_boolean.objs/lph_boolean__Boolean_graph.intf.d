@@ -1,0 +1,1 @@
+lib/boolean/boolean_graph.mli: Bool_formula Lph_graph

@@ -1,0 +1,1 @@
+lib/boolean/cnf.ml: Bool_formula Format List Option Set String

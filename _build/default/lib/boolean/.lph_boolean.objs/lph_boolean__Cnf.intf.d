@@ -1,0 +1,1 @@
+lib/boolean/cnf.mli: Bool_formula Format

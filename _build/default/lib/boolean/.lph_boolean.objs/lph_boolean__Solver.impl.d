@@ -1,0 +1,1 @@
+lib/boolean/solver.ml: Cnf List Map Option String

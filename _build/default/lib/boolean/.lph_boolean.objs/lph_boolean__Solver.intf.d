@@ -1,0 +1,1 @@
+lib/boolean/solver.mli: Bool_formula Cnf

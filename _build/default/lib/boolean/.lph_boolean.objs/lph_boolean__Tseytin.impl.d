@@ -1,0 +1,1 @@
+lib/boolean/tseytin.ml: Bool_formula Cnf List Printf String

@@ -1,0 +1,1 @@
+lib/boolean/tseytin.mli: Bool_formula Cnf

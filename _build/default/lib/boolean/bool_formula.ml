@@ -1,0 +1,131 @@
+type var = string
+
+type t =
+  | Const of bool
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let conj = function [] -> Const true | f :: fs -> List.fold_left (fun a b -> And (a, b)) f fs
+
+let disj = function [] -> Const false | f :: fs -> List.fold_left (fun a b -> Or (a, b)) f fs
+
+let implies f g = Or (Not f, g)
+
+let iff f g = And (implies f g, implies g f)
+
+module Sset = Set.Make (String)
+
+let vars f =
+  let rec go acc = function
+    | Const _ -> acc
+    | Var v -> Sset.add v acc
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) -> go (go acc f) g
+  in
+  Sset.elements (go Sset.empty f)
+
+let rec eval env = function
+  | Const b -> b
+  | Var v -> env v
+  | Not f -> not (eval env f)
+  | And (f, g) -> eval env f && eval env g
+  | Or (f, g) -> eval env f || eval env g
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) -> 1 + size f + size g
+
+let rec rename r = function
+  | Const b -> Const b
+  | Var v -> Var (r v)
+  | Not f -> Not (rename r f)
+  | And (f, g) -> And (rename r f, rename r g)
+  | Or (f, g) -> Or (rename r f, rename r g)
+
+let satisfiable f =
+  let vs = vars f in
+  Lph_util.Combinat.exists_seq
+    (fun chosen ->
+      let set = Sset.of_list chosen in
+      eval (fun v -> Sset.mem v set) f)
+    (Lph_util.Combinat.subsets vs)
+
+(* Wire format: a tagged prefix encoding, then bit-encoded so the result
+   is a genuine bit string. *)
+
+let rec write buf = function
+  | Const true -> Buffer.add_char buf 'T'
+  | Const false -> Buffer.add_char buf 'F'
+  | Var v ->
+      Buffer.add_char buf 'V';
+      Buffer.add_string buf (Lph_util.Codec.encode Lph_util.Codec.string v)
+  | Not f ->
+      Buffer.add_char buf '!';
+      write buf f
+  | And (f, g) ->
+      Buffer.add_char buf '&';
+      write buf f;
+      write buf g
+  | Or (f, g) ->
+      Buffer.add_char buf '|';
+      write buf f;
+      write buf g
+
+let read s =
+  let rec go pos =
+    if pos >= String.length s then failwith "Bool_formula.of_label: truncated";
+    match s.[pos] with
+    | 'T' -> (Const true, pos + 1)
+    | 'F' -> (Const false, pos + 1)
+    | 'V' ->
+        (* decode a length-prefixed string starting at pos + 1 *)
+        let rec varint p shift acc =
+          if p >= String.length s then failwith "Bool_formula.of_label: truncated var";
+          let b = Char.code s.[p] in
+          let acc = acc lor ((b land 127) lsl shift) in
+          if b land 128 = 0 then (acc, p + 1) else varint (p + 1) (shift + 7) acc
+        in
+        let len, p = varint (pos + 1) 0 0 in
+        if p + len > String.length s then failwith "Bool_formula.of_label: truncated var body";
+        (Var (String.sub s p len), p + len)
+    | '!' ->
+        let f, p = go (pos + 1) in
+        (Not f, p)
+    | '&' ->
+        let f, p = go (pos + 1) in
+        let g, p = go p in
+        (And (f, g), p)
+    | '|' ->
+        let f, p = go (pos + 1) in
+        let g, p = go p in
+        (Or (f, g), p)
+    | c -> failwith (Printf.sprintf "Bool_formula.of_label: bad tag %c" c)
+  in
+  let f, pos = go 0 in
+  if pos <> String.length s then failwith "Bool_formula.of_label: trailing garbage";
+  f
+
+let to_label f =
+  let buf = Buffer.create 64 in
+  write buf f;
+  Lph_util.Codec.encode_bits Lph_util.Codec.string (Buffer.contents buf)
+
+let of_label label = read (Lph_util.Codec.decode_bits Lph_util.Codec.string label)
+
+let rec pp fmt = function
+  | Const true -> Format.pp_print_string fmt "⊤"
+  | Const false -> Format.pp_print_string fmt "⊥"
+  | Var v -> Format.pp_print_string fmt v
+  | Not f -> Format.fprintf fmt "¬%a" pp_atom f
+  | And (f, g) -> Format.fprintf fmt "(%a ∧ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf fmt "(%a ∨ %a)" pp f pp g
+
+and pp_atom fmt f =
+  match f with
+  | Const _ | Var _ | Not _ -> pp fmt f
+  | _ -> Format.fprintf fmt "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,37 @@
+(** Boolean formulas: the labels of Boolean graphs (Section 8). A
+    formula must round-trip through a bit-string encoding, since it
+    travels as a node label. *)
+
+type var = string
+
+type t =
+  | Const of bool
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val conj : t list -> t
+val disj : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+
+val vars : t -> var list
+(** Sorted, without duplicates. *)
+
+val eval : (var -> bool) -> t -> bool
+val size : t -> int
+val rename : (var -> var) -> t -> t
+
+val satisfiable : t -> bool
+(** Brute force over {!vars} (small formulas only); the reference
+    answer for the CNF/DPLL pipeline. *)
+
+val to_label : t -> string
+(** Bit-string encoding (for use as a graph label). *)
+
+val of_label : string -> t
+(** Raises [Failure] on malformed encodings. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,138 @@
+module G = Lph_graph.Labeled_graph
+
+type t = G.t
+
+let make g formulas =
+  if Array.length formulas <> G.card g then invalid_arg "Boolean_graph.make: wrong arity";
+  G.with_labels g (Array.map Bool_formula.to_label formulas)
+
+let formula_of_node g u = Bool_formula.of_label (G.label g u)
+
+(* ------------------------------------------------------------------ *)
+(* Variable instances and their merging along edges.                   *)
+
+module Union_find = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find uf x = if uf.parent.(x) = x then x else begin
+    let root = find uf uf.parent.(x) in
+    uf.parent.(x) <- root;
+    root
+  end
+
+  let union uf x y =
+    let rx = find uf x and ry = find uf y in
+    if rx <> ry then
+      if uf.rank.(rx) < uf.rank.(ry) then uf.parent.(rx) <- ry
+      else if uf.rank.(rx) > uf.rank.(ry) then uf.parent.(ry) <- rx
+      else begin
+        uf.parent.(ry) <- rx;
+        uf.rank.(rx) <- uf.rank.(rx) + 1
+      end
+end
+
+type instances = {
+  formulas : Bool_formula.t array;
+  class_of : int -> Bool_formula.var -> string;  (** instance (node, var) -> class name *)
+}
+
+let instances g =
+  let formulas = Array.init (G.card g) (formula_of_node g) in
+  let index = Hashtbl.create 64 in
+  let next = ref 0 in
+  Array.iteri
+    (fun u f ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem index (u, v)) then begin
+            Hashtbl.replace index (u, v) !next;
+            incr next
+          end)
+        (Bool_formula.vars f))
+    formulas;
+  let uf = Union_find.create !next in
+  List.iter
+    (fun (u, v) ->
+      let shared =
+        List.filter (fun x -> Hashtbl.mem index (v, x)) (Bool_formula.vars formulas.(u))
+      in
+      List.iter
+        (fun x -> Union_find.union uf (Hashtbl.find index (u, x)) (Hashtbl.find index (v, x)))
+        shared)
+    (G.edges g);
+  let class_of u v =
+    match Hashtbl.find_opt index (u, v) with
+    | Some i -> Printf.sprintf "cls%d" (Union_find.find uf i)
+    | None -> invalid_arg "Boolean_graph: unknown variable instance"
+  in
+  { formulas; class_of }
+
+let satisfiable g =
+  let inst = instances g in
+  let clauses =
+    List.concat
+      (List.mapi
+         (fun u f ->
+           let renamed = Bool_formula.rename (inst.class_of u) f in
+           Tseytin.transform ~fresh_prefix:(Printf.sprintf "aux%d" u) renamed)
+         (Array.to_list inst.formulas))
+  in
+  Solver.satisfiable clauses
+
+let satisfiable_brute g =
+  let inst = instances g in
+  let conjunction =
+    Bool_formula.conj
+      (List.mapi (fun u f -> Bool_formula.rename (inst.class_of u) f) (Array.to_list inst.formulas))
+  in
+  Bool_formula.satisfiable conjunction
+
+(* A 3-CNF-shaped formula: a conjunction tree whose leaves are clauses,
+   each a disjunction tree of at most three literals. *)
+let is_3cnf_formula f =
+  let open Bool_formula in
+  let rec literal_count = function
+    | Var _ | Not (Var _) -> Some 1
+    | Const _ -> Some 0
+    | Or (a, b) -> begin
+        match (literal_count a, literal_count b) with
+        | Some x, Some y -> Some (x + y)
+        | _ -> None
+      end
+    | Not _ | And _ -> None
+  in
+  let rec clauses = function
+    | And (a, b) -> clauses a && clauses b
+    | f -> ( match literal_count f with Some k -> k <= 3 | None -> false)
+  in
+  clauses f
+
+let is_3cnf_graph g =
+  List.for_all
+    (fun u ->
+      match formula_of_node g u with
+      | f -> is_3cnf_formula f
+      | exception Failure _ -> false)
+    (G.nodes g)
+
+let sat f = make (G.singleton "") [| f |]
+
+let checkable_locally g ~valuations =
+  let formulas = Array.init (G.card g) (formula_of_node g) in
+  let locally_satisfied =
+    List.for_all (fun u -> Bool_formula.eval (valuations u) formulas.(u)) (G.nodes g)
+  in
+  let consistent =
+    List.for_all
+      (fun (u, v) ->
+        let shared =
+          List.filter
+            (fun x -> List.mem x (Bool_formula.vars formulas.(v)))
+            (Bool_formula.vars formulas.(u))
+        in
+        List.for_all (fun x -> valuations u x = valuations v x) shared)
+      (G.edges g)
+  in
+  locally_satisfied && consistent

@@ -1,0 +1,42 @@
+(** Boolean graphs and the SAT-GRAPH property (Section 8, Theorem 19).
+
+    A Boolean graph is a labelled graph whose labels encode Boolean
+    formulas. It is satisfiable when each node can be given a valuation
+    of the variables of its own formula such that (a) every node's
+    formula is satisfied and (b) valuations of {e adjacent} nodes agree
+    on every variable they share. Non-adjacent nodes may disagree —
+    variable scope is local, which is what lets a distributed machine
+    produce these instances under merely locally unique identifiers. *)
+
+type t = Lph_graph.Labeled_graph.t
+(** A labelled graph whose labels decode as formulas. *)
+
+val make : Lph_graph.Labeled_graph.t -> Bool_formula.t array -> t
+(** Same topology, labels replaced by formula encodings. *)
+
+val formula_of_node : t -> int -> Bool_formula.t
+
+val satisfiable : t -> bool
+(** The SAT-GRAPH property. Variable instances [(node, var)] are merged
+    along edges with union–find, each node's formula is renamed to its
+    instance classes and Tseytin-encoded, and the conjunction goes to
+    the DPLL solver. *)
+
+val satisfiable_brute : t -> bool
+(** Reference implementation: brute force over the merged variable
+    classes (for cross-checking on tiny instances). *)
+
+val is_3cnf_graph : t -> bool
+(** Every label decodes to a 3-CNF-shaped formula (a conjunction of
+    clauses with at most three literals): membership in the
+    3-SAT-GRAPH domain. *)
+
+val sat : Bool_formula.t -> t
+(** The single-node Boolean graph: SAT as the restriction of SAT-GRAPH
+    to NODE. *)
+
+val checkable_locally :
+  t -> valuations:(int -> Bool_formula.var -> bool) -> bool
+(** The NLP-verifier view: given per-node valuations, check that every
+    node's formula is satisfied and consistent with its neighbours
+    (what each node verifies in one round). *)

@@ -1,0 +1,62 @@
+type literal = { var : Bool_formula.var; positive : bool }
+
+type clause = literal list
+
+type t = clause list
+
+let pos var = { var; positive = true }
+
+let neg var = { var; positive = false }
+
+let negate l = { l with positive = not l.positive }
+
+module Sset = Set.Make (String)
+
+let vars cnf =
+  Sset.elements
+    (List.fold_left
+       (fun acc clause -> List.fold_left (fun acc l -> Sset.add l.var acc) acc clause)
+       Sset.empty cnf)
+
+let eval env cnf =
+  List.for_all (List.exists (fun l -> if l.positive then env l.var else not (env l.var))) cnf
+
+let to_formula cnf =
+  Bool_formula.conj
+    (List.map
+       (fun clause ->
+         Bool_formula.disj
+           (List.map
+              (fun l ->
+                if l.positive then Bool_formula.Var l.var else Bool_formula.Not (Var l.var))
+              clause))
+       cnf)
+
+let is_3cnf cnf = List.for_all (fun clause -> List.length clause <= 3) cnf
+
+let of_formula formula =
+  let open Bool_formula in
+  let rec clause = function
+    | Var v -> Some [ pos v ]
+    | Not (Var v) -> Some [ neg v ]
+    | Const false -> Some []
+    | Or (a, b) -> begin
+        match (clause a, clause b) with Some x, Some y -> Some (x @ y) | _ -> None
+      end
+    | Const true | Not _ | And _ -> None
+  in
+  let rec clauses = function
+    | And (a, b) -> begin
+        match (clauses a, clauses b) with Some x, Some y -> Some (x @ y) | _ -> None
+      end
+    | Const true -> Some []
+    | f -> Option.map (fun c -> [ c ]) (clause f)
+  in
+  clauses formula
+
+let pp fmt cnf =
+  let pp_lit fmt l = Format.fprintf fmt "%s%s" (if l.positive then "" else "¬") l.var in
+  let pp_clause fmt c =
+    Format.fprintf fmt "(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ∨ ") pp_lit) c
+  in
+  Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ∧ ") pp_clause fmt cnf

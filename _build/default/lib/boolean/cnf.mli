@@ -1,0 +1,27 @@
+(** Conjunctive normal form. A clause is a disjunction of literals; a
+    CNF is a conjunction of clauses. 3-CNF (clauses of at most three
+    literals) is the label format of 3-SAT-GRAPH instances. *)
+
+type literal = { var : Bool_formula.var; positive : bool }
+
+type clause = literal list
+
+type t = clause list
+
+val pos : Bool_formula.var -> literal
+val neg : Bool_formula.var -> literal
+val negate : literal -> literal
+
+val vars : t -> Bool_formula.var list
+val eval : (Bool_formula.var -> bool) -> t -> bool
+val to_formula : t -> Bool_formula.t
+val is_3cnf : t -> bool
+(** Every clause has at most 3 literals. *)
+
+val of_formula : Bool_formula.t -> t option
+(** Recover the clause structure of a CNF-shaped formula (a conjunction
+    tree of disjunction trees of literals); [None] if the formula is
+    not in that shape. [Const true] reads as the empty CNF, [Const
+    false] as an empty clause. *)
+
+val pp : Format.formatter -> t -> unit

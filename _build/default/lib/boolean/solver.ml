@@ -1,0 +1,64 @@
+module Smap = Map.Make (String)
+
+(* Assignments are persistent maps, so backtracking simply drops the
+   extended map. *)
+
+let clause_status assignment clause =
+  let rec go acc = function
+    | [] -> `Clause (List.rev acc)
+    | l :: rest -> begin
+        match Smap.find_opt l.Cnf.var assignment with
+        | Some b -> if b = l.Cnf.positive then `Satisfied else go acc rest
+        | None -> go (l :: acc) rest
+      end
+  in
+  go [] clause
+
+(* Simplify under the assignment and propagate unit clauses to a
+   fixpoint. Returns None on conflict. *)
+let rec simplify assignment cnf =
+  let rec scan acc units = function
+    | [] -> `Done (List.rev acc, units)
+    | clause :: rest -> begin
+        match clause_status assignment clause with
+        | `Satisfied -> scan acc units rest
+        | `Clause [] -> `Conflict
+        | `Clause [ l ] -> scan acc (l :: units) rest
+        | `Clause c -> scan (c :: acc) units rest
+      end
+  in
+  match scan [] [] cnf with
+  | `Conflict -> None
+  | `Done (remaining, []) -> Some (assignment, remaining)
+  | `Done (remaining, units) ->
+      let assignment, conflict =
+        List.fold_left
+          (fun (a, conflict) l ->
+            match Smap.find_opt l.Cnf.var a with
+            | Some b when b <> l.Cnf.positive -> (a, true)
+            | _ -> (Smap.add l.Cnf.var l.Cnf.positive a, conflict))
+          (assignment, false) units
+      in
+      if conflict then None else simplify assignment remaining
+
+let rec dpll assignment cnf =
+  match simplify assignment cnf with
+  | None -> None
+  | Some (assignment, []) -> Some assignment
+  | Some (assignment, remaining) ->
+      let l = List.hd (List.hd remaining) in
+      let try_value b = dpll (Smap.add l.Cnf.var b assignment) remaining in
+      begin
+        match try_value l.Cnf.positive with
+        | Some a -> Some a
+        | None -> try_value (not l.Cnf.positive)
+      end
+
+let solve cnf =
+  match dpll Smap.empty cnf with
+  | None -> None
+  | Some assignment ->
+      let lookup v = match Smap.find_opt v assignment with Some b -> b | None -> false in
+      Some lookup
+
+let satisfiable cnf = Option.is_some (solve cnf)

@@ -1,0 +1,8 @@
+(** A DPLL SAT solver with unit propagation and pure-literal
+    elimination. Exact; used as the satisfiability backend for
+    SAT-GRAPH and for cross-checking the Cook–Levin constructions. *)
+
+val solve : Cnf.t -> (Bool_formula.var -> bool) option
+(** A satisfying valuation (total on the CNF's variables), or [None]. *)
+
+val satisfiable : Cnf.t -> bool

@@ -1,0 +1,48 @@
+open Bool_formula
+
+let transform ~fresh_prefix formula =
+  let prefix = fresh_prefix ^ "." in
+  List.iter
+    (fun v ->
+      if String.length v >= String.length prefix && String.sub v 0 (String.length prefix) = prefix
+      then invalid_arg "Tseytin.transform: input uses a reserved fresh variable")
+    (vars formula);
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  (* returns a literal equivalent to the subformula *)
+  let rec gate = function
+    | Const true ->
+        let v = fresh () in
+        emit [ Cnf.pos v ];
+        Cnf.pos v
+    | Const false ->
+        let v = fresh () in
+        emit [ Cnf.neg v ];
+        Cnf.pos v
+    | Var v -> Cnf.pos v
+    | Not f -> Cnf.negate (gate f)
+    | And (f, g) ->
+        let a = gate f and b = gate g in
+        let v = fresh () in
+        (* v <-> a ∧ b *)
+        emit [ Cnf.neg v; a ];
+        emit [ Cnf.neg v; b ];
+        emit [ Cnf.pos v; Cnf.negate a; Cnf.negate b ];
+        Cnf.pos v
+    | Or (f, g) ->
+        let a = gate f and b = gate g in
+        let v = fresh () in
+        (* v <-> a ∨ b *)
+        emit [ Cnf.neg v; a; b ];
+        emit [ Cnf.pos v; Cnf.negate a ];
+        emit [ Cnf.pos v; Cnf.negate b ];
+        Cnf.pos v
+  in
+  let root = gate formula in
+  emit [ root ];
+  List.rev !clauses

@@ -1,0 +1,12 @@
+(** The Tseytin transformation: convert an arbitrary Boolean formula
+    into an equisatisfiable 3-CNF by introducing one fresh variable per
+    internal gate (used by the SAT-GRAPH → 3-SAT-GRAPH reduction of
+    Theorem 20, where the fresh names are derived from the node's
+    identifier so that adjacent nodes never share them). *)
+
+val transform : fresh_prefix:string -> Bool_formula.t -> Cnf.t
+(** Fresh variables are named [fresh_prefix ^ "." ^ i]. The result is
+    3-CNF; every satisfying valuation of the input extends to one of
+    the output, and every satisfying valuation of the output restricts
+    to one of the input. Raises [Invalid_argument] if the input already
+    contains a variable starting with [fresh_prefix ^ "."]. *)

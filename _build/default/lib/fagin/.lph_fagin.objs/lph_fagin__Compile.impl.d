@@ -1,0 +1,1 @@
+lib/fagin/compile.ml: Array Hashtbl List Lph_graph Lph_hierarchy Lph_logic Lph_machine Lph_util Option Printf Seq String

@@ -1,0 +1,1 @@
+lib/fagin/compile.mli: Lph_graph Lph_hierarchy Lph_logic

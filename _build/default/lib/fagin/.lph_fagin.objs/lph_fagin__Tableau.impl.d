@@ -1,0 +1,1 @@
+lib/fagin/tableau.ml: Hashtbl List Lph_boolean Printf String

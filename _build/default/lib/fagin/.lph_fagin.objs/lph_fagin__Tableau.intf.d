@@ -1,0 +1,1 @@
+lib/fagin/tableau.mli: Lph_boolean

@@ -1,0 +1,184 @@
+module F = Lph_logic.Formula
+module Syntax = Lph_logic.Syntax
+module Eval = Lph_logic.Eval
+module Str = Lph_graph.Structural
+module G = Lph_graph.Labeled_graph
+module Gather = Lph_machine.Gather
+module LA = Lph_machine.Local_algo
+module Game = Lph_hierarchy.Game
+module C = Lph_util.Codec
+
+type block = Syntax.quantifier * (F.so_var * int) list
+
+type t = {
+  sentence : F.t;
+  blocks : block list;
+  first : Game.player option;
+  radius : int;
+  arbiter : Lph_hierarchy.Arbiter.t;
+}
+
+(* certificate wire format: one relation fragment per second-order
+   variable of the level's block; a fragment is a list of tuples of
+   element references (identifier, bit index option) *)
+let ref_codec = C.pair C.string (C.option C.int)
+
+let frag_codec = C.list (C.list (C.list ref_codec))
+
+let group_blocks prefix =
+  let rec go = function
+    | [] -> []
+    | (q, r, k) :: rest -> begin
+        match go rest with
+        | (q', vars) :: blocks when q' = q -> (q, (r, k) :: vars) :: blocks
+        | blocks -> (q, [ (r, k) ]) :: blocks
+      end
+  in
+  go prefix
+
+let matrix_of sentence =
+  let prefix, matrix = Syntax.so_prefix sentence in
+  match matrix with
+  | F.Forall (x, psi) when Syntax.is_bf psi -> (group_blocks prefix, x, psi)
+  | _ -> invalid_arg "Fagin.Compile: sentence is not in the local second-order hierarchy"
+
+let element_ref repr ids e =
+  match Str.of_index repr e with
+  | Str.Node v -> (ids.(v), None)
+  | Str.Bit (v, i) -> (ids.(v), Some i)
+
+let resolve_ref repr sub ident_to_node (ident, bit) =
+  match Hashtbl.find_opt ident_to_node ident with
+  | None -> None
+  | Some v -> begin
+      match bit with
+      | None -> Some (Str.to_index repr (Str.Node v))
+      | Some i ->
+          if i >= 1 && i <= String.length (G.label sub v) then
+            Some (Str.to_index repr (Str.Bit (v, i)))
+          else None
+    end
+
+let decide ~blocks ~x ~psi ~levels (ctx : LA.ctx) ball =
+  let sub, ball_ids, ball_certs, centre = Gather.reconstruct ball in
+  let repr = Str.of_graph sub in
+  ctx.LA.charge (Str.card sub);
+  let ident_to_node = Hashtbl.create 16 in
+  Array.iteri (fun v ident -> Hashtbl.replace ident_to_node ident v) ball_ids;
+  (* collect each level's fragments from every ball member *)
+  let all_vars = List.concat_map snd blocks in
+  let relations = Hashtbl.create 8 in
+  List.iter (fun (r, _) -> Hashtbl.replace relations r Lph_logic.Relation.empty) all_vars;
+  List.iteri
+    (fun level (_, vars) ->
+      List.iter
+        (fun j ->
+          let parts = Lph_graph.Certificates.split_list ~levels ball_certs.(j) in
+          let cert = List.nth parts level in
+          match C.decode_bits frag_codec cert with
+          | fragments ->
+              List.iteri
+                (fun vi tuples ->
+                  match List.nth_opt vars vi with
+                  | None -> ()
+                  | Some (r, arity) ->
+                      List.iter
+                        (fun refs ->
+                          if List.length refs = arity then begin
+                            let resolved =
+                              List.map (resolve_ref repr sub ident_to_node) refs
+                            in
+                            if List.for_all Option.is_some resolved then begin
+                              let tuple = List.map Option.get resolved in
+                              ctx.LA.charge arity;
+                              Hashtbl.replace relations r
+                                (Lph_logic.Relation.add tuple (Hashtbl.find relations r))
+                            end
+                          end)
+                        tuples)
+                fragments
+          | exception Failure _ -> ())
+        (G.nodes sub))
+    blocks;
+  let env =
+    Hashtbl.fold (fun r rel env -> Eval.bind_so env r rel) relations Eval.empty_env
+  in
+  let s = Str.structure repr in
+  List.for_all
+    (fun a ->
+      ctx.LA.charge (Str.card sub);
+      Eval.eval s (Eval.bind_fo env x a) psi)
+    (Str.node_elements repr centre)
+
+let compile sentence =
+  if not (Syntax.is_sentence sentence) then invalid_arg "Fagin.Compile: not a sentence";
+  let blocks, x, psi = matrix_of sentence in
+  let radius = Syntax.visibility_radius psi in
+  let levels = List.length blocks in
+  let algo =
+    Gather.algo
+      ~name:(Printf.sprintf "fagin-arbiter-l%d-r%d" levels radius)
+      ~radius:(radius + 1) ~levels
+      ~decide:(decide ~blocks ~x ~psi ~levels)
+  in
+  (* A declared (r,p)-bound for the fragment certificates: a fragment
+     holds at most |own elements| * |2r-ball elements|^(k-1) tuples per
+     variable, each encoded in O(k * max identifier/index size) bits;
+     info^(k+1) with a generous constant dominates this for every block. *)
+  let max_arity =
+    List.fold_left (fun acc (_, vars) -> List.fold_left (fun a (_, k) -> max a k) acc vars) 1 blocks
+  in
+  let vars_per_block =
+    List.fold_left (fun acc (_, vars) -> max acc (List.length vars)) 1 blocks
+  in
+  let cert_bound =
+    {
+      Lph_graph.Certificates.radius = (2 * radius) + 1;
+      poly = Lph_util.Poly.monomial ~coeff:(64 * vars_per_block * (max_arity + 1)) ~degree:(max_arity + 1);
+    }
+  in
+  let arbiter = Lph_hierarchy.Arbiter.of_local_algo ~id_radius:(radius + 2) ~cert_bound algo in
+  let first =
+    match blocks with
+    | [] -> None
+    | (Syntax.Ex, _) :: _ -> Some Game.Eve
+    | (Syntax.All, _) :: _ -> Some Game.Adam
+  in
+  { sentence; blocks; first; radius; arbiter }
+
+let fragment_universes ?(tuple_filter = fun _ -> true) compiled g ~ids =
+  let repr = Str.of_graph g in
+  let elements_of_nodes nodes = List.concat_map (Str.node_elements repr) nodes in
+  let universe_for_block vars : Game.universe =
+   fun u ->
+    let own = Str.node_elements repr u in
+    let nearby =
+      elements_of_nodes (Lph_graph.Neighborhood.ball g ~radius:(2 * compiled.radius) u)
+    in
+    let tuples_for arity =
+      List.filter tuple_filter
+        (List.concat_map
+           (fun head ->
+             List.of_seq
+               (Seq.map (fun tail -> head :: tail) (Lph_util.Combinat.tuples nearby (arity - 1))))
+           own)
+    in
+    let fragment_choices (_, arity) =
+      List.of_seq (Lph_util.Combinat.subsets (tuples_for arity))
+    in
+    let combos = Lph_util.Combinat.product (List.map fragment_choices vars) in
+    List.of_seq
+      (Seq.map
+         (fun fragments ->
+           C.encode_bits frag_codec
+             (List.map (List.map (List.map (element_ref repr ids))) fragments))
+         combos)
+  in
+  List.map (fun (_, vars) -> universe_for_block vars) compiled.blocks
+
+let game_accepts ?tuple_filter compiled g ~ids =
+  let universes = fragment_universes ?tuple_filter compiled g ~ids in
+  match compiled.first with
+  | None -> compiled.arbiter.Lph_hierarchy.Arbiter.accepts g ~ids ~certs:[]
+  | Some Game.Eve -> Game.sigma_accepts compiled.arbiter g ~ids ~universes
+  | Some Game.Adam -> Game.pi_accepts compiled.arbiter g ~ids ~universes

@@ -1,0 +1,54 @@
+(** The backward direction of the generalized Fagin theorem
+    (Theorems 11/12): every Σℓ^LFO / Πℓ^LFO sentence compiles to a
+    restrictive arbiter whose certificate game realises exactly the
+    property the sentence defines.
+
+    Certificates encode interpretations of the second-order variables,
+    split across the nodes by ownership of a tuple's first element;
+    elements are referenced as (identifier, bit index option). The
+    arbiter gathers its (r+1)-ball (r = the matrix's visibility
+    radius), decodes and unions the relation fragments, and evaluates
+    the BF matrix at its own elements — in polynomial step time, since
+    BF evaluation is exhaustive search over a constant-radius ball.
+
+    The accompanying certificate {e universes} quantify only over valid
+    fragment encodings with all tuple components within distance 2r of
+    the owner — the restrictive-arbiter discipline of Lemma 8, whose
+    restrictors are locally repairable by construction. *)
+
+type block = Lph_logic.Syntax.quantifier * (Lph_logic.Formula.so_var * int) list
+
+type t = {
+  sentence : Lph_logic.Formula.t;
+  blocks : block list;  (** alternating second-order quantifier blocks *)
+  first : Lph_hierarchy.Game.player option;
+      (** who moves first ([None] for level 0) *)
+  radius : int;  (** visibility radius of the matrix *)
+  arbiter : Lph_hierarchy.Arbiter.t;
+}
+
+val compile : Lph_logic.Formula.t -> t
+(** Requires a sentence of the local second-order hierarchy (a prefix
+    of second-order quantifiers over an LFO formula). *)
+
+val fragment_universes :
+  ?tuple_filter:(int list -> bool) ->
+  t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_hierarchy.Game.universe list
+(** The per-level certificate universes: all encodings of local
+    relation fragments. [tuple_filter] (on element-index tuples of the
+    graph's structural representation) can prune the enumeration when a
+    semantic restriction is justified; the default keeps every local
+    tuple. Beware: the universe size is exponential in the local tuple
+    count. *)
+
+val game_accepts :
+  ?tuple_filter:(int list -> bool) ->
+  t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  bool
+(** The certificate game value under {!fragment_universes} — by
+    Theorem 12 equal to the sentence's truth value on the graph. *)

@@ -1,0 +1,135 @@
+module Cnf = Lph_boolean.Cnf
+
+type symbol = S0 | S1 | Blank
+
+type move = Left | Stay | Right
+
+type machine = {
+  name : string;
+  states : int;
+  accepting : int list;
+  delta : int -> symbol -> int * symbol * move;
+}
+
+let symbols = [ S0; S1; Blank ]
+
+let symbol_tag = function S0 -> "0" | S1 -> "1" | Blank -> "_"
+
+let symbol_of_char = function
+  | '0' -> S0
+  | '1' -> S1
+  | c -> invalid_arg (Printf.sprintf "Tableau: input character %c" c)
+
+let accepts m ~input ~time =
+  let tape = Hashtbl.create 16 in
+  String.iteri (fun i c -> Hashtbl.replace tape i (symbol_of_char c)) input;
+  let read p = match Hashtbl.find_opt tape p with Some s -> s | None -> Blank in
+  let state = ref 0 and head = ref 0 in
+  for _ = 1 to time do
+    let q', a', mv = m.delta !state (read !head) in
+    Hashtbl.replace tape !head a';
+    state := q';
+    head := (match mv with Left -> max 0 (!head - 1) | Stay -> !head | Right -> !head + 1)
+  done;
+  List.mem !state m.accepting
+
+(* ------------------------------------------------------------------ *)
+
+let tableau m ~input ~time =
+  let positions = time + 1 in
+  let q t s = Printf.sprintf "q_%d_%d" t s in
+  let h t p = Printf.sprintf "h_%d_%d" t p in
+  let c t p a = Printf.sprintf "c_%d_%d_%s" t p (symbol_tag a) in
+  let clauses = ref [] in
+  let emit cl = clauses := cl :: !clauses in
+  let exactly_one vars =
+    emit (List.map Cnf.pos vars);
+    let rec pairs = function
+      | [] -> ()
+      | v :: rest ->
+          List.iter (fun w -> emit [ Cnf.neg v; Cnf.neg w ]) rest;
+          pairs rest
+    in
+    pairs vars
+  in
+  for t = 0 to time do
+    exactly_one (List.init m.states (q t));
+    exactly_one (List.init positions (h t));
+    for p = 0 to positions - 1 do
+      exactly_one (List.map (c t p) symbols)
+    done
+  done;
+  (* initial configuration *)
+  emit [ Cnf.pos (q 0 0) ];
+  emit [ Cnf.pos (h 0 0) ];
+  for p = 0 to positions - 1 do
+    let sym = if p < String.length input then symbol_of_char input.[p] else Blank in
+    emit [ Cnf.pos (c 0 p sym) ]
+  done;
+  (* transitions and frame conditions *)
+  for t = 0 to time - 1 do
+    for p = 0 to positions - 1 do
+      (* cells away from the head are copied *)
+      List.iter
+        (fun a -> emit [ Cnf.neg (c t p a); Cnf.pos (h t p); Cnf.pos (c (t + 1) p a) ])
+        symbols;
+      for s = 0 to m.states - 1 do
+        List.iter
+          (fun a ->
+            let s', a', mv = m.delta s a in
+            let p' =
+              match mv with Left -> max 0 (p - 1) | Stay -> p | Right -> min (positions - 1) (p + 1)
+            in
+            let guard = [ Cnf.neg (q t s); Cnf.neg (h t p); Cnf.neg (c t p a) ] in
+            emit (guard @ [ Cnf.pos (q (t + 1) s') ]);
+            emit (guard @ [ Cnf.pos (c (t + 1) p a') ]);
+            emit (guard @ [ Cnf.pos (h (t + 1) p') ]))
+          symbols
+      done
+    done
+  done;
+  (* acceptance at the final step *)
+  emit (List.map (fun s -> Cnf.pos (q time s)) m.accepting);
+  List.rev !clauses
+
+(* ------------------------------------------------------------------ *)
+
+let accept_state = 1
+
+let reject_state = 2
+
+let loop s a = (s, a, Stay)
+
+let all_ones =
+  {
+    name = "all-ones";
+    states = 3;
+    accepting = [ accept_state ];
+    delta =
+      (fun s a ->
+        match (s, a) with
+        | 0, S1 -> (0, S1, Right)
+        | 0, S0 -> (reject_state, S0, Stay)
+        | 0, Blank -> (accept_state, Blank, Stay)
+        | s, a -> loop s a);
+  }
+
+let even_ones =
+  (* state 0: even so far; state 3: odd so far *)
+  {
+    name = "even-ones";
+    states = 4;
+    accepting = [ accept_state ];
+    delta =
+      (fun s a ->
+        match (s, a) with
+        | 0, S0 -> (0, S0, Right)
+        | 0, S1 -> (3, S1, Right)
+        | 0, Blank -> (accept_state, Blank, Stay)
+        | 3, S0 -> (3, S0, Right)
+        | 3, S1 -> (0, S1, Right)
+        | 3, Blank -> (reject_state, Blank, Stay)
+        | s, a -> loop s a);
+  }
+
+let default_time input = String.length input + 2

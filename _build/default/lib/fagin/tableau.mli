@@ -1,0 +1,40 @@
+(** The classical Cook–Levin tableau, i.e. Theorem 19 restricted to
+    single-node graphs: a deterministic single-tape Turing machine that
+    runs within a time bound is encoded as a CNF whose satisfying
+    valuations are exactly the machine's accepting computations. This
+    is the space-time-diagram-as-relations idea that also powers the
+    forward direction of the generalized Fagin theorem. *)
+
+type symbol = S0 | S1 | Blank
+
+type move = Left | Stay | Right
+
+type machine = {
+  name : string;
+  states : int;  (** states are [0 .. states - 1]; 0 is initial *)
+  accepting : int list;
+  delta : int -> symbol -> int * symbol * move;
+      (** total; halting is modelled by looping in place *)
+}
+
+val accepts : machine -> input:string -> time:int -> bool
+(** Direct simulation: is the machine in an accepting state after
+    [time] steps on the given bit-string input? *)
+
+val tableau : machine -> input:string -> time:int -> Lph_boolean.Cnf.t
+(** The Cook–Levin CNF: satisfiable iff {!accepts}. Variables describe
+    the space-time diagram: state, head position and cell contents at
+    every step. *)
+
+(** {1 Example machines} *)
+
+val all_ones : machine
+(** Accepts iff the input consists solely of 1s (the single-node
+    ALL-SELECTED decider). *)
+
+val even_ones : machine
+(** Accepts iff the input contains an even number of 1s. *)
+
+val default_time : string -> int
+(** A sufficient time bound for the example machines:
+    [length + 2]. *)

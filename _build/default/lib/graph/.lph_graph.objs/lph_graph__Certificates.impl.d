@@ -1,0 +1,1 @@
+lib/graph/certificates.ml: Array Labeled_graph List Lph_util Neighborhood Seq String

@@ -1,0 +1,1 @@
+lib/graph/certificates.mli: Identifiers Labeled_graph Lph_util Seq

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Labeled_graph List Random String

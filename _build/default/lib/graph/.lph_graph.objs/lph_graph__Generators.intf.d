@@ -1,0 +1,1 @@
+lib/graph/generators.mli: Labeled_graph Random

@@ -1,0 +1,1 @@
+lib/graph/identifiers.ml: Array Labeled_graph List Lph_util Neighborhood String

@@ -1,0 +1,1 @@
+lib/graph/identifiers.mli: Labeled_graph

@@ -1,0 +1,1 @@
+lib/graph/isomorphism.ml: Array Labeled_graph List Neighborhood Option

@@ -1,0 +1,1 @@
+lib/graph/isomorphism.mli: Labeled_graph

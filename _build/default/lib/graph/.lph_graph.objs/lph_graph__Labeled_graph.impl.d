@@ -1,0 +1,1 @@
+lib/graph/labeled_graph.ml: Array Format Fun List Lph_util Printf Queue String

@@ -1,0 +1,1 @@
+lib/graph/neighborhood.ml: Array Hashtbl Labeled_graph List Queue String

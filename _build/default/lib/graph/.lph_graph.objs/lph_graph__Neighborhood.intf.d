@@ -1,0 +1,1 @@
+lib/graph/neighborhood.mli: Labeled_graph

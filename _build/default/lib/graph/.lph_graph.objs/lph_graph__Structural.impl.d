@@ -1,0 +1,1 @@
+lib/graph/structural.ml: Array Labeled_graph List Lph_structure String

@@ -1,0 +1,1 @@
+lib/graph/structural.mli: Labeled_graph Lph_structure

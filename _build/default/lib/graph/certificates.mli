@@ -1,0 +1,45 @@
+(** Certificate assignments and the (r,p)-boundedness condition
+    (Section 3). A certificate assignment gives each node a bit string;
+    an assignment is (r,p)-bounded when every node's certificate length
+    is at most [p] applied to the information content of its
+    r-neighbourhood (node count + label lengths + identifier lengths).
+
+    Several assignments are combined into a certificate-list assignment
+    by joining the per-node certificates with ['#']. *)
+
+type t = string array
+(** [t.(u)] is the certificate of node [u]. *)
+
+type bound = { radius : int; poly : Lph_util.Poly.t }
+(** The pair (r, p). *)
+
+val trivial : Labeled_graph.t -> t
+(** The empty certificate for every node. *)
+
+val max_length : Labeled_graph.t -> ids:Identifiers.t -> bound -> int -> int
+(** [max_length g ~ids b u]: the largest certificate length allowed at
+    node [u] under bound [b]. *)
+
+val is_bounded : Labeled_graph.t -> ids:Identifiers.t -> bound -> t -> bool
+
+val list_assignment : t list -> t
+(** [list_assignment [k1; ...; kl]] is the certificate-list assignment
+    [u -> k1(u)#...#kl(u)]; the empty list yields empty strings
+    (requires at least one assignment to determine the node count
+    otherwise). Raises [Invalid_argument] on the empty list. *)
+
+val split_list : levels:int -> string -> string list
+(** Decode one node's certificate list back into [levels] certificates.
+    Missing components decode as empty strings; surplus components are
+    dropped (the paper's machines simply ignore malformed suffixes). *)
+
+val all_assignments : Labeled_graph.t -> max_len:int -> t Seq.t
+(** Exhaustive enumeration of certificate assignments where every
+    node's certificate has length [<= max_len]. Exponential; intended
+    for the exact game solver on small instances. *)
+
+val all_assignments_bounded :
+  Labeled_graph.t -> ids:Identifiers.t -> bound -> cap:int -> t Seq.t
+(** Like {!all_assignments} but per-node lengths are additionally capped
+    by the (r,p)-bound (and globally by [cap], to keep enumeration
+    finite in practice). *)

@@ -1,0 +1,86 @@
+module G = Labeled_graph
+
+let default_labels n = function
+  | Some labels ->
+      if Array.length labels <> n then raise (G.Invalid "generators: wrong number of labels");
+      labels
+  | None -> Array.make n "1"
+
+let path ?labels n =
+  let labels = default_labels n labels in
+  G.make ~labels ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle ?labels n =
+  if n < 3 then raise (G.Invalid "generators: cycle needs at least 3 nodes");
+  let labels = default_labels n labels in
+  let edges = (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)) in
+  G.make ~labels ~edges
+
+let complete ?labels n =
+  let labels = default_labels n labels in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  G.make ~labels ~edges:!edges
+
+let star ?labels n =
+  let labels = default_labels n labels in
+  G.make ~labels ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ?(label = "1") ~rows ~cols () =
+  if rows < 1 || cols < 1 then raise (G.Invalid "generators: empty grid");
+  let labels = Array.make (rows * cols) label in
+  let idx i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then edges := (idx i j, idx i (j + 1)) :: !edges;
+      if i + 1 < rows then edges := (idx i j, idx (i + 1) j) :: !edges
+    done
+  done;
+  G.make ~labels ~edges:!edges
+
+let balanced_binary_tree ?(label = "1") ~depth () =
+  if depth < 0 then raise (G.Invalid "generators: negative depth");
+  let n = (1 lsl (depth + 1)) - 1 in
+  let labels = Array.make n label in
+  let edges = ref [] in
+  for u = 1 to n - 1 do
+    edges := ((u - 1) / 2, u) :: !edges
+  done;
+  G.make ~labels ~edges:!edges
+
+let random_bitstring rng bits = String.init bits (fun _ -> if Random.State.bool rng then '1' else '0')
+
+let random_connected ~rng ~n ~extra_edges ?(label_bits = 1) () =
+  if n < 1 then raise (G.Invalid "generators: empty graph");
+  (* random spanning tree: attach each node to a random earlier node *)
+  let edges = ref [] in
+  for u = 1 to n - 1 do
+    edges := (Random.State.int rng u, u) :: !edges
+  done;
+  let has (u, v) = List.mem (min u v, max u v) !edges in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_edges && !attempts < 50 * (extra_edges + 1) do
+    incr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (has (min u v, max u v)) then begin
+      edges := (min u v, max u v) :: !edges;
+      incr added
+    end
+  done;
+  let labels = Array.init n (fun _ -> random_bitstring rng label_bits) in
+  G.make ~labels ~edges:!edges
+
+let random_labels ~rng ~bits g =
+  G.map_labels (fun _ _ -> random_bitstring rng bits) g
+
+let glued_even_cycle n =
+  if n < 3 || n mod 2 = 0 then raise (G.Invalid "glued_even_cycle: n must be odd and >= 3");
+  let g = cycle ~labels:(Array.make n "") n in
+  let g' = cycle ~labels:(Array.make (2 * n) "") (2 * n) in
+  (g, g')

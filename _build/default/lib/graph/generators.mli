@@ -1,0 +1,35 @@
+(** Graph families used by tests, examples and experiments. Unless noted,
+    all nodes carry the label ["1"] (so the graphs are ALL-SELECTED
+    instances by default); use {!Labeled_graph.map_labels} or the
+    [labels] arguments to change that. *)
+
+val path : ?labels:string array -> int -> Labeled_graph.t
+(** Path on [n >= 1] nodes. *)
+
+val cycle : ?labels:string array -> int -> Labeled_graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val complete : ?labels:string array -> int -> Labeled_graph.t
+val star : ?labels:string array -> int -> Labeled_graph.t
+(** [star n]: one centre (node 0) and [n - 1] leaves. *)
+
+val grid : ?label:string -> rows:int -> cols:int -> unit -> Labeled_graph.t
+(** [rows × cols] grid; node [(i, j)] has index [i * cols + j]. *)
+
+val balanced_binary_tree : ?label:string -> depth:int -> unit -> Labeled_graph.t
+
+val random_connected :
+  rng:Random.State.t -> n:int -> extra_edges:int -> ?label_bits:int -> unit -> Labeled_graph.t
+(** A random spanning tree plus [extra_edges] random additional edges;
+    labels are uniform random bit strings of length [label_bits]
+    (default 1). *)
+
+val random_labels : rng:Random.State.t -> bits:int -> Labeled_graph.t -> Labeled_graph.t
+(** Replace each label with a fresh uniform bit string of the given
+    length. *)
+
+val glued_even_cycle : int -> Labeled_graph.t * Labeled_graph.t
+(** The Proposition 21 construction: for odd [n], returns the odd cycle
+    [G] on nodes [u_1 .. u_n] and the even cycle [G'] on
+    [u_1 .. u_n, u'_1 .. u'_n] obtained by gluing two copies of [G]
+    (node [u'_i] has index [n + i - 1]). All labels empty. *)

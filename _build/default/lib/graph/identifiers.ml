@@ -1,0 +1,88 @@
+module G = Labeled_graph
+
+type t = string array
+
+(* On bit strings, byte-wise comparison realises "proper prefix first,
+   then first differing bit". *)
+let compare_id = String.compare
+
+let ceil_log2 n =
+  if n <= 1 then 0
+  else begin
+    let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+    go 0 1
+  end
+
+let conflict_pairs g ~radius =
+  (* nodes within distance 2*radius of each other *)
+  let pairs = ref [] in
+  List.iter
+    (fun u ->
+      let dist = Neighborhood.distances g u in
+      List.iter (fun v -> if v > u && dist.(v) <= 2 * radius then pairs := (u, v) :: !pairs) (G.nodes g))
+    (G.nodes g);
+  !pairs
+
+let is_locally_unique g ~radius ids =
+  List.for_all (fun (u, v) -> ids.(u) <> ids.(v)) (conflict_pairs g ~radius)
+
+let is_globally_unique g ids =
+  let sorted = List.sort compare (Array.to_list ids) in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | _ -> true
+  in
+  ignore g;
+  distinct sorted
+
+let is_small g ~radius ids =
+  List.for_all
+    (fun u ->
+      let ball = Neighborhood.ball g ~radius:(2 * radius) u in
+      String.length ids.(u) <= ceil_log2 (List.length ball))
+    (G.nodes g)
+
+let make_global g =
+  let n = G.card g in
+  let width = ceil_log2 n in
+  Array.init n (fun u -> Lph_util.Bitstring.of_int_width ~width u)
+
+let make_small g ~radius =
+  let n = G.card g in
+  let conflicts = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      conflicts.(u) <- v :: conflicts.(u);
+      conflicts.(v) <- u :: conflicts.(v))
+    (conflict_pairs g ~radius);
+  (* greedy colouring: node u gets the smallest value unused among
+     already-coloured conflicting nodes *)
+  let value = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    let used = List.filter_map (fun v -> if value.(v) >= 0 then Some value.(v) else None) conflicts.(u) in
+    let rec smallest k = if List.mem k used then smallest (k + 1) else k in
+    value.(u) <- smallest 0
+  done;
+  (* Encode each value with exactly the width required by its own
+     2*radius-ball, as Remark 1 allows. Greedy colouring uses at most
+     deg+1 <= card(ball) values, but widths differ per node; identifiers
+     of different lengths are automatically distinct unless one is a
+     prefix of the other, so we must double-check and fall back to a
+     common width when the per-node widths collide. *)
+  let width_of u =
+    let ball = Neighborhood.ball g ~radius:(2 * radius) u in
+    ceil_log2 (List.length ball)
+  in
+  let ids = Array.init n (fun u -> Lph_util.Bitstring.of_int_width ~width:(width_of u) value.(u)) in
+  if is_locally_unique g ~radius ids then ids
+  else begin
+    let width = max 1 (List.fold_left (fun acc u -> max acc (width_of u)) 0 (G.nodes g)) in
+    Array.init n (fun u -> Lph_util.Bitstring.of_int_width ~width value.(u))
+  end
+
+let cyclic g ~period =
+  if period < 1 then invalid_arg "Identifiers.cyclic: period must be positive";
+  let width = max 1 (ceil_log2 period) in
+  Array.init (G.card g) (fun u -> Lph_util.Bitstring.of_int_width ~width (u mod period))
+
+let duplicate ids = Array.append ids (Array.copy ids)

@@ -1,0 +1,42 @@
+(** Identifier assignments (Section 3). Identifiers are bit strings; the
+    paper's correctness requirement is only that assignments be
+    [r_id]-locally unique: distinct within the [2 r_id]-neighbourhood of
+    every node. Lexicographic identifier order coincides with OCaml's
+    [String.compare] on bit strings. *)
+
+type t = string array
+(** [t.(u)] is the identifier of node [u]. *)
+
+val compare_id : string -> string -> int
+(** The paper's identifier order: proper prefixes first, then first
+    differing bit. *)
+
+val is_locally_unique : Labeled_graph.t -> radius:int -> t -> bool
+(** [radius] is the paper's [r_id]: any two distinct nodes within the
+    [2 r_id]-neighbourhood of each other must have distinct identifiers. *)
+
+val is_globally_unique : Labeled_graph.t -> t -> bool
+
+val is_small : Labeled_graph.t -> radius:int -> t -> bool
+(** Each identifier has length at most
+    [ceil(log2 (card (N_{2 r_id}(u))))] (Remark 1). *)
+
+val make_global : Labeled_graph.t -> t
+(** Globally unique, small: node [u] gets [u] in binary, zero-padded to
+    [ceil(log2 n)] bits. *)
+
+val make_small : Labeled_graph.t -> radius:int -> t
+(** A small [radius]-locally unique assignment, built greedily as in
+    Remark 1 (colour the conflict graph where nodes within distance
+    [2 radius] conflict). *)
+
+val cyclic : Labeled_graph.t -> period:int -> t
+(** Assign node [u] the binary encoding of [u mod period], zero-padded to
+    a common width. On a cycle graph whose length is a multiple of
+    [period], this is the Proposition 23 construction and is
+    [r_id]-locally unique whenever [period > 4 * r_id]. *)
+
+val duplicate : t -> t
+(** [duplicate id] for the Proposition 21 lift: given an assignment for a
+    graph on [n] nodes, the assignment for the doubled graph where node
+    [n + i] receives [id.(i)]. *)

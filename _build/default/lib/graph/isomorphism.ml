@@ -1,0 +1,57 @@
+module G = Labeled_graph
+
+let signature g u = (G.degree g u, G.label g u)
+
+let find g h =
+  let n = G.card g in
+  if n <> G.card h || G.num_edges g <> G.num_edges h then None
+  else begin
+    let sorted sigs = List.sort compare sigs in
+    if
+      sorted (List.map (signature g) (G.nodes g))
+      <> sorted (List.map (signature h) (G.nodes h))
+    then None
+    else begin
+      let mapping = Array.make n (-1) in
+      let used = Array.make n false in
+      (* order g's nodes so that each node after the first is adjacent to an
+         earlier one (BFS order): candidate sets stay small *)
+      let order = Array.of_list (List.sort (fun u v -> compare (Neighborhood.distance g 0 u, u) (Neighborhood.distance g 0 v, v)) (G.nodes g)) in
+      let compatible u v =
+        signature g u = signature h v
+        && List.for_all
+             (fun w -> mapping.(w) < 0 || G.has_edge h mapping.(w) v)
+             (G.neighbours g u)
+        && List.for_all
+             (fun w ->
+               (* non-edges must also be preserved *)
+               let mw = mapping.(w) in
+               mw < 0 || G.has_edge g u w || not (G.has_edge h mw v))
+             (G.nodes g)
+      in
+      let rec assign i =
+        if i >= n then true
+        else begin
+          let u = order.(i) in
+          let rec try_candidates v =
+            if v >= n then false
+            else if (not used.(v)) && compatible u v then begin
+              mapping.(u) <- v;
+              used.(v) <- true;
+              if assign (i + 1) then true
+              else begin
+                mapping.(u) <- -1;
+                used.(v) <- false;
+                try_candidates (v + 1)
+              end
+            end
+            else try_candidates (v + 1)
+          in
+          try_candidates 0
+        end
+      in
+      if assign 0 then Some mapping else None
+    end
+  end
+
+let isomorphic g h = Option.is_some (find g h)

@@ -1,0 +1,10 @@
+(** Graph isomorphism for small graphs (backtracking with degree and
+    label pruning). Graph properties are required to be closed under
+    isomorphism; tests use this module to check that our deciders and
+    reductions respect that closure. *)
+
+val find : Labeled_graph.t -> Labeled_graph.t -> int array option
+(** [find g h] returns a label- and edge-preserving bijection
+    (as an array mapping nodes of [g] to nodes of [h]), if one exists. *)
+
+val isomorphic : Labeled_graph.t -> Labeled_graph.t -> bool

@@ -1,0 +1,105 @@
+type t = {
+  labels : string array;
+  adj : int list array; (* sorted neighbour lists *)
+  edge_list : (int * int) list; (* canonical (u < v), sorted *)
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let check_connected n adj =
+  if n > 0 then begin
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    if !count <> n then invalid "graph is not connected (%d of %d nodes reachable)" !count n
+  end
+
+let make ~labels ~edges =
+  let n = Array.length labels in
+  if n = 0 then invalid "graph must have at least one node";
+  Array.iteri
+    (fun u l ->
+      if not (Lph_util.Bitstring.is_bitstring l) then invalid "label of node %d is not a bit string" u)
+    labels;
+  let canon (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then invalid "edge (%d,%d) out of range" u v;
+    if u = v then invalid "self-loop at node %d" u;
+    if u < v then (u, v) else (v, u)
+  in
+  let edge_list = List.sort_uniq compare (List.map canon edges) in
+  if List.length edge_list <> List.length edges then invalid "duplicate edge";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edge_list;
+  Array.iteri (fun u ns -> adj.(u) <- List.sort compare ns) adj;
+  check_connected n adj;
+  { labels = Array.copy labels; adj; edge_list }
+
+let singleton label = make ~labels:[| label |] ~edges:[]
+
+let card g = Array.length g.labels
+
+let nodes g = List.init (card g) Fun.id
+
+let edges g = g.edge_list
+
+let num_edges g = List.length g.edge_list
+
+let neighbours g u = g.adj.(u)
+
+let has_edge g u v = List.mem v g.adj.(u)
+
+let degree g u = List.length g.adj.(u)
+
+let label g u = g.labels.(u)
+
+let labels g = Array.copy g.labels
+
+let with_labels g labels =
+  if Array.length labels <> card g then invalid "with_labels: wrong number of labels";
+  make ~labels ~edges:g.edge_list
+
+let map_labels f g = with_labels g (Array.mapi f g.labels)
+
+let is_node_graph g = card g = 1
+
+let all_labels_one g = Array.for_all (fun l -> l = "1") g.labels
+
+let max_degree g =
+  List.fold_left (fun acc u -> max acc (degree g u)) 0 (nodes g)
+
+let equal g h = g.labels = h.labels && g.edge_list = h.edge_list
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph: %d nodes, %d edges" (card g) (num_edges g);
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "@,  %d [%s] -- %s" u g.labels.(u)
+        (String.concat " " (List.map string_of_int g.adj.(u))))
+    (nodes g);
+  Format.fprintf fmt "@]"
+
+let union_disjoint g h ~bridge =
+  let ng = card g in
+  let labels = Array.append g.labels h.labels in
+  let shifted = List.map (fun (u, v) -> (u + ng, v + ng)) h.edge_list in
+  let bridge = List.map (fun (u, v) -> (u, v + ng)) bridge in
+  make ~labels ~edges:(g.edge_list @ shifted @ bridge)

@@ -1,0 +1,57 @@
+(** Labelled graphs as defined in Section 3: finite, simple, undirected,
+    connected, with a labelling function assigning a bit string to each
+    node. Nodes are integers [0 .. card - 1]. *)
+
+type t
+
+exception Invalid of string
+(** Raised by {!make} when the input is not a valid labelled graph
+    (disconnected, self-loop, out-of-range node, non-bit label...). *)
+
+val make : labels:string array -> edges:(int * int) list -> t
+(** [make ~labels ~edges] builds the graph on [Array.length labels]
+    nodes. Edges are unordered; duplicates and reversed duplicates are
+    rejected. Requires at least one node, connectivity, no self-loops,
+    and every label to be a bit string. *)
+
+val singleton : string -> t
+(** The single-node graph carrying the given label: the paper's
+    representation of a string as a graph (the class NODE). *)
+
+val card : t -> int
+val nodes : t -> int list
+val edges : t -> (int * int) list
+(** Each undirected edge reported once, as [(u, v)] with [u < v]. *)
+
+val num_edges : t -> int
+val has_edge : t -> int -> int -> bool
+val neighbours : t -> int -> int list
+(** Sorted by node index. *)
+
+val degree : t -> int -> int
+val label : t -> int -> string
+val labels : t -> string array
+(** A fresh copy of the labelling. *)
+
+val with_labels : t -> string array -> t
+(** Same topology, new labelling (checked). *)
+
+val map_labels : (int -> string -> string) -> t -> t
+
+val is_node_graph : t -> bool
+(** Membership in NODE: exactly one node. *)
+
+val all_labels_one : t -> bool
+(** The property ALL-SELECTED: every node labelled with the string "1". *)
+
+val max_degree : t -> int
+val equal : t -> t -> bool
+(** Same node set, edges and labels (not isomorphism). *)
+
+val pp : Format.formatter -> t -> unit
+
+val union_disjoint : t -> t -> bridge:(int * int) list -> t
+(** [union_disjoint g h ~bridge] places [h] after [g] (nodes of [h]
+    shifted by [card g]) and adds the [bridge] edges, given as pairs
+    [(u_in_g, v_in_h)] with original indices. The result must be
+    connected ([bridge] must be non-empty). *)

@@ -1,0 +1,61 @@
+module G = Labeled_graph
+
+let distances g src =
+  let n = G.card g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      (G.neighbours g u)
+  done;
+  dist
+
+let distance g u v = (distances g u).(v)
+
+let ball g ~radius u =
+  let dist = distances g u in
+  List.filter (fun v -> dist.(v) >= 0 && dist.(v) <= radius) (G.nodes g)
+
+let eccentricity g u =
+  Array.fold_left max 0 (distances g u)
+
+let diameter g =
+  List.fold_left (fun acc u -> max acc (eccentricity g u)) 0 (G.nodes g)
+
+type induced = {
+  subgraph : G.t;
+  to_sub : int -> int option;
+  of_sub : int -> int;
+}
+
+let induced g nodes =
+  let nodes = List.sort_uniq compare nodes in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i u -> Hashtbl.replace index u i) nodes;
+  let arr = Array.of_list nodes in
+  let labels = Array.map (G.label g) arr in
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+        | Some i, Some j -> Some (i, j)
+        | _ -> None)
+      (G.edges g)
+  in
+  let subgraph = G.make ~labels ~edges in
+  { subgraph; to_sub = Hashtbl.find_opt index; of_sub = (fun i -> arr.(i)) }
+
+let r_neighbourhood g ~radius u = induced g (ball g ~radius u)
+
+let ball_information g ~ids ~radius u =
+  List.fold_left
+    (fun acc v -> acc + 1 + String.length (G.label g v) + String.length ids.(v))
+    0 (ball g ~radius u)

@@ -1,0 +1,33 @@
+(** Distances and r-neighbourhoods (Section 3). [N_r(u)] is the subgraph
+    induced by all nodes at distance at most [r] from [u]; it is the unit
+    of "locally available information" throughout the paper. *)
+
+val distances : Labeled_graph.t -> int -> int array
+(** BFS distances from a node; unreachable is impossible (graphs are
+    connected). *)
+
+val distance : Labeled_graph.t -> int -> int -> int
+
+val ball : Labeled_graph.t -> radius:int -> int -> int list
+(** Nodes at distance [<= radius], sorted by node index. *)
+
+val eccentricity : Labeled_graph.t -> int -> int
+val diameter : Labeled_graph.t -> int
+
+type induced = {
+  subgraph : Labeled_graph.t;
+  to_sub : int -> int option;  (** original node -> subgraph node *)
+  of_sub : int -> int;  (** subgraph node -> original node *)
+}
+
+val induced : Labeled_graph.t -> int list -> induced
+(** Induced subgraph on a set of nodes (must be non-empty and induce a
+    connected subgraph). *)
+
+val r_neighbourhood : Labeled_graph.t -> radius:int -> int -> induced
+(** [N_r(u)] with its node correspondence. The ball around a node always
+    induces a connected subgraph. *)
+
+val ball_information : Labeled_graph.t -> ids:string array -> radius:int -> int -> int
+(** The quantity the paper's (r,p)-bounds are measured against:
+    [sum over v in N_r(u) of 1 + len(label v) + len(id v)]. *)

@@ -1,0 +1,77 @@
+module G = Labeled_graph
+module S = Lph_structure.Structure
+
+type element = Node of int | Bit of int * int
+
+type repr = {
+  g : G.t;
+  s : S.t;
+  bit_offset : int array; (* bit_offset.(u) = index of Bit (u, 1) *)
+  elems : element array;
+}
+
+let of_graph g =
+  let n = G.card g in
+  let bit_offset = Array.make n 0 in
+  let next = ref n in
+  for u = 0 to n - 1 do
+    bit_offset.(u) <- !next;
+    next := !next + String.length (G.label g u)
+  done;
+  let total = !next in
+  let elems = Array.make total (Node 0) in
+  for u = 0 to n - 1 do
+    elems.(u) <- Node u;
+    String.iteri (fun i _ -> elems.(bit_offset.(u) + i) <- Bit (u, i + 1)) (G.label g u)
+  done;
+  let ones = ref [] in
+  let succ_edges = ref [] in
+  let owner_edges = ref [] in
+  for u = 0 to n - 1 do
+    let l = G.label g u in
+    String.iteri
+      (fun i c ->
+        let e = bit_offset.(u) + i in
+        if c = '1' then ones := e :: !ones;
+        if i + 1 < String.length l then succ_edges := (e, e + 1) :: !succ_edges;
+        owner_edges := (u, e) :: !owner_edges)
+      l
+  done;
+  let edge_rel =
+    List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (G.edges g)
+  in
+  let s =
+    S.create ~card:total
+      ~unary:[| !ones |]
+      ~binary:[| edge_rel @ !succ_edges; !owner_edges |]
+  in
+  { g; s; bit_offset; elems }
+
+let structure r = r.s
+
+let graph r = r.g
+
+let to_index r = function
+  | Node u ->
+      if u < 0 || u >= G.card r.g then raise Not_found;
+      u
+  | Bit (u, i) ->
+      if u < 0 || u >= G.card r.g || i < 1 || i > String.length (G.label r.g u) then raise Not_found;
+      r.bit_offset.(u) + i - 1
+
+let of_index r i = r.elems.(i)
+
+let node_elements r u =
+  let len = String.length (G.label r.g u) in
+  u :: List.init len (fun i -> r.bit_offset.(u) + i)
+
+let card g =
+  G.card g + List.fold_left (fun acc u -> acc + String.length (G.label g u)) 0 (G.nodes g)
+
+let structural_degree g u = G.degree g u + String.length (G.label g u)
+
+let max_structural_degree g =
+  List.fold_left (fun acc u -> max acc (structural_degree g u)) 0 (G.nodes g)
+
+let in_graph_delta g delta =
+  List.for_all (fun u -> structural_degree g u <= delta) (G.nodes g)

@@ -1,0 +1,40 @@
+(** Structural representations $G of labelled graphs (Section 3,
+    Figure 4). The representation has one element per node and one per
+    labelling bit; signature (1, 2):
+
+    - ⊙1 marks the labelling bits of value 1;
+    - ⇀1 holds the (symmetric) edge relation on nodes and the successor
+      relation on each node's labelling bits;
+    - ⇀2 points from each node to each of its labelling bits. *)
+
+type element =
+  | Node of int
+  | Bit of int * int  (** [Bit (u, i)]: the i-th labelling bit of node [u], 1-based. *)
+
+type repr
+
+val of_graph : Labeled_graph.t -> repr
+
+val structure : repr -> Lph_structure.Structure.t
+val graph : repr -> Labeled_graph.t
+
+val to_index : repr -> element -> int
+(** Domain index of an element. Raises [Not_found] for invalid bits. *)
+
+val of_index : repr -> int -> element
+
+val node_elements : repr -> int -> int list
+(** The domain indices representing node [u] and all its labelling bits
+    (the elements a node "owns": where a Cook–Levin formula evaluates
+    its matrix). *)
+
+val card : Labeled_graph.t -> int
+(** [card($G)]: number of nodes plus total label length. *)
+
+val structural_degree : Labeled_graph.t -> int -> int
+(** Degree plus label length of a node (Section 9). *)
+
+val max_structural_degree : Labeled_graph.t -> int
+
+val in_graph_delta : Labeled_graph.t -> int -> bool
+(** Membership in GRAPH(Δ): every node has structural degree at most Δ. *)

@@ -1,0 +1,1 @@
+lib/hierarchy/arbiter.ml: Lph_graph Lph_machine

@@ -1,0 +1,1 @@
+lib/hierarchy/arbiter.mli: Lph_graph Lph_machine

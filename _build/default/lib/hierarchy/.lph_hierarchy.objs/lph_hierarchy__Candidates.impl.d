@@ -1,0 +1,1 @@
+lib/hierarchy/candidates.ml: Array List Lph_graph Lph_machine Lph_util Printf Properties

@@ -1,0 +1,1 @@
+lib/hierarchy/candidates.mli: Game Lph_graph Lph_machine

@@ -1,0 +1,1 @@
+lib/hierarchy/classes.ml: Arbiter Fun Game List Printf

@@ -1,0 +1,1 @@
+lib/hierarchy/classes.mli: Arbiter Game Lph_graph

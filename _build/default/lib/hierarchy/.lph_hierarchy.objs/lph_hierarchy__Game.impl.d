@@ -1,0 +1,1 @@
+lib/hierarchy/game.ml: Arbiter Array List Lph_graph Lph_util Printf Seq

@@ -1,0 +1,1 @@
+lib/hierarchy/game.mli: Arbiter Lph_graph Seq

@@ -1,0 +1,1 @@
+lib/hierarchy/lcl.ml: List Lph_graph Lph_machine Lph_util Printf String

@@ -1,0 +1,1 @@
+lib/hierarchy/lcl.mli: Lph_graph Lph_machine

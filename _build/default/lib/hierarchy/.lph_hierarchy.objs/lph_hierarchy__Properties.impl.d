@@ -1,0 +1,1 @@
+lib/hierarchy/properties.ml: Array List Lph_graph Option Queue

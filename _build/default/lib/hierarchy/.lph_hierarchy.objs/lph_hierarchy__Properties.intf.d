@@ -1,0 +1,1 @@
+lib/hierarchy/properties.mli: Lph_graph

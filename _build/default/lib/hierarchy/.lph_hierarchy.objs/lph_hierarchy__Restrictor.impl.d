@@ -1,0 +1,1 @@
+lib/hierarchy/restrictor.ml: Arbiter Array Fun Game List Lph_graph Lph_machine Seq

@@ -1,0 +1,1 @@
+lib/hierarchy/restrictor.mli: Arbiter Game Lph_graph Lph_machine

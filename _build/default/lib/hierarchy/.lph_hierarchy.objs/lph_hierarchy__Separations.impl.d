@@ -1,0 +1,1 @@
+lib/hierarchy/separations.ml: Arbiter Array Candidates Fun Game List Lph_graph Lph_machine Properties

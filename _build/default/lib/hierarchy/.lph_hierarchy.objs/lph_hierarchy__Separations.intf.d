@@ -1,0 +1,1 @@
+lib/hierarchy/separations.mli: Lph_graph Lph_machine

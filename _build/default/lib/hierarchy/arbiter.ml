@@ -1,0 +1,40 @@
+module G = Lph_graph.Labeled_graph
+module Certs = Lph_graph.Certificates
+
+type t = {
+  name : string;
+  levels : int;
+  id_radius : int;
+  cert_bound : Certs.bound option;
+  accepts : G.t -> ids:Lph_graph.Identifiers.t -> certs:Certs.t list -> bool;
+}
+
+let join_certs g certs =
+  match certs with [] -> Certs.trivial g | _ -> Certs.list_assignment certs
+
+let of_local_algo ~id_radius ?cert_bound packed =
+  {
+    name = Lph_machine.Local_algo.name packed;
+    levels = Lph_machine.Local_algo.levels packed;
+    id_radius;
+    cert_bound;
+    accepts =
+      (fun g ~ids ~certs ->
+        Lph_machine.Runner.decides packed g ~ids ~cert_list:(join_certs g certs) ());
+  }
+
+let of_turing ~levels ~id_radius ?cert_bound (m : Lph_machine.Turing.t) =
+  {
+    name = m.Lph_machine.Turing.name;
+    levels;
+    id_radius;
+    cert_bound;
+    accepts =
+      (fun g ~ids ~certs ->
+        Lph_machine.Turing.accepts
+          (Lph_machine.Turing.run m g ~ids ~certs:(join_certs g certs) ()));
+  }
+
+let decider_accepts t g ~ids =
+  if t.levels <> 0 then invalid_arg "Arbiter.decider_accepts: arbiter expects certificates";
+  t.accepts g ~ids ~certs:[]

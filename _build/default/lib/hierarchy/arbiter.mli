@@ -1,0 +1,32 @@
+(** Arbiters (Section 4): the machines that determine the winner of the
+    Eve/Adam certificate game. An arbiter is any machine that, given a
+    graph, an identifier assignment and a list of certificate
+    assignments (one per quantifier level), reaches a unanimous
+    verdict. Local algorithms and distributed Turing machines both
+    provide arbiters. *)
+
+type t = {
+  name : string;
+  levels : int;  (** ℓ: number of certificate assignments expected *)
+  id_radius : int;  (** r_id: required local uniqueness of identifiers *)
+  cert_bound : Lph_graph.Certificates.bound option;
+      (** the (r, p) bound the arbiter's quantifiers range over, when
+          one is declared *)
+  accepts :
+    Lph_graph.Labeled_graph.t ->
+    ids:Lph_graph.Identifiers.t ->
+    certs:Lph_graph.Certificates.t list ->
+    bool;
+}
+
+val of_local_algo :
+  id_radius:int -> ?cert_bound:Lph_graph.Certificates.bound -> Lph_machine.Local_algo.packed -> t
+(** Wrap a local algorithm; [levels] is taken from the algorithm. The
+    certificate assignments are joined into a certificate-list
+    assignment before running, as in the paper. *)
+
+val of_turing :
+  levels:int -> id_radius:int -> ?cert_bound:Lph_graph.Certificates.bound -> Lph_machine.Turing.t -> t
+
+val decider_accepts : t -> Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> bool
+(** Run a 0-level arbiter (an LP-decider candidate). *)

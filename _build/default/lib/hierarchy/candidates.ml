@@ -1,0 +1,75 @@
+module G = Lph_graph.Labeled_graph
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+module B = Lph_util.Bitstring
+
+let all_selected_decider =
+  LA.pure_decider ~name:"all-selected-decider" ~levels:0 (fun ctx -> ctx.LA.label = "1")
+
+let eulerian_decider =
+  LA.pure_decider ~name:"eulerian-decider" ~levels:0 (fun ctx -> ctx.LA.degree mod 2 = 0)
+
+let ball_neighbours ball =
+  List.filter (fun e -> e.Gather.dist = 1) ball.Gather.entries
+
+let ball_self ball =
+  match List.find_opt (fun e -> e.Gather.dist = 0) ball.Gather.entries with
+  | Some e -> e
+  | None -> failwith "ball without centre entry"
+
+let constant_label_decider =
+  Gather.algo ~name:"constant-label-decider" ~radius:1 ~levels:0 ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries);
+      List.for_all (fun e -> e.Gather.label = ctx.LA.label) (ball_neighbours ball))
+
+let local_two_col_decider ~radius =
+  Gather.algo ~name:(Printf.sprintf "local-2col-decider-r%d" radius) ~radius ~levels:0
+    ~decide:(fun ctx ball ->
+      let sub, _, _, _ = Gather.reconstruct ball in
+      ctx.LA.charge (G.card sub + G.num_edges sub);
+      Properties.two_colorable sub)
+
+(* Certificates are bit strings; an empty or overly long certificate
+   decodes to a value the verifier then range-checks. *)
+let cert_value e = B.to_int (List.hd (Lph_util.Bitstring.split_hash e.Gather.cert))
+
+let color_verifier k =
+  Gather.algo ~name:(Printf.sprintf "%d-color-verifier" k) ~radius:1 ~levels:1
+    ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries * k);
+      let mine = cert_value (ball_self ball) in
+      mine < k
+      && List.for_all (fun e -> cert_value e <> mine && cert_value e < k) (ball_neighbours ball))
+
+let encodings bound = List.init bound B.of_int
+
+let color_universe k _u = encodings k
+
+let counter_universe ~bound _u = encodings bound
+
+let exact_counter_verifier ~cap =
+  Gather.algo ~name:(Printf.sprintf "exact-counter-verifier-%d" cap) ~radius:1 ~levels:1
+    ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries);
+      let mine = cert_value (ball_self ball) in
+      mine <= cap
+      &&
+      if ctx.LA.label <> "1" then mine = 0
+      else mine > 0 && List.exists (fun e -> cert_value e = mine - 1) (ball_neighbours ball))
+
+let mod_counter_verifier ~period =
+  Gather.algo ~name:(Printf.sprintf "mod-counter-verifier-%d" period) ~radius:1 ~levels:1
+    ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries);
+      let mine = cert_value (ball_self ball) in
+      mine < period
+      &&
+      if ctx.LA.label <> "1" then mine = 0
+      else
+        List.exists
+          (fun e ->
+            let v = cert_value e in
+            v < period && (v + 1) mod period = mine)
+          (ball_neighbours ball))
+
+let honest_mod_certs ~period ~n = Array.init n (fun i -> B.of_int (i mod period))

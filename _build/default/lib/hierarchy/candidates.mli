@@ -1,0 +1,58 @@
+(** Concrete candidate machines for the lowest hierarchy levels:
+    correct LP-deciders, correct NLP-verifiers, and the deliberately
+    doomed candidates that the separation experiments of Section 9.1
+    dissect. All are local algorithms with polynomial step charges. *)
+
+(** {1 LP deciders (level 0)} *)
+
+val all_selected_decider : Lph_machine.Local_algo.packed
+(** Accepts iff the node's own label is "1" (decides ALL-SELECTED). *)
+
+val eulerian_decider : Lph_machine.Local_algo.packed
+(** Accepts iff the node's degree is even (decides EULERIAN,
+    Proposition 15). *)
+
+val constant_label_decider : Lph_machine.Local_algo.packed
+(** Accepts iff all neighbours carry the node's label (decides
+    CONSTANT-LABELLING in 3 rounds). *)
+
+val local_two_col_decider : radius:int -> Lph_machine.Local_algo.packed
+(** The natural-but-doomed LP candidate for 2-COLORABLE: gather the
+    r-ball and accept iff it is 2-colourable. Proposition 21 shows
+    every such candidate fails: it cannot distinguish an odd cycle from
+    its doubled even cycle. *)
+
+(** {1 NLP verifiers (level 1)} *)
+
+val color_verifier : int -> Lph_machine.Local_algo.packed
+(** Verifier for k-COLORABLE: the certificate encodes the node's colour
+    in binary; accept iff it is a valid colour differing from all
+    neighbours' colours. Correct (sound and complete) — k-COLORABLE is
+    in NLP. *)
+
+val color_universe : int -> Game.universe
+(** The matching restrictive certificate universe: the binary encodings
+    of 0 .. k-1. *)
+
+val exact_counter_verifier : cap:int -> Lph_machine.Local_algo.packed
+(** Candidate verifier for NOT-ALL-SELECTED with certificates bounded
+    by [cap]: the certificate claims the distance to an unselected
+    node. Sound on every graph, but incomplete on cycles longer than
+    about [2 * cap] — the bounded-certificate wall that Proposition 23
+    erects. *)
+
+val mod_counter_verifier : period:int -> Lph_machine.Local_algo.packed
+(** Candidate verifier for NOT-ALL-SELECTED that stays complete on
+    arbitrarily long cycles by counting modulo [period] — and is
+    therefore unsound, exactly as the pigeonhole argument of
+    Proposition 23 predicts: it accepts all-selected cycles whose
+    length is a multiple of [period]. *)
+
+val counter_universe : bound:int -> Game.universe
+(** Binary encodings of 0 .. bound-1 (certificate candidates for the
+    counter verifiers). *)
+
+val honest_mod_certs : period:int -> n:int -> Lph_graph.Certificates.t
+(** The honest prover's certificates for {!mod_counter_verifier} on the
+    cycle of length [n] whose unselected node is node 0:
+    node i gets [i mod period]. *)

@@ -1,0 +1,71 @@
+type polarity = Sigma | Pi
+
+type t = { level : int; polarity : polarity; complement : bool }
+
+let sigma level =
+  if level < 0 then invalid_arg "Classes.sigma: negative level";
+  { level; polarity = Sigma; complement = false }
+
+let pi level =
+  if level < 0 then invalid_arg "Classes.pi: negative level";
+  { level; polarity = Pi; complement = false }
+
+let co c = { c with complement = not c.complement }
+
+let lp = sigma 0
+
+let nlp = sigma 1
+
+let colp = co lp
+
+let conlp = co nlp
+
+let name c =
+  let base =
+    match (c.level, c.polarity) with
+    | 0, _ -> "LP"
+    | 1, Sigma -> "NLP"
+    | l, Sigma -> Printf.sprintf "Σ%d^LP" l
+    | l, Pi -> Printf.sprintf "Π%d^LP" l
+  in
+  if c.complement then "co" ^ base else base
+
+let first_player c =
+  if c.level = 0 then None
+  else Some (match c.polarity with Sigma -> Game.Eve | Pi -> Game.Adam)
+
+let move_order c =
+  match first_player c with
+  | None -> []
+  | Some first ->
+      let rec go player k = if k = 0 then [] else player :: go (Game.opponent player) (k - 1) in
+      go first c.level
+
+(* An alternating quantifier prefix of length k starting with player p
+   embeds into one of length l starting with p' iff k <= l and, when
+   k = l, p = p' — the same padding rule as for formulas. *)
+let prefix_embeds ~inner:(k, p) ~outer:(l, p') = k < l || (k = l && (k = 0 || p = p'))
+
+let includes c d =
+  c.complement = d.complement
+  && prefix_embeds
+       ~inner:(d.level, match d.polarity with Sigma -> Game.Eve | Pi -> Game.Adam)
+       ~outer:(c.level, match c.polarity with Sigma -> Game.Eve | Pi -> Game.Adam)
+
+let accepts c (arbiter : Arbiter.t) g ~ids ~universes =
+  let value =
+    match first_player c with
+    | None ->
+        if universes <> [] then invalid_arg "Classes.accepts: level 0 takes no universes";
+        arbiter.Arbiter.accepts g ~ids ~certs:[]
+    | Some Game.Eve -> Game.sigma_accepts arbiter g ~ids ~universes
+    | Some Game.Adam -> Game.pi_accepts arbiter g ~ids ~universes
+  in
+  if c.complement then not value else value
+
+let figure_one_levels max_level =
+  List.concat_map
+    (fun level ->
+      let base = if level = 0 then [ sigma 0 ] else [ sigma level; pi level ] in
+      base @ List.map co base)
+    (List.init (max_level + 1) Fun.id)

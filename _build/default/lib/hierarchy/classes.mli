@@ -1,0 +1,54 @@
+(** Descriptors for the classes of the local-polynomial hierarchy and
+    its complement hierarchy (Figures 1 and 11): naming, quantifier
+    structure, and the inclusions that hold by definition (padding with
+    empty quantifier blocks). The separations are experimental matters
+    (see {!Separations}); this module only encodes the syntactic
+    skeleton of the diagram. *)
+
+type polarity = Sigma | Pi
+
+type t = { level : int; polarity : polarity; complement : bool }
+
+val sigma : int -> t
+val pi : int -> t
+val co : t -> t
+
+val lp : t  (** Σ0^LP *)
+
+val nlp : t  (** Σ1^LP *)
+
+val colp : t
+val conlp : t
+
+val name : t -> string
+(** "Σ2^LP", "coΠ3^LP", with the conventional aliases LP, NLP, coLP,
+    coNLP at the bottom levels. *)
+
+val first_player : t -> Game.player option
+(** Who moves first in the defining game ([None] at level 0). For
+    complement classes this is the game of the underlying class — the
+    complement is taken of the resulting property, not of the game. *)
+
+val move_order : t -> Game.player list
+(** The alternation sequence of the defining game. *)
+
+val includes : t -> t -> bool
+(** [includes c d]: the inclusion d ⊆ c holds {e by definition}
+    (padding a shorter alternating prefix into a longer one; complement
+    classes compare through their underlying classes). Separations and
+    cross-hierarchy inclusions are not decided here. *)
+
+val accepts :
+  t ->
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:Game.universe list ->
+  bool
+(** Membership condition of a graph for the property arbitrated by the
+    given machine with respect to this class: the Σ/Π game value,
+    negated for complement classes. *)
+
+val figure_one_levels : int -> t list
+(** All classes of both hierarchies up to the given level, in display
+    order — the nodes of Figure 1/11. *)

@@ -1,0 +1,57 @@
+module G = Lph_graph.Labeled_graph
+module Certs = Lph_graph.Certificates
+
+type player = Eve | Adam
+
+let opponent = function Eve -> Adam | Adam -> Eve
+
+type universe = int -> string list
+
+let bitstring_universe ~max_len _u = Lph_util.Bitstring.all_up_to_length max_len
+
+let bounded_universe g ~ids bound ~cap u =
+  Lph_util.Bitstring.all_up_to_length (min cap (Certs.max_length g ~ids bound u))
+
+let of_choices choices _u = choices
+
+let assignments ~n universe =
+  let choices = List.init n universe in
+  Seq.map Array.of_list (Lph_util.Combinat.product choices)
+
+let solve ~first ~n ~universes ~arbiter =
+  let rec go player universes chosen =
+    match universes with
+    | [] -> arbiter (List.rev chosen)
+    | universe :: rest ->
+        let options = assignments ~n universe in
+        let continue k = go (opponent player) rest (k :: chosen) in
+        begin
+          match player with
+          | Eve -> Seq.exists continue options
+          | Adam -> Seq.for_all continue options
+        end
+  in
+  go first universes []
+
+let check_levels (a : Arbiter.t) universes =
+  if List.length universes <> a.Arbiter.levels then
+    invalid_arg
+      (Printf.sprintf "Game: arbiter %s expects %d levels, got %d universes" a.Arbiter.name
+         a.Arbiter.levels (List.length universes))
+
+let sigma_accepts a g ~ids ~universes =
+  check_levels a universes;
+  solve ~first:Eve ~n:(G.card g) ~universes ~arbiter:(fun certs -> a.Arbiter.accepts g ~ids ~certs)
+
+let pi_accepts a g ~ids ~universes =
+  check_levels a universes;
+  solve ~first:Adam ~n:(G.card g) ~universes ~arbiter:(fun certs -> a.Arbiter.accepts g ~ids ~certs)
+
+let eve_witness a g ~ids ~universes =
+  check_levels a universes;
+  match universes with
+  | [ universe ] ->
+      Seq.find
+        (fun k -> a.Arbiter.accepts g ~ids ~certs:[ k ])
+        (assignments ~n:(G.card g) universe)
+  | _ -> invalid_arg "Game.eve_witness: arbiter must have exactly one level"

@@ -1,0 +1,73 @@
+(** The Eve/Adam certificate game (Section 4). Eve (existential) and
+    Adam (universal) alternately choose certificate assignments; after
+    ℓ moves the arbiter decides. A graph has the Σℓ-property arbitrated
+    by M iff Eve wins the game in which she moves first; Πℓ when Adam
+    moves first.
+
+    The solver is exact over explicit finite certificate universes:
+    either all (r,p)-bounded bit strings up to a cap, or a semantic
+    per-node universe (the restrictive-arbiter view of Lemma 8, which
+    licenses restricting quantifiers as long as the restrictors are
+    locally repairable — the responsibility of the caller). Complexity
+    is [Π_u |universe u|] raised to the number of levels: strictly a
+    small-instance tool. *)
+
+type player = Eve | Adam
+
+val opponent : player -> player
+
+type universe = int -> string list
+(** Per-node certificate candidates (node index -> choices). *)
+
+val bitstring_universe : max_len:int -> universe
+(** All bit strings of length at most [max_len], for every node. *)
+
+val bounded_universe :
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_graph.Certificates.bound ->
+  cap:int ->
+  universe
+(** All (r,p)-bounded bit strings per node, additionally capped at
+    length [cap]. *)
+
+val of_choices : string list -> universe
+(** The same candidate list for every node. *)
+
+val assignments : n:int -> universe -> Lph_graph.Certificates.t Seq.t
+(** All certificate assignments over [n] nodes. *)
+
+val solve :
+  first:player ->
+  n:int ->
+  universes:universe list ->
+  arbiter:(Lph_graph.Certificates.t list -> bool) ->
+  bool
+(** Exact game value: [universes] has one entry per level, in move
+    order. With [first = Eve] this computes
+    ∃k1 ∀k2 ... : arbiter [k1; k2; ...]. *)
+
+val sigma_accepts :
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  bool
+(** Does the graph satisfy the Σℓ-condition of the given arbiter
+    (ℓ = [Arbiter.levels], Eve first)? *)
+
+val pi_accepts :
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  bool
+
+val eve_witness :
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  Lph_graph.Certificates.t option
+(** For a 1-level arbiter: a certificate assignment making it accept,
+    if one exists (the NLP witness). *)

@@ -1,0 +1,79 @@
+module G = Lph_graph.Labeled_graph
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+
+type t = {
+  name : string;
+  max_degree : int;
+  max_label_len : int;
+  allowed : centre:string -> neighbours:string list -> bool;
+}
+
+let node_in_domain t g u =
+  G.degree g u <= t.max_degree && String.length (G.label g u) <= t.max_label_len
+
+let in_domain t g = List.for_all (node_in_domain t g) (G.nodes g)
+
+let holds t g =
+  in_domain t g
+  && List.for_all
+       (fun u ->
+         t.allowed ~centre:(G.label g u)
+           ~neighbours:(List.sort compare (List.map (G.label g) (G.neighbours g u))))
+       (G.nodes g)
+
+let decider t =
+  Gather.algo ~name:("lcl-" ^ t.name) ~radius:1 ~levels:0 ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries);
+      let neighbours =
+        List.sort compare
+          (List.filter_map
+             (fun e -> if e.Gather.dist = 1 then Some e.Gather.label else None)
+             ball.Gather.entries)
+      in
+      ctx.LA.degree <= t.max_degree
+      && String.length ctx.LA.label <= t.max_label_len
+      && t.allowed ~centre:ctx.LA.label ~neighbours)
+
+let decode_color label = Lph_util.Bitstring.to_int label
+
+let proper_coloring ~delta ~colors =
+  if colors < 1 then invalid_arg "Lcl.proper_coloring: need at least one colour";
+  let width = max 1 (String.length (Lph_util.Bitstring.of_int (colors - 1))) in
+  {
+    name = Printf.sprintf "proper-%d-coloring" colors;
+    max_degree = delta;
+    max_label_len = width;
+    allowed =
+      (fun ~centre ~neighbours ->
+        (* labels are fixed-width colour encodings *)
+        let ok l = String.length l = width && decode_color l < colors in
+        ok centre
+        && List.for_all (fun l -> ok l && decode_color l <> decode_color centre) neighbours);
+  }
+
+let maximal_independent_set ~delta =
+  {
+    name = "maximal-independent-set";
+    max_degree = delta;
+    max_label_len = 1;
+    allowed =
+      (fun ~centre ~neighbours ->
+        match centre with
+        | "1" -> not (List.mem "1" neighbours)
+        | "0" -> List.mem "1" neighbours
+        | _ -> false);
+  }
+
+let at_most_one_selected_locally ~delta =
+  {
+    name = "independent-set";
+    max_degree = delta;
+    max_label_len = 1;
+    allowed =
+      (fun ~centre ~neighbours ->
+        match centre with
+        | "1" -> not (List.mem "1" neighbours)
+        | "0" -> true
+        | _ -> false);
+  }

@@ -1,0 +1,42 @@
+(** Locally checkable labellings (Naor–Stockmeyer), read as decision
+    problems: the class LCL that the paper's LP generalises
+    (Section 1.3: LCL ⊆ LP ⊆ LD, with LCL requiring bounded maximum
+    degree and constant-size labels).
+
+    An LCL is a radius-1 constraint on (centre label, neighbour
+    labels); a graph has the property when every node's constraint is
+    satisfied. Its decider gathers the 1-ball and checks — a
+    constant-round, polynomial-step machine, witnessing LCL ⊆ LP. *)
+
+type t = {
+  name : string;
+  max_degree : int;  (** the Δ bound of the LCL domain *)
+  max_label_len : int;  (** the constant label-size bound *)
+  allowed : centre:string -> neighbours:string list -> bool;
+      (** the radius-1 checkability predicate; [neighbours] is sorted *)
+}
+
+val in_domain : t -> Lph_graph.Labeled_graph.t -> bool
+(** The graph obeys the degree and label-size bounds. *)
+
+val holds : t -> Lph_graph.Labeled_graph.t -> bool
+(** Centralised ground truth: every node's constraint is satisfied
+    (graphs outside the domain do not have the property). *)
+
+val decider : t -> Lph_machine.Local_algo.packed
+(** The LP decider: gather radius 1, check the domain bounds and the
+    constraint locally. *)
+
+(** {1 Classic LCLs} *)
+
+val proper_coloring : delta:int -> colors:int -> t
+(** Labels are binary colour encodings below [colors]; adjacent nodes
+    must differ. *)
+
+val maximal_independent_set : delta:int -> t
+(** Labels 0/1; selected nodes have no selected neighbour, unselected
+    nodes have at least one selected neighbour. *)
+
+val at_most_one_selected_locally : delta:int -> t
+(** Labels 0/1; no two adjacent nodes both selected (an "independent
+    set" without the maximality condition). *)

@@ -1,0 +1,96 @@
+module G = Lph_graph.Labeled_graph
+
+let all_selected = G.all_labels_one
+
+let not_all_selected g = not (all_selected g)
+
+let constant_labelling g =
+  let l0 = G.label g 0 in
+  List.for_all (fun u -> G.label g u = l0) (G.nodes g)
+
+let eulerian g = List.for_all (fun u -> G.degree g u mod 2 = 0) (G.nodes g)
+
+let find_hamiltonian_cycle g =
+  let n = G.card g in
+  if n < 3 then None
+  else begin
+    let visited = Array.make n false in
+    visited.(0) <- true;
+    (* path grows from node 0; a Hamiltonian cycle exists iff some
+       permutation starting at 0 closes back to 0 *)
+    let rec extend path len last =
+      if len = n then if G.has_edge g last 0 then Some (List.rev path) else None
+      else
+        let rec try_next = function
+          | [] -> None
+          | v :: rest ->
+              if visited.(v) then try_next rest
+              else begin
+                visited.(v) <- true;
+                match extend (v :: path) (len + 1) v with
+                | Some cycle -> Some cycle
+                | None ->
+                    visited.(v) <- false;
+                    try_next rest
+              end
+        in
+        try_next (G.neighbours g last)
+    in
+    extend [ 0 ] 1 0
+  end
+
+let hamiltonian g = Option.is_some (find_hamiltonian_cycle g)
+
+let find_k_coloring k g =
+  if k < 1 then None
+  else begin
+    let n = G.card g in
+    let colors = Array.make n (-1) in
+    let rec assign u =
+      if u = n then true
+      else begin
+        (* symmetry breaking: node u may only use colours 0..min(u,k-1) *)
+        let limit = min (u + 1) k in
+        let rec try_color c =
+          if c >= limit then false
+          else if
+            List.exists (fun v -> v < u && colors.(v) = c) (G.neighbours g u)
+          then try_color (c + 1)
+          else begin
+            colors.(u) <- c;
+            if assign (u + 1) then true
+            else begin
+              colors.(u) <- -1;
+              try_color (c + 1)
+            end
+          end
+        in
+        try_color 0
+      end
+    in
+    if assign 0 then Some colors else None
+  end
+
+let k_colorable k g = Option.is_some (find_k_coloring k g)
+
+let two_colorable g =
+  let n = G.card g in
+  let color = Array.make n (-1) in
+  color.(0) <- 0;
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if color.(v) < 0 then begin
+          color.(v) <- 1 - color.(u);
+          Queue.add v queue
+        end
+        else if color.(v) = color.(u) then ok := false)
+      (G.neighbours g u)
+  done;
+  !ok
+
+let three_colorable = k_colorable 3

@@ -1,0 +1,36 @@
+(** Ground-truth deciders for the graph properties studied in the
+    paper, computed centrally (no distributed machinery): the reference
+    answers that arbiters, reductions and logical definitions are
+    tested against. All are exact; the NP-hard ones use backtracking
+    and are meant for small instances. *)
+
+val all_selected : Lph_graph.Labeled_graph.t -> bool
+(** Every node labelled "1" (ALL-SELECTED, trivially LP-complete). *)
+
+val not_all_selected : Lph_graph.Labeled_graph.t -> bool
+
+val constant_labelling : Lph_graph.Labeled_graph.t -> bool
+(** All nodes carry the same label. *)
+
+val eulerian : Lph_graph.Labeled_graph.t -> bool
+(** Euler's criterion: all degrees even (graphs are connected by
+    construction). A single node is Eulerian (empty cycle). *)
+
+val hamiltonian : Lph_graph.Labeled_graph.t -> bool
+(** Contains a cycle through every node exactly once (requires at least
+    3 nodes). Backtracking search. *)
+
+val k_colorable : int -> Lph_graph.Labeled_graph.t -> bool
+(** Proper k-colourability, backtracking with the usual
+    smallest-first symmetry breaking. *)
+
+val two_colorable : Lph_graph.Labeled_graph.t -> bool
+(** Via BFS bipartition (linear time). *)
+
+val three_colorable : Lph_graph.Labeled_graph.t -> bool
+
+val find_k_coloring : int -> Lph_graph.Labeled_graph.t -> int array option
+(** A witness colouring, if one exists. *)
+
+val find_hamiltonian_cycle : Lph_graph.Labeled_graph.t -> int list option
+(** A witness cycle (as the list of nodes in visiting order). *)

@@ -1,0 +1,70 @@
+(** Certificate restrictors and restrictive arbiters (Section 6).
+
+    A restrictor judges, per node, whether the latest certificate
+    assignment obeys some convention (e.g. "decodes to a colour below
+    k", "encodes a relation fragment owned by this node"). Quantifiers
+    of a {e restrictive} arbiter range only over assignments all of
+    whose restrictors accept unanimously. Lemma 8 shows this adds no
+    power as long as every restrictor is {e locally repairable}: a
+    rejecting node can always fix its own certificate without changing
+    anyone else's verdict. This module implements the restrictors, the
+    repairability check, the restricted game, and the Lemma 8
+    conversion back to a permissive arbiter. *)
+
+type t = {
+  name : string;
+  verdicts :
+    Lph_graph.Labeled_graph.t ->
+    ids:Lph_graph.Identifiers.t ->
+    prefix:Lph_graph.Certificates.t list ->
+    candidate:Lph_graph.Certificates.t ->
+    bool array;
+      (** per-node verdicts of the restrictor machine on
+          (G, id, prefix · candidate) *)
+}
+
+val trivial : t
+(** Accepts everything. *)
+
+val per_node : name:string -> (Lph_machine.Local_algo.ctx -> string -> bool) -> t
+(** A restrictor whose verdict at each node depends only on that node's
+    own data and candidate certificate — the common case, and locally
+    repairable whenever at least one acceptable certificate exists per
+    node (checked by {!locally_repairable}). *)
+
+val accepts_all : t -> Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t ->
+  prefix:Lph_graph.Certificates.t list -> candidate:Lph_graph.Certificates.t -> bool
+
+val locally_repairable :
+  t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  prefix_universe:Lph_graph.Certificates.t list list ->
+  universe:Game.universe ->
+  bool
+(** Empirically verify the local-repairability condition over the given
+    finite prefix and candidate universes: whenever some node rejects,
+    replacing only that node's certificate (searching the universe) can
+    make it accept while every other node's verdict is unchanged. *)
+
+val restricted_game :
+  first:Game.player ->
+  arbiter:Arbiter.t ->
+  restrictors:t list ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:Game.universe list ->
+  bool
+(** The restrictive-arbiter semantics: the game over the given
+    universes with each level additionally filtered by its restrictor
+    (assignments whose restrictor rejects are removed from that
+    quantifier's range). *)
+
+val lemma8_convert : restrictors:t list -> first:Game.player -> Arbiter.t -> Arbiter.t
+(** The Lemma 8 construction: a {e permissive} arbiter equivalent to
+    the restrictive one. Running on (G, id, k1 · ... · kl) it finds the
+    first level whose restrictor is violated; if that level is
+    quantified existentially the graph is rejected, if universally it
+    is accepted; with no violation it defers to the original arbiter.
+    [first] fixes the polarity of level 1 (Eve ⇒ odd levels are
+    existential). *)

@@ -1,0 +1,56 @@
+(** The ground-level separation experiments of Section 9.1, mechanised.
+
+    Proposition 21 (LP ⊊ NLP): a deterministic constant-round machine
+    cannot distinguish an odd cycle from the even cycle obtained by
+    gluing two copies of it, because under the duplicated identifier
+    assignment every node has exactly the same view. We reproduce the
+    construction and verify the indistinguishability — node by node,
+    for any candidate decider — while 2-COLORABLE separates the two
+    graphs and is verified by a one-certificate game.
+
+    Proposition 23 (coLP ≹ NLP): any NLP verifier for NOT-ALL-SELECTED
+    that stays complete on long labelled cycles must, by the pigeonhole
+    principle, accept two indistinguishable configurations that can be
+    cut and spliced into an accepted all-selected cycle. We reproduce
+    this with the modulo counter verifier: honest acceptance on the
+    yes-cycle, explicit view-equal pair, splice, and unsound acceptance
+    of the resulting no-instance. *)
+
+type prop21_outcome = {
+  odd_cycle : Lph_graph.Labeled_graph.t;  (** G: odd cycle, not 2-colourable *)
+  glued : Lph_graph.Labeled_graph.t;  (** G': even cycle, 2-colourable *)
+  ids : Lph_graph.Identifiers.t;
+  ids_glued : Lph_graph.Identifiers.t;  (** the duplicated assignment *)
+  verdicts_odd : string array;
+  verdicts_glued : string array;
+  indistinguishable : bool;
+      (** verdict(u_i in G) = verdict(u_i in G') = verdict(u'_i in G') for
+          all i — forced for every decider, fatal for a 2-COLORABLE one *)
+}
+
+val prop21 : decider:Lph_machine.Local_algo.packed -> n:int -> id_period:int -> prop21_outcome
+(** [n] odd, [id_period] an odd divisor of [n] (≥ 5 keeps the cyclic
+    identifiers 1-locally unique for radius-1 algorithms). *)
+
+type prop23_outcome = {
+  yes_cycle : Lph_graph.Labeled_graph.t;  (** one unselected node *)
+  yes_accepted : bool;  (** honest certificates accepted? *)
+  view_pair : int * int;  (** the pigeonhole pair v, v' *)
+  spliced : Lph_graph.Labeled_graph.t;  (** all-selected cycle *)
+  spliced_accepted : bool;  (** the unsound acceptance *)
+  verdicts_preserved : bool;
+      (** every node of the spliced cycle reaches the same verdict as
+          its counterpart in the yes-cycle *)
+}
+
+val prop23 : period:int -> id_period:int -> n:int -> prop23_outcome
+(** Run the pigeonhole experiment with {!Candidates.mod_counter_verifier}.
+    Requirements: [id_period >= 5], [lcm period id_period < n - 1], and
+    both periods dividing [n] so that views repeat. *)
+
+val two_col_game_separation :
+  n:int -> (bool * bool * bool * bool)
+(** The NLP side of Proposition 21 on the two cycles: returns
+    (odd ∈ 2COL ground truth, odd accepted by the certificate game,
+     glued ∈ 2COL ground truth, glued accepted by the game) using
+    {!Candidates.color_verifier} 2 — expected (false, false, true, true). *)

@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Formula List Lph_graph Lph_structure Lph_util Printf Relation Seq Syntax

@@ -1,0 +1,1 @@
+lib/logic/eval.mli: Formula Lph_graph Lph_structure Relation

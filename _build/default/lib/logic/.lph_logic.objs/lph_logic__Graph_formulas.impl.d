@@ -1,0 +1,1 @@
+lib/logic/graph_formulas.ml: Eval Formula List Lph_graph Lph_util Printf Relation Seq

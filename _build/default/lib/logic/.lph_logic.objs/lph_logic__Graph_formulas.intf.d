@@ -1,0 +1,1 @@
+lib/logic/graph_formulas.mli: Eval Formula Lph_graph

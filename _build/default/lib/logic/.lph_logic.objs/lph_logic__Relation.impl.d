@@ -1,0 +1,1 @@
+lib/logic/relation.ml: Set

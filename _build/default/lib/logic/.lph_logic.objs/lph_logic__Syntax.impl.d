@@ -1,0 +1,1 @@
+lib/logic/syntax.ml: Formula List

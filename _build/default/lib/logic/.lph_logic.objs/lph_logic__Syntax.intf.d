@@ -1,0 +1,1 @@
+lib/logic/syntax.mli: Formula

@@ -1,0 +1,88 @@
+module S = Lph_structure.Structure
+
+type relation = Relation.t
+
+type env = { fo : (string * int) list; so : (string * Relation.t) list }
+
+let empty_env = { fo = []; so = [] }
+
+let bind_fo env x e = { env with fo = (x, e) :: env.fo }
+
+let bind_so env r rel = { env with so = (r, rel) :: env.so }
+
+let lookup_fo env x =
+  match List.assoc_opt x env.fo with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound first-order variable %s" x)
+
+let lookup_so env r =
+  match List.assoc_opt r env.so with
+  | Some rel -> rel
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound second-order variable %s" r)
+
+type candidates = Subsets of int list list | Explicit of Relation.t list
+
+type so_universe = S.t -> Formula.so_var -> int -> candidates
+
+let full_universe s _ arity =
+  Subsets (List.of_seq (Lph_util.Combinat.tuples (S.elements s) arity))
+
+let local_universe ~radius s _ arity =
+  if arity = 0 then Subsets [ [] ]
+  else
+    Subsets
+      (List.concat_map
+         (fun head ->
+           let nearby = S.ball s ~radius head in
+           List.of_seq
+             (Seq.map (fun tail -> head :: tail) (Lph_util.Combinat.tuples nearby (arity - 1))))
+         (S.elements s))
+
+exception Universe_too_large of string * int
+
+let rec eval_formula ~so_universe ~max_universe s env (phi : Formula.t) =
+  let eval env phi = eval_formula ~so_universe ~max_universe s env phi in
+  match phi with
+  | True -> true
+  | False -> false
+  | Unary (i, x) -> S.mem_unary s i (lookup_fo env x)
+  | Binary (i, x, y) -> S.mem_binary s i (lookup_fo env x) (lookup_fo env y)
+  | Eq (x, y) -> lookup_fo env x = lookup_fo env y
+  | App (r, xs) -> Relation.mem (List.map (lookup_fo env) xs) (lookup_so env r)
+  | Not f -> not (eval env f)
+  | Or (f, g) -> eval env f || eval env g
+  | And (f, g) -> eval env f && eval env g
+  | Implies (f, g) -> (not (eval env f)) || eval env g
+  | Iff (f, g) -> eval env f = eval env g
+  | Exists (x, f) -> List.exists (fun e -> eval (bind_fo env x e) f) (S.elements s)
+  | Forall (x, f) -> List.for_all (fun e -> eval (bind_fo env x e) f) (S.elements s)
+  | Exists_near (x, y, f) ->
+      List.exists (fun e -> eval (bind_fo env x e) f) (S.neighbours s (lookup_fo env y))
+  | Forall_near (x, y, f) ->
+      List.for_all (fun e -> eval (bind_fo env x e) f) (S.neighbours s (lookup_fo env y))
+  | Exists_so (r, k, f) ->
+      Seq.exists (fun rel -> eval (bind_so env r rel) f) (interpretations ~so_universe ~max_universe s r k)
+  | Forall_so (r, k, f) ->
+      Seq.for_all (fun rel -> eval (bind_so env r rel) f) (interpretations ~so_universe ~max_universe s r k)
+
+and interpretations ~so_universe ~max_universe s r k =
+  match so_universe s r k with
+  | Subsets tuples ->
+      let size = List.length tuples in
+      if size > max_universe then raise (Universe_too_large (r, size));
+      Seq.map Relation.of_list (Lph_util.Combinat.subsets tuples)
+  | Explicit relations ->
+      let count = List.length relations in
+      if count > 1 lsl (min 40 max_universe) then raise (Universe_too_large (r, count));
+      List.to_seq relations
+
+let eval ?(so_universe = full_universe) ?(max_universe = 24) s env phi =
+  eval_formula ~so_universe ~max_universe s env phi
+
+let holds ?so_universe ?max_universe s phi =
+  if not (Syntax.is_sentence phi) then invalid_arg "Eval.holds: not a sentence";
+  eval ?so_universe ?max_universe s empty_env phi
+
+let holds_graph ?so_universe ?max_universe g phi =
+  let repr = Lph_graph.Structural.of_graph g in
+  holds ?so_universe ?max_universe (Lph_graph.Structural.structure repr) phi

@@ -1,0 +1,67 @@
+(** Model checking: evaluate formulas on relational structures
+    (the semantics of Table 1).
+
+    First-order quantifiers are evaluated by exhaustive search over the
+    domain (or over ⇌-neighbours for bounded quantifiers). Second-order
+    quantifiers enumerate relations as subsets of a {e tuple universe};
+    by default this is the full set of k-tuples, which is doubly
+    exponential and only usable on very small structures. For local
+    formulas, {!local_universe} restricts enumeration to tuples whose
+    components lie near their first component — faithful for matrices of
+    visibility radius ≤ r by the locality argument in the proof of
+    Theorem 12 (a BF formula can only ever inspect such tuples). *)
+
+type relation = Relation.t
+
+type env
+(** A variable assignment σ. *)
+
+val empty_env : env
+val bind_fo : env -> Formula.fo_var -> int -> env
+val bind_so : env -> Formula.so_var -> relation -> env
+val lookup_fo : env -> Formula.fo_var -> int
+
+type candidates =
+  | Subsets of int list list
+      (** Interpretations are all subsets of this tuple list. *)
+  | Explicit of relation list
+      (** Interpretations are exactly these relations (used to exploit
+          formula-specific structure, e.g. "H must be symmetric",
+          "P must be functional"; the caller is responsible for the
+          semantic soundness of the restriction). *)
+
+type so_universe = Lph_structure.Structure.t -> Formula.so_var -> int -> candidates
+(** Given the structure, a second-order variable and its arity, the
+    candidate interpretations it ranges over. *)
+
+val full_universe : so_universe
+(** All subsets of all [card^k] tuples. *)
+
+val local_universe : radius:int -> so_universe
+(** Subsets of the tuples whose components all lie within ⇌-distance
+    [radius] of the first component. *)
+
+exception Universe_too_large of string * int
+(** Raised when a second-order quantifier would enumerate more than
+    2^62 relations... practically: when the universe exceeds the safety
+    cap below. *)
+
+val eval :
+  ?so_universe:so_universe ->
+  ?max_universe:int ->
+  Lph_structure.Structure.t ->
+  env ->
+  Formula.t ->
+  bool
+(** [max_universe] (default 24) caps the tuple-universe size (for
+    [Subsets]) or the log2 of the candidate count (for [Explicit]) per
+    second-order quantifier; beyond it {!Universe_too_large} is raised
+    rather than silently looping for astronomical time. *)
+
+val holds :
+  ?so_universe:so_universe -> ?max_universe:int -> Lph_structure.Structure.t -> Formula.t -> bool
+(** Evaluate a sentence (raises [Invalid_argument] if not a sentence). *)
+
+val holds_graph :
+  ?so_universe:so_universe -> ?max_universe:int -> Lph_graph.Labeled_graph.t -> Formula.t -> bool
+(** Evaluate a sentence on the structural representation $G of a graph. *)

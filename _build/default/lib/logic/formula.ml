@@ -1,0 +1,205 @@
+type fo_var = string
+type so_var = string
+
+type t =
+  | True
+  | False
+  | Unary of int * fo_var
+  | Binary of int * fo_var * fo_var
+  | Eq of fo_var * fo_var
+  | App of so_var * fo_var list
+  | Not of t
+  | Or of t * t
+  | And of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of fo_var * t
+  | Forall of fo_var * t
+  | Exists_near of fo_var * fo_var * t
+  | Forall_near of fo_var * fo_var * t
+  | Exists_so of so_var * int * t
+  | Forall_so of so_var * int * t
+
+let conj = function [] -> True | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function [] -> False | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists_many xs phi = List.fold_right (fun x acc -> Exists (x, acc)) xs phi
+
+let forall_many xs phi = List.fold_right (fun x acc -> Forall (x, acc)) xs phi
+
+let exists_so_many rs phi = List.fold_right (fun (r, k) acc -> Exists_so (r, k, acc)) rs phi
+
+let forall_so_many rs phi = List.fold_right (fun (r, k) acc -> Forall_so (r, k, acc)) rs phi
+
+module Sset = Set.Make (String)
+
+let rec vars_fo_all = function
+  (* all first-order variables, free or bound *)
+  | True | False -> Sset.empty
+  | Unary (_, x) -> Sset.singleton x
+  | Binary (_, x, y) | Eq (x, y) -> Sset.of_list [ x; y ]
+  | App (_, xs) -> Sset.of_list xs
+  | Not f -> vars_fo_all f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> Sset.union (vars_fo_all f) (vars_fo_all g)
+  | Exists (x, f) | Forall (x, f) -> Sset.add x (vars_fo_all f)
+  | Exists_near (x, y, f) | Forall_near (x, y, f) -> Sset.add x (Sset.add y (vars_fo_all f))
+  | Exists_so (_, _, f) | Forall_so (_, _, f) -> vars_fo_all f
+
+let rec free_fo_set = function
+  | True | False -> Sset.empty
+  | Unary (_, x) -> Sset.singleton x
+  | Binary (_, x, y) | Eq (x, y) -> Sset.of_list [ x; y ]
+  | App (_, xs) -> Sset.of_list xs
+  | Not f -> free_fo_set f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> Sset.union (free_fo_set f) (free_fo_set g)
+  | Exists (x, f) | Forall (x, f) -> Sset.remove x (free_fo_set f)
+  | Exists_near (x, y, f) | Forall_near (x, y, f) -> Sset.add y (Sset.remove x (free_fo_set f))
+  | Exists_so (_, _, f) | Forall_so (_, _, f) -> free_fo_set f
+
+let free_fo f = Sset.elements (free_fo_set f)
+
+let free_so f =
+  let table = Hashtbl.create 8 in
+  let bound = Hashtbl.create 8 in
+  let note r k =
+    if not (Hashtbl.mem bound r) then
+      match Hashtbl.find_opt table r with
+      | None -> Hashtbl.replace table r k
+      | Some k' ->
+          if k <> k' then invalid_arg (Printf.sprintf "Formula.free_so: %s used at arities %d and %d" r k' k)
+  in
+  let rec go = function
+    | True | False | Unary _ | Binary _ | Eq _ -> ()
+    | App (r, xs) -> note r (List.length xs)
+    | Not f -> go f
+    | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) ->
+        go f;
+        go g
+    | Exists (_, f) | Forall (_, f) | Exists_near (_, _, f) | Forall_near (_, _, f) -> go f
+    | Exists_so (r, _, f) | Forall_so (r, _, f) ->
+        let was_bound = Hashtbl.mem bound r in
+        Hashtbl.replace bound r ();
+        go f;
+        if not was_bound then Hashtbl.remove bound r
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun r k acc -> (r, k) :: acc) table [])
+
+let rec subst_fo phi x y =
+  let sub v = if v = x then y else v in
+  match phi with
+  | True | False -> phi
+  | Unary (i, v) -> Unary (i, sub v)
+  | Binary (i, v, w) -> Binary (i, sub v, sub w)
+  | Eq (v, w) -> Eq (sub v, sub w)
+  | App (r, vs) -> App (r, List.map sub vs)
+  | Not f -> Not (subst_fo f x y)
+  | Or (f, g) -> Or (subst_fo f x y, subst_fo g x y)
+  | And (f, g) -> And (subst_fo f x y, subst_fo g x y)
+  | Implies (f, g) -> Implies (subst_fo f x y, subst_fo g x y)
+  | Iff (f, g) -> Iff (subst_fo f x y, subst_fo g x y)
+  | Exists (v, f) -> quant_subst (fun v f -> Exists (v, f)) v f x y
+  | Forall (v, f) -> quant_subst (fun v f -> Forall (v, f)) v f x y
+  | Exists_near (v, w, f) ->
+      if v = x then Exists_near (v, sub w, f)
+      else begin
+        check_capture v f x y;
+        Exists_near (v, sub w, subst_fo f x y)
+      end
+  | Forall_near (v, w, f) ->
+      if v = x then Forall_near (v, sub w, f)
+      else begin
+        check_capture v f x y;
+        Forall_near (v, sub w, subst_fo f x y)
+      end
+  | Exists_so (r, k, f) -> Exists_so (r, k, subst_fo f x y)
+  | Forall_so (r, k, f) -> Forall_so (r, k, subst_fo f x y)
+
+and check_capture v f x y =
+  if v = y && Sset.mem x (free_fo_set f) then
+    invalid_arg (Printf.sprintf "Formula.subst_fo: substituting %s for %s captures under binder %s" y x v)
+
+and quant_subst mk v f x y =
+  if v = x then mk v f
+  else begin
+    check_capture v f x y;
+    mk v (subst_fo f x y)
+  end
+
+let fresh_var prefix formulas =
+  let used = List.fold_left (fun acc f -> Sset.union acc (vars_fo_all f)) Sset.empty formulas in
+  let rec go i =
+    let candidate = Printf.sprintf "%s%d" prefix i in
+    if Sset.mem candidate used then go (i + 1) else candidate
+  in
+  if Sset.mem prefix used then go 0 else prefix
+
+(* ∃x ⇌≤0 y φ  =  φ[x↦y]
+   ∃x ⇌≤r+1 y φ  =  ∃x ⇌≤r y (φ ∨ ∃x' ⇌ x φ[x↦x'])   (Section 5.1) *)
+let rec exists_within ~radius x y phi =
+  if radius < 0 then invalid_arg "Formula.exists_within: negative radius"
+  else if radius = 0 then subst_fo phi x y
+  else begin
+    let x' = fresh_var (x ^ "'") [ phi; Eq (x, y) ] in
+    let hop = Exists_near (x', x, subst_fo phi x x') in
+    exists_within ~radius:(radius - 1) x y (Or (phi, hop))
+  end
+
+let rec forall_within ~radius x y phi =
+  if radius < 0 then invalid_arg "Formula.forall_within: negative radius"
+  else if radius = 0 then subst_fo phi x y
+  else begin
+    let x' = fresh_var (x ^ "'") [ phi; Eq (x, y) ] in
+    let hop = Forall_near (x', x, subst_fo phi x x') in
+    forall_within ~radius:(radius - 1) x y (And (phi, hop))
+  end
+
+let rec negate = function
+  | True -> False
+  | False -> True
+  | (Unary _ | Binary _ | Eq _ | App _) as atom -> Not atom
+  | Not f -> f
+  | Or (f, g) -> And (negate f, negate g)
+  | And (f, g) -> Or (negate f, negate g)
+  | Implies (f, g) -> And (f, negate g)
+  | Iff (f, g) -> Iff (f, negate g)
+  | Exists (x, f) -> Forall (x, negate f)
+  | Forall (x, f) -> Exists (x, negate f)
+  | Exists_near (x, y, f) -> Forall_near (x, y, negate f)
+  | Forall_near (x, y, f) -> Exists_near (x, y, negate f)
+  | Exists_so (r, k, f) -> Forall_so (r, k, negate f)
+  | Forall_so (r, k, f) -> Exists_so (r, k, negate f)
+
+let rec size = function
+  | True | False | Unary _ | Binary _ | Eq _ | App _ -> 1
+  | Not f | Exists (_, f) | Forall (_, f) | Exists_near (_, _, f) | Forall_near (_, _, f)
+  | Exists_so (_, _, f) | Forall_so (_, _, f) ->
+      1 + size f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> 1 + size f + size g
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "⊤"
+  | False -> Format.pp_print_string fmt "⊥"
+  | Unary (i, x) -> Format.fprintf fmt "⊙%d %s" i x
+  | Binary (i, x, y) -> Format.fprintf fmt "%s ⇀%d %s" x i y
+  | Eq (x, y) -> Format.fprintf fmt "%s ≐ %s" x y
+  | App (r, xs) -> Format.fprintf fmt "%s(%s)" r (String.concat "," xs)
+  | Not f -> Format.fprintf fmt "¬%a" pp_atomish f
+  | Or (f, g) -> Format.fprintf fmt "(%a ∨ %a)" pp f pp g
+  | And (f, g) -> Format.fprintf fmt "(%a ∧ %a)" pp f pp g
+  | Implies (f, g) -> Format.fprintf fmt "(%a → %a)" pp f pp g
+  | Iff (f, g) -> Format.fprintf fmt "(%a ↔ %a)" pp f pp g
+  | Exists (x, f) -> Format.fprintf fmt "∃%s %a" x pp_atomish f
+  | Forall (x, f) -> Format.fprintf fmt "∀%s %a" x pp_atomish f
+  | Exists_near (x, y, f) -> Format.fprintf fmt "∃%s⇌%s %a" x y pp_atomish f
+  | Forall_near (x, y, f) -> Format.fprintf fmt "∀%s⇌%s %a" x y pp_atomish f
+  | Exists_so (r, k, f) -> Format.fprintf fmt "∃%s:%d %a" r k pp_atomish f
+  | Forall_so (r, k, f) -> Format.fprintf fmt "∀%s:%d %a" r k pp_atomish f
+
+and pp_atomish fmt f =
+  match f with
+  | True | False | Unary _ | Binary _ | Eq _ | App _ | Not _ -> pp fmt f
+  | _ -> Format.fprintf fmt "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,81 @@
+(** Logical formulas over relational structures (Table 1 of the paper,
+    plus the usual syntactic sugar of Section 5.1). The same AST hosts
+    every logic considered in the paper — FO, the bounded fragment BF,
+    local first-order logic LFO, and the (local) second-order
+    hierarchies — which are carved out syntactically by {!Syntax}. *)
+
+type fo_var = string
+type so_var = string
+
+type t =
+  | True
+  | False
+  | Unary of int * fo_var  (** ⊙_i x *)
+  | Binary of int * fo_var * fo_var  (** x ⇀_i y *)
+  | Eq of fo_var * fo_var  (** x ≐ y *)
+  | App of so_var * fo_var list  (** R(x1, ..., xk) *)
+  | Not of t
+  | Or of t * t
+  | And of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of fo_var * t  (** unbounded ∃x φ *)
+  | Forall of fo_var * t
+  | Exists_near of fo_var * fo_var * t  (** bounded ∃x ⇌ y φ (x ≠ y) *)
+  | Forall_near of fo_var * fo_var * t
+  | Exists_so of so_var * int * t  (** ∃R φ, R of the given arity *)
+  | Forall_so of so_var * int * t
+
+(** {1 Convenience constructors} *)
+
+val conj : t list -> t
+(** Conjunction of a list ([True] for the empty list). *)
+
+val disj : t list -> t
+
+val exists_many : fo_var list -> t -> t
+val forall_many : fo_var list -> t -> t
+val exists_so_many : (so_var * int) list -> t -> t
+val forall_so_many : (so_var * int) list -> t -> t
+
+val exists_within : radius:int -> fo_var -> fo_var -> t -> t
+(** The shorthand [∃x ⇌≤r y φ] of Section 5.1, expanded by its inductive
+    definition (fresh variables are generated for the intermediate
+    hops). [radius] must be non-negative. *)
+
+val forall_within : radius:int -> fo_var -> fo_var -> t -> t
+(** The dual shorthand [∀x ⇌≤r y φ], i.e. ¬∃x ⇌≤r y ¬φ, expanded into
+    quantifiers directly. *)
+
+(** {1 Variables and substitution} *)
+
+val free_fo : t -> fo_var list
+(** Free first-order variables, sorted, without duplicates. *)
+
+val free_so : t -> (so_var * int) list
+(** Free second-order variables with their arities (arity inferred from
+    use; raises [Invalid_argument] if a variable is used at two
+    arities). *)
+
+val subst_fo : t -> fo_var -> fo_var -> t
+(** [subst_fo phi x y]: substitute [y] for every free occurrence of [x].
+    Raises [Invalid_argument] if the substitution would capture [y]. *)
+
+val fresh_var : string -> t list -> fo_var
+(** A first-order variable with the given prefix not occurring (free or
+    bound) in any of the formulas. *)
+
+val negate : t -> t
+(** The negation in negation normal form: ¬ is pushed to the atoms,
+    dualising every connective and quantifier (∃ ↔ ∀, including the
+    bounded and second-order forms). Semantically equivalent to
+    [Not phi]. Note the paper's asymmetry (Section 5.1): LFO is not
+    closed under negation — negating a [∀x BF] sentence yields an
+    unbounded existential, so the dual of a Σℓ^LFO sentence is
+    generally not Πℓ^LFO (see Example 4's workaround). *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,221 @@
+open Formula
+module G = Lph_graph.Labeled_graph
+
+let is_node x =
+  let y = x ^ "$n" in
+  Not (Exists_near (y, x, Binary (2, y, x)))
+
+let is_bit0 x = And (Not (is_node x), Not (Unary (1, x)))
+
+let is_bit1 x = And (Not (is_node x), Unary (1, x))
+
+let exists_node x phi = Exists (x, And (is_node x, phi))
+
+let forall_node x phi = Forall (x, Implies (is_node x, phi))
+
+let exists_node_near x y phi = Exists_near (x, y, And (is_node x, phi))
+
+let forall_node_near x y phi = Forall_near (x, y, Implies (is_node x, phi))
+
+let exists_node_within ~radius x y phi = exists_within ~radius x y (And (is_node x, phi))
+
+let forall_node_within ~radius x y phi = forall_within ~radius x y (Implies (is_node x, phi))
+
+(* IsSelected(x) = ∃y ⇌ x (IsBit1(y) ∧ ¬∃z ⇌ y (z ⇀1 y ∨ y ⇀1 z)):
+   x owns a 1-bit with no successor and no predecessor, hence its label
+   is exactly "1" (Example 2). *)
+let is_selected x =
+  let y = x ^ "$sel" and z = x ^ "$nbr" in
+  Exists_near
+    (y, x, And (is_bit1 y, Not (Exists_near (z, y, Or (Binary (1, z, y), Binary (1, y, z))))))
+
+let all_selected = forall_node "x" (is_selected "x")
+
+let well_colored ~colors x =
+  let some_color = disj (List.map (fun c -> App (c, [ x ])) colors) in
+  let rec distinct_pairs = function
+    | [] -> []
+    | c :: rest -> List.map (fun c' -> (c, c')) rest @ distinct_pairs rest
+  in
+  let one_color =
+    conj
+      (List.map (fun (c, c') -> Not (And (App (c, [ x ]), App (c', [ x ])))) (distinct_pairs colors))
+  in
+  let y = x ^ "$adj" in
+  let proper =
+    forall_node_near y x (conj (List.map (fun c -> Not (And (App (c, [ x ]), App (c, [ y ])))) colors))
+  in
+  conj [ some_color; one_color; proper ]
+
+let palette k = List.init k (fun i -> Printf.sprintf "C%d" i)
+
+let k_colorable k =
+  let colors = palette k in
+  exists_so_many
+    (List.map (fun c -> (c, 1)) colors)
+    (forall_node "x" (well_colored ~colors "x"))
+
+let three_colorable = k_colorable 3
+
+let two_colorable = k_colorable 2
+
+(* PointsTo[θ](x) = UniqueParent(x) ∧ RootCase[θ](x) ∧ ChildCase(x), with
+   P : 2, X : 1, Y : 1 free (Example 4). *)
+let points_to ~theta x =
+  let yp = "yp" and zp = "zp" and yc = "yc" in
+  let unique_parent =
+    exists_node_within ~radius:1 yp x
+      (And
+         ( App ("P", [ x; yp ]),
+           forall_node_within ~radius:1 zp x (Implies (App ("P", [ x; zp ]), Eq (zp, yp))) ))
+  in
+  let root_case = Implies (App ("P", [ x; x ]), And (theta x, App ("Y", [ x ]))) in
+  let child_case =
+    Implies
+      ( Not (App ("P", [ x; x ])),
+        exists_node_near yc x
+          (And
+             ( App ("P", [ x; yc ]),
+               Iff (App ("Y", [ x ]), Not (Iff (App ("Y", [ yc ]), App ("X", [ x ])))) )) )
+  in
+  conj [ unique_parent; root_case; child_case ]
+
+let exists_bad_node ~theta =
+  Exists_so
+    ( "P",
+      2,
+      Forall_so ("X", 1, Exists_so ("Y", 1, forall_node "x" (points_to ~theta "x"))) )
+
+let not_all_selected = exists_bad_node ~theta:(fun v -> Not (is_selected v))
+
+let non_3_colorable =
+  forall_so_many
+    (List.map (fun c -> (c, 1)) (palette 3))
+    (exists_bad_node ~theta:(fun v -> Not (well_colored ~colors:(palette 3) v)))
+
+let degree_two x =
+  let y1 = "yd1" and y2 = "yd2" and z = "zd" in
+  let h a b = And (App ("H", [ a; b ]), App ("H", [ b; a ])) in
+  exists_node_near y1 x
+    (exists_node_near y2 x
+       (conj
+          [
+            Not (Eq (y1, y2));
+            h x y1;
+            h x y2;
+            forall_node_near z x
+              (Implies
+                 ( Or (App ("H", [ x; z ]), App ("H", [ z; x ])),
+                   Or (Eq (z, y1), Eq (z, y2)) ));
+          ]))
+
+let in_agreement_on r x =
+  let y = "ya$" ^ r in
+  forall_node_near y x (Iff (App (r, [ x ]), App (r, [ y ])))
+
+let discontinuity_at x =
+  let y = "ydc" in
+  exists_node_near y x (And (App ("H", [ x; y ]), Iff (App ("S", [ x ]), Not (App ("S", [ y ])))))
+
+let hamiltonian =
+  let connectivity_test x =
+    conj
+      [
+        in_agreement_on "C" x;
+        Implies (Not (App ("C", [ x ])), in_agreement_on "S" x);
+        Implies (App ("C", [ x ]), points_to ~theta:discontinuity_at x);
+      ]
+  in
+  Exists_so
+    ( "H",
+      2,
+      Forall_so
+        ( "S",
+          1,
+          Exists_so
+            ( "C",
+              1,
+              Exists_so
+                ( "P",
+                  2,
+                  Forall_so
+                    ( "X",
+                      1,
+                      Exists_so
+                        ("Y", 1, forall_node "x" (And (degree_two "x", connectivity_test "x"))) ) )
+            ) ) )
+
+let non_hamiltonian =
+  let invalid_case x = Implies (Not (App ("C", [ x ])), points_to ~theta:(fun v -> Not (degree_two v)) x) in
+  let division_at v = Not (in_agreement_on "S" v) in
+  let disjoint_case x =
+    Implies (App ("C", [ x ]), And (Not (discontinuity_at x), points_to ~theta:division_at x))
+  in
+  Forall_so
+    ( "H",
+      2,
+      Exists_so
+        ( "C",
+          1,
+          Exists_so
+            ( "S",
+              1,
+              Exists_so
+                ( "P",
+                  2,
+                  Forall_so
+                    ( "X",
+                      1,
+                      Exists_so
+                        ( "Y",
+                          1,
+                          forall_node "x"
+                            (conj [ in_agreement_on "C" "x"; invalid_case "x"; disjoint_case "x" ])
+                        ) ) ) ) ) )
+
+(* In the structural representation, node u is element u, so graph
+   distances can be used directly for the head/tail restrictions of all
+   universes below. *)
+
+let node_tuples ?(radius = 1) g arity =
+  let nodes = G.nodes g in
+  if arity = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun head ->
+        let nearby = Lph_graph.Neighborhood.ball g ~radius head in
+        List.of_seq
+          (Seq.map (fun tail -> head :: tail) (Lph_util.Combinat.tuples nearby (arity - 1))))
+      nodes
+
+let node_universe ?radius g : Eval.so_universe =
+ fun _s _r arity -> Eval.Subsets (node_tuples ?radius g arity)
+
+let parent_functions g =
+  (* Candidates for an existentially quantified relation that
+     ∀°x UniqueParent(x) forces to be functional into the closed
+     1-neighbourhood: one parent choice (self or neighbour) per node. *)
+  let choices = List.map (fun u -> List.map (fun v -> (u, v)) (u :: G.neighbours g u)) (G.nodes g) in
+  List.of_seq
+    (Seq.map
+       (fun picks -> Relation.of_list (List.map (fun (u, v) -> [ u; v ]) picks))
+       (Lph_util.Combinat.product choices))
+
+let symmetric_edge_subsets g =
+  (* Candidates for a relation that DegreeTwo forces to be a symmetric
+     subset of the edge relation. *)
+  List.of_seq
+    (Seq.map
+       (fun edge_subset ->
+         Relation.of_list (List.concat_map (fun (u, v) -> [ [ u; v ]; [ v; u ] ]) edge_subset))
+       (Lph_util.Combinat.subsets (G.edges g)))
+
+let smart_universe g : Eval.so_universe =
+ fun _s r arity ->
+  match (r, arity) with
+  | "P", 2 -> Eval.Explicit (parent_functions g)
+  | "H", 2 -> Eval.Explicit (symmetric_edge_subsets g)
+  | _ -> Eval.Subsets (node_tuples g arity)
+
+let holds g phi =
+  Eval.holds_graph ~so_universe:(smart_universe g) ~max_universe:64 g phi

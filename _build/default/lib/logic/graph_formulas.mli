@@ -1,0 +1,101 @@
+(** The example formulas of Section 5.2, expressed over structural
+    representations of labelled graphs, together with the helper
+    predicates (IsNode, IsBit, node-restricted quantifiers) and the
+    PointsTo spanning-forest schema of Example 4.
+
+    Conventions: second-order variable names are fixed per formula (P,
+    X, Y, H, S, C, C0, C1, ...). All sentences here apply second-order
+    variables to node-bound first-order variables only, so their truth
+    values are invariant under restricting second-order quantification
+    to tuples of node elements — which is what {!node_universe}
+    provides and what makes the formulas practically checkable. *)
+
+open Formula
+
+(** {1 Basic predicates (Section 5.1)} *)
+
+val is_node : fo_var -> t
+(** IsNode(x): x has no ⇀2-predecessor. *)
+
+val is_bit0 : fo_var -> t
+val is_bit1 : fo_var -> t
+
+val exists_node : fo_var -> t -> t
+(** ∃°x φ = ∃x (IsNode(x) ∧ φ). *)
+
+val forall_node : fo_var -> t -> t
+val exists_node_near : fo_var -> fo_var -> t -> t
+(** ∃°x ⇌ y φ. *)
+
+val forall_node_near : fo_var -> fo_var -> t -> t
+val exists_node_within : radius:int -> fo_var -> fo_var -> t -> t
+(** ∃°x ⇌≤r y φ. *)
+
+val forall_node_within : radius:int -> fo_var -> fo_var -> t -> t
+
+(** {1 Section 5.2 example formulas} *)
+
+val is_selected : fo_var -> t
+(** The node is labelled with exactly the string "1" (Example 2). *)
+
+val all_selected : t
+(** LFO sentence defining ALL-SELECTED (Example 2). *)
+
+val well_colored : colors:so_var list -> fo_var -> t
+(** WellColored(x) of Example 3, generalised to any palette. *)
+
+val k_colorable : int -> t
+(** Σ1^LFO sentence defining k-COLORABLE (Example 3 uses k = 3);
+    colour variables are named C0, C1, ... *)
+
+val three_colorable : t
+val two_colorable : t
+
+val points_to : theta:(fo_var -> t) -> fo_var -> t
+(** The formula schema PointsTo[θ](x) of Example 4 (free second-order
+    variables P : 2, X : 1, Y : 1). *)
+
+val not_all_selected : t
+(** Σ3^LFO sentence defining NOT-ALL-SELECTED (Example 4). *)
+
+val non_3_colorable : t
+(** Π4^LFO sentence (Example 5). *)
+
+val degree_two : fo_var -> t
+val in_agreement_on : so_var -> fo_var -> t
+val discontinuity_at : fo_var -> t
+
+val hamiltonian : t
+(** Σ5^LFO sentence defining HAMILTONIAN (Example 6). *)
+
+val non_hamiltonian : t
+(** Π4^LFO sentence defining NON-HAMILTONIAN (Example 7). *)
+
+(** {1 Evaluation support} *)
+
+val node_universe : ?radius:int -> Lph_graph.Labeled_graph.t -> Eval.so_universe
+(** Second-order universe containing only tuples of node elements whose
+    components lie within graph distance [radius] (default 1) of the
+    first component. Sound for all sentences in this module (see module
+    header); the radius-1 default suffices because P and H facts are
+    only ever read between ⇌-adjacent nodes. *)
+
+val parent_functions : Lph_graph.Labeled_graph.t -> Eval.relation list
+(** All "parent pointer" relations: each node related to exactly one
+    node of its closed 1-neighbourhood. Complete candidates for the
+    existentially quantified variable P: a relation satisfying
+    ∀°x UniqueParent(x) reads identically to its functional core. *)
+
+val symmetric_edge_subsets : Lph_graph.Labeled_graph.t -> Eval.relation list
+(** All symmetric subsets of the edge relation. Complete candidates for
+    the existentially quantified variable H of Example 6: DegreeTwo
+    forbids asymmetric readable pairs. *)
+
+val smart_universe : Lph_graph.Labeled_graph.t -> Eval.so_universe
+(** {!node_universe} refined with {!parent_functions} for P and
+    {!symmetric_edge_subsets} for H. Tests cross-check it against
+    {!node_universe} on tiny graphs. *)
+
+val holds : Lph_graph.Labeled_graph.t -> t -> bool
+(** Evaluate one of this module's sentences on a graph, with
+    {!smart_universe}. *)

@@ -1,0 +1,16 @@
+module S = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+type t = S.t
+
+let empty = S.empty
+let of_list = S.of_list
+let to_list = S.elements
+let mem = S.mem
+let add = S.add
+let cardinal = S.cardinal
+let equal = S.equal
+let union = S.union

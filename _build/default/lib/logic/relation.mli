@@ -1,0 +1,13 @@
+(** Finite relations over a structure's domain: sets of integer tuples.
+    Interpretations of second-order variables. *)
+
+type t
+
+val empty : t
+val of_list : int list list -> t
+val to_list : t -> int list list
+val mem : int list -> t -> bool
+val add : int list -> t -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val union : t -> t -> t

@@ -1,0 +1,81 @@
+open Formula
+
+type quantifier = Ex | All
+
+let rec is_fo = function
+  | True | False | Unary _ | Binary _ | Eq _ | App _ -> true
+  | Not f -> is_fo f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> is_fo f && is_fo g
+  | Exists (_, f) | Forall (_, f) | Exists_near (_, _, f) | Forall_near (_, _, f) -> is_fo f
+  | Exists_so _ | Forall_so _ -> false
+
+let rec is_bf = function
+  | True | False | Unary _ | Binary _ | Eq _ | App _ -> true
+  | Not f -> is_bf f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> is_bf f && is_bf g
+  | Exists_near (x, y, f) | Forall_near (x, y, f) -> x <> y && is_bf f
+  | Exists _ | Forall _ | Exists_so _ | Forall_so _ -> false
+
+let is_lfo = function Forall (_, f) -> is_bf f | _ -> false
+
+let so_prefix formula =
+  let rec go acc = function
+    | Exists_so (r, k, f) -> go ((Ex, r, k) :: acc) f
+    | Forall_so (r, k, f) -> go ((All, r, k) :: acc) f
+    | matrix -> (List.rev acc, matrix)
+  in
+  go [] formula
+
+let so_blocks formula =
+  let prefix, matrix = so_prefix formula in
+  let rec collapse = function
+    | [] -> []
+    | (q, _, _) :: rest -> begin
+        match collapse rest with
+        | q' :: tail when q' = q -> q' :: tail
+        | blocks -> q :: blocks
+      end
+  in
+  (collapse prefix, matrix)
+
+(* A block sequence of length k (alternating by construction) fits into an
+   alternating template of length l starting with polarity [first] iff
+   k <= l, and when k = l the first block must match [first]. *)
+let fits_template ~first ~levels blocks =
+  let k = List.length blocks in
+  k <= levels
+  && (k < levels || match blocks with [] -> true | b :: _ -> b = first)
+
+let in_hierarchy ~matrix_ok ~first levels formula =
+  if levels < 0 then invalid_arg "Syntax: negative hierarchy level";
+  let blocks, matrix = so_blocks formula in
+  fits_template ~first ~levels blocks && matrix_ok matrix
+
+let in_sigma_lfo levels f = in_hierarchy ~matrix_ok:is_lfo ~first:Ex levels f
+
+let in_pi_lfo levels f = in_hierarchy ~matrix_ok:is_lfo ~first:All levels f
+
+let in_sigma_fo levels f = in_hierarchy ~matrix_ok:is_fo ~first:Ex levels f
+
+let in_pi_fo levels f = in_hierarchy ~matrix_ok:is_fo ~first:All levels f
+
+let rec is_monadic = function
+  | True | False | Unary _ | Binary _ | Eq _ | App _ -> true
+  | Not f -> is_monadic f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) -> is_monadic f && is_monadic g
+  | Exists (_, f) | Forall (_, f) | Exists_near (_, _, f) | Forall_near (_, _, f) -> is_monadic f
+  | Exists_so (_, k, f) | Forall_so (_, k, f) -> k = 1 && is_monadic f
+
+let is_sentence f = free_fo f = [] && free_so f = []
+
+let rec visibility_radius = function
+  | True | False | Unary _ | Binary _ | Eq _ | App _ -> 0
+  | Not f | Exists (_, f) | Forall (_, f) | Exists_so (_, _, f) | Forall_so (_, _, f) ->
+      visibility_radius f
+  | Or (f, g) | And (f, g) | Implies (f, g) | Iff (f, g) ->
+      max (visibility_radius f) (visibility_radius g)
+  | Exists_near (_, _, f) | Forall_near (_, _, f) -> 1 + visibility_radius f
+
+let level formula =
+  let blocks, _ = so_blocks formula in
+  (List.length blocks, match blocks with [] -> None | b :: _ -> Some b)

@@ -1,0 +1,54 @@
+(** Syntactic classification of formulas into the paper's logics
+    (Section 5.1): first-order logic FO, the bounded fragment BF, local
+    first-order logic LFO, and the two second-order hierarchies
+    {Σℓ^FO, Πℓ^FO} and {Σℓ^LFO, Πℓ^LFO}, plus their monadic variants. *)
+
+type quantifier = Ex | All
+
+val is_fo : Formula.t -> bool
+(** No second-order quantifiers (free second-order variables and both
+    bounded and unbounded first-order quantification are allowed: a
+    bounded quantifier is FO-definable). *)
+
+val is_bf : Formula.t -> bool
+(** The bounded fragment: no second-order quantifiers and every
+    first-order quantifier bounded ([Exists_near]/[Forall_near]). *)
+
+val is_lfo : Formula.t -> bool
+(** LFO: a single universal unbounded first-order quantifier applied to
+    a BF formula ([Forall (x, bf)]). *)
+
+val so_prefix : Formula.t -> (quantifier * Formula.so_var * int) list * Formula.t
+(** Split off the maximal leading sequence of second-order quantifiers. *)
+
+val so_blocks : Formula.t -> quantifier list * Formula.t
+(** The leading second-order quantifier prefix collapsed into maximal
+    alternating blocks (e.g. ∃R∃S∀T φ has blocks [[Ex; All]]). *)
+
+val in_sigma_lfo : int -> Formula.t -> bool
+(** Membership in Σℓ^LFO: at most ℓ alternating second-order blocks
+    (starting existentially when exactly ℓ) followed by an LFO
+    formula. *)
+
+val in_pi_lfo : int -> Formula.t -> bool
+
+val in_sigma_fo : int -> Formula.t -> bool
+(** Same block conditions but with an FO matrix (the classical
+    hierarchy Σℓ^FO; level 0 is FO itself). *)
+
+val in_pi_fo : int -> Formula.t -> bool
+
+val is_monadic : Formula.t -> bool
+(** Every second-order quantifier binds a variable of arity 1. *)
+
+val is_sentence : Formula.t -> bool
+
+val visibility_radius : Formula.t -> int
+(** Maximum nesting depth of bounded first-order quantifiers — the
+    paper's "distance up to which the formula can see" (used as the
+    gathering radius of compiled arbiters). Unbounded quantifiers
+    contribute nothing. *)
+
+val level : Formula.t -> int * quantifier option
+(** [(l, first)] where [l] is the number of leading second-order blocks
+    and [first] their initial polarity ([None] when [l = 0]). *)

@@ -1,0 +1,1 @@
+lib/machine/gather.ml: Array Hashtbl List Local_algo Lph_graph Lph_util Runner String

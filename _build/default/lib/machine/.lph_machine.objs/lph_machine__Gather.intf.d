@@ -1,0 +1,1 @@
+lib/machine/gather.mli: Local_algo Lph_graph

@@ -1,0 +1,1 @@
+lib/machine/local_algo.ml: List String

@@ -1,0 +1,1 @@
+lib/machine/runner.ml: Array List Local_algo Lph_graph Printf String

@@ -1,0 +1,1 @@
+lib/machine/runner.mli: Local_algo Lph_graph

@@ -1,0 +1,1 @@
+lib/machine/step_time.ml: Array List Lph_util Runner Turing

@@ -1,0 +1,1 @@
+lib/machine/step_time.mli: Lph_util Runner Turing

@@ -1,0 +1,1 @@
+lib/machine/turing.ml: Array List Lph_graph Printf String

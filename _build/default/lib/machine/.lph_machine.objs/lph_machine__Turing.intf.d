@@ -1,0 +1,1 @@
+lib/machine/turing.mli: Lph_graph

@@ -1,0 +1,195 @@
+module G = Lph_graph.Labeled_graph
+module C = Lph_util.Codec
+
+type entry = {
+  ident : string;
+  label : string;
+  cert : string;
+  adj : string list option;
+  dist : int;
+}
+
+type ball = { centre : string; radius : int; entries : entry list }
+
+let entry_codec : entry C.t =
+  C.map
+    (fun ((ident, label, cert), (adj, dist)) -> { ident; label; cert; adj; dist })
+    (fun e -> ((e.ident, e.label, e.cert), (e.adj, e.dist)))
+    (C.pair (C.triple C.string C.string C.string) (C.pair (C.option (C.list C.string)) C.int))
+
+let table_codec = C.list entry_codec
+
+let ball_codec : ball C.t =
+  C.map
+    (fun ((centre, radius), entries) -> { centre; radius; entries })
+    (fun b -> ((b.centre, b.radius), b.entries))
+    (C.pair (C.pair C.string C.int) table_codec)
+
+let rounds_needed radius = radius + 2
+
+type state = {
+  table : (string, entry) Hashtbl.t;
+  mutable ball : ball option;
+  mutable verdict : string option;
+}
+
+let self_entry (ctx : Local_algo.ctx) =
+  {
+    ident = ctx.Local_algo.ident;
+    label = ctx.Local_algo.label;
+    cert = ctx.Local_algo.cert_list;
+    adj = None;
+    dist = 0;
+  }
+
+let merge_entry table e =
+  match Hashtbl.find_opt table e.ident with
+  | None -> Hashtbl.replace table e.ident e
+  | Some old ->
+      let adj = match old.adj with Some _ -> old.adj | None -> e.adj in
+      Hashtbl.replace table e.ident { old with adj; dist = min old.dist e.dist }
+
+let finish_ball ~radius (ctx : Local_algo.ctx) st =
+  let entries =
+    Hashtbl.fold (fun _ e acc -> if e.dist <= radius then e :: acc else acc) st.table []
+  in
+  let entries = List.sort (fun a b -> compare a.ident b.ident) entries in
+  st.ball <- Some { centre = ctx.Local_algo.ident; radius; entries }
+
+let init_state ctx =
+  let table = Hashtbl.create 16 in
+  let self = self_entry ctx in
+  Hashtbl.replace table self.ident self;
+  { table; ball = None; verdict = None }
+
+(* One round of flooding; returns the outbox and whether gathering is
+   complete (in which case st.ball is set). *)
+let gather_round ~radius (ctx : Local_algo.ctx) round st ~inbox =
+  let charge_msgs msgs = List.iter (fun m -> ctx.Local_algo.charge (String.length m + 1)) msgs in
+  charge_msgs inbox;
+  let broadcast entries =
+    let msg = C.encode_bits table_codec entries in
+    let out = List.init ctx.Local_algo.degree (fun _ -> msg) in
+    charge_msgs out;
+    out
+  in
+  if round = 1 then (broadcast [ self_entry ctx ], false)
+  else begin
+    let tables = List.map (C.decode_bits table_codec) inbox in
+    List.iter
+      (fun entries ->
+        List.iter
+          (fun e -> if e.dist + 1 <= radius then merge_entry st.table { e with dist = e.dist + 1 })
+          entries)
+      tables;
+    if round = 2 then begin
+      (* the round-2 inbox consists of the neighbours' self-entries: they
+         reveal our own adjacency list *)
+      let adj =
+        List.sort compare
+          (List.concat_map (fun entries -> List.map (fun e -> e.ident) entries) tables)
+      in
+      let self = Hashtbl.find st.table ctx.Local_algo.ident in
+      Hashtbl.replace st.table ctx.Local_algo.ident { self with adj = Some adj }
+    end;
+    if round >= rounds_needed radius then begin
+      finish_ball ~radius ctx st;
+      ([], true)
+    end
+    else begin
+      let entries =
+        Hashtbl.fold (fun _ e acc -> if e.dist <= radius - 1 then e :: acc else acc) st.table []
+      in
+      let entries = List.sort (fun a b -> compare a.ident b.ident) entries in
+      (broadcast entries, false)
+    end
+  end
+
+let the_ball st =
+  match st.ball with Some b -> b | None -> failwith "Gather: ball not completed"
+
+let algo ~name ~radius ~levels ~decide =
+  Local_algo.Packed
+    {
+      Local_algo.name;
+      levels;
+      init = init_state;
+      round =
+        (fun ctx round st ~inbox ->
+          let out, finished = gather_round ~radius ctx round st ~inbox in
+          if finished then st.verdict <- Some (if decide ctx (the_ball st) then "1" else "0");
+          (st, out, finished));
+      output = (fun st -> match st.verdict with Some v -> v | None -> "0");
+    }
+
+let map_algo ~name ~radius ~levels ~f =
+  Local_algo.Packed
+    {
+      Local_algo.name;
+      levels;
+      init = init_state;
+      round =
+        (fun ctx round st ~inbox ->
+          let out, finished = gather_round ~radius ctx round st ~inbox in
+          if finished then st.verdict <- Some (f ctx (the_ball st));
+          (st, out, finished));
+      output = (fun st -> match st.verdict with Some v -> v | None -> "");
+    }
+
+let ball_output_algo ~radius ~levels =
+  Local_algo.Packed
+    {
+      Local_algo.name = "gather-ball";
+      levels;
+      init = init_state;
+      round =
+        (fun ctx round st ~inbox ->
+          let out, finished = gather_round ~radius ctx round st ~inbox in
+          (st, out, finished));
+      output = (fun st -> C.encode_bits ball_codec (the_ball st));
+    }
+
+let reconstruct ball =
+  let entries = ball.entries in
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i e -> Hashtbl.replace index e.ident i) entries;
+  if Hashtbl.length index <> List.length entries then
+    failwith "Gather.reconstruct: duplicate identifiers";
+  let labels = Array.of_list (List.map (fun e -> e.label) entries) in
+  let ids = Array.of_list (List.map (fun e -> e.ident) entries) in
+  let certs = Array.of_list (List.map (fun e -> e.cert) entries) in
+  let edges =
+    List.concat_map
+      (fun e ->
+        match e.adj with
+        | None -> []
+        | Some neigh ->
+            let i = Hashtbl.find index e.ident in
+            List.filter_map
+              (fun ident ->
+                match Hashtbl.find_opt index ident with
+                | Some j when j <> i -> Some (min i j, max i j)
+                | _ -> None)
+              neigh)
+      entries
+  in
+  let edges = List.sort_uniq compare edges in
+  let g = G.make ~labels ~edges in
+  let centre =
+    match Hashtbl.find_opt index ball.centre with
+    | Some i -> i
+    | None -> failwith "Gather.reconstruct: centre not in ball"
+  in
+  (g, ids, certs, centre)
+
+type gather_state = state
+
+let init_gather = init_state
+
+let step_gather = gather_round
+
+let completed_ball = the_ball
+
+let collect ~radius g ~ids ?cert_list () =
+  let result = Runner.run (ball_output_algo ~radius ~levels:1) g ~ids ?cert_list () in
+  Array.init (G.card g) (fun u -> C.decode_bits ball_codec (G.label result.Runner.output u))

@@ -1,0 +1,93 @@
+(** The canonical building block of constant-round algorithms: gather
+    the full r-neighbourhood. After [radius + 2] rounds of flooding,
+    every node knows the induced subgraph N_r(u) together with all
+    labels, identifiers and certificate lists therein — exactly the
+    information the compiled arbiters of Theorem 12 evaluate their BF
+    matrix against.
+
+    Requires the identifier assignment to be [radius + 1]-locally
+    unique: adjacency lists of ball-boundary nodes mention identifiers
+    of nodes at distance [radius + 1], which must not collide with the
+    identifier of any ball member (two such nodes can lie at distance
+    [2 * radius + 1], beyond what [radius]-local uniqueness covers).
+    Like every machine in the paper, the algorithm simply presupposes
+    an [r_id] of its own choosing; under weaker assignments boundary
+    aliasing can produce phantom edges in the reconstructed ball. All
+    knowledge travels through explicit wire-encoded messages
+    ({!Lph_util.Codec}); charges are proportional to the bytes
+    processed, which keeps the step time of gathering polynomial in the
+    local input size. *)
+
+type entry = {
+  ident : string;
+  label : string;
+  cert : string;  (** the raw certificate-list string of that node *)
+  adj : string list option;  (** identifiers of its neighbours, once known *)
+  dist : int;  (** distance from the gathering node *)
+}
+
+type ball = { centre : string; radius : int; entries : entry list }
+
+val rounds_needed : int -> int
+(** [radius + 2]. *)
+
+val reconstruct :
+  ball ->
+  Lph_graph.Labeled_graph.t * Lph_graph.Identifiers.t * string array * int
+(** Rebuild [N_r(centre)] as a labelled graph from a completed ball:
+    returns the subgraph, the identifier assignment, the raw
+    certificate-list strings, and the index of the centre node. Entries
+    with unknown adjacency contribute only the edges reported by their
+    neighbours. Raises [Failure] on inconsistent balls. *)
+
+val algo :
+  name:string ->
+  radius:int ->
+  levels:int ->
+  decide:(Local_algo.ctx -> ball -> bool) ->
+  Local_algo.packed
+(** A local algorithm that gathers the [radius]-ball and then applies
+    [decide] to reach its verdict. *)
+
+val map_algo :
+  name:string ->
+  radius:int ->
+  levels:int ->
+  f:(Local_algo.ctx -> ball -> string) ->
+  Local_algo.packed
+(** Like {!algo} but with an arbitrary output label (must be a bit
+    string): the shape of graph-transformation machines, whose output
+    labels encode clusters (Section 8). *)
+
+(** {1 Re-usable gathering phase}
+
+    For machines that gather a ball and then enter further phases
+    (e.g. the cluster simulation of Section 8), the flooding rounds are
+    exposed directly. *)
+
+type gather_state
+
+val init_gather : Local_algo.ctx -> gather_state
+
+val step_gather :
+  radius:int ->
+  Local_algo.ctx ->
+  int ->
+  gather_state ->
+  inbox:string list ->
+  string list * bool
+(** One round of flooding ([int] is the global round number, starting
+    at 1); returns the outbox and whether the ball is complete. *)
+
+val completed_ball : gather_state -> ball
+(** The gathered ball; raises [Failure] before completion. *)
+
+val collect :
+  radius:int ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  ?cert_list:string array ->
+  unit ->
+  ball array
+(** Convenience: run the gathering algorithm and return every node's
+    completed ball (used by tests to compare against direct BFS). *)

@@ -1,0 +1,39 @@
+type ctx = {
+  label : string;
+  ident : string;
+  certs : string list;
+  cert_list : string;
+  degree : int;
+  charge : int -> unit;
+}
+
+type 'st t = {
+  name : string;
+  levels : int;
+  init : ctx -> 'st;
+  round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
+  output : 'st -> string;
+}
+
+type packed = Packed : 'st t -> packed
+
+let name (Packed a) = a.name
+
+let levels (Packed a) = a.levels
+
+let pure_decider ~name ~levels verdict =
+  Packed
+    {
+      name;
+      levels;
+      init =
+        (fun ctx ->
+          ctx.charge
+            (String.length ctx.label + String.length ctx.ident
+            + List.fold_left (fun acc c -> acc + String.length c) 0 ctx.certs);
+          verdict ctx);
+      round = (fun _ctx _round accepted ~inbox:_ -> (accepted, [], true));
+      output = (fun accepted -> if accepted then "1" else "0");
+    }
+
+let map_output f (Packed a) = Packed { a with output = (fun st -> f (a.output st)) }

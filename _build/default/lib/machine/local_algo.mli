@@ -1,0 +1,46 @@
+(** Local algorithms: a structured, higher-level counterpart to raw
+    distributed Turing machines (see DESIGN.md for the substitution
+    rationale). A local algorithm keeps an abstract per-node state
+    instead of tapes, but runs under exactly the same synchronous
+    semantics as {!Turing}: identifier-ordered message delivery,
+    acceptance by unanimity, and per-round step accounting via an
+    explicit [charge] counter that implementations bump in proportion
+    to the work they do. The {!Runner} records charges and local input
+    sizes so that polynomial step time can be verified empirically
+    ({!Step_time}). *)
+
+type ctx = {
+  label : string;
+  ident : string;
+  certs : string list;  (** the decoded certificate list k1, ..., kl *)
+  cert_list : string;  (** the raw certificate-list string k1#...#kl *)
+  degree : int;
+  charge : int -> unit;  (** account for computation steps *)
+}
+
+type 'st t = {
+  name : string;
+  levels : int;  (** how many certificates the algorithm expects *)
+  init : ctx -> 'st;
+  round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
+      (** [round ctx k st ~inbox] processes the messages received at the
+          beginning of round [k] (sender-sorted by identifier; all empty
+          in round 1) and returns the new state, the outgoing messages
+          (i-th message to the i-th neighbour in identifier order,
+          missing ones default to ""), and whether the node stops. *)
+  output : 'st -> string;  (** the final label; "1" means accept *)
+}
+
+type packed = Packed : 'st t -> packed
+(** Existential wrapper so algorithms with different state types can be
+    stored together (e.g. as arbiters). *)
+
+val name : packed -> string
+val levels : packed -> int
+
+val pure_decider : name:string -> levels:int -> (ctx -> bool) -> packed
+(** A one-round algorithm whose verdict depends only on the node's own
+    label, identifier and certificates. [charge] is bumped once per
+    input character. *)
+
+val map_output : (string -> string) -> packed -> packed

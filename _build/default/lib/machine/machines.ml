@@ -1,0 +1,139 @@
+open Turing
+
+(* Helpers to keep transition tables readable. [act] writes back the
+   scanned symbols by default, so a transition that only moves or
+   changes state stays a one-liner. *)
+
+let act ?wi ?ws ~i ~s ?(mr = Stay) ?(mi = Stay) ?(ms = Stay) next =
+  {
+    next;
+    write_internal = (match wi with Some sym -> sym | None -> i);
+    write_sending = (match ws with Some sym -> sym | None -> s);
+    moves = (mr, mi, ms);
+  }
+
+(* Shared state numbers for the erase-and-answer epilogue: rewind the
+   internal head to ⊢, then sweep right erasing everything, and finally
+   write the verdict on the first blank cell. *)
+
+let rewind_accept = 30
+let erase_accept = 31
+let rewind_reject = 40
+let erase_reject = 41
+
+let epilogue state (r, i, s) =
+  match state with
+  | 30 -> begin
+      match i with
+      | Lend -> act ~i ~s ~mi:Right erase_accept
+      | _ -> act ~i ~s ~mi:Left rewind_accept
+    end
+  | 31 -> begin
+      match i with
+      | Blank -> act ~wi:One ~i ~s q_stop
+      | _ -> act ~wi:Blank ~i ~s ~mi:Right erase_accept
+    end
+  | 40 -> begin
+      match i with
+      | Lend -> act ~i ~s ~mi:Right erase_reject
+      | _ -> act ~i ~s ~mi:Left rewind_reject
+    end
+  | 41 -> begin
+      match i with
+      | Blank -> act ~wi:Zero ~i ~s q_stop
+      | _ -> act ~wi:Blank ~i ~s ~mi:Right erase_reject
+    end
+  | _ ->
+      ignore r;
+      invalid_arg "Machines.epilogue: unknown state"
+
+let is_epilogue state = state >= 30 && state <= 41
+
+(* ------------------------------------------------------------------ *)
+
+let all_selected =
+  let delta state ((r, i, s) as scan) =
+    if is_epilogue state then epilogue state scan
+    else
+      match (state, i) with
+      | 0, _ -> act ~i ~s ~mi:Right 3
+      (* expect the single label bit to be 1 *)
+      | 3, One -> act ~i ~s ~mi:Right 4
+      | 3, _ -> act ~i ~s rewind_reject
+      (* expect the separator ending the label; erasing is left to the
+         epilogue sweep, which relies on the content being contiguous *)
+      | 4, Hash -> act ~i ~s rewind_accept
+      | 4, _ -> act ~i ~s rewind_reject
+      | _ ->
+          ignore r;
+          invalid_arg "all_selected: stuck"
+  in
+  { name = "all-selected"; delta }
+
+let eulerian =
+  let delta state ((r, i, s) as scan) =
+    if is_epilogue state then epilogue state scan
+    else
+      match (state, r) with
+      | 0, _ -> act ~i ~s ~mr:Right 3
+      (* parity of the number of # on the receiving tape: state 3 = even *)
+      | 3, Hash -> act ~i ~s ~mr:Right 4
+      | 3, Blank -> act ~i ~s rewind_accept
+      | 4, Hash -> act ~i ~s ~mr:Right 3
+      | 4, Blank -> act ~i ~s rewind_reject
+      | (3 | 4), _ -> act ~i ~s rewind_reject
+      | _ -> invalid_arg "eulerian: stuck"
+  in
+  { name = "eulerian"; delta }
+
+let even_label_ones =
+  (* states 5x: 10 = even so far, 11 = odd so far, scanning the label *)
+  let delta state ((r, i, s) as scan) =
+    if is_epilogue state then epilogue state scan
+    else
+      match (state, i) with
+      | 0, _ -> act ~i ~s ~mi:Right 10
+      | 10, One -> act ~i ~s ~mi:Right 11
+      | 11, One -> act ~i ~s ~mi:Right 10
+      | 10, Zero -> act ~i ~s ~mi:Right 10
+      | 11, Zero -> act ~i ~s ~mi:Right 11
+      | 10, (Hash | Blank) -> act ~i ~s rewind_accept
+      | 11, (Hash | Blank) -> act ~i ~s rewind_reject
+      | (10 | 11), Lend -> act ~i ~s rewind_reject
+      | _ ->
+          ignore r;
+          invalid_arg "even_label_ones: stuck"
+  in
+  { name = "even-label-ones"; delta }
+
+let constant_labelling =
+  let delta state ((r, i, s) as scan) =
+    if is_epilogue state then epilogue state scan
+    else
+      match (state, r, i) with
+      | 0, _, _ -> act ~i ~s ~mr:Right ~mi:Right ~ms:Right 3
+      (* dispatch on the first receiving cell: blank = no neighbours,
+         # = round 1 (all messages empty), bit = round 2 *)
+      | 3, Blank, _ -> act ~i ~s rewind_accept
+      | 3, Hash, _ -> act ~i ~s 10
+      | 3, (Zero | One), _ -> act ~i ~s 20
+      | 3, Lend, _ -> act ~i ~s rewind_reject
+      (* round 1: copy the label to the sending tape once per # *)
+      | 10, _, (Zero | One) -> act ~ws:i ~i ~s ~mi:Right ~ms:Right 10
+      | 10, _, Hash -> act ~ws:Hash ~i ~s ~mr:Right ~mi:Left ~ms:Right 11
+      | 10, _, _ -> act ~i ~s rewind_reject
+      | 11, _, Lend -> act ~i ~s ~mi:Right 12
+      | 11, _, _ -> act ~i ~s ~mi:Left 11
+      | 12, Hash, _ -> act ~i ~s 10
+      | 12, Blank, _ -> act ~i ~s q_pause
+      | 12, _, _ -> act ~i ~s rewind_reject
+      (* round 2: compare each message with the label *)
+      | 20, Zero, Zero | 20, One, One -> act ~i ~s ~mr:Right ~mi:Right 20
+      | 20, Hash, Hash -> act ~i ~s ~mr:Right ~mi:Left 21
+      | 20, Blank, _ -> act ~i ~s rewind_accept
+      | 20, _, _ -> act ~i ~s rewind_reject
+      | 21, _, Lend -> act ~i ~s ~mi:Right 20
+      | 21, _, _ -> act ~i ~s ~mi:Left 21
+      | _ -> invalid_arg "constant_labelling: stuck"
+  in
+  { name = "constant-labelling"; delta }

@@ -1,0 +1,28 @@
+(** Concrete distributed Turing machines, written as raw transition
+    tables. They exercise the faithful execution semantics of
+    {!Turing} — message trains, identifier ordering, q_pause/q_stop —
+    and serve as genuine LP-deciders for simple graph properties. *)
+
+val all_selected : Turing.t
+(** Decides ALL-SELECTED in one round: each node checks that its own
+    label is exactly "1", erases its internal tape and writes its
+    verdict. Linear step time. *)
+
+val eulerian : Turing.t
+(** Decides EULERIAN in one round using Euler's criterion: each node
+    checks that its degree is even by counting the separators [#] on
+    its (round-1) receiving tape. Connected graphs are Eulerian iff all
+    degrees are even (Proposition 15). Linear step time. *)
+
+val even_label_ones : Turing.t
+(** Decides in one round whether every node's label contains an even
+    number of 1s (the distributed counterpart of the classical parity
+    language; its NODE restriction is exactly the word language of
+    {!Lph_fagin.Tableau.even_ones}). Linear step time. *)
+
+val constant_labelling : Turing.t
+(** Decides in two rounds whether all nodes carry the same label: each
+    node broadcasts its label, then compares every received message
+    with its own label. Assumes all labels are non-empty (it
+    distinguishes round 2 from round 1 by the presence of message
+    bits). Quadratic step time. *)

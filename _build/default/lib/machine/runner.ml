@@ -1,0 +1,123 @@
+module G = Lph_graph.Labeled_graph
+
+type stats = {
+  rounds : int;
+  charges : int array array;
+  input_sizes : int array array;
+  message_bytes : int array array;
+}
+
+type result = { output : G.t; stats : stats }
+
+exception Diverged of string
+
+type 'st node_exec = {
+  mutable state : 'st;
+  mutable finished : bool;
+  ctx : Local_algo.ctx;
+  neighbours : int array; (* sorted by identifier *)
+  charge_cell : int ref;
+}
+
+let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
+  let n = G.card g in
+  let cert_list = match cert_list with Some c -> c | None -> Array.make n "" in
+  let sorted_neighbours u =
+    let ns =
+      List.sort (fun a b -> Lph_graph.Identifiers.compare_id ids.(a) ids.(b)) (G.neighbours g u)
+    in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          if ids.(a) = ids.(b) then
+            invalid_arg
+              (Printf.sprintf "Runner.run: neighbours of node %d share identifier %s" u ids.(a));
+          check rest
+      | _ -> ()
+    in
+    check ns;
+    Array.of_list ns
+  in
+  let nodes =
+    Array.init n (fun u ->
+        let charge_cell = ref 0 in
+        let ctx =
+          {
+            Local_algo.label = G.label g u;
+            ident = ids.(u);
+            certs = Lph_graph.Certificates.split_list ~levels:algo.levels cert_list.(u);
+            cert_list = cert_list.(u);
+            degree = G.degree g u;
+            charge = (fun k -> charge_cell := !charge_cell + max 0 k);
+          }
+        in
+        { state = algo.init ctx; finished = false; ctx; neighbours = sorted_neighbours u; charge_cell })
+  in
+  let pending = Array.init n (fun u -> Array.make (Array.length nodes.(u).neighbours) "") in
+  let slot_of = Array.init n (fun u ->
+      (* slot_of.(u).(i): position of u in the neighbour ordering of its
+         i-th neighbour *)
+      Array.map
+        (fun v ->
+          let s = ref (-1) in
+          Array.iteri (fun j w -> if w = u then s := j) nodes.(v).neighbours;
+          assert (!s >= 0);
+          !s)
+        nodes.(u).neighbours)
+  in
+  let charges_log = ref [] and input_log = ref [] and msg_log = ref [] in
+  let round = ref 0 in
+  while not (Array.for_all (fun ne -> ne.finished) nodes) do
+    incr round;
+    if !round > round_limit then raise (Diverged (algo.name ^ ": round limit exceeded"));
+    let charges_r = Array.make n 0 and input_r = Array.make n 0 and msg_r = Array.make n 0 in
+    let outgoing = Array.make n [||] in
+    Array.iteri
+      (fun u ne ->
+        let d = Array.length ne.neighbours in
+        if ne.finished then outgoing.(u) <- Array.make d ""
+        else begin
+          let inbox = Array.to_list pending.(u) in
+          input_r.(u) <-
+            List.fold_left (fun acc m -> acc + String.length m + 1) 0 inbox
+            + String.length ne.ctx.Local_algo.label
+            + String.length ne.ctx.Local_algo.ident
+            + (if !round = 1 then String.length cert_list.(u) else 0);
+          (* round 1 keeps the charges accumulated by [init] *)
+          if !round > 1 then ne.charge_cell := 0;
+          let state, outbox, finished = algo.round ne.ctx !round ne.state ~inbox in
+          ne.state <- state;
+          ne.finished <- finished;
+          charges_r.(u) <- !(ne.charge_cell);
+          let out = Array.make d "" in
+          List.iteri (fun i msg -> if i < d then out.(i) <- msg) outbox;
+          Array.iter (fun msg -> msg_r.(u) <- msg_r.(u) + String.length msg) out;
+          outgoing.(u) <- out
+        end)
+      nodes;
+    (* deliver *)
+    Array.iteri
+      (fun u ne ->
+        Array.iteri (fun i v -> pending.(v).(slot_of.(u).(i)) <- outgoing.(u).(i)) ne.neighbours)
+      nodes;
+    charges_log := charges_r :: !charges_log;
+    input_log := input_r :: !input_log;
+    msg_log := msg_r :: !msg_log
+  done;
+  let output = G.with_labels g (Array.map (fun ne -> algo.output ne.state) nodes) in
+  let rev l = Array.of_list (List.rev l) in
+  {
+    output;
+    stats =
+      {
+        rounds = !round;
+        charges = rev !charges_log;
+        input_sizes = rev !input_log;
+        message_bytes = rev !msg_log;
+      };
+  }
+
+let accepts result = G.all_labels_one result.output
+
+let verdict result u = G.label result.output u
+
+let decides algo g ~ids ?cert_list () = accepts (run algo g ~ids ?cert_list ())

@@ -1,0 +1,44 @@
+(** Synchronous execution of {!Local_algo} programs on labelled graphs:
+    the same scheduling discipline as {!Turing.run} (rounds of
+    receive / compute / send, neighbours ordered by identifier,
+    stopped nodes emit empty messages), with per-node, per-round
+    charge and input-size accounting. *)
+
+type stats = {
+  rounds : int;
+  charges : int array array;  (** charges.(round - 1).(node) *)
+  input_sizes : int array array;
+      (** per round, per node: total length of the node's local input
+          (inbox plus label/identifier/certificates in round 1, inbox
+          plus a carried-state estimate afterwards) *)
+  message_bytes : int array array;  (** outgoing message volume *)
+}
+
+type result = { output : Lph_graph.Labeled_graph.t; stats : stats }
+
+exception Diverged of string
+
+val run :
+  ?round_limit:int ->
+  Local_algo.packed ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  ?cert_list:string array ->
+  unit ->
+  result
+(** [cert_list] is the certificate-list assignment (strings over
+    {0,1,#}); each node's entry is decoded into [levels] certificates.
+    Raises [Invalid_argument] if identifiers are not distinct among any
+    node's neighbourhood (the 1-local uniqueness precondition). *)
+
+val accepts : result -> bool
+val verdict : result -> int -> string
+
+val decides :
+  Local_algo.packed ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  ?cert_list:string array ->
+  unit ->
+  bool
+(** [run] followed by {!accepts}. *)

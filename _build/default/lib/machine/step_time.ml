@@ -1,0 +1,32 @@
+let runner_samples (result : Runner.result) =
+  let acc = ref [] in
+  Array.iteri
+    (fun r charges ->
+      Array.iteri (fun u charge -> acc := (result.Runner.stats.input_sizes.(r).(u), charge) :: !acc) charges)
+    result.Runner.stats.charges;
+  !acc
+
+let turing_samples (result : Turing.result) =
+  let acc = ref [] in
+  Array.iteri
+    (fun r steps ->
+      Array.iteri (fun u s -> acc := (result.Turing.stats.input_sizes.(r).(u), s) :: !acc) steps)
+    result.Turing.stats.steps;
+  !acc
+
+let check_poly ~bound samples = Lph_util.Poly.fits ~bound samples
+
+let check_rounds ~limit ~rounds = List.for_all (fun r -> r <= limit) rounds
+
+type report = { max_rounds : int; worst_ratio : float; samples : int }
+
+let report ~bound (rounds, samples) =
+  let worst =
+    List.fold_left
+      (fun acc (input, cost) ->
+        let b = Lph_util.Poly.eval bound input in
+        if b = 0 then if cost = 0 then acc else infinity
+        else max acc (float_of_int cost /. float_of_int b))
+      0. samples
+  in
+  { max_rounds = List.fold_left max 0 rounds; worst_ratio = worst; samples = List.length samples }

@@ -1,0 +1,29 @@
+(** Empirical verification of the two running-time dials of the paper:
+    constant round time and polynomial step time. A machine "runs in
+    step time p" when each node's computation in each round is bounded
+    by p applied to the length of its initial tape contents in that
+    round; we check the recorded per-node per-round measurements of
+    {!Runner} / {!Turing} executions against a claimed polynomial. *)
+
+val runner_samples : Runner.result -> (int * int) list
+(** All [(local input size, charge)] pairs of an execution. *)
+
+val turing_samples : Turing.result -> (int * int) list
+(** All [(initial tape contents length, steps)] pairs. *)
+
+val check_poly : bound:Lph_util.Poly.t -> (int * int) list -> bool
+(** Every sample satisfies [cost <= bound input]. *)
+
+val check_rounds : limit:int -> rounds:int list -> bool
+(** Every execution used at most [limit] rounds (constant round
+    time). *)
+
+type report = {
+  max_rounds : int;
+  worst_ratio : float;  (** max over samples of cost / bound(input) *)
+  samples : int;
+}
+
+val report : bound:Lph_util.Poly.t -> (int list * (int * int) list) -> report
+(** Summarise rounds and samples from a batch of executions (first
+    component: rounds per execution; second: merged samples). *)

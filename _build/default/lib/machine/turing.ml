@@ -1,0 +1,263 @@
+module G = Lph_graph.Labeled_graph
+
+type symbol = Lend | Blank | Hash | Zero | One
+
+type move = Left | Stay | Right
+
+type state = int
+
+let q_start = 0
+let q_pause = 1
+let q_stop = 2
+
+type action = {
+  next : state;
+  write_internal : symbol;
+  write_sending : symbol;
+  moves : move * move * move;
+}
+
+type t = {
+  name : string;
+  delta : state -> symbol * symbol * symbol -> action;
+}
+
+exception Diverged of string
+
+type stats = {
+  rounds : int;
+  steps : int array array;
+  max_space : int array array;
+  input_sizes : int array array;
+}
+
+type result = { output : G.t; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Tapes: a growable array of symbols; cell 0 holds ⊢.                 *)
+
+module Tape = struct
+  type t = { mutable cells : symbol array; mutable used : int; mutable head : int }
+
+  let create () = { cells = Array.make 16 Blank; used = 1; head = 0 }
+
+  let reset t =
+    Array.fill t.cells 0 (Array.length t.cells) Blank;
+    t.used <- 1;
+    t.head <- 0
+
+  let ensure t i =
+    let n = Array.length t.cells in
+    if i >= n then begin
+      let cells = Array.make (max (2 * n) (i + 1)) Blank in
+      Array.blit t.cells 0 cells 0 n;
+      t.cells <- cells
+    end;
+    if i >= t.used then t.used <- i + 1
+
+  let read t = if t.head = 0 then Lend else if t.head < t.used then t.cells.(t.head) else Blank
+
+  let write t sym =
+    if t.head > 0 then begin
+      ensure t t.head;
+      t.cells.(t.head) <- sym
+    end
+    (* cell 0 permanently holds ⊢; writes there are ignored, matching the
+       convention that the left-end marker is never erased *)
+
+  let move t = function
+    | Left -> if t.head > 0 then t.head <- t.head - 1
+    | Stay -> ()
+    | Right ->
+        t.head <- t.head + 1;
+        ensure t t.head
+
+  let load t symbols =
+    (* set the content (cells 1..n) and rewind the head *)
+    reset t;
+    List.iteri
+      (fun i sym ->
+        ensure t (i + 1);
+        t.cells.(i + 1) <- sym)
+      symbols;
+    t.head <- 0
+
+  let content t =
+    (* the sequence of symbols ignoring leading/trailing ⊢ and □ *)
+    let buf = ref [] in
+    for i = t.used - 1 downto 1 do
+      buf := t.cells.(i) :: !buf
+    done;
+    let rec strip = function
+      | (Blank | Lend) :: rest -> strip rest
+      | l -> l
+    in
+    List.rev (strip (List.rev (strip !buf)))
+
+  let space t = t.used
+end
+
+let symbol_of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | '#' -> Hash
+  | c -> invalid_arg (Printf.sprintf "Turing: illegal tape character %c" c)
+
+let symbols_of_string s = List.map symbol_of_char (List.init (String.length s) (String.get s))
+
+let bits_of_content content =
+  String.concat ""
+    (List.filter_map (function Zero -> Some "0" | One -> Some "1" | Lend | Blank | Hash -> None) content)
+
+(* Split the sending-tape content into messages: bit strings separated by
+   #, ignoring blanks ("the first d bit strings stored on the sending
+   tape, using the symbol # as a separator and ignoring any □'s"). *)
+let messages_of_content content d =
+  let rec split acc current = function
+    | [] -> List.rev (List.rev current :: acc)
+    | Hash :: rest -> split (List.rev current :: acc) [] rest
+    | (Zero as s) :: rest | (One as s) :: rest -> split acc (s :: current) rest
+    | (Blank | Lend) :: rest -> split acc current rest
+  in
+  let parts = split [] [] content in
+  let strings =
+    List.map
+      (fun part -> String.concat "" (List.map (function Zero -> "0" | One -> "1" | _ -> "") part))
+      parts
+  in
+  List.init d (fun i -> match List.nth_opt strings i with Some s -> s | None -> "")
+
+type node_state = {
+  rcv : Tape.t;
+  int_ : Tape.t;
+  snd_ : Tape.t;
+  mutable stopped : bool;
+  neighbours : int array; (* sorted by identifier order *)
+}
+
+let run ?(round_limit = 1000) ?(step_limit = 100_000) m g ~ids ?certs () =
+  let n = G.card g in
+  let certs = match certs with Some c -> c | None -> Array.make n "" in
+  let sorted_neighbours u =
+    let ns = G.neighbours g u in
+    let sorted = List.sort (fun a b -> Lph_graph.Identifiers.compare_id ids.(a) ids.(b)) ns in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          if ids.(a) = ids.(b) then
+            invalid_arg
+              (Printf.sprintf "Turing.run: neighbours %d and %d of node %d share identifier %s" a b u
+                 ids.(a));
+          check rest
+      | _ -> ()
+    in
+    check sorted;
+    Array.of_list sorted
+  in
+  let nodes =
+    Array.init n (fun u ->
+        let st =
+          {
+            rcv = Tape.create ();
+            int_ = Tape.create ();
+            snd_ = Tape.create ();
+            stopped = false;
+            neighbours = sorted_neighbours u;
+          }
+        in
+        let initial = G.label g u ^ "#" ^ ids.(u) ^ "#" ^ certs.(u) in
+        Tape.load st.int_ (symbols_of_string initial);
+        st)
+  in
+  (* pending.(u) holds the messages u will receive next round, indexed in
+     u's identifier order of neighbours *)
+  let pending = Array.init n (fun u -> Array.make (Array.length nodes.(u).neighbours) "") in
+  let steps_log = ref [] and space_log = ref [] and input_log = ref [] in
+  let round = ref 0 in
+  let all_stopped () = Array.for_all (fun st -> st.stopped) nodes in
+  while not (all_stopped ()) do
+    incr round;
+    if !round > round_limit then
+      raise (Diverged (Printf.sprintf "%s: exceeded %d rounds" m.name round_limit));
+    let steps_r = Array.make n 0 and space_r = Array.make n 0 and input_r = Array.make n 0 in
+    (* phase 1: deliver messages *)
+    Array.iteri
+      (fun u st ->
+        let train =
+          List.concat_map (fun msg -> symbols_of_string msg @ [ Hash ]) (Array.to_list pending.(u))
+        in
+        Tape.load st.rcv train;
+        input_r.(u) <-
+          List.length (Tape.content st.rcv) + List.length (Tape.content st.int_))
+      nodes;
+    (* phase 2: local computation *)
+    Array.iteri
+      (fun u st ->
+        Tape.reset st.snd_;
+        if not st.stopped then begin
+          st.rcv.Tape.head <- 0;
+          st.int_.Tape.head <- 0;
+          st.snd_.Tape.head <- 0;
+          let state = ref q_start in
+          let steps = ref 0 in
+          while !state <> q_pause && !state <> q_stop do
+            incr steps;
+            if !steps > step_limit then
+              raise (Diverged (Printf.sprintf "%s: node %d exceeded %d steps in round %d" m.name u step_limit !round));
+            let a = m.delta !state (Tape.read st.rcv, Tape.read st.int_, Tape.read st.snd_) in
+            Tape.write st.int_ a.write_internal;
+            Tape.write st.snd_ a.write_sending;
+            let m1, m2, m3 = a.moves in
+            Tape.move st.rcv m1;
+            Tape.move st.int_ m2;
+            Tape.move st.snd_ m3;
+            state := a.next
+          done;
+          steps_r.(u) <- !steps;
+          space_r.(u) <- Tape.space st.rcv + Tape.space st.int_ + Tape.space st.snd_;
+          if !state = q_stop then st.stopped <- true
+        end)
+      nodes;
+    (* phase 3: collect outgoing messages *)
+    let outgoing =
+      Array.mapi
+        (fun _u st ->
+          let d = Array.length st.neighbours in
+          if st.stopped && Tape.content st.snd_ = [] then Array.make d ""
+          else Array.of_list (messages_of_content (Tape.content st.snd_) d))
+        nodes
+    in
+    Array.iteri
+      (fun u st ->
+        Array.iteri
+          (fun i v ->
+            (* the i-th neighbour of u receives u's i-th message; find u's
+               slot in v's neighbour ordering *)
+            let slot = ref (-1) in
+            Array.iteri (fun j w -> if w = u then slot := j) nodes.(v).neighbours;
+            assert (!slot >= 0);
+            pending.(v).(!slot) <- outgoing.(u).(i))
+          st.neighbours)
+      nodes;
+    steps_log := steps_r :: !steps_log;
+    space_log := space_r :: !space_log;
+    input_log := input_r :: !input_log
+  done;
+  let output =
+    G.with_labels g
+      (Array.map (fun st -> bits_of_content (Tape.content st.int_)) nodes)
+  in
+  let rev_array l = Array.of_list (List.rev l) in
+  {
+    output;
+    stats =
+      {
+        rounds = !round;
+        steps = rev_array !steps_log;
+        max_space = rev_array !space_log;
+        input_sizes = rev_array !input_log;
+      };
+  }
+
+let verdict result u = G.label result.output u
+
+let accepts result = G.all_labels_one result.output

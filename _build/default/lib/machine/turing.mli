@@ -1,0 +1,88 @@
+(** Distributed Turing machines (Section 4, Figure 6).
+
+    A machine has three one-way infinite tapes over the alphabet
+    {⊢, □, #, 0, 1}: a {e receiving} tape (read-only, reset with the
+    incoming messages each round), an {e internal} tape (persistent
+    across rounds), and a {e sending} tape (cleared each round; its
+    content determines the outgoing messages).
+
+    Executions proceed in synchronous rounds on a labelled graph under
+    an identifier assignment (at least 1-locally unique) and a
+    certificate-list assignment. Each round: (1) incoming messages are
+    written to the receiving tape as [m1#...#md#], senders sorted by
+    ascending identifier; (2) the machine runs from [q_start] (heads on
+    the leftmost cells) until [q_pause] or [q_stop] — except that a
+    node already in [q_stop] stays there; (3) the first [d] bit strings
+    on the sending tape are delivered to the neighbours in identifier
+    order, missing ones defaulting to the empty string.
+
+    The machine accepts a graph when, upon termination, every node's
+    internal tape spells the verdict "1" (symbols other than 0/1 are
+    ignored). *)
+
+type symbol = Lend  (** ⊢ *) | Blank  (** □ *) | Hash  (** # *) | Zero | One
+
+type move = Left | Stay | Right
+
+type state = int
+(** Designated states: {!q_start} = 0, {!q_pause} = 1, {!q_stop} = 2. *)
+
+val q_start : state
+val q_pause : state
+val q_stop : state
+
+type action = {
+  next : state;
+  write_internal : symbol;  (** written at the internal head *)
+  write_sending : symbol;  (** written at the sending head *)
+  moves : move * move * move;  (** receiving, internal, sending *)
+}
+(** One entry of the transition function
+    δ(q, a_rcv, a_int, a_snd) = (q', a'_int, a'_snd, m1, m2, m3).
+    Following the paper's execution semantics ("the cell contents [of
+    the receiving tape] remain the same at all steps"), the receiving
+    tape is read-only. *)
+
+type t = {
+  name : string;
+  delta : state -> symbol * symbol * symbol -> action;
+}
+
+exception Diverged of string
+(** Raised when a node exceeds the step or round limit: the paper only
+    considers machines whose executions always terminate. *)
+
+type stats = {
+  rounds : int;  (** round running time *)
+  steps : int array array;  (** steps.(round - 1).(node): step running time *)
+  max_space : int array array;  (** tape cells occupied, same indexing *)
+  input_sizes : int array array;
+      (** length of the initial receiving + internal tape contents of
+          each node in each round: the quantity step time is measured
+          against. *)
+}
+
+type result = { output : Lph_graph.Labeled_graph.t; stats : stats }
+
+val run :
+  ?round_limit:int ->
+  ?step_limit:int ->
+  t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  ?certs:string array ->
+  unit ->
+  result
+(** Execute the machine. [certs] is the certificate-list assignment
+    (default: empty strings). [step_limit] (default 100_000) bounds the
+    local computation of one node in one round; [round_limit] (default
+    1_000) bounds the number of rounds. Raises {!Diverged} when
+    exceeded and [Invalid_argument] if two neighbours of some node
+    share an identifier. *)
+
+val accepts : result -> bool
+(** Acceptance by unanimity: every node's verdict is "1". *)
+
+val verdict : result -> int -> string
+(** The individual verdict of a node (the 0/1 characters of its final
+    internal tape). *)

@@ -1,0 +1,1 @@
+lib/picture/pic_languages.ml: Fun List Lph_logic Picture

@@ -1,0 +1,1 @@
+lib/picture/pic_languages.mli: Lph_logic Picture

@@ -1,0 +1,1 @@
+lib/picture/pic_local.ml: List Lph_logic Lph_structure Lph_util Picture Seq

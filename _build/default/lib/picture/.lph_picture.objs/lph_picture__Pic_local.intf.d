@@ -1,0 +1,1 @@
+lib/picture/pic_local.mli: Lph_logic Picture

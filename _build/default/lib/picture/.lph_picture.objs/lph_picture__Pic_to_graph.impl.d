@@ -1,0 +1,1 @@
+lib/picture/pic_to_graph.ml: Array Hashtbl List Lph_graph Picture String

@@ -1,0 +1,1 @@
+lib/picture/pic_to_graph.mli: Lph_graph Picture

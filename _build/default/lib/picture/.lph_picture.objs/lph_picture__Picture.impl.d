@@ -1,0 +1,1 @@
+lib/picture/picture.ml: Array Format List Lph_structure Lph_util Seq String

@@ -1,0 +1,1 @@
+lib/picture/picture.mli: Format Lph_structure Seq

@@ -1,0 +1,1 @@
+lib/picture/tiling.ml: Array Fun List Option Picture Set

@@ -1,0 +1,1 @@
+lib/picture/tiling.mli: Picture

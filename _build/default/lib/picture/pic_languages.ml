@@ -1,0 +1,85 @@
+module F = Lph_logic.Formula
+
+let is_square p = Picture.rows p = Picture.cols p
+
+let first_row_equals_last_row p =
+  let top = List.init (Picture.cols p) (fun j -> Picture.get p 1 (j + 1)) in
+  let bottom = List.init (Picture.cols p) (fun j -> Picture.get p (Picture.rows p) (j + 1)) in
+  top = bottom
+
+let every p f =
+  List.for_all
+    (fun i -> List.for_all (fun j -> f (i + 1) (j + 1)) (List.init (Picture.cols p) Fun.id))
+    (List.init (Picture.rows p) Fun.id)
+
+let all_ones p = every p (fun i j -> Picture.get p i j = "1")
+
+let some_one p = not (every p (fun i j -> Picture.get p i j <> "1"))
+
+(* ------------------------------------------------------------------ *)
+(* Logical definitions. On $P: ⇀1 vertical successor, ⇀2 horizontal. *)
+
+let fo_some_one = F.Exists ("x", F.Unary (1, "x"))
+
+let fo_all_ones = F.Forall ("x", F.Unary (1, "x"))
+
+let no_pred rel x =
+  let y = x ^ "$p" in
+  F.Not (F.Exists (y, F.Binary (rel, y, x)))
+
+let no_succ rel x =
+  let y = x ^ "$s" in
+  F.Not (F.Exists (y, F.Binary (rel, x, y)))
+
+let fo_top_row_ones = F.Forall ("x", F.Implies (no_pred 1 "x", F.Unary (1, "x")))
+
+let mso_square =
+  (* D is a diagonal: contains the top-left corner, is closed under
+     diagonal steps (down then right), and every element of D that is
+     not the bottom-right corner has a diagonal successor in D. The
+     picture is square iff the bottom-right corner lies on such a
+     diagonal. *)
+  let is_tl x = F.conj [ no_pred 1 x; no_pred 2 x ] in
+  let is_br x = F.conj [ no_succ 1 x; no_succ 2 x ] in
+  let diag_step x z =
+    (* z is the pixel one down and one right of x *)
+    let y = x ^ "$m" in
+    F.Exists (y, F.And (F.Binary (1, x, y), F.Binary (2, y, z)))
+  in
+  F.Exists_so
+    ( "D",
+      1,
+      F.conj
+        [
+          F.Forall ("x", F.Implies (is_tl "x", F.App ("D", [ "x" ])));
+          F.Forall
+            ( "x",
+              F.Implies
+                ( F.And (F.App ("D", [ "x" ]), F.Not (is_br "x")),
+                  F.Exists ("z", F.And (diag_step "x" "z", F.App ("D", [ "z" ]))) ) );
+          F.Exists ("x", F.And (is_br "x", F.App ("D", [ "x" ])));
+        ] )
+
+let holds p phi = Lph_logic.Eval.holds ~max_universe:30 (Picture.structure p) phi
+
+(* ------------------------------------------------------------------ *)
+
+let rec tower k n =
+  if k < 0 then invalid_arg "Pic_languages.tower: negative level"
+  else if k = 0 then n
+  else begin
+    let t = tower (k - 1) n in
+    if t > 30 then invalid_arg "Pic_languages.tower: value too large"
+    else 1 lsl t
+  end
+
+let height_is_tower_of_width k p = Picture.rows p = tower k (Picture.cols p)
+
+let first_column_equals_last_column p =
+  let col j = List.init (Picture.rows p) (fun i -> Picture.get p (i + 1) j) in
+  col 1 = col (Picture.cols p)
+
+let some_row_all_ones p =
+  List.exists
+    (fun i -> List.for_all (fun j -> Picture.get p (i + 1) (j + 1) = "1") (List.init (Picture.cols p) Fun.id))
+    (List.init (Picture.rows p) Fun.id)

@@ -1,0 +1,44 @@
+(** Picture properties used by the Section 9 experiments: direct
+    predicates (ground truth), logical definitions over structural
+    representations, and the fast-growing families witnessing the
+    infiniteness of the monadic hierarchy (Matz–Schweikardt–Thomas). *)
+
+val is_square : Picture.t -> bool
+val first_row_equals_last_row : Picture.t -> bool
+val all_ones : Picture.t -> bool
+(** 1-bit pictures with every pixel 1. *)
+
+val some_one : Picture.t -> bool
+
+(** {1 Logical definitions (evaluated on $P via {!Lph_logic.Eval})} *)
+
+val fo_some_one : Lph_logic.Formula.t
+(** FO: ∃x ⊙1 x. *)
+
+val fo_all_ones : Lph_logic.Formula.t
+val fo_top_row_ones : Lph_logic.Formula.t
+(** FO: every pixel without a vertical predecessor carries a 1. *)
+
+val mso_square : Lph_logic.Formula.t
+(** Monadic Σ1: there is a set containing the top-left corner, closed
+    under diagonal steps, reaching the bottom-right corner — together
+    with first-order constraints this defines squareness. *)
+
+val holds : Picture.t -> Lph_logic.Formula.t -> bool
+
+(** {1 The Matz witness family} *)
+
+val tower : int -> int -> int
+(** [tower k n]: the k-fold iterated exponential, [tower 0 n = n],
+    [tower (k+1) n = 2^(tower k n)]. *)
+
+val height_is_tower_of_width : int -> Picture.t -> bool
+(** The k-th separating language L_k of Matz–Schweikardt–Thomas (up to
+    inessential encoding details): pictures whose height equals
+    [tower k] of their width. L_k needs k alternating blocks of
+    monadic quantifiers; the family witnesses that the monadic —
+    hence, by Sections 9.2.1–9.2.2, the local-polynomial — hierarchy
+    is infinite. *)
+
+val first_column_equals_last_column : Picture.t -> bool
+val some_row_all_ones : Picture.t -> bool

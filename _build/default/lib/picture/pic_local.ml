@@ -1,0 +1,103 @@
+module F = Lph_logic.Formula
+module S = Lph_structure.Structure
+
+let no_vpred x =
+  let p = x ^ "$p" in
+  F.Not (F.Exists_near (p, x, F.Binary (1, p, x)))
+
+let no_vsucc x =
+  let s = x ^ "$s" in
+  F.Not (F.Exists_near (s, x, F.Binary (1, x, s)))
+
+let no_vpred_unbounded x =
+  let p = x ^ "$p" in
+  F.Not (F.Exists (p, F.Binary (1, p, x)))
+
+let no_vsucc_unbounded x =
+  let s = x ^ "$s" in
+  F.Not (F.Exists (s, F.Binary (1, x, s)))
+
+(* ------------------------------------------------------------------ *)
+(* first row = last row: C marks "the top bit of my column is 1".      *)
+
+let c x = F.App ("C", [ x ])
+
+let first_equals_last_matrix ~top ~bottom ~step x =
+  F.conj
+    [
+      F.Implies (top x, F.Iff (c x, F.Unary (1, x)));
+      step x;
+      F.Implies (bottom x, F.Iff (F.Unary (1, x), c x));
+    ]
+
+let local_first_equals_last =
+  let step x =
+    let y = x ^ "$v" in
+    F.Forall_near (y, x, F.Implies (F.Binary (1, x, y), F.Iff (c x, c y)))
+  in
+  F.Exists_so
+    ("C", 1, F.Forall ("x", first_equals_last_matrix ~top:no_vpred ~bottom:no_vsucc ~step "x"))
+
+let monadic_first_equals_last =
+  let step x =
+    let y = x ^ "$v" in
+    F.Forall (y, F.Implies (F.Binary (1, x, y), F.Iff (c x, c y)))
+  in
+  F.Exists_so
+    ( "C",
+      1,
+      F.Forall
+        ("x", first_equals_last_matrix ~top:no_vpred_unbounded ~bottom:no_vsucc_unbounded ~step "x")
+    )
+
+(* ------------------------------------------------------------------ *)
+(* some pixel is 1: the spanning-forest schema of Example 4, without
+   graph-specific node predicates (every picture element is a pixel). *)
+
+let points_to_one x =
+  let yp = "yp" and zp = "zp" and yc = "yc" in
+  let unique_parent =
+    F.exists_within ~radius:1 yp x
+      (F.And
+         ( F.App ("P", [ x; yp ]),
+           F.forall_within ~radius:1 zp x (F.Implies (F.App ("P", [ x; zp ]), F.Eq (zp, yp))) ))
+  in
+  let root_case = F.Implies (F.App ("P", [ x; x ]), F.And (F.Unary (1, x), F.App ("Y", [ x ]))) in
+  let child_case =
+    F.Implies
+      ( F.Not (F.App ("P", [ x; x ])),
+        F.Exists_near
+          ( yc,
+            x,
+            F.And
+              ( F.App ("P", [ x; yc ]),
+                F.Iff (F.App ("Y", [ x ]), F.Not (F.Iff (F.App ("Y", [ yc ]), F.App ("X", [ x ]))))
+              ) ) )
+  in
+  F.conj [ unique_parent; root_case; child_case ]
+
+let local_some_one =
+  F.Exists_so ("P", 2, F.Forall_so ("X", 1, F.Exists_so ("Y", 1, F.Forall ("x", points_to_one "x"))))
+
+let monadic_some_one = F.Exists ("x", F.Unary (1, "x"))
+
+(* ------------------------------------------------------------------ *)
+
+let parent_functions s =
+  let choices =
+    List.map (fun e -> List.map (fun f -> [ e; f ]) (e :: S.neighbours s e)) (S.elements s)
+  in
+  List.of_seq
+    (Seq.map
+       (fun picks -> Lph_logic.Relation.of_list picks)
+       (Lph_util.Combinat.product choices))
+
+let pic_universe s : Lph_logic.Eval.so_universe =
+ fun _ r arity ->
+  match (r, arity) with
+  | "P", 2 -> Lph_logic.Eval.Explicit (parent_functions s)
+  | _ -> Lph_logic.Eval.Subsets (List.map (fun e -> [ e ]) (S.elements s))
+
+let holds p phi =
+  let s = Picture.structure p in
+  Lph_logic.Eval.eval ~so_universe:(pic_universe s) ~max_universe:64 s Lph_logic.Eval.empty_env phi

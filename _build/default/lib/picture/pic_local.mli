@@ -1,0 +1,34 @@
+(** Local second-order logic on pictures (Section 9.2.1).
+
+    Proposition 28 and Theorem 31 of the paper relate, on pictures, the
+    local second-order hierarchy to the monadic one: at every level
+    ending in an existential block the two define the same properties,
+    with tiling systems (Theorem 29) as the connecting automaton model.
+    This module provides concrete picture properties written in both
+    logics, so the equivalence triangle
+
+      tiling system ≙ existential monadic SO ≙ existential local SO
+
+    can be checked instance by instance. *)
+
+val local_some_one : Lph_logic.Formula.t
+(** Σ3^LFO-style local sentence for "some pixel carries a 1", using the
+    spanning-forest PointsTo schema of Example 4 adapted to pictures
+    (an unbounded ∃ is not available in local logic). *)
+
+val monadic_some_one : Lph_logic.Formula.t
+(** The same property in plain FO (hence mΣ1): ∃x ⊙1 x. *)
+
+val local_first_equals_last : Lph_logic.Formula.t
+(** Σ1^LFO sentence for "first row equals last row": an existential
+    monadic variable C marks the pixels whose column-top bit is 1 — the
+    carried bit of the tiling system {!Tiling.first_row_equals_last_row}
+    — and an LFO matrix checks the three local conditions (top border:
+    C ⟺ bit; vertical step: C propagates; bottom border: bit = C). *)
+
+val monadic_first_equals_last : Lph_logic.Formula.t
+(** The same property in monadic Σ1 with unbounded first-order
+    quantification. *)
+
+val holds : Picture.t -> Lph_logic.Formula.t -> bool
+(** Evaluate on $P with monadic-friendly universes. *)

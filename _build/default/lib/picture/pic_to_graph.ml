@@ -1,0 +1,120 @@
+module G = Lph_graph.Labeled_graph
+
+let v_src = "010"
+and v_dst = "011"
+and h_src = "000"
+and h_dst = "001"
+
+let encode p =
+  let rows = Picture.rows p and cols = Picture.cols p in
+  let pixel i j = ((i - 1) * cols) + (j - 1) in
+  let labels = ref [] and edges = ref [] in
+  let next = ref (rows * cols) in
+  let fresh label =
+    let id = !next in
+    incr next;
+    labels := (id, label) :: !labels;
+    id
+  in
+  for i = 1 to rows do
+    for j = 1 to cols do
+      labels := (pixel i j, "1" ^ Picture.get p i j) :: !labels;
+      let connect src dst target =
+        let a = fresh src and b = fresh dst in
+        edges := (pixel i j, a) :: (a, b) :: (b, target) :: !edges
+      in
+      if i < rows then connect v_src v_dst (pixel (i + 1) j);
+      if j < cols then connect h_src h_dst (pixel i (j + 1))
+    done
+  done;
+  let label_array = Array.make !next "" in
+  List.iter (fun (id, l) -> label_array.(id) <- l) !labels;
+  G.make ~labels:label_array ~edges:!edges
+
+exception Not_an_encoding
+
+let decode g =
+  try
+    let is_pixel u = String.length (G.label g u) >= 1 && (G.label g u).[0] = '1' in
+    let pixels = List.filter is_pixel (G.nodes g) in
+    if pixels = [] then raise Not_an_encoding;
+    let bits = String.length (G.label g (List.hd pixels)) - 1 in
+    List.iter (fun u -> if String.length (G.label g u) <> bits + 1 then raise Not_an_encoding) pixels;
+    (* recover the directed successor relations from the marker paths *)
+    let vsucc = Hashtbl.create 16 and hsucc = Hashtbl.create 16 in
+    let record table u v =
+      if Hashtbl.mem table u then raise Not_an_encoding;
+      Hashtbl.replace table u v
+    in
+    List.iter
+      (fun a ->
+        let label = G.label g a in
+        if label = v_src || label = h_src then begin
+          let dst_label = if label = v_src then v_dst else h_dst in
+          match G.neighbours g a with
+          | [ x; y ] ->
+              let p, b =
+                if is_pixel x && G.label g y = dst_label then (x, y)
+                else if is_pixel y && G.label g x = dst_label then (y, x)
+                else raise Not_an_encoding
+              in
+              begin
+                match List.filter (fun w -> w <> a) (G.neighbours g b) with
+                | [ q ] when is_pixel q && G.degree g b = 2 ->
+                    record (if label = v_src then vsucc else hsucc) p q
+                | _ -> raise Not_an_encoding
+              end
+          | _ -> raise Not_an_encoding
+        end
+        else if label = v_dst || label = h_dst then begin
+          (* validated from the source side; just sanity-check the degree *)
+          if G.degree g a <> 2 then raise Not_an_encoding
+        end
+        else if not (is_pixel a) then raise Not_an_encoding)
+      (G.nodes g);
+    (* injectivity of the successor maps *)
+    let check_injective table =
+      let seen = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun _ v ->
+          if Hashtbl.mem seen v then raise Not_an_encoding;
+          Hashtbl.replace seen v ())
+        table
+    in
+    check_injective vsucc;
+    check_injective hsucc;
+    let has_pred table v = Hashtbl.fold (fun _ w acc -> acc || w = v) table false in
+    let top_left =
+      match List.filter (fun u -> not (has_pred vsucc u || has_pred hsucc u)) pixels with
+      | [ u ] -> u
+      | _ -> raise Not_an_encoding
+    in
+    let rec walk table u = u :: (match Hashtbl.find_opt table u with Some v -> walk table v | None -> []) in
+    let first_row = walk hsucc top_left in
+    let first_col = walk vsucc top_left in
+    let rows = List.length first_col and cols = List.length first_row in
+    if rows * cols + ((rows - 1) * cols + rows * (cols - 1)) * 2 <> G.card g then
+      raise Not_an_encoding;
+    let grid = Array.make_matrix rows cols (-1) in
+    List.iteri
+      (fun i row_start ->
+        let row = walk hsucc row_start in
+        if List.length row <> cols then raise Not_an_encoding;
+        List.iteri (fun j u -> grid.(i).(j) <- u) row)
+      first_col;
+    (* the grid must commute: the vertical successor of cell (i, j) is
+       cell (i+1, j) *)
+    for i = 0 to rows - 2 do
+      for j = 0 to cols - 1 do
+        match Hashtbl.find_opt vsucc grid.(i).(j) with
+        | Some v when v = grid.(i + 1).(j) -> ()
+        | _ -> raise Not_an_encoding
+      done
+    done;
+    Some
+      (Picture.create ~bits ~rows ~cols (fun i j ->
+           let l = G.label g grid.(i - 1).(j - 1) in
+           String.sub l 1 bits))
+  with Not_an_encoding | Invalid_argument _ -> None
+
+let graph_property_of pred g = match decode g with Some p -> pred p | None -> false

@@ -1,0 +1,19 @@
+(** Encoding pictures as labelled graphs (Section 9.2.2): the bridge
+    that transfers the infiniteness of the hierarchy from pictures to
+    graphs. Each pixel becomes a node labelled [1 ^ bits]; each
+    vertical (resp. horizontal) successor edge becomes a length-3 path
+    through two direction-marker nodes labelled ["010"]/["011"]
+    (resp. ["000"]/["001"]), the first marker sitting on the
+    predecessor side — so the grid, its orientation, and the pixel
+    entries are all recoverable from the labelled graph alone, up to
+    isomorphism. *)
+
+val encode : Picture.t -> Lph_graph.Labeled_graph.t
+
+val decode : Lph_graph.Labeled_graph.t -> Picture.t option
+(** Inverse on encodings (up to isomorphism); [None] if the graph is
+    not the encoding of any picture. *)
+
+val graph_property_of : (Picture.t -> bool) -> Lph_graph.Labeled_graph.t -> bool
+(** The transferred property: graphs that decode to a picture
+    satisfying the given picture property. *)

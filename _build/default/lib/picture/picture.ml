@@ -1,0 +1,79 @@
+type t = { bits : int; rows : int; cols : int; data : string array array }
+
+let create ~bits ~rows ~cols f =
+  if rows < 1 || cols < 1 || bits < 0 then invalid_arg "Picture.create: bad dimensions";
+  let data =
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            let s = f (i + 1) (j + 1) in
+            if String.length s <> bits || not (Lph_util.Bitstring.is_bitstring s) then
+              invalid_arg "Picture.create: entry is not a bit string of the declared length";
+            s))
+  in
+  { bits; rows; cols; data }
+
+let of_rows = function
+  | [] | [ [] ] -> invalid_arg "Picture.of_rows: empty picture"
+  | first :: _ as rows_list ->
+      let cols = List.length first in
+      if cols = 0 || List.exists (fun r -> List.length r <> cols) rows_list then
+        invalid_arg "Picture.of_rows: ragged rows";
+      let bits = String.length (List.hd first) in
+      let arr = Array.of_list (List.map Array.of_list rows_list) in
+      create ~bits ~rows:(List.length rows_list) ~cols (fun i j -> arr.(i - 1).(j - 1))
+
+let constant ~bits ~rows ~cols entry = create ~bits ~rows ~cols (fun _ _ -> entry)
+
+let bits p = p.bits
+
+let rows p = p.rows
+
+let cols p = p.cols
+
+let get p i j =
+  if i < 1 || i > p.rows || j < 1 || j > p.cols then invalid_arg "Picture.get: out of range";
+  p.data.(i - 1).(j - 1)
+
+let equal p q = p.bits = q.bits && p.rows = q.rows && p.cols = q.cols && p.data = q.data
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun row ->
+      Format.fprintf fmt "@,%s"
+        (String.concat " " (Array.to_list (Array.map (fun s -> if s = "" then "." else s) row))))
+    p.data;
+  Format.fprintf fmt "@]"
+
+let element_of_pixel p i j = ((i - 1) * p.cols) + (j - 1)
+
+let structure p =
+  let card = p.rows * p.cols in
+  let unary =
+    Array.init p.bits (fun b ->
+        let members = ref [] in
+        for i = 1 to p.rows do
+          for j = 1 to p.cols do
+            if (get p i j).[b] = '1' then members := element_of_pixel p i j :: !members
+          done
+        done;
+        !members)
+  in
+  let vertical = ref [] and horizontal = ref [] in
+  for i = 1 to p.rows do
+    for j = 1 to p.cols do
+      if i < p.rows then vertical := (element_of_pixel p i j, element_of_pixel p (i + 1) j) :: !vertical;
+      if j < p.cols then
+        horizontal := (element_of_pixel p i j, element_of_pixel p i (j + 1)) :: !horizontal
+    done
+  done;
+  Lph_structure.Structure.create ~card ~unary ~binary:[| !vertical; !horizontal |]
+
+let all_pictures ~bits ~rows ~cols =
+  let entries = Lph_util.Bitstring.all_of_length bits in
+  let cells = rows * cols in
+  Seq.map
+    (fun choice ->
+      let arr = Array.of_list choice in
+      create ~bits ~rows ~cols (fun i j -> arr.(((i - 1) * cols) + (j - 1))))
+    (Lph_util.Combinat.product (List.init cells (fun _ -> entries)))

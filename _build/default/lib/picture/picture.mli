@@ -1,0 +1,35 @@
+(** t-bit pictures (Section 9.2.1): matrices of fixed-length bit
+    strings. Pixels are indexed [(row, col)] from (1,1) (the paper's
+    top-left corner) to (rows, cols). *)
+
+type t
+
+val create : bits:int -> rows:int -> cols:int -> (int -> int -> string) -> t
+(** [create ~bits ~rows ~cols f]: [f i j] is the entry at 1-based pixel
+    (i, j) and must be a bit string of length [bits]. *)
+
+val of_rows : string list list -> t
+(** Rows of equal length; all entries of equal bit-length. *)
+
+val constant : bits:int -> rows:int -> cols:int -> string -> t
+
+val bits : t -> int
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> string
+(** 1-based. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val structure : t -> Lph_structure.Structure.t
+(** The structural representation $P (Figure 5/12): one element per
+    pixel, unary relation ⊙_j for the j-th bit, binary ⇀1 (vertical
+    successor: towards larger row) and ⇀2 (horizontal successor:
+    towards larger column). *)
+
+val element_of_pixel : t -> int -> int -> int
+(** Domain index of a pixel in {!structure} (row-major). *)
+
+val all_pictures : bits:int -> rows:int -> cols:int -> t Seq.t
+(** Exhaustive enumeration (2^(bits*rows*cols) pictures). *)

@@ -1,0 +1,165 @@
+type cell = int option
+
+type window = cell * cell * cell * cell
+
+type t = {
+  name : string;
+  local_alphabet : int;
+  bits : int;
+  project : int -> string;
+  tiles : window -> bool;
+}
+
+(* Recognition: assign local letters to pixels row-major, checking every
+   2x2 window of the bordered grid as soon as all four of its cells are
+   known. Window W(a, b) has its top-left at bordered position (a, b),
+   for a in [0 .. rows] and b in [0 .. cols]. *)
+let labelling ts p =
+  if Picture.bits p <> ts.bits then invalid_arg "Tiling: bit-width mismatch";
+  let rows = Picture.rows p and cols = Picture.cols p in
+  let grid = Array.make_matrix (rows + 2) (cols + 2) None in
+  let window a b = (grid.(a).(b), grid.(a).(b + 1), grid.(a + 1).(b), grid.(a + 1).(b + 1)) in
+  let candidates =
+    (* letters projecting to the pixel's entry *)
+    Array.init rows (fun i ->
+        Array.init cols (fun j ->
+            List.filter
+              (fun a -> ts.project a = Picture.get p (i + 1) (j + 1))
+              (List.init ts.local_alphabet Fun.id)))
+  in
+  let checks_after i j =
+    let base = [ (i - 1, j - 1) ] in
+    let base = if j = cols then (i - 1, j) :: base else base in
+    let base = if i = rows then (i, j - 1) :: base else base in
+    if i = rows && j = cols then (i, j) :: base else base
+  in
+  let rec assign i j =
+    if i > rows then true
+    else begin
+      let next_i, next_j = if j = cols then (i + 1, 1) else (i, j + 1) in
+      let rec try_letters = function
+        | [] -> false
+        | a :: rest ->
+            grid.(i).(j) <- Some a;
+            if
+              List.for_all (fun (wa, wb) -> ts.tiles (window wa wb)) (checks_after i j)
+              && assign next_i next_j
+            then true
+            else begin
+              grid.(i).(j) <- None;
+              try_letters rest
+            end
+      in
+      try_letters candidates.(i - 1).(j - 1)
+    end
+  in
+  if assign 1 1 then
+    Some (Array.init rows (fun i -> Array.init cols (fun j -> Option.get grid.(i + 1).(j + 1))))
+  else None
+
+let recognizes ts p = Option.is_some (labelling ts p)
+
+let windows_of_labelling lab =
+  let rows = Array.length lab and cols = Array.length lab.(0) in
+  let get a b =
+    if a >= 1 && a <= rows && b >= 1 && b <= cols then Some lab.(a - 1).(b - 1) else None
+  in
+  let acc = ref [] in
+  for a = 0 to rows do
+    for b = 0 to cols do
+      acc := (get a b, get a (b + 1), get (a + 1) b, get (a + 1) (b + 1)) :: !acc
+    done
+  done;
+  !acc
+
+module Wset = Set.Make (struct
+  type t = window
+
+  let compare = compare
+end)
+
+let from_examples ~name ~local_alphabet ~bits ~project examples =
+  let theta =
+    List.fold_left
+      (fun acc lab -> Wset.union acc (Wset.of_list (windows_of_labelling lab)))
+      Wset.empty examples
+  in
+  { name; local_alphabet; bits; project; tiles = (fun w -> Wset.mem w theta) }
+
+(* ------------------------------------------------------------------ *)
+
+let squares =
+  (* diagonal construction: 0 on the diagonal, 1 above, 2 below *)
+  let canonical n =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else if j > i then 1 else 2))
+  in
+  from_examples ~name:"squares" ~local_alphabet:3 ~bits:0
+    ~project:(fun _ -> "")
+    (List.init 8 (fun k -> canonical (k + 1)))
+
+let some_row_all_ones =
+  (* letter = 4 * bit + 2 * marked + seen, where [marked] flags the
+     chosen all-ones row and [seen] means a chosen row lies at or above
+     this cell *)
+  let bit a = a / 4 and marked a = a / 2 mod 2 and seen a = a mod 2 in
+  let ok a = marked a = 0 || bit a = 1 in
+  let vertical_ok above below =
+    match (above, below) with
+    | Some x, Some y ->
+        ok x && ok y && seen y = (if marked y = 1 then 1 else seen x)
+    | None, Some y -> ok y && seen y = marked y (* top border: nothing above *)
+    | Some x, None -> ok x && seen x = 1 (* bottom border: a row must have been chosen *)
+    | None, None -> true
+  in
+  let horizontal_ok left right =
+    match (left, right) with
+    | Some x, Some y -> marked x = marked y && seen x = seen y
+    | _ -> true
+  in
+  {
+    name = "some-row-all-ones";
+    local_alphabet = 8;
+    bits = 1;
+    project = (fun a -> string_of_int (a / 4));
+    tiles =
+      (fun (tl, tr, bl, br) ->
+        vertical_ok tl bl && vertical_ok tr br && horizontal_ok tl tr && horizontal_ok bl br);
+  }
+
+let first_row_equals_last_row =
+  (* letter = 2 * bit + carry, where the carry propagates the column's
+     first bit downwards *)
+  let bit a = a / 2 and carry a = a mod 2 in
+  let vertical_ok above below =
+    match (above, below) with
+    | Some x, Some y -> carry x = carry y
+    | None, Some y -> carry y = bit y (* top border: the carry starts as the bit *)
+    | Some x, None -> bit x = carry x (* bottom border: the bit must equal the carry *)
+    | None, None -> true
+  in
+  {
+    name = "first-row-equals-last-row";
+    local_alphabet = 4;
+    bits = 1;
+    project = (fun a -> string_of_int (a / 2));
+    tiles = (fun (tl, tr, bl, br) -> vertical_ok tl bl && vertical_ok tr br);
+  }
+
+let first_column_equals_last_column =
+  (* the transpose of first_row_equals_last_row: the carry travels
+     rightward along rows *)
+  let bit a = a / 2 and carry a = a mod 2 in
+  let horizontal_ok left right =
+    match (left, right) with
+    | Some x, Some y -> carry x = carry y
+    | None, Some y -> carry y = bit y
+    | Some x, None -> bit x = carry x
+    | None, None -> true
+  in
+  {
+    name = "first-column-equals-last-column";
+    local_alphabet = 4;
+    bits = 1;
+    project = (fun a -> string_of_int (a / 2));
+    tiles = (fun (tl, tr, bl, br) -> horizontal_ok tl tr && horizontal_ok bl br);
+  }

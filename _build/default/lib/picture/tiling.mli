@@ -1,0 +1,64 @@
+(** Tiling systems (Giammarresi–Restivo; Theorem 29 of the paper): the
+    automaton model characterising existential monadic second-order
+    logic on pictures, and the engine behind the infiniteness proof of
+    Section 9.
+
+    A tiling system consists of a finite local alphabet Γ, a projection
+    Γ → Σ, and a set Θ of allowed 2×2 windows over Γ extended with the
+    border symbol #. It recognises a picture p over Σ iff some
+    Γ-picture q projecting to p has all 2×2 windows of its
+    #-bordered extension in Θ. *)
+
+type cell = int option
+(** A bordered-grid cell: [None] is the border symbol #, [Some a] a
+    local letter. *)
+
+type window = cell * cell * cell * cell
+(** Top-left, top-right, bottom-left, bottom-right. *)
+
+type t = {
+  name : string;
+  local_alphabet : int;  (** Γ = 0 .. local_alphabet - 1 *)
+  bits : int;  (** the projected alphabet: bit strings of this length *)
+  project : int -> string;
+  tiles : window -> bool;  (** membership in Θ *)
+}
+
+val recognizes : t -> Picture.t -> bool
+(** Backtracking search for a valid Γ-labelling (exact; worst-case
+    exponential). Raises [Invalid_argument] on a bit-width mismatch. *)
+
+val labelling : t -> Picture.t -> int array array option
+(** A witness Γ-labelling, if any. *)
+
+val windows_of_labelling : int array array -> window list
+(** All 2×2 windows of the #-bordered extension of a Γ-labelling (used
+    to learn Θ from examples). *)
+
+val from_examples :
+  name:string -> local_alphabet:int -> bits:int -> project:(int -> string) ->
+  int array array list -> t
+(** Learn Θ as exactly the windows occurring in the given example
+    labellings (the standard way to present a tiling system by its
+    canonical tilings). *)
+
+(** {1 Classic tiling systems} *)
+
+val squares : t
+(** Recognises exactly the square 0-bit pictures (via the diagonal
+    construction, with Θ learned from canonical tilings of squares up
+    to size 8 — saturating the window set). *)
+
+val first_row_equals_last_row : t
+(** Over 1-bit pictures: the first and last rows are equal (each column
+    carries its first bit downward). *)
+
+val first_column_equals_last_column : t
+(** The transposed system: each row carries its first bit rightward. *)
+
+val some_row_all_ones : t
+(** Over 1-bit pictures: some row consists entirely of 1s. The local
+    alphabet carries two flags per cell — "my row is the chosen one"
+    (constant along rows, forcing the bit to 1) and "a chosen row lies
+    at or above me" (accumulated down columns, required at the bottom
+    border) — the existential bookkeeping typical of tiling systems. *)

@@ -1,0 +1,1 @@
+lib/reductions/cluster.ml: Array Hashtbl List Lph_graph Lph_machine Lph_util Printf

@@ -1,0 +1,1 @@
+lib/reductions/cluster.mli: Lph_graph Lph_machine Lph_util

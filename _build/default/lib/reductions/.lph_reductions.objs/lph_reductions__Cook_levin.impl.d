@@ -1,0 +1,1 @@
+lib/reductions/cook_levin.ml: Array Cluster List Lph_boolean Lph_graph Lph_logic Lph_machine Lph_structure Printf String

@@ -1,0 +1,1 @@
+lib/reductions/cook_levin.mli: Cluster Lph_boolean Lph_graph Lph_logic

@@ -1,0 +1,1 @@
+lib/reductions/eulerian_red.ml: Cluster List Lph_graph Lph_hierarchy Lph_machine

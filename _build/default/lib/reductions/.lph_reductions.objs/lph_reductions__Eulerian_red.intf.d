@@ -1,0 +1,1 @@
+lib/reductions/eulerian_red.mli: Cluster Lph_graph

@@ -1,0 +1,1 @@
+lib/reductions/hamiltonian_red.ml: Array Cluster List Lph_graph Lph_hierarchy Lph_machine Printf

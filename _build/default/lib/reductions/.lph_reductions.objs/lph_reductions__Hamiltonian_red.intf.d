@@ -1,0 +1,1 @@
+lib/reductions/hamiltonian_red.mli: Cluster Lph_graph

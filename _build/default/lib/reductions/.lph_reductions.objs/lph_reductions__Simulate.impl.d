@@ -1,0 +1,1 @@
+lib/reductions/simulate.ml: Array Cluster Hashtbl List Lph_graph Lph_machine Lph_util Printf String

@@ -1,0 +1,1 @@
+lib/reductions/simulate.mli: Cluster Lph_graph Lph_machine Lph_util

@@ -1,0 +1,1 @@
+lib/reductions/three_col_red.ml: Cluster List Lph_boolean Lph_graph Lph_hierarchy Lph_machine Printf

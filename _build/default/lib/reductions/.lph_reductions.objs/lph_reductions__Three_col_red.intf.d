@@ -1,0 +1,1 @@
+lib/reductions/three_col_red.mli: Cluster Lph_boolean Lph_graph

@@ -1,0 +1,1 @@
+lib/reductions/to_all_selected.ml: Cluster List Lph_graph Lph_machine

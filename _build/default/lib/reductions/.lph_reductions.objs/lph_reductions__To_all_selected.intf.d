@@ -1,0 +1,1 @@
+lib/reductions/to_all_selected.mli: Cluster Lph_graph Lph_machine

@@ -1,0 +1,124 @@
+module G = Lph_graph.Labeled_graph
+module C = Lph_util.Codec
+
+type t = {
+  nodes : (string * string) list;
+  internal_edges : (string * string) list;
+  boundary_edges : (string * string * string) list;
+}
+
+let codec : t C.t =
+  C.map
+    (fun (nodes, (internal_edges, boundary_edges)) -> { nodes; internal_edges; boundary_edges })
+    (fun c -> (c.nodes, (c.internal_edges, c.boundary_edges)))
+    (C.pair
+       (C.list (C.pair C.string C.string))
+       (C.pair (C.list (C.pair C.string C.string)) (C.list (C.triple C.string C.string C.string))))
+
+let assemble g ~ids clusters =
+  let n = G.card g in
+  if Array.length clusters <> n then failwith "Cluster.assemble: wrong number of clusters";
+  (* global index of every (owner, local name) *)
+  let index = Hashtbl.create 64 in
+  let owners = ref [] in
+  let next = ref 0 in
+  Array.iteri
+    (fun u cluster ->
+      if cluster.nodes = [] then failwith "Cluster.assemble: empty cluster";
+      List.iter
+        (fun (local, _) ->
+          if Hashtbl.mem index (u, local) then
+            failwith (Printf.sprintf "Cluster.assemble: duplicate local name %s in cluster %d" local u);
+          Hashtbl.replace index (u, local) !next;
+          owners := (u, local) :: !owners;
+          incr next)
+        cluster.nodes)
+    clusters;
+  let owners = Array.of_list (List.rev !owners) in
+  let labels = Array.make !next "" in
+  Array.iteri
+    (fun u cluster ->
+      List.iter (fun (local, label) -> labels.(Hashtbl.find index (u, local)) <- label) cluster.nodes)
+    clusters;
+  (* map identifiers back to node indices, per neighbourhood *)
+  let node_of_ident u ident =
+    match List.find_opt (fun v -> ids.(v) = ident) (G.neighbours g u) with
+    | Some v -> v
+    | None ->
+        failwith
+          (Printf.sprintf "Cluster.assemble: cluster %d references identifier %s of a non-neighbour" u
+             ident)
+  in
+  let internal =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun u cluster ->
+              List.map
+                (fun (a, b) ->
+                  let ia = Hashtbl.find index (u, a) and ib = Hashtbl.find index (u, b) in
+                  (min ia ib, max ia ib))
+                cluster.internal_edges)
+            clusters))
+  in
+  (* boundary edges must be declared symmetrically *)
+  let declared = Hashtbl.create 64 in
+  Array.iteri
+    (fun u cluster ->
+      List.iter
+        (fun (local, ident, remote) ->
+          let v = node_of_ident u ident in
+          let ia =
+            match Hashtbl.find_opt index (u, local) with
+            | Some i -> i
+            | None -> failwith (Printf.sprintf "Cluster.assemble: unknown local name %s in cluster %d" local u)
+          in
+          let ib =
+            match Hashtbl.find_opt index (v, remote) with
+            | Some i -> i
+            | None ->
+                failwith
+                  (Printf.sprintf "Cluster.assemble: cluster %d references unknown node %s of cluster %d"
+                     u remote v)
+          in
+          Hashtbl.replace declared (ia, ib) ())
+        cluster.boundary_edges)
+    clusters;
+  let boundary =
+    Hashtbl.fold
+      (fun (ia, ib) () acc ->
+        if not (Hashtbl.mem declared (ib, ia)) then
+          failwith "Cluster.assemble: inter-cluster edge declared by only one side";
+        if ia < ib then (ia, ib) :: acc else acc)
+      declared []
+  in
+  let edges = List.sort_uniq compare (internal @ boundary) in
+  let graph =
+    try G.make ~labels ~edges
+    with G.Invalid msg -> failwith ("Cluster.assemble: invalid result graph: " ^ msg)
+  in
+  (graph, owners)
+
+type reduction = {
+  name : string;
+  id_radius : int;
+  gather_radius : int;
+  compute : Lph_machine.Local_algo.ctx -> Lph_machine.Gather.ball -> t;
+}
+
+let algo_of reduction =
+  Lph_machine.Gather.map_algo ~name:reduction.name ~radius:reduction.gather_radius ~levels:0
+    ~f:(fun ctx ball -> C.encode_bits codec (reduction.compute ctx ball))
+
+let run_reduction reduction g ~ids =
+  Lph_machine.Runner.run (algo_of reduction) g ~ids ()
+
+let apply reduction g ~ids =
+  let result = run_reduction reduction g ~ids in
+  let clusters =
+    Array.init (G.card g) (fun u ->
+        C.decode_bits codec (G.label result.Lph_machine.Runner.output u))
+  in
+  fst (assemble g ~ids clusters)
+
+let stats reduction g ~ids = (run_reduction reduction g ~ids).Lph_machine.Runner.stats

@@ -1,0 +1,61 @@
+(** Clusters and local-polynomial reductions (Section 8).
+
+    A distributed machine implements a graph transformation by having
+    each node output an encoding of its {e cluster}: a set of fresh
+    nodes with labels, the edges among them, and the edges towards the
+    clusters of adjacent original nodes (referenced by the neighbour's
+    identifier and the remote node's local name). Clusters of different
+    nodes never overlap, and inter-cluster edges only connect clusters
+    of adjacent nodes — which is exactly the cluster-map condition that
+    lets the original network simulate any machine running on the
+    transformed graph. *)
+
+type t = {
+  nodes : (string * string) list;  (** (local name, label) — at least one *)
+  internal_edges : (string * string) list;
+  boundary_edges : (string * string * string) list;
+      (** (my local name, neighbour identifier, remote local name);
+          each inter-cluster edge must be declared by both sides *)
+}
+
+val codec : t Lph_util.Codec.t
+
+val assemble :
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  t array ->
+  Lph_graph.Labeled_graph.t * (int * string) array
+(** Glue the clusters computed at the nodes of the original graph into
+    the transformed graph. Checks the cluster-map conditions: local
+    names unique per cluster, boundary references point to identifiers
+    of adjacent nodes, and both endpoints declare each inter-cluster
+    edge. Returns the new graph and, for each new node, its
+    (owner, local name). Raises [Failure] on violations (including a
+    disconnected result). *)
+
+type reduction = {
+  name : string;
+  id_radius : int;  (** required local uniqueness of identifiers *)
+  gather_radius : int;  (** how far the transformation machine looks *)
+  compute : Lph_machine.Local_algo.ctx -> Lph_machine.Gather.ball -> t;
+      (** each node's cluster, computed from its gathered ball *)
+}
+
+val algo_of : reduction -> Lph_machine.Local_algo.packed
+(** The transformation as a distributed machine whose output labels are
+    encoded clusters. *)
+
+val apply :
+  reduction ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_graph.Labeled_graph.t
+(** Run the reduction machine and assemble its clusters. *)
+
+val stats :
+  reduction ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_machine.Runner.stats
+(** Execution statistics of the reduction machine (to check the
+    constant-round / polynomial-step claims). *)

@@ -1,0 +1,98 @@
+module F = Lph_logic.Formula
+module Syntax = Lph_logic.Syntax
+module BF = Lph_boolean.Bool_formula
+module S = Lph_structure.Structure
+module Str = Lph_graph.Structural
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+
+let node_element_name id = function
+  | Str.Node _ -> "n" ^ id
+  | Str.Bit (_, i) -> Printf.sprintf "b%s_%d" id i
+
+let matrix_of sentence =
+  if not (Syntax.in_sigma_lfo 1 sentence) then
+    invalid_arg "Cook_levin: sentence must be in Sigma_1^LFO";
+  let _, matrix = Syntax.so_prefix sentence in
+  match matrix with
+  | F.Forall (x, bf) -> (x, bf)
+  | _ -> invalid_arg "Cook_levin: matrix must be of the form ∀x φ"
+
+(* The translation τ_σ of Theorem 19: first-order structure queries are
+   replaced by their truth values, relation atoms by Boolean variables
+   named after the elements' identifiers, and bounded quantifiers by
+   finite disjunctions/conjunctions over ⇌-neighbours. *)
+let rec tau s ~name sigma (phi : F.t) : BF.t =
+  let lookup y =
+    match List.assoc_opt y sigma with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Cook_levin: unbound variable %s" y)
+  in
+  match phi with
+  | F.True -> BF.Const true
+  | F.False -> BF.Const false
+  | F.Unary (i, y) -> BF.Const (S.mem_unary s i (lookup y))
+  | F.Binary (i, y, z) -> BF.Const (S.mem_binary s i (lookup y) (lookup z))
+  | F.Eq (y, z) -> BF.Const (lookup y = lookup z)
+  | F.App (r, ys) ->
+      BF.Var (Printf.sprintf "%s(%s)" r (String.concat "," (List.map (fun y -> name (lookup y)) ys)))
+  | F.Not f -> BF.Not (tau s ~name sigma f)
+  | F.Or (f, g) -> BF.Or (tau s ~name sigma f, tau s ~name sigma g)
+  | F.And (f, g) -> BF.And (tau s ~name sigma f, tau s ~name sigma g)
+  | F.Implies (f, g) -> BF.implies (tau s ~name sigma f) (tau s ~name sigma g)
+  | F.Iff (f, g) -> BF.iff (tau s ~name sigma f) (tau s ~name sigma g)
+  | F.Exists_near (z, y, f) ->
+      BF.disj (List.map (fun a -> tau s ~name ((z, a) :: sigma) f) (S.neighbours s (lookup y)))
+  | F.Forall_near (z, y, f) ->
+      BF.conj (List.map (fun a -> tau s ~name ((z, a) :: sigma) f) (S.neighbours s (lookup y)))
+  | F.Exists _ | F.Forall _ | F.Exists_so _ | F.Forall_so _ ->
+      invalid_arg "Cook_levin: matrix is not in the bounded fragment"
+
+let translate_with sentence ~repr ~ids u =
+  let x, bf = matrix_of sentence in
+  let s = Str.structure repr in
+  let name e =
+    match Str.of_index repr e with
+    | Str.Node v as el -> node_element_name ids.(v) el
+    | Str.Bit (v, _) as el -> node_element_name ids.(v) el
+  in
+  BF.conj (List.map (fun a -> tau s ~name [ (x, a) ] bf) (Str.node_elements repr u))
+
+let translate_node sentence ~repr ~ids u = translate_with sentence ~repr ~ids u
+
+let reduce sentence g ~ids =
+  let repr = Str.of_graph g in
+  let formulas =
+    Array.init (Lph_graph.Labeled_graph.card g) (fun u -> translate_with sentence ~repr ~ids u)
+  in
+  Lph_boolean.Boolean_graph.make g formulas
+
+let reduction sentence =
+  let x, bf = matrix_of sentence in
+  ignore x;
+  let radius = Syntax.visibility_radius bf in
+  let compute (ctx : LA.ctx) ball =
+    let sub, ball_ids, _, centre = Gather.reconstruct ball in
+    ctx.LA.charge (Lph_graph.Labeled_graph.card sub);
+    let repr = Str.of_graph sub in
+    let formula = translate_with sentence ~repr ~ids:ball_ids centre in
+    ctx.LA.charge (BF.size formula);
+    let neighbours =
+      List.filter_map
+        (fun e -> if e.Gather.dist = 1 then Some e.Gather.ident else None)
+        ball.Gather.entries
+    in
+    {
+      Cluster.nodes = [ ("0", BF.to_label formula) ];
+      internal_edges = [];
+      boundary_edges = List.map (fun w -> ("0", w, "0")) neighbours;
+    }
+  in
+  {
+    Cluster.name = "cook-levin";
+    id_radius = radius + 2;
+    gather_radius = radius + 1;
+    compute;
+  }
+
+let image_graph sentence g ~ids = Cluster.apply (reduction sentence) g ~ids

@@ -1,0 +1,55 @@
+(** The distributed Cook–Levin theorem (Theorem 19): every Σ1^LFO-
+    definable graph property reduces to SAT-GRAPH by a
+    topology-preserving local-polynomial reduction.
+
+    Given a sentence ∃R̄ ∀x φ (φ in BF) and an input graph, each node u
+    is relabelled with the Boolean formula
+    [φ_u = ⋀ over u's elements a of τ(x↦a)(φ)], where the translation τ
+    replaces relation-free atoms by their truth value in $G, turns each
+    atom R(ā) into the Boolean variable P_{R(ā)} (elements named by
+    identifiers), and expands bounded quantifiers into finite
+    disjunctions/conjunctions over ⇌-neighbours.
+
+    The identifier assignment must be (r+2)-locally unique, where r is
+    the visibility radius of φ: the distributed transformation gathers
+    radius r+1 and names elements by identifiers.
+
+    Caveat carried over from the paper: SAT-GRAPH only enforces
+    valuation consistency between {e adjacent} nodes, so the
+    equivalence relies on each Boolean variable's mention set being
+    connected — which holds for the formulas considered here (and is
+    cross-checked against direct model checking by the tests). *)
+
+val node_element_name : string -> Lph_graph.Structural.element -> string
+(** Deterministic element naming from identifiers: [node_element_name
+    id (Node _)] and [node_element_name id (Bit (_, i))]. *)
+
+val translate_node :
+  Lph_logic.Formula.t ->
+  repr:Lph_graph.Structural.repr ->
+  ids:Lph_graph.Identifiers.t ->
+  int ->
+  Lph_boolean.Bool_formula.t
+(** [translate_node phi ~repr ~ids u] is φ_u: the matrix φ (a BF
+    formula with one free variable) instantiated at every element of
+    node [u]. *)
+
+val reduce :
+  Lph_logic.Formula.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_boolean.Boolean_graph.t
+(** Centralised reference construction. The sentence must be in
+    Σ1^LFO. *)
+
+val reduction : Lph_logic.Formula.t -> Cluster.reduction
+(** The same transformation as a distributed machine (each cluster is a
+    single relabelled node: topology-preserving). *)
+
+val image_graph :
+  Lph_logic.Formula.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  Lph_boolean.Boolean_graph.t
+(** Run the distributed reduction and assemble (should agree with
+    {!reduce}; tests check it). *)

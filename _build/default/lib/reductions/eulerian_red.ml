@@ -1,0 +1,38 @@
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+
+let neighbour_idents ball =
+  List.filter_map
+    (fun e -> if e.Gather.dist = 1 then Some e.Gather.ident else None)
+    ball.Gather.entries
+
+let compute (ctx : LA.ctx) ball =
+  ctx.LA.charge (List.length ball.Gather.entries);
+  let selected = ctx.LA.label = "1" in
+  let neighbours = neighbour_idents ball in
+  match neighbours with
+  | [] ->
+      (* single-node graph: K1 is Eulerian, P2 is not *)
+      if selected then { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = [] }
+      else
+        {
+          Cluster.nodes = [ ("0", ""); ("1", "") ];
+          internal_edges = [ ("0", "1") ];
+          boundary_edges = [];
+        }
+  | _ ->
+      {
+        Cluster.nodes = [ ("0", ""); ("1", "") ];
+        internal_edges = (if selected then [] else [ ("0", "1") ]);
+        boundary_edges =
+          List.concat_map
+            (fun w -> [ ("0", w, "0"); ("0", w, "1"); ("1", w, "0"); ("1", w, "1") ])
+            neighbours;
+      }
+
+let reduction =
+  { Cluster.name = "all-selected-to-eulerian"; id_radius = 2; gather_radius = 1; compute }
+
+let correct g ~ids =
+  let image = Cluster.apply reduction g ~ids in
+  Lph_graph.Labeled_graph.all_labels_one g = Lph_hierarchy.Properties.eulerian image

@@ -1,0 +1,11 @@
+(** The reduction ALL-SELECTED ≤ EULERIAN of Proposition 15
+    (Figure 7): every node is doubled, every edge quadrupled, and each
+    unselected node gets one extra "vertical" edge between its two
+    copies — making its copies' degrees odd. The transformed graph is
+    Eulerian iff all original labels are "1". *)
+
+val reduction : Cluster.reduction
+
+val correct : Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> bool
+(** Check the defining equivalence
+    [G ∈ ALL-SELECTED ⟺ f(G) ∈ EULERIAN] on an instance. *)

@@ -1,0 +1,94 @@
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+module G = Lph_graph.Labeled_graph
+
+let neighbour_idents ball =
+  List.sort Lph_graph.Identifiers.compare_id
+    (List.filter_map
+       (fun e -> if e.Gather.dist = 1 then Some e.Gather.ident else None)
+       ball.Gather.entries)
+
+let cycle_edges nodes =
+  (* consecutive edges plus the closing edge; requires >= 3 nodes *)
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  List.init n (fun i -> (arr.(i), arr.((i + 1) mod n)))
+
+(* Port naming: cluster-local names derived from the neighbour's
+   identifier, so that both endpoints of an inter-cluster edge can name
+   each other's ports without further communication. *)
+let to_port prefix w = prefix ^ "t:" ^ w
+
+let from_port prefix w = prefix ^ "f:" ^ w
+
+(* One port cycle (the Proposition 16 gadget): ports for each neighbour
+   in identifier order, padded with dummies up to length 3. Returns the
+   node names in cycle order. *)
+let port_cycle prefix neighbours =
+  let ports = List.concat_map (fun w -> [ to_port prefix w; from_port prefix w ]) neighbours in
+  let dummies = List.init (max 0 (3 - List.length ports)) (fun i -> Printf.sprintf "%sd%d" prefix i) in
+  ports @ dummies
+
+let boundary_for prefix my_ident neighbours =
+  List.concat_map
+    (fun w ->
+      [
+        (to_port prefix w, w, from_port prefix my_ident);
+        (from_port prefix w, w, to_port prefix my_ident);
+      ])
+    neighbours
+
+let compute (ctx : LA.ctx) ball =
+  ctx.LA.charge (List.length ball.Gather.entries);
+  let selected = ctx.LA.label = "1" in
+  let neighbours = neighbour_idents ball in
+  let cycle = port_cycle "" neighbours in
+  let bad_nodes, bad_edges =
+    if selected then ([], []) else ([ "bad" ], [ ("bad", List.hd cycle) ])
+  in
+  {
+    Cluster.nodes = List.map (fun name -> (name, "")) (cycle @ bad_nodes);
+    internal_edges = cycle_edges cycle @ bad_edges;
+    boundary_edges = boundary_for "" ctx.LA.ident neighbours;
+  }
+
+let reduction =
+  { Cluster.name = "all-selected-to-hamiltonian"; id_radius = 2; gather_radius = 1; compute }
+
+let correct g ~ids =
+  let image = Cluster.apply reduction g ~ids in
+  G.all_labels_one g = Lph_hierarchy.Properties.hamiltonian image
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 17: two stacked copies with three connector nodes each. *)
+
+let stacked_cycle prefix neighbours =
+  let ports = List.concat_map (fun w -> [ to_port prefix w; from_port prefix w ]) neighbours in
+  let connectors = List.init 3 (fun i -> Printf.sprintf "%sc%d" prefix (i + 1)) in
+  ports @ connectors
+
+let co_compute (ctx : LA.ctx) ball =
+  ctx.LA.charge (List.length ball.Gather.entries);
+  let selected = ctx.LA.label = "1" in
+  let neighbours = neighbour_idents ball in
+  let top = stacked_cycle "T" neighbours and bottom = stacked_cycle "B" neighbours in
+  let verticals =
+    (* Tc2-Bc2 keeps the result connected but cannot be used by a
+       Hamiltonian cycle (its endpoints' cycle edges are forced by the
+       degree-2 nodes Tc1/Tc3/Bc1/Bc3); Tc1-Bc1 exists only at
+       unselected nodes and is what lets the two cycles merge. *)
+    ("Tc2", "Bc2") :: (if selected then [] else [ ("Tc1", "Bc1") ])
+  in
+  {
+    Cluster.nodes = List.map (fun name -> (name, "")) (top @ bottom);
+    internal_edges = cycle_edges top @ cycle_edges bottom @ verticals;
+    boundary_edges =
+      boundary_for "T" ctx.LA.ident neighbours @ boundary_for "B" ctx.LA.ident neighbours;
+  }
+
+let co_reduction =
+  { Cluster.name = "not-all-selected-to-hamiltonian"; id_radius = 2; gather_radius = 1; compute = co_compute }
+
+let co_correct g ~ids =
+  let image = Cluster.apply co_reduction g ~ids in
+  (not (G.all_labels_one g)) = Lph_hierarchy.Properties.hamiltonian image

@@ -1,0 +1,20 @@
+(** The Hamiltonicity reductions of Section 8.
+
+    {!reduction} (Proposition 16, Figures 2/8):
+    ALL-SELECTED ≤ HAMILTONIAN via the Euler-tour technique — each node
+    becomes a cycle of "ports" (two per incident edge, padded to length
+    3), each original edge becomes two inter-port edges so a
+    Hamiltonian cycle can traverse it twice, and each unselected node
+    grows a degree-1 pendant that kills Hamiltonicity.
+
+    {!co_reduction} (Proposition 17, Figure 9):
+    NOT-ALL-SELECTED ≤ HAMILTONIAN — two copies ("top" and "bottom") of
+    the Proposition 16 construction, each with three extra connector
+    nodes; the copies can only be merged into one Hamiltonian cycle
+    through the second vertical edge that unselected nodes provide. *)
+
+val reduction : Cluster.reduction
+val correct : Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> bool
+
+val co_reduction : Cluster.reduction
+val co_correct : Lph_graph.Labeled_graph.t -> ids:Lph_graph.Identifiers.t -> bool

@@ -1,0 +1,242 @@
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+module C = Lph_util.Codec
+
+let hosted_certs_codec : (string * string) list C.t = C.list (C.pair C.string C.string)
+
+let hosted_identifier ~owner ~local = C.encode_bits (C.pair C.string C.string) (owner, local)
+
+(* wire format of one real message during simulation: the payloads of
+   all simulated messages crossing that original edge *)
+let crossing_codec = C.list (C.triple C.string C.string C.string)
+(* (source local name in the sender's cluster,
+    destination local name in the receiver's cluster,
+    payload) *)
+
+type nbr_kind = Internal of int | Remote of int * string
+(* Internal i: the i-th hosted node of the same cluster.
+   Remote (vi, rlocal): node [rlocal] in the cluster of the vi-th real
+   neighbour (identifier order). *)
+
+type hosted = {
+  local : string;
+  nbrs : (string * nbr_kind) array; (* (gid, kind), sorted by gid *)
+  run : int -> string list -> string list * bool;
+  output : unit -> string;
+  mutable finished : bool;
+  mutable out : string list; (* outbox of the previous simulated round *)
+}
+
+type sim = {
+  hosted : hosted array;
+  index_of_local : (string, int) Hashtbl.t;
+  real_neighbours : string array; (* identifiers, sorted *)
+  start_round : int; (* first simulated round = start_round + 1 *)
+  mutable verdict : string option;
+}
+
+type phase = Gathering of Gather.gather_state | Simulating of sim | Finished of string
+
+type state = { mutable phase : phase }
+
+let make_runner (LA.Packed inner) ctx_inner =
+  let st = ref (inner.LA.init ctx_inner) in
+  let run round inbox =
+    let s, out, fin = inner.LA.round ctx_inner round !st ~inbox in
+    st := s;
+    (out, fin)
+  in
+  let output () = inner.LA.output !st in
+  (run, output)
+
+let build_sim reduction ~inner ~(ctx : LA.ctx) ~round ball =
+  let cluster = reduction.Cluster.compute ctx ball in
+  let real_neighbours =
+    Array.of_list
+      (List.sort Lph_graph.Identifiers.compare_id
+         (List.filter_map
+            (fun e -> if e.Gather.dist = 1 then Some e.Gather.ident else None)
+            ball.Gather.entries))
+  in
+  let real_index ident =
+    let found = ref (-1) in
+    Array.iteri (fun i w -> if w = ident then found := i) real_neighbours;
+    if !found < 0 then failwith "Simulate: boundary edge to a non-neighbour";
+    !found
+  in
+  let index_of_local = Hashtbl.create 16 in
+  List.iteri (fun i (local, _) -> Hashtbl.replace index_of_local local i) cluster.Cluster.nodes;
+  (* adjacency of each hosted node in the transformed graph *)
+  let adjacency = Array.make (List.length cluster.Cluster.nodes) [] in
+  let add i entry = adjacency.(i) <- entry :: adjacency.(i) in
+  List.iter
+    (fun (a, b) ->
+      let ia = Hashtbl.find index_of_local a and ib = Hashtbl.find index_of_local b in
+      add ia (hosted_identifier ~owner:ctx.LA.ident ~local:b, Internal ib);
+      add ib (hosted_identifier ~owner:ctx.LA.ident ~local:a, Internal ia))
+    cluster.Cluster.internal_edges;
+  List.iter
+    (fun (a, w, rlocal) ->
+      let ia = Hashtbl.find index_of_local a in
+      add ia (hosted_identifier ~owner:w ~local:rlocal, Remote (real_index w, rlocal)))
+    cluster.Cluster.boundary_edges;
+  (* hosted certificates, one table per level *)
+  let cert_tables =
+    List.map
+      (fun cert -> try C.decode_bits hosted_certs_codec cert with Failure _ -> [])
+      ctx.LA.certs
+  in
+  let hosted =
+    Array.of_list
+      (List.mapi
+         (fun i (local, label) ->
+           let nbrs =
+             Array.of_list
+               (List.sort (fun (g1, _) (g2, _) -> compare g1 g2) adjacency.(i))
+           in
+           let certs =
+             List.map (fun table -> match List.assoc_opt local table with Some c -> c | None -> "") cert_tables
+           in
+           let ctx_inner =
+             {
+               LA.label;
+               ident = hosted_identifier ~owner:ctx.LA.ident ~local;
+               certs;
+               cert_list = Lph_util.Bitstring.join_hash certs;
+               degree = Array.length nbrs;
+               charge = ctx.LA.charge;
+             }
+           in
+           let run, output = make_runner inner ctx_inner in
+           { local; nbrs; run; output; finished = false; out = [] })
+         cluster.Cluster.nodes)
+  in
+  { hosted; index_of_local; real_neighbours; start_round = round; verdict = None }
+
+let nth_or_empty l i = match List.nth_opt l i with Some s -> s | None -> ""
+
+(* position of hosted node [target] in the neighbour list of hosted [h] *)
+let slot_of h target_gid =
+  let s = ref (-1) in
+  Array.iteri (fun i (g, _) -> if g = target_gid then s := i) h.nbrs;
+  !s
+
+let sim_round sim ~(ctx : LA.ctx) ~round ~inbox ~sim_rounds =
+  let s = round - sim.start_round in
+  (* incoming simulated messages, keyed by (real neighbour index,
+     source local, destination local) *)
+  let deliveries = Hashtbl.create 32 in
+  List.iteri
+    (fun vi msg ->
+      if msg <> "" then begin
+        ctx.LA.charge (String.length msg);
+        match C.decode_bits crossing_codec msg with
+        | crossings ->
+            List.iter
+              (fun (src, dst, payload) -> Hashtbl.replace deliveries (vi, src, dst) payload)
+              crossings
+        | exception Failure _ -> ()
+      end)
+    inbox;
+  (* run one simulated round at each hosted node; internal messages are
+     read from a snapshot of the previous round's outboxes *)
+  let gid_of h = hosted_identifier ~owner:ctx.LA.ident ~local:h.local in
+  let prev_out = Array.map (fun h -> h.out) sim.hosted in
+  Array.iter
+    (fun h ->
+      if not h.finished then begin
+        let inbox_h =
+          Array.to_list
+            (Array.map
+               (fun (_, kind) ->
+                 match kind with
+                 | Internal j ->
+                     let sender = sim.hosted.(j) in
+                     let slot = slot_of sender (gid_of h) in
+                     if slot < 0 then "" else nth_or_empty prev_out.(j) slot
+                 | Remote (vi, rlocal) -> (
+                     match Hashtbl.find_opt deliveries (vi, rlocal, h.local) with
+                     | Some p -> p
+                     | None -> ""))
+               h.nbrs)
+        in
+        let out, fin = h.run s inbox_h in
+        h.out <- out;
+        h.finished <- fin
+      end
+      else h.out <- [])
+    sim.hosted;
+  (* Internal delivery happens next round by reading [out]; build the
+     real messages for the remote crossings now. *)
+  let per_real = Array.make (Array.length sim.real_neighbours) [] in
+  Array.iter
+    (fun h ->
+      Array.iteri
+        (fun i (_, kind) ->
+          match kind with
+          | Internal _ -> ()
+          | Remote (vi, rlocal) ->
+              let payload = nth_or_empty h.out i in
+              per_real.(vi) <- (h.local, rlocal, payload) :: per_real.(vi))
+        h.nbrs)
+    sim.hosted;
+  let out =
+    Array.to_list
+      (Array.map
+         (fun crossings ->
+           if crossings = [] then "" else C.encode_bits crossing_codec (List.rev crossings))
+         per_real)
+  in
+  List.iter (fun m -> ctx.LA.charge (String.length m)) out;
+  let done_ = Array.for_all (fun h -> h.finished) sim.hosted || s >= sim_rounds in
+  if done_ then begin
+    let verdict = if Array.for_all (fun h -> h.output () = "1") sim.hosted then "1" else "0" in
+    sim.verdict <- Some verdict
+  end;
+  (out, done_)
+
+let through_reduction reduction ~inner ?(sim_rounds = 64) () =
+  let name = Printf.sprintf "%s>>%s" reduction.Cluster.name (LA.name inner) in
+  LA.Packed
+    {
+      LA.name;
+      levels = LA.levels inner;
+      init = (fun ctx -> { phase = Gathering (Gather.init_gather ctx) });
+      round =
+        (fun ctx round st ~inbox ->
+          match st.phase with
+          | Gathering gs ->
+              let out, ball_done =
+                Gather.step_gather ~radius:reduction.Cluster.gather_radius ctx round gs ~inbox
+              in
+              if ball_done then begin
+                let sim =
+                  build_sim reduction ~inner ~ctx ~round (Gather.completed_ball gs)
+                in
+                st.phase <- Simulating sim
+              end;
+              (st, out, false)
+          | Simulating sim ->
+              let out, done_ = sim_round sim ~ctx ~round ~inbox ~sim_rounds in
+              if done_ then
+                st.phase <- Finished (match sim.verdict with Some v -> v | None -> "0");
+              (st, out, done_)
+          | Finished _ -> (st, [], true));
+      output =
+        (fun st -> match st.phase with Finished v -> v | Gathering _ | Simulating _ -> "0");
+    }
+
+let lift_cert_assignment ~owners ~card ~levels certs' =
+  Array.init card (fun u ->
+      let table level =
+        let entries = ref [] in
+        Array.iteri
+          (fun j (owner, local) ->
+            if owner = u then begin
+              let parts = Lph_graph.Certificates.split_list ~levels certs'.(j) in
+              entries := (local, List.nth parts level) :: !entries
+            end)
+          owners;
+        C.encode_bits hosted_certs_codec (List.rev !entries)
+      in
+      Lph_util.Bitstring.join_hash (List.init levels table))

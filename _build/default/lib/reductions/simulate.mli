@@ -1,0 +1,42 @@
+(** Simulation of a machine on the transformed graph (Section 8): the
+    mechanism that makes local-polynomial reductions transfer hardness.
+    If f is a reduction implemented by clusters and M' decides L', then
+    the original network can decide f⁻¹(L') itself: each node computes
+    its cluster, hosts one simulated copy of M' per cluster node, and
+    forwards inter-cluster messages over the original edges. A node
+    accepts iff all its hosted nodes accept — so the whole graph
+    accepts iff M' accepts the transformed graph.
+
+    Hosted nodes receive identifiers derived from (owner identifier,
+    local name), preserving local uniqueness; hosted certificates are
+    carried inside the real certificates as encoded
+    (local name, certificate) tables, one per level. *)
+
+val hosted_certs_codec : (string * string) list Lph_util.Codec.t
+
+val through_reduction :
+  Cluster.reduction ->
+  inner:Lph_machine.Local_algo.packed ->
+  ?sim_rounds:int ->
+  unit ->
+  Lph_machine.Local_algo.packed
+(** The simulating machine: gathers the reduction's ball, computes the
+    cluster, then runs [inner] on the hosted nodes for at most
+    [sim_rounds] (default 64) simulated rounds (stopping early once all
+    hosted nodes halt). Its levels equal [inner]'s levels. *)
+
+val hosted_identifier : owner:string -> local:string -> string
+(** The identifier a hosted node runs under. *)
+
+val lift_cert_assignment :
+  owners:(int * string) array ->
+  card:int ->
+  levels:int ->
+  Lph_graph.Certificates.t ->
+  Lph_graph.Certificates.t
+(** Translate a certificate-list assignment on the transformed graph
+    (indexed as produced by {!Cluster.assemble}, [owners] giving each
+    new node's (owner, local name)) into the corresponding assignment
+    on the original graph ([card] nodes): each original node's level-i
+    certificate is the encoded table of its hosted nodes' level-i
+    certificates. *)

@@ -1,0 +1,139 @@
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+module G = Lph_graph.Labeled_graph
+module BF = Lph_boolean.Bool_formula
+module Cnf = Lph_boolean.Cnf
+module Bgraph = Lph_boolean.Boolean_graph
+
+let neighbour_entries ball = List.filter (fun e -> e.Gather.dist = 1) ball.Gather.entries
+
+(* ------------------------------------------------------------------ *)
+(* SAT-GRAPH -> 3-SAT-GRAPH: per-node Tseytin transformation with      *)
+(* identifier-derived fresh names.                                     *)
+
+let to_3sat_compute (ctx : LA.ctx) ball =
+  let formula = BF.of_label ctx.LA.label in
+  ctx.LA.charge (BF.size formula);
+  let cnf = Lph_boolean.Tseytin.transform ~fresh_prefix:("ts" ^ ctx.LA.ident) formula in
+  let label = BF.to_label (Cnf.to_formula cnf) in
+  {
+    Cluster.nodes = [ ("0", label) ];
+    internal_edges = [];
+    boundary_edges = List.map (fun e -> ("0", e.Gather.ident, "0")) (neighbour_entries ball);
+  }
+
+let to_3sat =
+  { Cluster.name = "sat-graph-to-3sat-graph"; id_radius = 2; gather_radius = 1; compute = to_3sat_compute }
+
+let to_3sat_correct g ~ids =
+  let image = Cluster.apply to_3sat g ~ids in
+  Bgraph.is_3cnf_graph image && Bgraph.satisfiable g = Bgraph.satisfiable image
+
+(* ------------------------------------------------------------------ *)
+(* 3-SAT-GRAPH -> 3-COLORABLE.                                         *)
+
+let clauses_of_label label =
+  match Cnf.of_formula (BF.of_label label) with
+  | Some cnf when Cnf.is_3cnf cnf -> cnf
+  | Some _ | None -> failwith "three_col_red: label is not a 3-CNF formula"
+
+let lit_node (l : Cnf.literal) = (if l.Cnf.positive then "P+" else "N+") ^ l.Cnf.var
+
+(* Equality connector between my node [a] and the remote node [a'] of
+   neighbour [w]. The side with the smaller identifier owns the two
+   connector nodes; names are deterministic on both sides. *)
+let connector ~mine ~w ~kind a a' =
+  let owner_names other = ("X1+" ^ other ^ "+" ^ kind, "X2+" ^ other ^ "+" ^ kind) in
+  if Lph_graph.Identifiers.compare_id mine w < 0 then begin
+    let c1, c2 = owner_names w in
+    ([ c1; c2 ], [ (a, c1); (a, c2); (c1, c2) ], [ (c1, w, a'); (c2, w, a') ])
+  end
+  else begin
+    let c1, c2 = owner_names mine in
+    ([], [], [ (a, w, c1); (a, w, c2) ])
+  end
+
+let to_three_col_compute (ctx : LA.ctx) ball =
+  let cnf = clauses_of_label ctx.LA.label in
+  ctx.LA.charge (List.length cnf * 4);
+  let vars = Cnf.vars cnf in
+  (* palette and literal triangles *)
+  let base_nodes = [ "T"; "F"; "B" ] @ List.concat_map (fun v -> [ "P+" ^ v; "N+" ^ v ]) vars in
+  let base_edges =
+    [ ("T", "F"); ("T", "B"); ("F", "B") ]
+    @ List.concat_map
+        (fun v -> [ ("P+" ^ v, "N+" ^ v); ("P+" ^ v, "B"); ("N+" ^ v, "B") ])
+        vars
+  in
+  (* one OR gadget: fresh internal nodes i, j and output w *)
+  let or_gadget ~tag a b out =
+    ( [ "G1" ^ tag; "G2" ^ tag; out ],
+      [
+        (a, "G1" ^ tag);
+        (b, "G2" ^ tag);
+        ("G1" ^ tag, "G2" ^ tag);
+        ("G1" ^ tag, out);
+        ("G2" ^ tag, out);
+      ] )
+  in
+  let clause_gadget i clause =
+    let tag k = Printf.sprintf "_%d_%d" i k in
+    match clause with
+    | [] ->
+        (* the empty clause is unsatisfiable: a node adjacent to the whole
+           palette cannot be coloured *)
+        ([ "E" ^ string_of_int i ], [ ("E" ^ string_of_int i, "T"); ("E" ^ string_of_int i, "F"); ("E" ^ string_of_int i, "B") ])
+    | [ l ] -> ([], [ (lit_node l, "F") ])
+    | [ l1; l2 ] ->
+        let nodes, edges = or_gadget ~tag:(tag 0) (lit_node l1) (lit_node l2) ("O" ^ string_of_int i) in
+        (nodes, edges @ [ ("O" ^ string_of_int i, "F"); ("O" ^ string_of_int i, "B") ])
+    | [ l1; l2; l3 ] ->
+        let m = "M" ^ string_of_int i in
+        let nodes1, edges1 = or_gadget ~tag:(tag 0) (lit_node l1) (lit_node l2) m in
+        let nodes2, edges2 = or_gadget ~tag:(tag 1) m (lit_node l3) ("O" ^ string_of_int i) in
+        (nodes1 @ nodes2, edges1 @ edges2 @ [ ("O" ^ string_of_int i, "F"); ("O" ^ string_of_int i, "B") ])
+    | _ -> failwith "three_col_red: clause with more than 3 literals"
+  in
+  let clause_nodes, clause_edges =
+    let parts = List.mapi clause_gadget cnf in
+    (List.concat_map fst parts, List.concat_map snd parts)
+  in
+  (* connectors towards each neighbour: palette (F, B) and shared vars *)
+  let mine = ctx.LA.ident in
+  let connectors =
+    List.concat_map
+      (fun e ->
+        let w = e.Gather.ident in
+        let their_vars = Cnf.vars (clauses_of_label e.Gather.label) in
+        let shared = List.filter (fun v -> List.mem v their_vars) vars in
+        let links =
+          [ ("F", "F", "F"); ("B", "B", "B") ]
+          @ List.map (fun v -> ("V" ^ v, "P+" ^ v, "P+" ^ v)) shared
+        in
+        List.map (fun (kind, a, a') -> connector ~mine ~w ~kind a a') links)
+      (neighbour_entries ball)
+  in
+  let conn_nodes = List.concat_map (fun (n, _, _) -> n) connectors in
+  let conn_internal = List.concat_map (fun (_, e, _) -> e) connectors in
+  let conn_boundary = List.concat_map (fun (_, _, b) -> b) connectors in
+  {
+    Cluster.nodes = List.map (fun n -> (n, "")) (base_nodes @ clause_nodes @ conn_nodes);
+    internal_edges = base_edges @ clause_edges @ conn_internal;
+    boundary_edges = conn_boundary;
+  }
+
+let to_three_col =
+  {
+    Cluster.name = "3sat-graph-to-3colorable";
+    id_radius = 2;
+    gather_radius = 1;
+    compute = to_three_col_compute;
+  }
+
+let to_three_col_correct g ~ids =
+  let image = Cluster.apply to_three_col g ~ids in
+  Bgraph.satisfiable g = Lph_hierarchy.Properties.three_colorable image
+
+let full_chain g ~ids =
+  let mid = Cluster.apply to_3sat g ~ids in
+  Cluster.apply to_three_col mid ~ids

@@ -1,0 +1,28 @@
+(** The reductions behind Theorem 20: SAT-GRAPH ≤ 3-SAT-GRAPH (per-node
+    Tseytin, with fresh variable names derived from identifiers) and
+    3-SAT-GRAPH ≤ 3-COLORABLE (Figures 3/10).
+
+    The colourability gadgets per cluster: a palette triangle
+    (T, F, B), a literal triangle (P, ¬P, B) per variable, the standard
+    two-stage OR gadget per clause with its output pinned to the colour
+    of T, and — towards each neighbouring cluster — colour-equality
+    connectors for F, B and every shared variable, so that adjacent
+    clusters agree on the palette and on shared truth values. *)
+
+val to_3sat : Cluster.reduction
+(** SAT-GRAPH → 3-SAT-GRAPH (topology-preserving). *)
+
+val to_3sat_correct : Lph_boolean.Boolean_graph.t -> ids:Lph_graph.Identifiers.t -> bool
+(** Image is a 3-CNF graph and equisatisfiable with the input. *)
+
+val to_three_col : Cluster.reduction
+(** 3-SAT-GRAPH → 3-COLORABLE. Raises if a label is not 3-CNF-shaped. *)
+
+val to_three_col_correct : Lph_boolean.Boolean_graph.t -> ids:Lph_graph.Identifiers.t -> bool
+(** [G ∈ SAT-GRAPH ⟺ f(G) ∈ 3-COLORABLE] on this instance. *)
+
+val full_chain :
+  Lph_boolean.Boolean_graph.t -> ids:Lph_graph.Identifiers.t -> Lph_graph.Labeled_graph.t
+(** SAT-GRAPH → 3-SAT-GRAPH → 3-COLORABLE, end to end (the second
+    reduction runs on the image of the first, under the same
+    identifiers). *)

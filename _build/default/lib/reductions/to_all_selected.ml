@@ -1,0 +1,20 @@
+module LA = Lph_machine.Local_algo
+module Gather = Lph_machine.Gather
+
+let reduction ~name ~radius ~decide =
+  let compute (ctx : LA.ctx) ball =
+    let verdict = if decide ctx ball then "1" else "0" in
+    {
+      Cluster.nodes = [ ("0", verdict) ];
+      internal_edges = [];
+      boundary_edges =
+        List.filter_map
+          (fun e -> if e.Gather.dist = 1 then Some ("0", e.Gather.ident, "0") else None)
+          ball.Gather.entries;
+    }
+  in
+  { Cluster.name; id_radius = radius + 1; gather_radius = max 1 radius; compute }
+
+let correct reduction ~decider g ~ids =
+  let image = Cluster.apply reduction g ~ids in
+  Lph_graph.Labeled_graph.all_labels_one image = Lph_machine.Runner.decides decider g ~ids ()

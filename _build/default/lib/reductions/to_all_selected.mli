@@ -1,0 +1,22 @@
+(** Remark 14: ALL-SELECTED is LP-complete under topology-preserving
+    reductions — any decided property reduces to it by running the
+    decider and relabelling every node with its verdict. *)
+
+val reduction :
+  name:string ->
+  radius:int ->
+  decide:(Lph_machine.Local_algo.ctx -> Lph_machine.Gather.ball -> bool) ->
+  Cluster.reduction
+(** The relabelling reduction for a ball-based decider: each cluster is
+    a single node labelled "1"/"0", with the original edges. The
+    defining property: G is accepted by the decider iff the image is in
+    ALL-SELECTED. *)
+
+val correct :
+  Cluster.reduction ->
+  decider:Lph_machine.Local_algo.packed ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  bool
+(** Check the defining equivalence on an instance, against running the
+    decider directly. *)

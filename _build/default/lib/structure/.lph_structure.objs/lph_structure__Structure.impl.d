@@ -1,0 +1,1 @@
+lib/structure/structure.ml: Array Format Fun List Printf Queue String

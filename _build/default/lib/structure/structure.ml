@@ -1,0 +1,141 @@
+type t = {
+  card : int;
+  unary : bool array array; (* m x card *)
+  binary : bool array array array; (* n x card x card *)
+  sym_adj : int list array; (* Gaifman adjacency: symmetric closure of all binary relations *)
+}
+
+let create ~card ~unary ~binary =
+  if card < 1 then invalid_arg "Structure.create: empty domain";
+  let check e = if e < 0 || e >= card then invalid_arg "Structure.create: element out of range" in
+  let m = Array.length unary and n = Array.length binary in
+  let u = Array.init m (fun _ -> Array.make card false) in
+  Array.iteri
+    (fun i members ->
+      List.iter
+        (fun e ->
+          check e;
+          u.(i).(e) <- true)
+        members)
+    unary;
+  let b = Array.init n (fun _ -> Array.make_matrix card card false) in
+  Array.iteri
+    (fun i pairs ->
+      List.iter
+        (fun (x, y) ->
+          check x;
+          check y;
+          b.(i).(x).(y) <- true)
+        pairs)
+    binary;
+  let sym = Array.make card [] in
+  for e = 0 to card - 1 do
+    let connected_to f =
+      Array.exists (fun rel -> rel.(e).(f) || rel.(f).(e)) b
+    in
+    let acc = ref [] in
+    for f = card - 1 downto 0 do
+      if connected_to f then acc := f :: !acc
+    done;
+    sym.(e) <- !acc
+  done;
+  { card; unary = u; binary = b; sym_adj = sym }
+
+let card s = s.card
+
+let signature s = (Array.length s.unary, Array.length s.binary)
+
+let check_index what count i =
+  if i < 1 || i > count then invalid_arg (Printf.sprintf "Structure: %s relation index %d out of signature" what i)
+
+let mem_unary s i e =
+  check_index "unary" (Array.length s.unary) i;
+  s.unary.(i - 1).(e)
+
+let mem_binary s i a b =
+  check_index "binary" (Array.length s.binary) i;
+  s.binary.(i - 1).(a).(b)
+
+let connected s a b = Array.exists (fun rel -> rel.(a).(b) || rel.(b).(a)) s.binary
+
+let neighbours s e = s.sym_adj.(e)
+
+let elements s = List.init s.card Fun.id
+
+let unary_members s i =
+  check_index "unary" (Array.length s.unary) i;
+  List.filter (fun e -> s.unary.(i - 1).(e)) (elements s)
+
+let binary_pairs s i =
+  check_index "binary" (Array.length s.binary) i;
+  let acc = ref [] in
+  for a = s.card - 1 downto 0 do
+    for b = s.card - 1 downto 0 do
+      if s.binary.(i - 1).(a).(b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let distance s a b =
+  if a = b then Some 0
+  else begin
+    let dist = Array.make s.card (-1) in
+    dist.(a) <- 0;
+    let queue = Queue.create () in
+    Queue.add a queue;
+    let result = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let e = Queue.pop queue in
+         List.iter
+           (fun f ->
+             if dist.(f) < 0 then begin
+               dist.(f) <- dist.(e) + 1;
+               if f = b then begin
+                 result := Some dist.(f);
+                 raise Exit
+               end;
+               Queue.add f queue
+             end)
+           s.sym_adj.(e)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let ball s ~radius e =
+  let dist = Array.make s.card (-1) in
+  dist.(e) <- 0;
+  let queue = Queue.create () in
+  Queue.add e queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    if dist.(x) < radius then
+      List.iter
+        (fun y ->
+          if dist.(y) < 0 then begin
+            dist.(y) <- dist.(x) + 1;
+            Queue.add y queue
+          end)
+        s.sym_adj.(x)
+  done;
+  List.filter (fun x -> dist.(x) >= 0) (elements s)
+
+let equal s1 s2 =
+  s1.card = s2.card
+  && signature s1 = signature s2
+  && s1.unary = s2.unary
+  && s1.binary = s2.binary
+
+let pp fmt s =
+  let m, n = signature s in
+  Format.fprintf fmt "@[<v>structure: card=%d signature=(%d,%d)" s.card m n;
+  for i = 1 to m do
+    Format.fprintf fmt "@,  unary %d: %s" i
+      (String.concat " " (List.map string_of_int (unary_members s i)))
+  done;
+  for i = 1 to n do
+    Format.fprintf fmt "@,  binary %d: %s" i
+      (String.concat " " (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) (binary_pairs s i)))
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,56 @@
+(** Relational structures of signature (m, n): a finite domain together
+    with [m] unary relations and [n] binary relations (Section 3 of the
+    paper). Graphs, pictures and words are all evaluated against logical
+    formulas through their structural representations, which are values
+    of this type.
+
+    Elements are represented by integers [0 .. card - 1]; producers of
+    structures (graphs, pictures, words) keep their own mapping from
+    domain-specific entities to element indices. *)
+
+type t
+
+val create :
+  card:int -> unary:int list array -> binary:(int * int) list array -> t
+(** [create ~card ~unary ~binary] builds a structure with domain
+    [0 .. card-1]. [unary.(i)] lists the elements in relation ⊙_{i+1};
+    [binary.(i)] lists the pairs in relation ⇀_{i+1}. Raises
+    [Invalid_argument] if [card < 1] or an element is out of range. *)
+
+val card : t -> int
+val signature : t -> int * int
+(** [(m, n)]: number of unary and binary relations. *)
+
+val mem_unary : t -> int -> int -> bool
+(** [mem_unary s i e]: does element [e] belong to ⊙_i? (1-based [i].) *)
+
+val mem_binary : t -> int -> int -> int -> bool
+(** [mem_binary s i a b]: does [a ⇀_i b] hold? (1-based [i].) *)
+
+val connected : t -> int -> int -> bool
+(** [connected s a b]: the symmetric closure [a ⇌ b], i.e. [a ⇀_i b] or
+    [b ⇀_i a] for some [i]. Used by bounded quantifiers. *)
+
+val neighbours : t -> int -> int list
+(** Elements connected (⇌) to the given element, sorted, without
+    duplicates. The element itself is included only if it is related to
+    itself by some relation. *)
+
+val elements : t -> int list
+val unary_members : t -> int -> int list
+(** Elements of ⊙_i (1-based), sorted. *)
+
+val binary_pairs : t -> int -> (int * int) list
+(** Pairs of ⇀_i (1-based), sorted. *)
+
+val distance : t -> int -> int -> int option
+(** BFS distance in the Gaifman graph induced by ⇌;
+    [None] if unreachable. *)
+
+val ball : t -> radius:int -> int -> int list
+(** Elements at ⇌-distance at most [radius] from the given element. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same card, same relations extensionally). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bitstring.ml: Buffer List String

@@ -1,0 +1,49 @@
+let is_bitstring s = String.for_all (fun c -> c = '0' || c = '1') s
+
+let is_bitstring_hash s = String.for_all (fun c -> c = '0' || c = '1' || c = '#') s
+
+let of_int n =
+  if n < 0 then invalid_arg "Bitstring.of_int: negative"
+  else if n = 0 then "0"
+  else begin
+    let buf = Buffer.create 8 in
+    let rec go n = if n > 0 then begin go (n / 2); Buffer.add_char buf (if n land 1 = 1 then '1' else '0') end in
+    go n;
+    Buffer.contents buf
+  end
+
+let of_int_width ~width n =
+  if n < 0 then invalid_arg "Bitstring.of_int_width: negative";
+  let s = of_int n in
+  let s = if n = 0 then "" else s in
+  let pad = width - String.length s in
+  if pad < 0 then invalid_arg "Bitstring.of_int_width: does not fit"
+  else String.make pad '0' ^ s
+
+let to_int s =
+  let acc = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' -> acc := !acc * 2
+      | '1' -> acc := (!acc * 2) + 1
+      | _ -> invalid_arg "Bitstring.to_int: non-bit character")
+    s;
+  !acc
+
+let all_of_length k =
+  if k < 0 then invalid_arg "Bitstring.all_of_length: negative";
+  let rec go k = if k = 0 then [ "" ] else List.concat_map (fun s -> [ s ^ "0"; s ^ "1" ]) (go (k - 1)) in
+  go k
+
+let all_up_to_length k =
+  let rec go i = if i > k then [] else all_of_length i @ go (i + 1) in
+  go 0
+
+let split_hash s = String.split_on_char '#' s
+
+let join_hash parts = String.concat "#" parts
+
+let ones k = String.make k '1'
+
+let zeros k = String.make k '0'

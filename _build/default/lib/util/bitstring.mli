@@ -1,0 +1,44 @@
+(** Bit strings over the alphabet {0,1}, represented as OCaml strings of
+    ['0'] and ['1'] characters. Labels, identifiers, certificates and
+    messages in the paper are all bit strings (possibly extended with the
+    separator ['#'] for certificate lists and message trains). *)
+
+val is_bitstring : string -> bool
+(** [is_bitstring s] holds iff every character of [s] is ['0'] or ['1']. *)
+
+val is_bitstring_hash : string -> bool
+(** Like {!is_bitstring} but also allows the separator ['#']. *)
+
+val of_int : int -> string
+(** [of_int n] is the shortest binary representation of [n >= 0]
+    (["0"] for 0, no leading zeros otherwise). *)
+
+val of_int_width : width:int -> int -> string
+(** [of_int_width ~width n] is [n] in binary padded with leading zeros to
+    exactly [width] characters. Raises [Invalid_argument] if [n] does not
+    fit. *)
+
+val to_int : string -> int
+(** Inverse of {!of_int} on valid bit strings; the empty string decodes
+    to [0]. Raises [Invalid_argument] on non-bit characters. *)
+
+val all_of_length : int -> string list
+(** [all_of_length k] enumerates the [2^k] bit strings of length exactly
+    [k], in lexicographic order. *)
+
+val all_up_to_length : int -> string list
+(** [all_up_to_length k] enumerates all bit strings of length [<= k]
+    (including the empty string), shortest first. *)
+
+val split_hash : string -> string list
+(** [split_hash "a#b#c"] is [["a"; "b"; "c"]]; the paper's certificate
+    lists [k1#k2#...#kl] decode this way. [split_hash ""] is [[""]]. *)
+
+val join_hash : string list -> string
+(** Inverse of {!split_hash}: joins with ['#'] separators. *)
+
+val ones : int -> string
+(** [ones k] is the string of [k] ['1'] characters. *)
+
+val zeros : int -> string
+(** [zeros k] is the string of [k] ['0'] characters. *)

@@ -1,0 +1,154 @@
+(* Values are serialized into a Buffer; decoding threads an explicit cursor
+   through the input string. All formats are self-delimiting. *)
+
+type 'a t = {
+  enc : Buffer.t -> 'a -> unit;
+  dec : string -> int -> 'a * int; (* returns value and next cursor *)
+}
+
+let encode c v =
+  let buf = Buffer.create 64 in
+  c.enc buf v;
+  Buffer.contents buf
+
+let decode c s =
+  let v, pos = c.dec s 0 in
+  if pos <> String.length s then failwith "Codec.decode: trailing garbage";
+  v
+
+let encode_bits c v =
+  let raw = encode c v in
+  let buf = Buffer.create (8 * String.length raw) in
+  String.iter
+    (fun ch ->
+      let b = Char.code ch in
+      for i = 7 downto 0 do
+        Buffer.add_char buf (if (b lsr i) land 1 = 1 then '1' else '0')
+      done)
+    raw;
+  Buffer.contents buf
+
+let decode_bits c s =
+  let len = String.length s in
+  if len mod 8 <> 0 then failwith "Codec.decode_bits: length not a multiple of 8";
+  let raw =
+    String.init (len / 8) (fun i ->
+        let b = ref 0 in
+        for j = 0 to 7 do
+          b := (!b lsl 1) lor (match s.[(8 * i) + j] with '0' -> 0 | '1' -> 1 | _ -> failwith "Codec.decode_bits: non-bit character")
+        done;
+        Char.chr !b)
+  in
+  decode c raw
+
+(* Integers are encoded in base 128 with a continuation bit (LEB128-style),
+   so small values cost one byte. *)
+let int =
+  let enc buf n =
+    if n < 0 then invalid_arg "Codec.int: negative";
+    let rec go n =
+      if n < 128 then Buffer.add_char buf (Char.chr n)
+      else begin
+        Buffer.add_char buf (Char.chr (128 lor (n land 127)));
+        go (n lsr 7)
+      end
+    in
+    go n
+  in
+  let dec s pos =
+    let rec go pos shift acc =
+      if pos >= String.length s then failwith "Codec.int: truncated";
+      let b = Char.code s.[pos] in
+      let acc = acc lor ((b land 127) lsl shift) in
+      if b land 128 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+    in
+    go pos 0 0
+  in
+  { enc; dec }
+
+let string =
+  let enc buf s =
+    int.enc buf (String.length s);
+    Buffer.add_string buf s
+  in
+  let dec s pos =
+    let len, pos = int.dec s pos in
+    if pos + len > String.length s then failwith "Codec.string: truncated";
+    (String.sub s pos len, pos + len)
+  in
+  { enc; dec }
+
+let bool =
+  let enc buf b = Buffer.add_char buf (if b then '\001' else '\000') in
+  let dec s pos =
+    if pos >= String.length s then failwith "Codec.bool: truncated";
+    (s.[pos] <> '\000', pos + 1)
+  in
+  { enc; dec }
+
+let pair ca cb =
+  let enc buf (a, b) =
+    ca.enc buf a;
+    cb.enc buf b
+  in
+  let dec s pos =
+    let a, pos = ca.dec s pos in
+    let b, pos = cb.dec s pos in
+    ((a, b), pos)
+  in
+  { enc; dec }
+
+let triple ca cb cc =
+  let enc buf (a, b, c) =
+    ca.enc buf a;
+    cb.enc buf b;
+    cc.enc buf c
+  in
+  let dec s pos =
+    let a, pos = ca.dec s pos in
+    let b, pos = cb.dec s pos in
+    let c, pos = cc.dec s pos in
+    ((a, b, c), pos)
+  in
+  { enc; dec }
+
+let list c =
+  let enc buf xs =
+    int.enc buf (List.length xs);
+    List.iter (c.enc buf) xs
+  in
+  let dec s pos =
+    let n, pos = int.dec s pos in
+    let rec go n pos acc =
+      if n = 0 then (List.rev acc, pos)
+      else
+        let x, pos = c.dec s pos in
+        go (n - 1) pos (x :: acc)
+    in
+    go n pos []
+  in
+  { enc; dec }
+
+let option c =
+  let enc buf = function
+    | None -> bool.enc buf false
+    | Some x ->
+        bool.enc buf true;
+        c.enc buf x
+  in
+  let dec s pos =
+    let b, pos = bool.dec s pos in
+    if b then
+      let x, pos = c.dec s pos in
+      (Some x, pos)
+    else (None, pos)
+  in
+  { enc; dec }
+
+let map of_wire to_wire c =
+  let enc buf v = c.enc buf (to_wire v) in
+  let dec s pos =
+    let v, pos = c.dec s pos in
+    (of_wire v, pos)
+  in
+  { enc; dec }

@@ -1,0 +1,42 @@
+(** Length-prefixed binary codecs.
+
+    Messages exchanged by distributed machines are strings, so anything a
+    node sends (neighbourhood tables, relation encodings, cluster
+    descriptions) must round-trip through an explicit wire format. This
+    module provides small composable encoders/decoders; all formats are
+    self-delimiting so values can be concatenated. *)
+
+type 'a t
+(** A codec for values of type ['a]. *)
+
+val encode : 'a t -> 'a -> string
+val decode : 'a t -> string -> 'a
+(** [decode c s] decodes a value and requires that [s] is consumed
+    exactly. Raises [Failure] on malformed input. *)
+
+val encode_bits : 'a t -> 'a -> string
+(** Like {!encode} but the result is a genuine bit string (characters
+    '0'/'1', 8 per byte): the paper's messages, labels and certificates
+    are bit strings, so anything that travels as one goes through
+    this. *)
+
+val decode_bits : 'a t -> string -> 'a
+
+(** {1 Primitives} *)
+
+val int : int t
+(** Non-negative integers (variable-length). *)
+
+val string : string t
+(** Arbitrary strings, length-prefixed. *)
+
+val bool : bool t
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val list : 'a t -> 'a list t
+val option : 'a t -> 'a option t
+val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** [map of_wire to_wire c] transports a codec along an isomorphism. *)

@@ -1,0 +1,48 @@
+let rec subsets = function
+  | [] -> Seq.return []
+  | x :: rest ->
+      fun () ->
+        let tails = subsets rest in
+        Seq.append tails (Seq.map (fun s -> x :: s) tails) ()
+
+let rec tuples xs k =
+  if k < 0 then invalid_arg "Combinat.tuples: negative arity"
+  else if k = 0 then Seq.return []
+  else
+    Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) (tuples xs (k - 1))) (List.to_seq xs)
+
+let rec product = function
+  | [] -> Seq.return []
+  | xs :: rest ->
+      Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) (product rest)) (List.to_seq xs)
+
+let rec permutations = function
+  | [] -> Seq.return []
+  | xs ->
+      (* pick each element as head, permute the rest *)
+      let rec picks pre = function
+        | [] -> Seq.empty
+        | x :: post ->
+            fun () ->
+              Seq.Cons
+                ( (x, List.rev_append pre post),
+                  picks (x :: pre) post )
+      in
+      Seq.concat_map
+        (fun (x, rest) -> Seq.map (fun p -> x :: p) (permutations rest))
+        (picks [] xs)
+
+let rec choose xs k =
+  if k = 0 then Seq.return []
+  else
+    match xs with
+    | [] -> Seq.empty
+    | x :: rest ->
+        fun () ->
+          Seq.append (Seq.map (fun c -> x :: c) (choose rest (k - 1))) (choose rest k) ()
+
+let exists_seq p s = Seq.exists p s
+
+let for_all_seq p s = Seq.for_all p s
+
+let find_seq p s = Seq.find p s

@@ -1,0 +1,24 @@
+(** Small combinatorial enumerations used throughout: exhaustive games,
+    second-order quantification and brute-force property deciders all
+    iterate over subsets, tuples and products. All enumerators are lazy
+    ([Seq.t]) so callers can short-circuit. *)
+
+val subsets : 'a list -> 'a list Seq.t
+(** All [2^n] subsets of a list (as sublists, order preserved). *)
+
+val tuples : 'a list -> int -> 'a list Seq.t
+(** [tuples xs k]: all [n^k] tuples of length [k] over [xs]. *)
+
+val product : 'a list list -> 'a list Seq.t
+(** [product [xs1; ...; xsn]]: the cartesian product, one element per list. *)
+
+val permutations : 'a list -> 'a list Seq.t
+(** All permutations of a list (for small lists; used by isomorphism and
+    Hamiltonicity search). *)
+
+val choose : 'a list -> int -> 'a list Seq.t
+(** [choose xs k]: all k-element sublists of [xs]. *)
+
+val exists_seq : ('a -> bool) -> 'a Seq.t -> bool
+val for_all_seq : ('a -> bool) -> 'a Seq.t -> bool
+val find_seq : ('a -> bool) -> 'a Seq.t -> 'a option

@@ -1,0 +1,62 @@
+type t = int array (* coefficients, constant term first; invariant: no trailing zeros unless [|0|] *)
+
+let normalize a =
+  let n = Array.length a in
+  let rec last i = if i > 0 && a.(i) = 0 then last (i - 1) else i in
+  let k = last (n - 1) in
+  if k = n - 1 then a else Array.sub a 0 (k + 1)
+
+let of_coeffs cs =
+  List.iter (fun c -> if c < 0 then invalid_arg "Poly.of_coeffs: negative coefficient") cs;
+  match cs with [] -> [| 0 |] | _ -> normalize (Array.of_list cs)
+
+let const c = of_coeffs [ c ]
+
+let linear ?(offset = 0) a = of_coeffs [ offset; a ]
+
+let monomial ~coeff ~degree =
+  if degree < 0 then invalid_arg "Poly.monomial: negative degree";
+  let a = Array.make (degree + 1) 0 in
+  a.(degree) <- coeff;
+  normalize a
+
+let eval p n =
+  Array.fold_right (fun c acc -> (acc * n) + c) p 0
+
+let degree p = Array.length p - 1
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  normalize (Array.init n (fun i -> get p i + get q i))
+
+let mul p q =
+  let n = Array.length p + Array.length q - 1 in
+  let r = Array.make n 0 in
+  Array.iteri (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) + (pi * qj)) q) p;
+  normalize r
+
+let compose p q =
+  (* Horner's scheme over polynomials *)
+  Array.fold_right (fun c acc -> add (mul acc q) (const c)) p (const 0)
+
+let max_bound p q =
+  let n = max (Array.length p) (Array.length q) in
+  let get a i = if i < Array.length a then a.(i) else 0 in
+  normalize (Array.init n (fun i -> max (get p i) (get q i)))
+
+let pp fmt p =
+  let terms = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 || (i = 0 && Array.length p = 1) then
+        let t =
+          if i = 0 then string_of_int c
+          else if i = 1 then Printf.sprintf "%dn" c
+          else Printf.sprintf "%dn^%d" c i
+        in
+        terms := t :: !terms)
+    p;
+  Format.pp_print_string fmt (String.concat " + " (List.rev !terms))
+
+let fits ~bound samples = List.for_all (fun (input, cost) -> cost <= eval bound input) samples

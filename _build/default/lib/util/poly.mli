@@ -1,0 +1,36 @@
+(** Polynomial bounds. The paper's complexity constraints (step time,
+    certificate size) are always of the form "bounded by a polynomial [p]
+    of a locally measured quantity". We represent these bounds
+    symbolically so they can be evaluated, composed, and checked against
+    empirical measurements. *)
+
+type t
+(** A univariate polynomial with non-negative integer coefficients,
+    [c0 + c1*n + c2*n^2 + ...]. *)
+
+val of_coeffs : int list -> t
+(** [of_coeffs [c0; c1; ...]] with the constant term first. *)
+
+val const : int -> t
+val linear : ?offset:int -> int -> t
+(** [linear ~offset a] is [offset + a*n]. *)
+
+val monomial : coeff:int -> degree:int -> t
+
+val eval : t -> int -> int
+val degree : t -> int
+val add : t -> t -> t
+val mul : t -> t -> t
+val compose : t -> t -> t
+(** [compose p q] evaluates as [fun n -> eval p (eval q n)]. *)
+
+val max_bound : t -> t -> t
+(** A polynomial dominating both arguments pointwise on [n >= 0]
+    (coefficient-wise maximum). *)
+
+val pp : Format.formatter -> t -> unit
+
+val fits : bound:t -> (int * int) list -> bool
+(** [fits ~bound samples] checks that every measured [(input, cost)]
+    sample satisfies [cost <= eval bound input]: the empirical check we
+    use to validate "runs in step time p" claims. *)

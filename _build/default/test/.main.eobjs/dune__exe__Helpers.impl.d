@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bool_formula Format Generators Graph Identifiers List Lph_core Picture QCheck QCheck_alcotest Random String

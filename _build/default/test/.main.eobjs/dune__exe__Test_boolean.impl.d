@@ -1,0 +1,1 @@
+test/test_boolean.ml: Alcotest Bitstring Bool_formula Boolean_graph Cnf Generators Helpers List Lph_core Printf QCheck Sat_solver String Tseytin

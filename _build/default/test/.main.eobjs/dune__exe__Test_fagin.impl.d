@@ -1,0 +1,1 @@
+test/test_fagin.ml: Alcotest Arbiter Certificates Cnf Fagin Formula Game Generators Graph Graph_formulas Helpers List Logic_syntax Lph_core Printf Properties QCheck Sat_solver Seq Tableau

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitstring Certificates Fun Generators Graph Helpers Identifiers Isomorphism List Lph_core Neighborhood Option Poly Seq String Structural Structure

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Arbiter Array Candidates Certificates Game Generators Graph Helpers Identifiers Lcl List Lph_core Machines Poly Printf Properties Runner Separations Step_time Turing

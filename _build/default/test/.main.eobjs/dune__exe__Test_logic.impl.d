@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Formula Generators Graph Graph_formulas Helpers List Logic_eval Logic_syntax Lph_core Properties Relation String Structure

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bitstring Gather Generators Graph Helpers Isomorphism List Local_algo Lph_core Machines Neighborhood Poly Printf Properties Runner Step_time String Turing

@@ -1,0 +1,1 @@
+test/test_picture.ml: Alcotest Array Format Fun Generators Graph Helpers List Logic_syntax Lph_core Pic_languages Pic_local Pic_to_graph Picture Printf Seq Structure Tiling

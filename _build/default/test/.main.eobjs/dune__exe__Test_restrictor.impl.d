@@ -1,0 +1,1 @@
+test/test_restrictor.ml: Alcotest Arbiter Bitstring Candidates Classes Game Generators Graph Helpers List Local_algo Lph_core Printf Properties Restrictor String

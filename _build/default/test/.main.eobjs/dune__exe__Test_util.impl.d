@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitstring Codec Combinat Fun Helpers List Lph_core Poly QCheck Structure

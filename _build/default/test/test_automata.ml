@@ -1,0 +1,372 @@
+open Lph_core
+open Helpers
+module F = Formula
+
+let even_ones =
+  Dfa.create ~alphabet:2 ~states:2 ~start:0 ~accept:[ 0 ] ~delta:(fun s a -> if a = 1 then 1 - s else s)
+
+let contains_11 =
+  Dfa.create ~alphabet:2 ~states:3 ~start:0 ~accept:[ 2 ] ~delta:(fun s a ->
+      match (s, a) with 2, _ -> 2 | _, 0 -> 0 | 0, _ -> 1 | 1, _ -> 2 | _ -> 0)
+
+let dfa_tests =
+  [
+    quick "run and accept" (fun () ->
+        check_bool "even" true (Dfa.accepts even_ones [ 1; 1; 0 ]);
+        check_bool "odd" false (Dfa.accepts even_ones [ 1; 0; 0 ]);
+        check_bool "11" true (Dfa.accepts contains_11 [ 0; 1; 1; 0 ]);
+        check_bool "no 11" false (Dfa.accepts contains_11 [ 1; 0; 1; 0 ]));
+    quick "complement" (fun () ->
+        let c = Dfa.complement even_ones in
+        check_bool "flip" true (Dfa.accepts c [ 1 ]);
+        check_bool "flip2" false (Dfa.accepts c []));
+    quick "product union and intersection" (fun () ->
+        let inter = Dfa.product even_ones contains_11 ~both:( && ) in
+        check_bool "both" true (Dfa.accepts inter [ 1; 1 ]);
+        check_bool "only even" false (Dfa.accepts inter [ 1; 0; 1 ]);
+        let union = Dfa.product even_ones contains_11 ~both:( || ) in
+        check_bool "either" true (Dfa.accepts union [ 1; 0; 1 ]));
+    quick "emptiness and witness" (fun () ->
+        check_bool "nonempty" false (Dfa.is_empty even_ones);
+        let impossible = Dfa.product even_ones (Dfa.complement even_ones) ~both:( && ) in
+        check_bool "empty" true (Dfa.is_empty impossible);
+        match Dfa.find_accepted contains_11 with
+        | Some w -> check_bool "witness accepted" true (Dfa.accepts contains_11 w)
+        | None -> Alcotest.fail "11 language is nonempty");
+    quick "equivalence" (fun () ->
+        check_bool "self" true (Dfa.equivalent even_ones even_ones);
+        check_bool "different" false (Dfa.equivalent even_ones contains_11));
+    quick "minimize" (fun () ->
+        (* blow up even_ones with unreachable and duplicate states *)
+        let bloated =
+          Dfa.create ~alphabet:2 ~states:6 ~start:0 ~accept:[ 0; 2 ] ~delta:(fun s a ->
+              match (s, a) with
+              | 0, 1 -> 1
+              | 0, 0 -> 2
+              | 2, 1 -> 1
+              | 2, 0 -> 0
+              | 1, 1 -> 2
+              | 1, 0 -> 1
+              | s, _ -> s)
+        in
+        let minimized = Dfa.minimize bloated in
+        check_bool "equivalent" true (Dfa.equivalent bloated minimized);
+        check_int "two states" 2 minimized.Dfa.states);
+    quick "enumerate" (fun () ->
+        let words = Dfa.enumerate even_ones ~max_len:3 in
+        check_bool "all accepted" true (List.for_all (Dfa.accepts even_ones) words);
+        (* even-weight words of length <= 3: eps,0,00,11,000,011,101,110 *)
+        check_int "count" 8 (List.length words));
+    qcheck ~count:100 "minimize preserves the language"
+      (arb_word ~alphabet:2 ~max_len:8)
+      (fun w -> Dfa.accepts contains_11 w = Dfa.accepts (Dfa.minimize contains_11) w);
+    qcheck ~count:100 "de morgan on automata" (arb_word ~alphabet:2 ~max_len:7) (fun w ->
+        let lhs = Dfa.complement (Dfa.product even_ones contains_11 ~both:( && )) in
+        let rhs = Dfa.product (Dfa.complement even_ones) (Dfa.complement contains_11) ~both:( || ) in
+        Dfa.accepts lhs w = Dfa.accepts rhs w);
+  ]
+
+let nfa_tests =
+  [
+    quick "determinize a nondeterministic guess" (fun () ->
+        (* accepts words whose last letter is 1 *)
+        let n =
+          {
+            Nfa.alphabet = 2;
+            states = 2;
+            starts = [ 0 ];
+            accept = [| false; true |];
+            delta = (fun s a -> if s = 0 then if a = 1 then [ 0; 1 ] else [ 0 ] else []);
+          }
+        in
+        let d = Nfa.determinize n in
+        List.iter
+          (fun w -> check_bool "agrees" (Nfa.accepts n w) (Dfa.accepts d w))
+          (Automata_word.all_words ~alphabet:2 ~max_len:6));
+  ]
+
+let word_tests =
+  [
+    quick "bitstring conversions" (fun () ->
+        Alcotest.(check (list int)) "of" [ 1; 0; 1 ] (Automata_word.of_bitstring "101");
+        check_string "to" "101" (Automata_word.to_bitstring [ 1; 0; 1 ]));
+    quick "structure shape" (fun () ->
+        let s = Automata_word.structure ~bits:1 [ 1; 0; 1; 1 ] in
+        check_int "card" 4 (Structure.card s);
+        check_int "succ pairs" 3 (List.length (Structure.binary_pairs s 1));
+        Alcotest.(check (list int)) "ones" [ 0; 2; 3 ] (Structure.unary_members s 1));
+  ]
+
+let compare_mso name ~bits formula =
+  quick name (fun () ->
+      let dfa = Mso_to_dfa.compile ~bits formula in
+      List.iter
+        (fun w ->
+          if w <> [] then
+            check_bool
+              (String.concat "" (List.map string_of_int w))
+              (Mso_to_dfa.holds ~bits w formula)
+              (Dfa.accepts dfa w))
+        (Automata_word.all_words ~alphabet:(1 lsl bits) ~max_len:6))
+
+let x_at v = F.App ("X", [ v ])
+
+let even_parity_mso =
+  F.Exists_so
+    ( "X",
+      1,
+      F.conj
+        [
+          F.Forall
+            ( "f",
+              F.Implies
+                ( F.Not (F.Exists ("p", F.Binary (1, "p", "f"))),
+                  F.Iff (x_at "f", F.Unary (1, "f")) ) );
+          F.Forall
+            ( "a",
+              F.Forall
+                ( "b",
+                  F.Implies
+                    ( F.Binary (1, "a", "b"),
+                      F.Iff (x_at "b", F.Iff (x_at "a", F.Not (F.Unary (1, "b")))) ) ) );
+          F.Forall
+            ("l", F.Implies (F.Not (F.Exists ("q", F.Binary (1, "l", "q"))), F.Not (x_at "l")));
+        ] )
+
+let mso_tests =
+  [
+    compare_mso "∃x ⊙1x" ~bits:1 (F.Exists ("x", F.Unary (1, "x")));
+    compare_mso "∀x ⊙1x" ~bits:1 (F.Forall ("x", F.Unary (1, "x")));
+    compare_mso "adjacent 1s" ~bits:1
+      (F.Exists
+         ("x", F.Exists ("y", F.conj [ F.Binary (1, "x", "y"); F.Unary (1, "x"); F.Unary (1, "y") ])));
+    compare_mso "first letter 0" ~bits:1
+      (F.Exists ("x", F.And (F.Not (F.Exists ("y", F.Binary (1, "y", "x"))), F.Not (F.Unary (1, "x")))));
+    compare_mso "bounded quantifier: a 1 next to a 0" ~bits:1
+      (F.Exists ("x", F.And (F.Unary (1, "x"), F.Exists_near ("y", "x", F.Not (F.Unary (1, "y"))))));
+    compare_mso "even parity (monadic Σ1)" ~bits:1 even_parity_mso;
+    compare_mso "2-bit letters" ~bits:2 (F.Exists ("x", F.And (F.Unary (1, "x"), F.Unary (2, "x"))));
+    quick "compiled parity is the minimal 2-state dfa" (fun () ->
+        let d = Mso_to_dfa.compile ~bits:1 even_parity_mso in
+        check_int "states" 2 d.Dfa.states;
+        check_bool "equivalent" true (Dfa.equivalent d even_ones));
+    quick "unsupported features raise" (fun () ->
+        Alcotest.check_raises "binary SO"
+          (Mso_to_dfa.Unsupported "non-monadic second-order quantifier") (fun () ->
+            ignore (Mso_to_dfa.compile ~bits:1 (F.Exists_so ("R", 2, F.True)))));
+  ]
+
+let pumping_tests =
+  [
+    quick "decompose and verify" (fun () ->
+        match Pumping.decompose contains_11 [ 0; 1; 1; 0; 1 ] with
+        | None -> Alcotest.fail "decomposable"
+        | Some d ->
+            check_bool "loop nonempty" true (d.Pumping.loop <> []);
+            check_bool "pump 0..6" true (Pumping.verify contains_11 d ~upto:6);
+            check_bool "pump 1 is original" true
+              (Pumping.pump d 1 = [ 0; 1; 1; 0; 1 ]));
+    quick "short words are not decomposed" (fun () ->
+        check_bool "too short" true (Pumping.decompose contains_11 [ 1; 1 ] = None));
+    qcheck ~count:60 "pumping on every long accepted word"
+      (arb_word ~alphabet:2 ~max_len:10)
+      (fun w ->
+        match Pumping.decompose even_ones w with
+        | None -> (not (Dfa.accepts even_ones w)) || List.length w < even_ones.Dfa.states
+        | Some d -> Pumping.verify even_ones d ~upto:4);
+  ]
+
+let suites =
+  [
+    ("automata:dfa", dfa_tests);
+    ("automata:nfa", nfa_tests);
+    ("automata:word", word_tests);
+    ("automata:mso", mso_tests);
+    ("automata:pumping", pumping_tests);
+  ]
+
+(* Non-regularity refutation: EQ01 escapes every DFA *)
+let nonregular_tests =
+  [
+    quick "eq01 predicate" (fun () ->
+        check_bool "balanced" true (Nonregular.eq01 [ 0; 1; 1; 0 ]);
+        check_bool "unbalanced" false (Nonregular.eq01 [ 0; 1; 1 ]);
+        check_bool "empty" true (Nonregular.eq01 []));
+    quick "every candidate DFA is refuted with a concrete witness" (fun () ->
+        let candidates =
+          [
+            ("even-ones", even_ones);
+            ("contains-11", contains_11);
+            ("complement even-ones", Dfa.complement even_ones);
+            ( "first-letter-0",
+              Dfa.create ~alphabet:2 ~states:3 ~start:0 ~accept:[ 1 ] ~delta:(fun s a ->
+                  match (s, a) with 0, 0 -> 1 | 0, 1 -> 2 | s, _ -> s) );
+            ( "length-multiple-of-2",
+              Dfa.create ~alphabet:2 ~states:2 ~start:0 ~accept:[ 0 ] ~delta:(fun s _ -> 1 - s) );
+          ]
+        in
+        List.iter
+          (fun (name, d) ->
+            match Nonregular.refute_eq01 d with
+            | None -> Alcotest.failf "%s not refuted" name
+            | Some w ->
+                check_bool (name ^ " witness differs") true (Dfa.accepts d w <> Nonregular.eq01 w))
+          candidates);
+    quick "a plausible candidate still falls" (fun () ->
+        (* length-even DFA agrees with EQ01 on all words of length <= 1
+           and on many longer ones, yet is refuted *)
+        let parity_len =
+          Dfa.create ~alphabet:2 ~states:2 ~start:0 ~accept:[ 0 ] ~delta:(fun s _ -> 1 - s)
+        in
+        check_bool "not equal to eq01 somewhere" false
+          (Nonregular.agrees_up_to parity_len Nonregular.eq01 ~max_len:4);
+        check_bool "refuted" true (Option.is_some (Nonregular.refute_eq01 parity_len)));
+    qcheck ~count:30 "refutation witnesses are genuine"
+      QCheck.(int_range 1 5)
+      (fun states ->
+        (* arbitrary DFAs built from a seed *)
+        let d =
+          Dfa.create ~alphabet:2 ~states ~start:0
+            ~accept:(List.filteri (fun i _ -> i mod 2 = 0) (List.init states Fun.id))
+            ~delta:(fun s a -> (s + a + 1) mod states)
+        in
+        match Nonregular.refute_eq01 d with
+        | Some w -> Dfa.accepts d w <> Nonregular.eq01 w
+        | None -> false);
+  ]
+
+let suites = suites @ [ ("automata:nonregular", nonregular_tests) ]
+
+(* words as labelled path graphs: regular languages are NLP-verifiable
+   on the promise class of paths, and unsound beyond it *)
+let word_graph_tests =
+  let labelled_path labels =
+    Generators.path ~labels:(Array.of_list (List.map (String.make 1) labels)) (List.length labels)
+  in
+  [
+    quick "path_word decodes paths in canonical orientation" (fun () ->
+        let g = labelled_path [ '1'; '0'; '0' ] in
+        (* word is min(100, 001) = 001 *)
+        Alcotest.(check (option (list int))) "word" (Some [ 0; 0; 1 ]) (Word_graph.path_word g);
+        Alcotest.(check (option (list int))) "single" (Some [ 1 ]) (Word_graph.path_word (Graph.singleton "1"));
+        check_bool "cycle rejected" true (Word_graph.path_word (Generators.cycle 4) = None);
+        check_bool "star rejected" true (Word_graph.path_word (Generators.star 4) = None);
+        check_bool "long labels rejected" true (Word_graph.path_word (Graph.singleton "11") = None));
+    quick "property_of_language is direction-closed" (fun () ->
+        let starts_with_1 = function 1 :: _ -> true | _ -> false in
+        check_bool "1 at front" true (Word_graph.property_of_language starts_with_1 (labelled_path [ '1'; '0'; '0' ]));
+        check_bool "1 at back" true (Word_graph.property_of_language starts_with_1 (labelled_path [ '0'; '0'; '1' ]));
+        check_bool "no 1 at ends" false (Word_graph.property_of_language starts_with_1 (labelled_path [ '0'; '1'; '0' ])));
+    quick "honest certificates are accepted" (fun () ->
+        List.iter
+          (fun labels ->
+            let g = labelled_path labels in
+            let ids = global_ids g in
+            let prop = Word_graph.property_of_language (Dfa.accepts even_ones) g in
+            match Word_graph.dfa_certificates even_ones g ~ids with
+            | Some certs ->
+                check_bool "property holds" true prop;
+                check_bool "verifier accepts" true
+                  (Runner.decides (Word_graph.dfa_verifier even_ones) g ~ids ~cert_list:certs ())
+            | None -> check_bool "property fails" false prop)
+          [ [ '1'; '1' ]; [ '1'; '0'; '1' ]; [ '0' ]; [ '1' ]; [ '1'; '1'; '1' ] ]);
+    quick "exact game value equals the path property" (fun () ->
+        let verifier = Arbiter.of_local_algo ~id_radius:2 (Word_graph.dfa_verifier even_ones) in
+        List.iter
+          (fun labels ->
+            let g = labelled_path labels in
+            let ids = global_ids g in
+            let universe = Word_graph.cert_universe even_ones g ~ids in
+            check_bool
+              (String.concat "" (List.map (String.make 1) labels))
+              (Word_graph.property_of_language (Dfa.accepts even_ones) g)
+              (Game.sigma_accepts verifier g ~ids ~universes:[ universe ]))
+          [ [ '1'; '1' ]; [ '1'; '0' ]; [ '0'; '0' ]; [ '1'; '0'; '1' ]; [ '1' ]; [ '0' ] ]);
+    quick "the verifier is unsound on cycles (locality strikes again)" (fun () ->
+        (* C4 with all labels 1: not a path at all, but a state-consistent
+           certificate loop exists for the parity DFA, and no node ever
+           performs the acceptance check *)
+        let g = Generators.cycle ~labels:[| "1"; "1"; "1"; "1" |] 4 in
+        let ids = global_ids g in
+        let verifier = Arbiter.of_local_algo ~id_radius:2 (Word_graph.dfa_verifier even_ones) in
+        let universe = Word_graph.cert_universe even_ones g ~ids in
+        check_bool "not a path property instance" false
+          (Word_graph.property_of_language (Dfa.accepts even_ones) g);
+        check_bool "yet the game accepts" true
+          (Game.sigma_accepts verifier g ~ids ~universes:[ universe ]));
+    qcheck ~count:40 "game ≡ property on random labelled paths"
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 4) (QCheck.make QCheck.Gen.(map (fun b -> if b then '1' else '0') bool)))
+      (fun labels ->
+        let g = labelled_path labels in
+        let ids = global_ids g in
+        let verifier = Arbiter.of_local_algo ~id_radius:2 (Word_graph.dfa_verifier contains_11) in
+        let universe = Word_graph.cert_universe contains_11 g ~ids in
+        Game.sigma_accepts verifier g ~ids ~universes:[ universe ]
+        = Word_graph.property_of_language (Dfa.accepts contains_11) g);
+  ]
+
+let suites = suites @ [ ("automata:word-graph", word_graph_tests) ]
+
+(* fuzzing the BET compiler: random MSO sentences vs the model checker *)
+let gen_mso_sentence ~bits =
+  let open QCheck.Gen in
+  let fresh counter prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let rec gen_formula counter fo so depth =
+    let atoms =
+      (if fo = [] then [ (1, return F.True); (1, return F.False) ]
+       else
+         [
+           (3, map2 (fun i x -> F.Unary (i, x)) (int_range 1 bits) (oneofl fo));
+           (2, map2 (fun x y -> F.Binary (1, x, y)) (oneofl fo) (oneofl fo));
+           (1, map2 (fun x y -> F.Eq (x, y)) (oneofl fo) (oneofl fo));
+         ]
+         @ if so = [] then [] else [ (2, map2 (fun r x -> F.App (r, [ x ])) (oneofl so) (oneofl fo)) ])
+    in
+    if depth = 0 then frequency atoms
+    else
+      frequency
+        (atoms
+        @ [
+            (2, map (fun f -> F.Not f) (gen_formula counter fo so (depth - 1)));
+            (3, map2 (fun f g -> F.And (f, g)) (gen_formula counter fo so (depth - 1)) (gen_formula counter fo so (depth - 1)));
+            (3, map2 (fun f g -> F.Or (f, g)) (gen_formula counter fo so (depth - 1)) (gen_formula counter fo so (depth - 1)));
+            ( 3,
+              let x = fresh counter "x" in
+              map (fun f -> F.Exists (x, f)) (gen_formula counter (x :: fo) so (depth - 1)) );
+            ( 2,
+              let x = fresh counter "x" in
+              map (fun f -> F.Forall (x, f)) (gen_formula counter (x :: fo) so (depth - 1)) );
+            ( 1,
+              let r = fresh counter "X" in
+              map (fun f -> F.Exists_so (r, 1, f)) (gen_formula counter fo (r :: so) (depth - 1)) );
+          ])
+  in
+  (* close the sentence with one outer quantifier so atoms always have a
+     variable available *)
+  int_bound 1_000_000 >>= fun _seed ->
+  let counter = ref 0 in
+  let x = fresh counter "x" in
+  map (fun f -> F.Exists (x, f)) (gen_formula counter [ x ] [] 3)
+
+let fuzz_tests =
+  [
+    qcheck ~count:60 "random MSO sentences compile correctly (bits=1)"
+      (QCheck.make ~print:Formula.to_string (gen_mso_sentence ~bits:1))
+      (fun phi ->
+        let dfa = Mso_to_dfa.compile ~bits:1 phi in
+        List.for_all
+          (fun w -> w = [] || Dfa.accepts dfa w = Mso_to_dfa.holds ~bits:1 w phi)
+          (Automata_word.all_words ~alphabet:2 ~max_len:4));
+    qcheck ~count:25 "random MSO sentences compile correctly (bits=2)"
+      (QCheck.make ~print:Formula.to_string (gen_mso_sentence ~bits:2))
+      (fun phi ->
+        let dfa = Mso_to_dfa.compile ~bits:2 phi in
+        List.for_all
+          (fun w -> w = [] || Dfa.accepts dfa w = Mso_to_dfa.holds ~bits:2 w phi)
+          (Automata_word.all_words ~alphabet:4 ~max_len:3));
+  ]
+
+let suites = suites @ [ ("automata:fuzz", fuzz_tests) ]

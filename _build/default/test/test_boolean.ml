@@ -1,0 +1,169 @@
+open Lph_core
+open Helpers
+module BF = Bool_formula
+
+let env_of list v = List.mem v list
+
+let formula_tests =
+  [
+    quick "eval" (fun () ->
+        let f = BF.And (BF.Var "p", BF.Or (BF.Not (BF.Var "q"), BF.Const false)) in
+        check_bool "p=t q=f" true (BF.eval (env_of [ "p" ]) f);
+        check_bool "p=t q=t" false (BF.eval (env_of [ "p"; "q" ]) f));
+    quick "vars sorted distinct" (fun () ->
+        let f = BF.And (BF.Var "q", BF.And (BF.Var "p", BF.Var "q")) in
+        Alcotest.(check (list string)) "vars" [ "p"; "q" ] (BF.vars f));
+    quick "satisfiable" (fun () ->
+        check_bool "sat" true (BF.satisfiable (BF.Or (BF.Var "p", BF.Not (BF.Var "p"))));
+        check_bool "unsat" false (BF.satisfiable (BF.And (BF.Var "p", BF.Not (BF.Var "p"))));
+        check_bool "const" false (BF.satisfiable (BF.Const false)));
+    quick "label encoding examples" (fun () ->
+        let g = BF.implies (BF.Var "a#b") (BF.iff (BF.Const true) (BF.Var "")) in
+        check_bool "bit string" true (Bitstring.is_bitstring (BF.to_label g));
+        check_bool "roundtrip" true (BF.of_label (BF.to_label g) = g));
+    qcheck ~count:200 "label roundtrip" (arb_bool_formula ()) (fun f ->
+        BF.of_label (BF.to_label f) = f);
+    qcheck ~count:100 "rename then eval" (arb_bool_formula ()) (fun f ->
+        let renamed = BF.rename (fun v -> v ^ "!") f in
+        BF.eval (fun v -> String.length v mod 2 = 0) f
+        = BF.eval (fun v -> String.length v mod 2 = 1) renamed);
+  ]
+
+let cnf_tests =
+  [
+    quick "eval / to_formula" (fun () ->
+        let cnf = [ [ Cnf.pos "p"; Cnf.neg "q" ]; [ Cnf.pos "q" ] ] in
+        check_bool "pq" true (Cnf.eval (env_of [ "p"; "q" ]) cnf);
+        check_bool "q only" false (Cnf.eval (env_of [ "q" ]) cnf);
+        check_bool "agree with formula" true
+          (BF.eval (env_of [ "p"; "q" ]) (Cnf.to_formula cnf)
+          = Cnf.eval (env_of [ "p"; "q" ]) cnf));
+    quick "is_3cnf" (fun () ->
+        check_bool "yes" true (Cnf.is_3cnf [ [ Cnf.pos "a"; Cnf.neg "b"; Cnf.pos "c" ] ]);
+        check_bool "no" false
+          (Cnf.is_3cnf [ [ Cnf.pos "a"; Cnf.neg "b"; Cnf.pos "c"; Cnf.pos "d" ] ]));
+    quick "of_formula" (fun () ->
+        let f = BF.And (BF.Or (BF.Var "a", BF.Not (BF.Var "b")), BF.Var "c") in
+        match Cnf.of_formula f with
+        | None -> Alcotest.fail "CNF shape"
+        | Some cnf ->
+            check_int "clauses" 2 (List.length cnf);
+            check_bool "not cnf" true (Cnf.of_formula (BF.Not (BF.And (BF.Var "a", BF.Var "b"))) = None));
+  ]
+
+let tseytin_tests =
+  [
+    quick "produces 3cnf" (fun () ->
+        let f = BF.iff (BF.Var "p") (BF.And (BF.Var "q", BF.Not (BF.Var "r"))) in
+        let cnf = Tseytin.transform ~fresh_prefix:"t" f in
+        check_bool "3cnf" true (Cnf.is_3cnf cnf));
+    quick "reserved prefix rejected" (fun () ->
+        Alcotest.check_raises "reserved"
+          (Invalid_argument "Tseytin.transform: input uses a reserved fresh variable") (fun () ->
+            ignore (Tseytin.transform ~fresh_prefix:"t" (BF.Var "t.1"))));
+    qcheck ~count:150 "equisatisfiable with the input" (arb_bool_formula ()) (fun f ->
+        BF.satisfiable f = Sat_solver.satisfiable (Tseytin.transform ~fresh_prefix:"aux" f));
+    qcheck ~count:100 "satisfying valuations restrict" (arb_bool_formula ~depth:3 ()) (fun f ->
+        match Sat_solver.solve (Tseytin.transform ~fresh_prefix:"aux" f) with
+        | None -> not (BF.satisfiable f)
+        | Some v -> BF.eval v f);
+  ]
+
+let solver_tests =
+  [
+    quick "simple instances" (fun () ->
+        check_bool "unit" true (Sat_solver.satisfiable [ [ Cnf.pos "a" ] ]);
+        check_bool "conflict" false (Sat_solver.satisfiable [ [ Cnf.pos "a" ]; [ Cnf.neg "a" ] ]);
+        check_bool "empty cnf" true (Sat_solver.satisfiable []);
+        check_bool "empty clause" false (Sat_solver.satisfiable [ [] ]));
+    quick "propagation chain" (fun () ->
+        let cnf =
+          [
+            [ Cnf.pos "a" ];
+            [ Cnf.neg "a"; Cnf.pos "b" ];
+            [ Cnf.neg "b"; Cnf.pos "c" ];
+            [ Cnf.neg "c"; Cnf.neg "a" ];
+          ]
+        in
+        check_bool "unsat by chain" false (Sat_solver.satisfiable cnf));
+    quick "pigeonhole 3 into 2" (fun () ->
+        (* pigeon i in hole j: variable p_i_j *)
+        let p i j = Printf.sprintf "p%d%d" i j in
+        let cnf =
+          List.init 3 (fun i -> [ Cnf.pos (p i 0); Cnf.pos (p i 1) ])
+          @ List.concat_map
+              (fun j ->
+                [
+                  [ Cnf.neg (p 0 j); Cnf.neg (p 1 j) ];
+                  [ Cnf.neg (p 0 j); Cnf.neg (p 2 j) ];
+                  [ Cnf.neg (p 1 j); Cnf.neg (p 2 j) ];
+                ])
+              [ 0; 1 ]
+        in
+        check_bool "unsat" false (Sat_solver.satisfiable cnf));
+    qcheck ~count:200 "DPLL agrees with brute force" (arb_bool_formula ()) (fun f ->
+        match Cnf.of_formula f with
+        | Some cnf -> Sat_solver.satisfiable cnf = BF.satisfiable (Cnf.to_formula cnf)
+        | None ->
+            (* convert via Tseytin and compare satisfiability *)
+            Sat_solver.satisfiable (Tseytin.transform ~fresh_prefix:"z" f) = BF.satisfiable f);
+    qcheck ~count:100 "solver models are real models" (arb_bool_formula ~depth:3 ()) (fun f ->
+        match Cnf.of_formula (BF.Or (f, BF.Var "fallback")) with
+        | Some cnf -> (
+            match Sat_solver.solve cnf with Some v -> Cnf.eval v cnf | None -> true)
+        | None -> true);
+  ]
+
+let boolean_graph_tests =
+  let p = BF.Var "p" and q = BF.Var "q" in
+  [
+    quick "satisfiability with shared variables" (fun () ->
+        let bg = Boolean_graph.make (Generators.path 2) [| BF.Or (p, q); BF.Not p |] in
+        check_bool "sat" true (Boolean_graph.satisfiable bg);
+        let bg2 = Boolean_graph.make (Generators.path 2) [| BF.And (p, q); BF.Not p |] in
+        check_bool "unsat" false (Boolean_graph.satisfiable bg2));
+    quick "non-adjacent nodes may disagree" (fun () ->
+        (* p at node 0 and p at node 2 are different instances: the
+           middle node does not mention p, so no constraint links them *)
+        let bg = Boolean_graph.make (Generators.path 3) [| p; BF.Const true; BF.Not p |] in
+        check_bool "sat" true (Boolean_graph.satisfiable bg));
+    quick "adjacent chain forces propagation" (fun () ->
+        let bg = Boolean_graph.make (Generators.path 3) [| p; BF.iff p q; BF.Not q |] in
+        check_bool "unsat" false (Boolean_graph.satisfiable bg));
+    quick "sat restriction to NODE" (fun () ->
+        check_bool "sat" true (Boolean_graph.satisfiable (Boolean_graph.sat (BF.Var "x")));
+        check_bool "unsat" false
+          (Boolean_graph.satisfiable (Boolean_graph.sat (BF.And (BF.Var "x", BF.Not (BF.Var "x"))))));
+    quick "is_3cnf_graph" (fun () ->
+        let cnf_formula = BF.And (BF.Or (p, BF.Not q), q) in
+        let bg = Boolean_graph.make (Generators.path 2) [| cnf_formula; p |] in
+        check_bool "yes" true (Boolean_graph.is_3cnf_graph bg);
+        let bg2 = Boolean_graph.make (Generators.path 2) [| BF.Not (BF.And (p, q)); p |] in
+        check_bool "no" false (Boolean_graph.is_3cnf_graph bg2));
+    quick "checkable_locally" (fun () ->
+        let bg = Boolean_graph.make (Generators.path 2) [| p; BF.Not p |] in
+        check_bool "inconsistent valuations caught" false
+          (Boolean_graph.checkable_locally bg ~valuations:(fun u _ -> u = 0));
+        let bg2 = Boolean_graph.make (Generators.path 2) [| p; BF.Not q |] in
+        check_bool "disjoint vars fine" true
+          (Boolean_graph.checkable_locally bg2 ~valuations:(fun u _ -> u = 0)));
+    qcheck ~count:40 "DPLL path agrees with brute force"
+      QCheck.(pair (arb_bool_formula ~depth:3 ()) (arb_bool_formula ~depth:3 ()))
+      (fun (f, g) ->
+        let bg = Boolean_graph.make (Generators.path 2) [| f; g |] in
+        Boolean_graph.satisfiable bg = Boolean_graph.satisfiable_brute bg);
+    qcheck ~count:25 "DPLL triangle agrees with brute force"
+      QCheck.(triple (arb_bool_formula ~depth:2 ()) (arb_bool_formula ~depth:2 ()) (arb_bool_formula ~depth:2 ()))
+      (fun (f, g, h) ->
+        let bg = Boolean_graph.make (Generators.cycle 3) [| f; g; h |] in
+        Boolean_graph.satisfiable bg = Boolean_graph.satisfiable_brute bg);
+  ]
+
+let suites =
+  [
+    ("boolean:formula", formula_tests);
+    ("boolean:cnf", cnf_tests);
+    ("boolean:tseytin", tseytin_tests);
+    ("boolean:solver", solver_tests);
+    ("boolean:graph", boolean_graph_tests);
+  ]

@@ -1,0 +1,274 @@
+open Lph_core
+open Helpers
+
+let graph_tests =
+  [
+    quick "make validates connectivity" (fun () ->
+        Alcotest.check_raises "disconnected"
+          (Graph.Invalid "graph is not connected (1 of 2 nodes reachable)") (fun () ->
+            ignore (Graph.make ~labels:[| "1"; "1" |] ~edges:[])));
+    quick "make rejects self loops" (fun () ->
+        Alcotest.check_raises "loop" (Graph.Invalid "self-loop at node 0") (fun () ->
+            ignore (Graph.make ~labels:[| "1" |] ~edges:[ (0, 0) ])));
+    quick "make rejects duplicate edges" (fun () ->
+        Alcotest.check_raises "dup" (Graph.Invalid "duplicate edge") (fun () ->
+            ignore (Graph.make ~labels:[| "1"; "1" |] ~edges:[ (0, 1); (1, 0) ])));
+    quick "make rejects bad labels" (fun () ->
+        Alcotest.check_raises "label" (Graph.Invalid "label of node 0 is not a bit string")
+          (fun () -> ignore (Graph.make ~labels:[| "abc" |] ~edges:[])));
+    quick "accessors" (fun () ->
+        let g = Graph.make ~labels:[| "0"; "1"; "" |] ~edges:[ (0, 1); (1, 2) ] in
+        check_int "card" 3 (Graph.card g);
+        check_int "edges" 2 (Graph.num_edges g);
+        check_int "degree" 2 (Graph.degree g 1);
+        Alcotest.(check (list int)) "nbrs" [ 0; 2 ] (Graph.neighbours g 1);
+        check_bool "has" true (Graph.has_edge g 2 1);
+        check_bool "hasn't" false (Graph.has_edge g 0 2);
+        check_string "label" "1" (Graph.label g 1);
+        check_bool "single" false (Graph.is_node_graph g));
+    quick "singleton" (fun () ->
+        let g = Graph.singleton "101" in
+        check_bool "node graph" true (Graph.is_node_graph g);
+        check_int "card" 1 (Graph.card g));
+    quick "with_labels and map_labels" (fun () ->
+        let g = Generators.cycle 3 in
+        let g' = Graph.map_labels (fun u _ -> Bitstring.of_int u) g in
+        check_string "label 2" "10" (Graph.label g' 2);
+        check_bool "all one" true (Graph.all_labels_one g);
+        check_bool "not all one" false (Graph.all_labels_one g'));
+    quick "union_disjoint" (fun () ->
+        let g = Generators.path 2 and h = Generators.path 3 in
+        let u = Graph.union_disjoint g h ~bridge:[ (1, 0) ] in
+        check_int "card" 5 (Graph.card u);
+        check_int "edges" 4 (Graph.num_edges u);
+        check_bool "bridge" true (Graph.has_edge u 1 2));
+    qcheck "edges are symmetric and within range" (arb_graph ()) (fun g ->
+        List.for_all
+          (fun (u, v) -> u < v && Graph.has_edge g u v && Graph.has_edge g v u)
+          (Graph.edges g));
+    qcheck "degree sums to twice the edges" (arb_graph ()) (fun g ->
+        List.fold_left (fun acc u -> acc + Graph.degree g u) 0 (Graph.nodes g)
+        = 2 * Graph.num_edges g);
+  ]
+
+let generator_tests =
+  [
+    quick "path" (fun () ->
+        let g = Generators.path 5 in
+        check_int "edges" 4 (Graph.num_edges g);
+        check_int "max degree" 2 (Graph.max_degree g));
+    quick "cycle" (fun () ->
+        let g = Generators.cycle 6 in
+        check_int "edges" 6 (Graph.num_edges g);
+        check_bool "regular" true (List.for_all (fun u -> Graph.degree g u = 2) (Graph.nodes g)));
+    quick "complete" (fun () ->
+        check_int "K5 edges" 10 (Graph.num_edges (Generators.complete 5)));
+    quick "star" (fun () ->
+        let g = Generators.star 6 in
+        check_int "centre degree" 5 (Graph.degree g 0);
+        check_int "leaf degree" 1 (Graph.degree g 3));
+    quick "grid" (fun () ->
+        let g = Generators.grid ~rows:3 ~cols:4 () in
+        check_int "card" 12 (Graph.card g);
+        check_int "edges" ((2 * 4) + (3 * 3)) (Graph.num_edges g));
+    quick "binary tree" (fun () ->
+        let g = Generators.balanced_binary_tree ~depth:3 () in
+        check_int "card" 15 (Graph.card g);
+        check_int "edges" 14 (Graph.num_edges g));
+    quick "glued cycle" (fun () ->
+        let g, g' = Generators.glued_even_cycle 5 in
+        check_int "odd" 5 (Graph.card g);
+        check_int "even" 10 (Graph.card g'));
+    qcheck "random graphs are valid" (arb_graph ~max_nodes:10 ()) (fun g -> Graph.card g >= 1);
+  ]
+
+let neighborhood_tests =
+  [
+    quick "distances on a path" (fun () ->
+        let g = Generators.path 5 in
+        check_int "0->4" 4 (Neighborhood.distance g 0 4);
+        check_int "2->2" 0 (Neighborhood.distance g 2 2);
+        check_int "ecc" 4 (Neighborhood.eccentricity g 0);
+        check_int "diameter" 4 (Neighborhood.diameter g));
+    quick "ball" (fun () ->
+        let g = Generators.cycle 6 in
+        Alcotest.(check (list int)) "radius 1" [ 0; 1; 5 ] (Neighborhood.ball g ~radius:1 0);
+        check_int "radius 3 covers" 6 (List.length (Neighborhood.ball g ~radius:3 0)));
+    quick "induced subgraph" (fun () ->
+        let g = Generators.cycle 5 in
+        let ind = Neighborhood.induced g [ 0; 1; 2 ] in
+        check_int "card" 3 (Graph.card ind.Neighborhood.subgraph);
+        check_int "edges" 2 (Graph.num_edges ind.Neighborhood.subgraph);
+        check_int "back" 2 (ind.Neighborhood.of_sub (Option.get (ind.Neighborhood.to_sub 2))));
+    quick "r_neighbourhood matches ball" (fun () ->
+        let g = Generators.grid ~rows:3 ~cols:3 () in
+        let ind = Neighborhood.r_neighbourhood g ~radius:1 4 in
+        check_int "centre ball" 5 (Graph.card ind.Neighborhood.subgraph));
+    quick "ball_information" (fun () ->
+        let g = Generators.path 3 in
+        let ids = [| "00"; "01"; "10" |] in
+        (* node 1 ball radius 1 = all three nodes: each contributes 1 + 1 + 2 *)
+        check_int "info" 12 (Neighborhood.ball_information g ~ids ~radius:1 1));
+    qcheck "distance is a metric (triangle on random pairs)"
+      (arb_graph ~max_nodes:7 ())
+      (fun g ->
+        let n = Graph.card g in
+        List.for_all
+          (fun u ->
+            List.for_all
+              (fun v ->
+                List.for_all
+                  (fun w ->
+                    Neighborhood.distance g u w
+                    <= Neighborhood.distance g u v + Neighborhood.distance g v w)
+                  (List.init n Fun.id))
+              (List.init n Fun.id))
+          (List.init n Fun.id));
+  ]
+
+let identifier_tests =
+  [
+    quick "compare_id is the paper's order" (fun () ->
+        check_bool "prefix" true (Identifiers.compare_id "0" "00" < 0);
+        check_bool "bit" true (Identifiers.compare_id "01" "1" < 0);
+        check_bool "equal" true (Identifiers.compare_id "10" "10" = 0));
+    quick "make_global is globally unique and small" (fun () ->
+        let g = Generators.cycle 6 in
+        let ids = Identifiers.make_global g in
+        check_bool "global" true (Identifiers.is_globally_unique g ids);
+        check_bool "locally r=3" true (Identifiers.is_locally_unique g ~radius:3 ids));
+    quick "cyclic local uniqueness" (fun () ->
+        let g = Generators.cycle 20 in
+        let ids = Identifiers.cyclic g ~period:5 in
+        check_bool "r=1" true (Identifiers.is_locally_unique g ~radius:1 ids);
+        check_bool "not r=5" false (Identifiers.is_locally_unique g ~radius:5 ids));
+    quick "duplicate" (fun () ->
+        let ids = [| "a0" |] in
+        ignore ids;
+        let ids = [| "00"; "01" |] in
+        Alcotest.(check (array string)) "dup" [| "00"; "01"; "00"; "01" |] (Identifiers.duplicate ids));
+    quick "single node gets the empty identifier" (fun () ->
+        let g = Graph.singleton "1" in
+        let ids = Identifiers.make_small g ~radius:1 in
+        check_string "empty" "" ids.(0);
+        check_bool "small" true (Identifiers.is_small g ~radius:1 ids));
+    qcheck "make_small is locally unique and small (radius 1)"
+      (arb_graph ~max_nodes:8 ())
+      (fun g ->
+        let ids = Identifiers.make_small g ~radius:1 in
+        Identifiers.is_locally_unique g ~radius:1 ids && Identifiers.is_small g ~radius:1 ids);
+    qcheck "make_small radius 2" (arb_graph ~max_nodes:8 ()) (fun g ->
+        let ids = Identifiers.make_small g ~radius:2 in
+        Identifiers.is_locally_unique g ~radius:2 ids && Identifiers.is_small g ~radius:2 ids);
+  ]
+
+let certificate_tests =
+  [
+    quick "trivial" (fun () ->
+        let g = Generators.path 3 in
+        Alcotest.(check (array string)) "empty" [| ""; ""; "" |] (Certificates.trivial g));
+    quick "bounds" (fun () ->
+        let g = Generators.path 3 in
+        let ids = global_ids g in
+        let bound = { Certificates.radius = 1; poly = Poly.linear 1 } in
+        (* node 0's 1-ball = nodes 0,1: info = (1 + 1 + 2) * 2 = 8 *)
+        check_int "max_length" 8 (Certificates.max_length g ~ids bound 0);
+        check_bool "bounded" true (Certificates.is_bounded g ~ids bound [| "00000000"; ""; "1" |]);
+        check_bool "unbounded" false (Certificates.is_bounded g ~ids bound [| "000000000"; ""; "1" |]));
+    quick "list assignment and split" (fun () ->
+        let k1 = [| "0"; "1" |] and k2 = [| ""; "11" |] in
+        let l = Certificates.list_assignment [ k1; k2 ] in
+        check_string "node0" "0#" l.(0);
+        check_string "node1" "1#11" l.(1);
+        Alcotest.(check (list string)) "split" [ "0"; "" ] (Certificates.split_list ~levels:2 l.(0));
+        Alcotest.(check (list string)) "pad" [ "1"; "11"; "" ] (Certificates.split_list ~levels:3 l.(1));
+        Alcotest.(check (list string)) "drop" [ "1" ] (Certificates.split_list ~levels:1 l.(1)));
+    quick "all_assignments count" (fun () ->
+        let g = Generators.path 2 in
+        (* each node: bitstrings of length <= 1 -> 3 choices *)
+        check_int "9" 9 (Seq.length (Certificates.all_assignments g ~max_len:1)));
+  ]
+
+let structural_tests =
+  [
+    quick "figure 4 shape" (fun () ->
+        (* a triangle with labels of lengths 1, 2, 0 *)
+        let g = Graph.make ~labels:[| "1"; "01"; "" |] ~edges:[ (0, 1); (1, 2); (0, 2) ] in
+        let repr = Structural.of_graph g in
+        let s = Structural.structure repr in
+        check_int "card" 6 (Structure.card s);
+        check_int "card fn" 6 (Structural.card g);
+        (* edge relation is symmetric inside ⇀1, bit successors one-way *)
+        let n0 = Structural.to_index repr (Structural.Node 0) in
+        let n1 = Structural.to_index repr (Structural.Node 1) in
+        let b11 = Structural.to_index repr (Structural.Bit (1, 1)) in
+        let b12 = Structural.to_index repr (Structural.Bit (1, 2)) in
+        check_bool "edge" true (Structure.mem_binary s 1 n0 n1);
+        check_bool "edge sym" true (Structure.mem_binary s 1 n1 n0);
+        check_bool "bit succ" true (Structure.mem_binary s 1 b11 b12);
+        check_bool "bit succ oneway" false (Structure.mem_binary s 1 b12 b11);
+        check_bool "ownership" true (Structure.mem_binary s 2 n1 b11);
+        check_bool "bit value" true (Structure.mem_unary s 1 b12);
+        check_bool "bit value 0" false (Structure.mem_unary s 1 b11));
+    quick "structural degree" (fun () ->
+        let g = Graph.make ~labels:[| "11"; "" |] ~edges:[ (0, 1) ] in
+        check_int "deg+len" 3 (Structural.structural_degree g 0);
+        check_int "deg only" 1 (Structural.structural_degree g 1);
+        check_int "max" 3 (Structural.max_structural_degree g);
+        check_bool "GRAPH(3)" true (Structural.in_graph_delta g 3);
+        check_bool "not GRAPH(2)" false (Structural.in_graph_delta g 2));
+    quick "node_elements" (fun () ->
+        let g = Graph.make ~labels:[| "101" |] ~edges:[] in
+        let repr = Structural.of_graph g in
+        check_int "4 elements" 4 (List.length (Structural.node_elements repr 0)));
+    qcheck "structural card = nodes + label bits" (arb_graph ~label_bits:2 ()) (fun g ->
+        Structural.card g
+        = Graph.card g
+          + List.fold_left (fun acc u -> acc + String.length (Graph.label g u)) 0 (Graph.nodes g));
+    qcheck "neighbourhood example of section 3" (arb_graph ()) (fun g ->
+        (* N_0 structural card = 1 + |label| for every node *)
+        List.for_all
+          (fun u ->
+            let ind = Neighborhood.r_neighbourhood g ~radius:0 u in
+            Structural.card ind.Neighborhood.subgraph = 1 + String.length (Graph.label g u))
+          (Graph.nodes g));
+  ]
+
+let isomorphism_tests =
+  [
+    quick "cycle relabelings are isomorphic" (fun () ->
+        let g = Generators.cycle 5 in
+        let h =
+          Graph.make ~labels:(Array.make 5 "1")
+            ~edges:[ (0, 2); (2, 4); (4, 1); (1, 3); (3, 0) ]
+        in
+        check_bool "iso" true (Isomorphism.isomorphic g h));
+    quick "labels matter" (fun () ->
+        let g = Generators.cycle 3 in
+        let h = Graph.with_labels g [| "1"; "1"; "0" |] in
+        check_bool "not iso" false (Isomorphism.isomorphic g h);
+        check_bool "rotation iso" true
+          (Isomorphism.isomorphic h (Graph.with_labels g [| "0"; "1"; "1" |])));
+    quick "path vs star" (fun () ->
+        check_bool "not iso" false (Isomorphism.isomorphic (Generators.path 4) (Generators.star 4)));
+    quick "mapping preserves edges" (fun () ->
+        let g = Generators.grid ~rows:2 ~cols:2 () in
+        match Isomorphism.find g g with
+        | None -> Alcotest.fail "self iso"
+        | Some m ->
+            check_bool "preserves" true
+              (List.for_all (fun (u, v) -> Graph.has_edge g m.(u) m.(v)) (Graph.edges g)));
+    qcheck "graphs are isomorphic to themselves" (arb_graph ~max_nodes:6 ()) (fun g ->
+        Isomorphism.isomorphic g g);
+  ]
+
+let suites =
+  [
+    ("graph:core", graph_tests);
+    ("graph:generators", generator_tests);
+    ("graph:neighborhood", neighborhood_tests);
+    ("graph:identifiers", identifier_tests);
+    ("graph:certificates", certificate_tests);
+    ("graph:structural", structural_tests);
+    ("graph:isomorphism", isomorphism_tests);
+  ]

@@ -1,0 +1,223 @@
+open Lph_core
+open Helpers
+module F = Formula
+module GF = Graph_formulas
+
+let formula_tests =
+  [
+    quick "free variables" (fun () ->
+        let f = F.Exists ("x", F.And (F.Unary (1, "x"), F.Binary (1, "x", "y"))) in
+        Alcotest.(check (list string)) "fo" [ "y" ] (F.free_fo f);
+        let g = F.Exists_so ("R", 2, F.App ("R", [ "x"; "y" ])) in
+        Alcotest.(check (list string)) "so bound" [] (List.map fst (F.free_so g));
+        let h = F.App ("S", [ "x" ]) in
+        Alcotest.(check (list (pair string int))) "so free" [ ("S", 1) ] (F.free_so h));
+    quick "free_so rejects mixed arities" (fun () ->
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Formula.free_so: R used at arities 1 and 2") (fun () ->
+            ignore (F.free_so (F.And (F.App ("R", [ "x" ]), F.App ("R", [ "x"; "y" ]))))));
+    quick "substitution" (fun () ->
+        let f = F.And (F.Unary (1, "x"), F.Exists_near ("z", "x", F.Eq ("z", "x"))) in
+        let f' = F.subst_fo f "x" "y" in
+        Alcotest.(check (list string)) "now y" [ "y" ] (F.free_fo f'));
+    quick "substitution capture is refused" (fun () ->
+        let f = F.Exists ("y", F.Eq ("x", "y")) in
+        Alcotest.check_raises "capture"
+          (Invalid_argument "Formula.subst_fo: substituting y for x captures under binder y")
+          (fun () -> ignore (F.subst_fo f "x" "y")));
+    quick "exists_within radius 0" (fun () ->
+        let f = F.exists_within ~radius:0 "x" "y" (F.Unary (1, "x")) in
+        check_bool "is substitution" true (f = F.Unary (1, "y")));
+    quick "exists_within radius grows" (fun () ->
+        let f1 = F.exists_within ~radius:1 "x" "y" (F.Unary (1, "x")) in
+        let f2 = F.exists_within ~radius:2 "x" "y" (F.Unary (1, "x")) in
+        check_bool "bigger" true (F.size f2 > F.size f1));
+    quick "size and pp" (fun () ->
+        let f = F.And (F.True, F.Not F.False) in
+        check_int "size" 4 (F.size f);
+        check_bool "prints" true (String.length (F.to_string GF.all_selected) > 10));
+    quick "conj/disj" (fun () ->
+        check_bool "empty conj" true (F.conj [] = F.True);
+        check_bool "empty disj" true (F.disj [] = F.False));
+  ]
+
+let syntax_tests =
+  [
+    quick "classes of the section 5.2 formulas" (fun () ->
+        check_bool "all_selected LFO" true (Logic_syntax.is_lfo GF.all_selected);
+        check_bool "3col Σ1" true (Logic_syntax.in_sigma_lfo 1 GF.three_colorable);
+        check_bool "3col not Σ0" false (Logic_syntax.in_sigma_lfo 0 GF.three_colorable);
+        check_bool "3col not Π1" false (Logic_syntax.in_pi_lfo 1 GF.three_colorable);
+        check_bool "3col Π2" true (Logic_syntax.in_pi_lfo 2 GF.three_colorable);
+        check_bool "nas Σ3" true (Logic_syntax.in_sigma_lfo 3 GF.not_all_selected);
+        check_bool "nas not Σ2" false (Logic_syntax.in_sigma_lfo 2 GF.not_all_selected);
+        check_bool "nas Π4" true (Logic_syntax.in_pi_lfo 4 GF.not_all_selected);
+        check_bool "non3col Π4" true (Logic_syntax.in_pi_lfo 4 GF.non_3_colorable);
+        check_bool "ham Σ5" true (Logic_syntax.in_sigma_lfo 5 GF.hamiltonian);
+        check_bool "ham not Σ4" false (Logic_syntax.in_sigma_lfo 4 GF.hamiltonian);
+        check_bool "nonham Π4" true (Logic_syntax.in_pi_lfo 4 GF.non_hamiltonian));
+    quick "monadicity" (fun () ->
+        check_bool "3col monadic" true (Logic_syntax.is_monadic GF.three_colorable);
+        check_bool "nas not monadic (binary P)" false (Logic_syntax.is_monadic GF.not_all_selected));
+    quick "bf membership" (fun () ->
+        check_bool "is_selected BF" true (Logic_syntax.is_bf (GF.is_selected "x"));
+        check_bool "unbounded not BF" false (Logic_syntax.is_bf (F.Exists ("x", F.True)));
+        check_bool "fo yes" true (Logic_syntax.is_fo (F.Exists ("x", F.True))));
+    quick "so blocks" (fun () ->
+        let blocks, _ = Logic_syntax.so_blocks GF.hamiltonian in
+        check_int "5 blocks" 5 (List.length blocks);
+        let level, first = Logic_syntax.level GF.non_hamiltonian in
+        check_int "level 4" 4 level;
+        check_bool "starts with forall" true (first = Some Logic_syntax.All));
+    quick "visibility radius" (fun () ->
+        check_int "atom" 0 (Logic_syntax.visibility_radius (F.Unary (1, "x")));
+        check_int "one hop" 1 (Logic_syntax.visibility_radius (F.Exists_near ("y", "x", F.True)));
+        check_bool "is_selected sees 2" true
+          (Logic_syntax.visibility_radius (GF.is_selected "x") = 2));
+    quick "sentences" (fun () ->
+        check_bool "yes" true (Logic_syntax.is_sentence GF.all_selected);
+        check_bool "no" false (Logic_syntax.is_sentence (GF.is_selected "x")));
+  ]
+
+let eval_tests =
+  [
+    quick "atomic evaluation" (fun () ->
+        let s = Structure.create ~card:3 ~unary:[| [ 0 ] |] ~binary:[| [ (0, 1); (1, 2) ] |] in
+        let env = Logic_eval.bind_fo Logic_eval.empty_env "x" 0 in
+        check_bool "unary" true (Logic_eval.eval s env (F.Unary (1, "x")));
+        let env = Logic_eval.bind_fo env "y" 1 in
+        check_bool "binary" true (Logic_eval.eval s env (F.Binary (1, "x", "y")));
+        check_bool "eq" false (Logic_eval.eval s env (F.Eq ("x", "y"))));
+    quick "bounded quantifier semantics" (fun () ->
+        let s = Structure.create ~card:3 ~unary:[| [ 2 ] |] ~binary:[| [ (0, 1); (1, 2) ] |] in
+        let env = Logic_eval.bind_fo Logic_eval.empty_env "y" 0 in
+        (* element 2 is not ⇌-adjacent to 0 *)
+        check_bool "near miss" false
+          (Logic_eval.eval s env (F.Exists_near ("x", "y", F.Unary (1, "x"))));
+        check_bool "unbounded hit" true (Logic_eval.eval s env (F.Exists ("x", F.Unary (1, "x")))));
+    quick "second order over explicit candidates" (fun () ->
+        let s = Structure.create ~card:2 ~unary:[||] ~binary:[| [ (0, 1) ] |] in
+        let universe _ _ _ = Logic_eval.Explicit [ Relation.of_list [ [ 0 ] ]; Relation.of_list [ [ 1 ] ] ] in
+        let f = F.Exists_so ("X", 1, F.Forall ("x", F.Iff (F.App ("X", [ "x" ]), F.Eq ("x", "x")))) in
+        (* no candidate contains both elements *)
+        check_bool "no full set" false (Logic_eval.eval ~so_universe:universe s Logic_eval.empty_env f));
+    quick "universe guard" (fun () ->
+        let s = Structure.create ~card:6 ~unary:[||] ~binary:[| [ (0, 1) ] |] in
+        Alcotest.check_raises "too large" (Logic_eval.Universe_too_large ("R", 36)) (fun () ->
+            ignore
+              (Logic_eval.eval ~max_universe:10 s Logic_eval.empty_env
+                 (F.Exists_so ("R", 2, F.True)))));
+    quick "holds requires sentences" (fun () ->
+        Alcotest.check_raises "open" (Invalid_argument "Eval.holds: not a sentence") (fun () ->
+            ignore (Logic_eval.holds (Structure.create ~card:1 ~unary:[||] ~binary:[||]) (F.Unary (1, "x")))));
+  ]
+
+(* the §5.2 formulas against ground truth, exhaustively on small graphs *)
+let semantics_tests =
+  let graphs_small =
+    [
+      Generators.cycle 3;
+      Generators.cycle 4;
+      Generators.path 2;
+      Generators.path 3;
+      Generators.complete 4;
+      Generators.star 4;
+      Graph.singleton "1";
+      Graph.singleton "0";
+    ]
+  in
+  let agree name formula truth graphs =
+    quick name (fun () ->
+        List.iter
+          (fun g ->
+            check_bool (graph_print g) (truth g) (GF.holds g formula))
+          graphs)
+  in
+  [
+    agree "all_selected ≡ ALL-SELECTED" GF.all_selected Properties.all_selected
+      (graphs_small
+      @ [ Graph.with_labels (Generators.cycle 3) [| "1"; "11"; "1" |] ]);
+    agree "not_all_selected ≡ complement" GF.not_all_selected Properties.not_all_selected
+      [
+        Generators.cycle 3;
+        Graph.with_labels (Generators.cycle 3) [| "1"; "0"; "1" |];
+        Graph.with_labels (Generators.path 2) [| "0"; "0" |];
+        Graph.singleton "1";
+        Graph.singleton "0";
+        Graph.with_labels (Generators.cycle 4) [| "1"; "1"; "1"; "0" |];
+      ];
+    agree "two_colorable ≡ bipartite" GF.two_colorable Properties.two_colorable graphs_small;
+    agree "three_colorable ≡ 3COL" GF.three_colorable Properties.three_colorable graphs_small;
+    agree "hamiltonian ≡ HAM" GF.hamiltonian Properties.hamiltonian
+      [ Generators.cycle 3; Generators.path 3; Generators.complete 4; Generators.star 4 ];
+    agree "non_hamiltonian ≡ complement" GF.non_hamiltonian
+      (fun g -> not (Properties.hamiltonian g))
+      [ Generators.cycle 3; Generators.path 3; Generators.star 4 ];
+    agree "non_3_colorable ≡ complement" GF.non_3_colorable
+      (fun g -> not (Properties.three_colorable g))
+      [ Generators.cycle 3; Generators.path 2; Generators.complete 4 ];
+    qcheck ~count:30 "all_selected agrees on random graphs" (arb_graph ~max_nodes:5 ()) (fun g ->
+        GF.holds g GF.all_selected = Properties.all_selected g);
+    qcheck ~count:15 "2-colourability agrees on random graphs" (arb_graph ~max_nodes:4 ())
+      (fun g -> GF.holds g GF.two_colorable = Properties.two_colorable g);
+    quick "smart universe agrees with node universe (Σ3, tiny)" (fun () ->
+        (* cross-check the P/H universe optimisations against plain
+           local-tuple enumeration *)
+        List.iter
+          (fun g ->
+            let smart =
+              Logic_eval.holds_graph ~so_universe:(GF.smart_universe g) ~max_universe:64 g
+                GF.not_all_selected
+            in
+            let plain =
+              Logic_eval.holds_graph ~so_universe:(GF.node_universe g) ~max_universe:64 g
+                GF.not_all_selected
+            in
+            check_bool (graph_print g) plain smart)
+          [
+            Generators.path 2;
+            Graph.with_labels (Generators.path 2) [| "0"; "1" |];
+            Generators.cycle 3;
+            Graph.with_labels (Generators.cycle 3) [| "1"; "0"; "1" |];
+          ]);
+  ]
+
+let suites =
+  [
+    ("logic:formula", formula_tests);
+    ("logic:syntax", syntax_tests);
+    ("logic:eval", eval_tests);
+    ("logic:semantics", semantics_tests);
+  ]
+
+(* negation normal form and the paper's LFO asymmetry *)
+let negation_tests =
+  [
+    quick "negate is semantically the negation" (fun () ->
+        let g = Graph.with_labels (Generators.cycle 3) [| "1"; "0"; "1" |] in
+        List.iter
+          (fun phi ->
+            check_bool (F.to_string phi) (not (GF.holds g phi)) (GF.holds g (F.negate phi)))
+          [ GF.all_selected; GF.two_colorable ]);
+    quick "negate dualises quantifiers" (fun () ->
+        let phi = F.Exists_so ("X", 1, F.Forall ("x", F.Exists_near ("y", "x", F.App ("X", [ "y" ])))) in
+        match F.negate phi with
+        | F.Forall_so ("X", 1, F.Exists ("x", F.Forall_near ("y", "x", F.Not (F.App ("X", [ "y" ]))))) -> ()
+        | other -> Alcotest.failf "unexpected shape: %s" (F.to_string other));
+    quick "negate is an involution up to double negation" (fun () ->
+        let phi = GF.three_colorable in
+        check_bool "same truth" true
+          (GF.holds (Generators.cycle 3) (F.negate (F.negate phi))
+          = GF.holds (Generators.cycle 3) phi));
+    quick "LFO is not closed under negation (Section 5.1)" (fun () ->
+        check_bool "all_selected is LFO" true (Logic_syntax.is_lfo GF.all_selected);
+        check_bool "its NNF negation is not LFO" false (Logic_syntax.is_lfo (F.negate GF.all_selected));
+        check_bool "nor in any Σl^LFO" false (Logic_syntax.in_sigma_lfo 5 (F.negate GF.all_selected));
+        (* Example 4 instead re-expresses the complement as a Σ3 game *)
+        check_bool "Example 4's workaround is Σ3" true (Logic_syntax.in_sigma_lfo 3 GF.not_all_selected));
+    qcheck ~count:20 "negate agrees with Not on random graphs" (arb_graph ~max_nodes:4 ())
+      (fun g ->
+        GF.holds g (F.negate GF.all_selected) = not (GF.holds g GF.all_selected));
+  ]
+
+let suites = suites @ [ ("logic:negation", negation_tests) ]

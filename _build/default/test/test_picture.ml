@@ -1,0 +1,247 @@
+open Lph_core
+open Helpers
+
+let picture_tests =
+  [
+    quick "creation and access" (fun () ->
+        let p = Picture.of_rows [ [ "10"; "01" ]; [ "11"; "00" ] ] in
+        check_int "rows" 2 (Picture.rows p);
+        check_int "cols" 2 (Picture.cols p);
+        check_int "bits" 2 (Picture.bits p);
+        check_string "get" "01" (Picture.get p 1 2);
+        check_string "get2" "11" (Picture.get p 2 1));
+    quick "validation" (fun () ->
+        Alcotest.check_raises "ragged" (Invalid_argument "Picture.of_rows: ragged rows") (fun () ->
+            ignore (Picture.of_rows [ [ "1" ]; [ "1"; "0" ] ]));
+        Alcotest.check_raises "width"
+          (Invalid_argument "Picture.create: entry is not a bit string of the declared length")
+          (fun () -> ignore (Picture.create ~bits:2 ~rows:1 ~cols:1 (fun _ _ -> "1"))));
+    quick "structure of figure 5" (fun () ->
+        (* 2-bit picture of size (3,4): 12 elements, signature (2,2) *)
+        let p = Picture.constant ~bits:2 ~rows:3 ~cols:4 "10" in
+        let s = Picture.structure p in
+        check_int "card" 12 (Structure.card s);
+        Alcotest.(check (pair int int)) "signature" (2, 2) (Structure.signature s);
+        (* vertical: 2*4 pairs; horizontal: 3*3 pairs *)
+        check_int "vertical" 8 (List.length (Structure.binary_pairs s 1));
+        check_int "horizontal" 9 (List.length (Structure.binary_pairs s 2));
+        (* bit 1 of "10" is '1': all pixels in ⊙1, none in ⊙2 *)
+        check_int "bit1" 12 (List.length (Structure.unary_members s 1));
+        check_int "bit2" 0 (List.length (Structure.unary_members s 2)));
+    quick "all_pictures enumerates" (fun () ->
+        check_int "2^(1*2*1)" 4 (Seq.length (Picture.all_pictures ~bits:1 ~rows:2 ~cols:1)));
+  ]
+
+let tiling_tests =
+  [
+    quick "squares recognised exactly" (fun () ->
+        for r = 1 to 7 do
+          for c = 1 to 7 do
+            check_bool
+              (Printf.sprintf "%dx%d" r c)
+              (r = c)
+              (Tiling.recognizes Tiling.squares (Picture.constant ~bits:0 ~rows:r ~cols:c ""))
+          done
+        done);
+    quick "square witness labelling is diagonal" (fun () ->
+        match Tiling.labelling Tiling.squares (Picture.constant ~bits:0 ~rows:4 ~cols:4 "") with
+        | None -> Alcotest.fail "4x4 is square"
+        | Some lab ->
+            check_bool "diagonal" true
+              (Array.for_all Fun.id (Array.init 4 (fun i -> lab.(i).(i) = lab.(0).(0)))));
+    quick "first-row-equals-last-row exhaustively" (fun () ->
+        List.iter
+          (fun (r, c) ->
+            Seq.iter
+              (fun p ->
+                check_bool
+                  (Format.asprintf "%a" Picture.pp p)
+                  (Pic_languages.first_row_equals_last_row p)
+                  (Tiling.recognizes Tiling.first_row_equals_last_row p))
+              (Picture.all_pictures ~bits:1 ~rows:r ~cols:c))
+          [ (1, 1); (1, 3); (2, 2); (3, 2); (2, 3) ]);
+    quick "bit-width mismatch rejected" (fun () ->
+        Alcotest.check_raises "bits" (Invalid_argument "Tiling: bit-width mismatch") (fun () ->
+            ignore (Tiling.recognizes Tiling.squares (Picture.constant ~bits:1 ~rows:2 ~cols:2 "0"))));
+    qcheck ~count:60 "first=last tiling agrees on random pictures" (arb_picture ~max_dim:3 ())
+      (fun p ->
+        Tiling.recognizes Tiling.first_row_equals_last_row p
+        = Pic_languages.first_row_equals_last_row p);
+  ]
+
+let logic_tests =
+  [
+    quick "FO properties on pictures" (fun () ->
+        let p = Picture.of_rows [ [ "1"; "0" ]; [ "0"; "1" ] ] in
+        check_bool "some one" true (Pic_languages.holds p Pic_languages.fo_some_one);
+        check_bool "all ones" false (Pic_languages.holds p Pic_languages.fo_all_ones);
+        let ones = Picture.constant ~bits:1 ~rows:2 ~cols:2 "1" in
+        check_bool "all ones yes" true (Pic_languages.holds ones Pic_languages.fo_all_ones));
+    quick "top row ones" (fun () ->
+        let p = Picture.of_rows [ [ "1"; "1"; "1" ]; [ "0"; "1"; "0" ] ] in
+        check_bool "yes" true (Pic_languages.holds p Pic_languages.fo_top_row_ones);
+        let q = Picture.of_rows [ [ "1"; "0"; "1" ]; [ "1"; "1"; "1" ] ] in
+        check_bool "no" false (Pic_languages.holds q Pic_languages.fo_top_row_ones));
+    quick "mso_square defines squareness" (fun () ->
+        List.iter
+          (fun (r, c) ->
+            check_bool
+              (Printf.sprintf "%dx%d" r c)
+              (r = c)
+              (Pic_languages.holds (Picture.constant ~bits:1 ~rows:r ~cols:c "0")
+                 Pic_languages.mso_square))
+          [ (1, 1); (1, 2); (2, 1); (2, 2); (3, 3); (3, 2); (2, 3) ]);
+    quick "mso_square is in monadic Σ1 (not local)" (fun () ->
+        check_bool "monadic" true (Logic_syntax.is_monadic Pic_languages.mso_square);
+        check_bool "sigma1 FO" true (Logic_syntax.in_sigma_fo 1 Pic_languages.mso_square);
+        check_bool "not LFO matrix" false (Logic_syntax.in_sigma_lfo 1 Pic_languages.mso_square));
+    qcheck ~count:40 "fo_some_one agrees with predicate" (arb_picture ~max_dim:3 ()) (fun p ->
+        Pic_languages.holds p Pic_languages.fo_some_one = Pic_languages.some_one p);
+    quick "tower" (fun () ->
+        check_int "t0" 3 (Pic_languages.tower 0 3);
+        check_int "t1" 8 (Pic_languages.tower 1 3);
+        check_int "t2" 16 (Pic_languages.tower 2 2);
+        check_bool "L2 member" true
+          (Pic_languages.height_is_tower_of_width 2 (Picture.constant ~bits:0 ~rows:16 ~cols:2 ""));
+        check_bool "L2 non-member" false
+          (Pic_languages.height_is_tower_of_width 2 (Picture.constant ~bits:0 ~rows:15 ~cols:2 "")));
+  ]
+
+let encoding_tests =
+  [
+    quick "encode node/edge counts" (fun () ->
+        let p = Picture.constant ~bits:1 ~rows:2 ~cols:3 "1" in
+        let g = Pic_to_graph.encode p in
+        (* 6 pixels + 2 markers per grid edge (3 vertical + 4 horizontal) *)
+        check_int "card" (6 + (2 * 7)) (Graph.card g);
+        check_int "edges" (3 * 7) (Graph.num_edges g));
+    qcheck ~count:60 "decode inverts encode" (arb_picture ~max_dim:3 ()) (fun p ->
+        match Pic_to_graph.decode (Pic_to_graph.encode p) with
+        | Some q -> Picture.equal p q
+        | None -> false);
+    quick "decode is isomorphism-invariant" (fun () ->
+        let p = Picture.of_rows [ [ "1"; "0" ]; [ "0"; "1" ] ] in
+        let g = Pic_to_graph.encode p in
+        (* rebuild the same graph with rotated node indices *)
+        let n = Graph.card g in
+        let perm u = (u + 5) mod n in
+        let g' =
+          Graph.make
+            ~labels:(Array.init n (fun u -> Graph.label g ((u - 5 + n) mod n)))
+            ~edges:(List.map (fun (u, v) -> (perm u, perm v)) (Graph.edges g))
+        in
+        match Pic_to_graph.decode g' with
+        | Some q -> check_bool "same picture" true (Picture.equal p q)
+        | None -> Alcotest.fail "decode failed on isomorphic copy");
+    quick "non-encodings rejected" (fun () ->
+        check_bool "cycle" true (Pic_to_graph.decode (Generators.cycle 6) = None);
+        check_bool "single pixel node alone is fine" true
+          (Pic_to_graph.decode (Graph.singleton "11") <> None);
+        check_bool "marker soup" true (Pic_to_graph.decode (Graph.singleton "010") = None));
+    quick "transferred properties (Section 9.2.2)" (fun () ->
+        let is_sq = Pic_to_graph.graph_property_of Pic_languages.is_square in
+        check_bool "square" true (is_sq (Pic_to_graph.encode (Picture.constant ~bits:1 ~rows:2 ~cols:2 "0")));
+        check_bool "not square" false
+          (is_sq (Pic_to_graph.encode (Picture.constant ~bits:1 ~rows:2 ~cols:3 "0")));
+        check_bool "non-encoding excluded" false (is_sq (Generators.cycle 4)));
+    qcheck ~count:30 "transfer commutes with the tiling recogniser" (arb_picture ~max_dim:2 ())
+      (fun p ->
+        let transferred =
+          Pic_to_graph.graph_property_of (Tiling.recognizes Tiling.first_row_equals_last_row)
+        in
+        transferred (Pic_to_graph.encode p) = Pic_languages.first_row_equals_last_row p);
+  ]
+
+let suites =
+  [
+    ("picture:core", picture_tests);
+    ("picture:tiling", tiling_tests);
+    ("picture:logic", logic_tests);
+    ("picture:encoding", encoding_tests);
+  ]
+
+(* Section 9.2.1: the local/monadic equivalence triangle on pictures *)
+let local_logic_tests =
+  [
+    quick "syntactic classes of the picture sentences" (fun () ->
+        check_bool "local f=l is Σ1^LFO" true (Logic_syntax.in_sigma_lfo 1 Pic_local.local_first_equals_last);
+        check_bool "monadic f=l is mΣ1" true
+          (Logic_syntax.is_monadic Pic_local.monadic_first_equals_last
+          && Logic_syntax.in_sigma_fo 1 Pic_local.monadic_first_equals_last);
+        check_bool "monadic f=l is NOT local" false
+          (Logic_syntax.in_sigma_lfo 1 Pic_local.monadic_first_equals_last);
+        check_bool "local some-one is Σ3^LFO" true (Logic_syntax.in_sigma_lfo 3 Pic_local.local_some_one));
+    quick "equivalence triangle: first row = last row" (fun () ->
+        List.iter
+          (fun (r, c) ->
+            Seq.iter
+              (fun p ->
+                let truth = Pic_languages.first_row_equals_last_row p in
+                let by_tiling = Tiling.recognizes Tiling.first_row_equals_last_row p in
+                let by_monadic = Pic_local.holds p Pic_local.monadic_first_equals_last in
+                let by_local = Pic_local.holds p Pic_local.local_first_equals_last in
+                let tag = Format.asprintf "%a" Picture.pp p in
+                check_bool (tag ^ " tiling") truth by_tiling;
+                check_bool (tag ^ " monadic") truth by_monadic;
+                check_bool (tag ^ " local") truth by_local)
+              (Picture.all_pictures ~bits:1 ~rows:r ~cols:c))
+          [ (1, 2); (2, 2); (3, 1) ]);
+    quick "local some-one via the spanning-forest game" (fun () ->
+        List.iter
+          (fun p ->
+            let truth = Pic_languages.some_one p in
+            check_bool (Format.asprintf "%a" Picture.pp p) truth
+              (Pic_local.holds p Pic_local.local_some_one))
+          [
+            Picture.of_rows [ [ "0"; "0" ]; [ "0"; "0" ] ];
+            Picture.of_rows [ [ "0"; "0" ]; [ "1"; "0" ] ];
+            Picture.of_rows [ [ "0" ] ];
+            Picture.of_rows [ [ "1" ] ];
+            Picture.of_rows [ [ "0"; "0"; "1" ] ];
+          ]);
+    qcheck ~count:25 "local ≡ monadic (first=last) on random pictures" (arb_picture ~max_dim:2 ())
+      (fun p ->
+        Pic_local.holds p Pic_local.local_first_equals_last
+        = Pic_local.holds p Pic_local.monadic_first_equals_last);
+  ]
+
+let suites = suites @ [ ("picture:local-logic", local_logic_tests) ]
+
+(* the additional tiling systems: transposition and existential rows *)
+let more_tiling_tests =
+  [
+    quick "first-column=last-column exhaustively" (fun () ->
+        List.iter
+          (fun (r, c) ->
+            Seq.iter
+              (fun p ->
+                check_bool
+                  (Format.asprintf "%a" Picture.pp p)
+                  (Pic_languages.first_column_equals_last_column p)
+                  (Tiling.recognizes Tiling.first_column_equals_last_column p))
+              (Picture.all_pictures ~bits:1 ~rows:r ~cols:c))
+          [ (1, 2); (2, 2); (2, 3); (3, 2) ]);
+    quick "some-row-all-ones exhaustively" (fun () ->
+        List.iter
+          (fun (r, c) ->
+            Seq.iter
+              (fun p ->
+                check_bool
+                  (Format.asprintf "%a" Picture.pp p)
+                  (Pic_languages.some_row_all_ones p)
+                  (Tiling.recognizes Tiling.some_row_all_ones p))
+              (Picture.all_pictures ~bits:1 ~rows:r ~cols:c))
+          [ (1, 1); (1, 3); (2, 2); (3, 2); (2, 3) ]);
+    qcheck ~count:50 "some-row-all-ones on random pictures" (arb_picture ~max_dim:3 ())
+      (fun p -> Tiling.recognizes Tiling.some_row_all_ones p = Pic_languages.some_row_all_ones p);
+    qcheck ~count:50 "transposition duality" (arb_picture ~max_dim:3 ()) (fun p ->
+        (* first-col=last-col of p equals first-row=last-row of pᵀ *)
+        let transposed =
+          Picture.create ~bits:1 ~rows:(Picture.cols p) ~cols:(Picture.rows p) (fun i j ->
+              Picture.get p j i)
+        in
+        Tiling.recognizes Tiling.first_column_equals_last_column p
+        = Tiling.recognizes Tiling.first_row_equals_last_row transposed);
+  ]
+
+let suites = suites @ [ ("picture:more-tiling", more_tiling_tests) ]

@@ -1,0 +1,306 @@
+open Lph_core
+open Helpers
+module BF = Bool_formula
+
+let cluster_tests =
+  [
+    quick "codec roundtrip" (fun () ->
+        let c =
+          {
+            Cluster.nodes = [ ("a", "01"); ("b", "") ];
+            internal_edges = [ ("a", "b") ];
+            boundary_edges = [ ("a", "10", "x") ];
+          }
+        in
+        check_bool "roundtrip" true (Codec.decode Cluster.codec (Codec.encode Cluster.codec c) = c));
+    quick "assemble a simple doubling" (fun () ->
+        let g = Generators.path 2 in
+        let ids = global_ids g in
+        let cluster other =
+          {
+            Cluster.nodes = [ ("0", "1") ];
+            internal_edges = [];
+            boundary_edges = [ ("0", other, "0") ];
+          }
+        in
+        let assembled, owners = Cluster.assemble g ~ids [| cluster ids.(1); cluster ids.(0) |] in
+        check_int "two nodes" 2 (Graph.card assembled);
+        check_int "one edge" 1 (Graph.num_edges assembled);
+        check_bool "owners" true (owners.(0) = (0, "0") && owners.(1) = (1, "0")));
+    quick "assemble rejects one-sided boundary edges" (fun () ->
+        let g = Generators.path 2 in
+        let ids = global_ids g in
+        let c0 =
+          { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = [ ("0", ids.(1), "0") ] }
+        in
+        let c1 = { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = [] } in
+        Alcotest.check_raises "one-sided"
+          (Failure "Cluster.assemble: inter-cluster edge declared by only one side") (fun () ->
+            ignore (Cluster.assemble g ~ids [| c0; c1 |])));
+    quick "assemble rejects edges to non-neighbours" (fun () ->
+        let g = Generators.path 3 in
+        let ids = global_ids g in
+        let mk boundary = { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = boundary } in
+        Alcotest.check_raises "non-neighbour"
+          (Failure
+             (Printf.sprintf "Cluster.assemble: cluster 0 references identifier %s of a non-neighbour"
+                ids.(2)))
+          (fun () ->
+            ignore
+              (Cluster.assemble g ~ids
+                 [| mk [ ("0", ids.(2), "0") ]; mk []; mk [ ("0", ids.(0), "0") ] |])));
+  ]
+
+let rand_graphs ~count ~max_nodes seed =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun _ ->
+      Generators.random_connected ~rng
+        ~n:(1 + Random.State.int rng max_nodes)
+        ~extra_edges:(Random.State.int rng 3) ())
+
+let reduction_tests =
+  [
+    quick "Prop 15: ALL-SELECTED to EULERIAN" (fun () ->
+        List.iter
+          (fun g -> check_bool (graph_print g) true (Eulerian_red.correct g ~ids:(global_ids g)))
+          (rand_graphs ~count:25 ~max_nodes:7 11
+          @ [ Graph.singleton "1"; Graph.singleton "0"; Graph.singleton "11" ]));
+    quick "Prop 15: image structure" (fun () ->
+        let g = Generators.cycle 3 in
+        let image = Cluster.apply Eulerian_red.reduction g ~ids:(global_ids g) in
+        check_int "doubled" 6 (Graph.card image);
+        check_int "quadrupled edges" 12 (Graph.num_edges image));
+    quick "Prop 16: ALL-SELECTED to HAMILTONIAN" (fun () ->
+        List.iter
+          (fun g -> check_bool (graph_print g) true (Hamiltonian_red.correct g ~ids:(global_ids g)))
+          (rand_graphs ~count:10 ~max_nodes:4 13
+          @ [ Graph.singleton "1"; Graph.singleton "0"; Generators.star 4 ]));
+    quick "Prop 17: NOT-ALL-SELECTED to HAMILTONIAN" (fun () ->
+        List.iter
+          (fun g -> check_bool (graph_print g) true (Hamiltonian_red.co_correct g ~ids:(global_ids g)))
+          (rand_graphs ~count:8 ~max_nodes:3 17
+          @ [ Graph.singleton "1"; Graph.singleton "0"; Generators.path 3 ]));
+    quick "reductions run in constant rounds" (fun () ->
+        let rounds =
+          List.map
+            (fun n ->
+              let g = Generators.cycle n in
+              (Cluster.stats Eulerian_red.reduction g ~ids:(global_ids g)).Runner.rounds)
+            [ 4; 8; 16; 32 ]
+        in
+        check_bool "constant" true (Step_time.check_rounds ~limit:3 ~rounds));
+    quick "reduction step time is polynomial" (fun () ->
+        let samples =
+          List.concat_map
+            (fun n ->
+              let g = Generators.cycle n in
+              let stats = Cluster.stats Hamiltonian_red.co_reduction g ~ids:(global_ids g) in
+              List.concat
+                (Array.to_list
+                   (Array.mapi
+                      (fun r charges ->
+                        Array.to_list
+                          (Array.mapi (fun u c -> (stats.Runner.input_sizes.(r).(u), c)) charges))
+                      stats.Runner.charges)))
+            [ 5; 9; 17 ]
+        in
+        check_bool "fits linear" true (Poly.fits ~bound:(Poly.linear ~offset:600 40) samples));
+  ]
+
+let cook_levin_tests =
+  let sigma1 = [ ("all-selected", Graph_formulas.all_selected, Properties.all_selected) ] in
+  [
+    quick "Thm 19 on ALL-SELECTED (random graphs)" (fun () ->
+        List.iter
+          (fun (name, phi, truth) ->
+            List.iter
+              (fun g ->
+                let ids = global_ids g in
+                let image = Cook_levin.reduce phi g ~ids in
+                check_bool
+                  (name ^ " " ^ graph_print g)
+                  (truth g) (Boolean_graph.satisfiable image))
+              (rand_graphs ~count:12 ~max_nodes:5 23 @ [ Graph.singleton "1"; Graph.singleton "0" ]))
+          sigma1);
+    quick "Thm 19 on 3-COLORABLE" (fun () ->
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            let image = Cook_levin.reduce Graph_formulas.three_colorable g ~ids in
+            check_bool (graph_print g) (Properties.three_colorable g)
+              (Boolean_graph.satisfiable image))
+          [ Generators.cycle 3; Generators.cycle 4; Generators.complete 4; Generators.path 3 ]);
+    quick "Thm 19 distributed = centralised" (fun () ->
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            let central = Cook_levin.reduce Graph_formulas.all_selected g ~ids in
+            let distributed = Cook_levin.image_graph Graph_formulas.all_selected g ~ids in
+            check_bool (graph_print g) true (Graph.equal central distributed))
+          (rand_graphs ~count:6 ~max_nodes:4 29));
+    quick "Thm 19 is topology-preserving" (fun () ->
+        let g = Generators.star 4 in
+        let image = Cook_levin.image_graph Graph_formulas.all_selected g ~ids:(global_ids g) in
+        check_int "same card" (Graph.card g) (Graph.card image);
+        check_bool "same edges" true (Graph.edges g = Graph.edges image));
+    quick "rejects non-Sigma1 sentences" (fun () ->
+        Alcotest.check_raises "level" (Invalid_argument "Cook_levin: sentence must be in Sigma_1^LFO")
+          (fun () ->
+            ignore
+              (Cook_levin.reduce Graph_formulas.not_all_selected (Generators.cycle 3)
+                 ~ids:(global_ids (Generators.cycle 3)))));
+  ]
+
+let three_col_tests =
+  let p = BF.Var "p" and q = BF.Var "q" in
+  let bgraphs =
+    [
+      Boolean_graph.make (Generators.path 2) [| BF.Or (p, q); BF.Not p |];
+      Boolean_graph.make (Generators.path 2) [| BF.And (p, q); BF.Not p |];
+      Boolean_graph.make (Generators.path 3) [| p; BF.iff p q; BF.Not q |];
+      Boolean_graph.make (Generators.cycle 3) [| p; BF.Or (BF.Not p, q); BF.Not q |];
+      Boolean_graph.make (Graph.singleton "") [| BF.And (p, BF.Not p) |];
+      Boolean_graph.make (Graph.singleton "") [| BF.Const true |];
+      Boolean_graph.make (Generators.path 2) [| BF.Const false; p |];
+    ]
+  in
+  [
+    quick "SAT-GRAPH to 3-SAT-GRAPH" (fun () ->
+        List.iteri
+          (fun i bg ->
+            check_bool (string_of_int i) true (Three_col_red.to_3sat_correct bg ~ids:(global_ids bg)))
+          bgraphs);
+    quick "3-SAT-GRAPH to 3-COLORABLE" (fun () ->
+        List.iteri
+          (fun i bg ->
+            let ids = global_ids bg in
+            let mid = Cluster.apply Three_col_red.to_3sat bg ~ids in
+            check_bool (string_of_int i) true (Three_col_red.to_three_col_correct mid ~ids))
+          bgraphs);
+    quick "full chain preserves satisfiability" (fun () ->
+        List.iteri
+          (fun i bg ->
+            let ids = global_ids bg in
+            let image = Three_col_red.full_chain bg ~ids in
+            check_bool (string_of_int i) (Boolean_graph.satisfiable bg)
+              (Properties.three_colorable image))
+          bgraphs);
+    qcheck ~count:8 "random path instances through the chain"
+      QCheck.(pair (arb_bool_formula ~vars:[ "p"; "q" ] ~depth:2 ()) (arb_bool_formula ~vars:[ "q"; "r" ] ~depth:2 ()))
+      (fun (f, g) ->
+        let bg = Boolean_graph.make (Generators.path 2) [| f; g |] in
+        let ids = global_ids bg in
+        Boolean_graph.satisfiable bg = Properties.three_colorable (Three_col_red.full_chain bg ~ids));
+  ]
+
+let simulate_tests =
+  [
+    quick "eulerian decider through Prop 15 decides ALL-SELECTED" (fun () ->
+        let sim =
+          Simulate.through_reduction Eulerian_red.reduction ~inner:Candidates.eulerian_decider ()
+        in
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            check_bool (graph_print g) (Properties.all_selected g) (Runner.decides sim g ~ids ()))
+          (rand_graphs ~count:15 ~max_nodes:6 31));
+    quick "all-selected decider through Cook-Levin-style relabelling" (fun () ->
+        (* Remark 14: any decided property reduces to ALL-SELECTED by
+           relabelling with the verdicts; simulate the all-selected
+           decider through that relabelling *)
+        let relabel_with_verdicts =
+          {
+            Cluster.name = "verdict-relabelling";
+            id_radius = 2;
+            gather_radius = 1;
+            compute =
+              (fun ctx ball ->
+                let verdict = if ctx.Local_algo.degree mod 2 = 0 then "1" else "0" in
+                {
+                  Cluster.nodes = [ ("0", verdict) ];
+                  internal_edges = [];
+                  boundary_edges =
+                    List.filter_map
+                      (fun e ->
+                        if e.Gather.dist = 1 then Some ("0", e.Gather.ident, "0") else None)
+                      ball.Gather.entries;
+                });
+          }
+        in
+        let sim =
+          Simulate.through_reduction relabel_with_verdicts ~inner:Candidates.all_selected_decider ()
+        in
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            check_bool (graph_print g) (Properties.eulerian g) (Runner.decides sim g ~ids ()))
+          (rand_graphs ~count:10 ~max_nodes:6 37));
+    quick "NLP verifier through Thm 20 with lifted certificates" (fun () ->
+        let p = BF.Var "p" and q = BF.Var "q" in
+        let bg = Boolean_graph.make (Generators.path 2) [| BF.Or (p, q); BF.Not p |] in
+        let ids = global_ids bg in
+        let red = Three_col_red.to_three_col in
+        let result = Runner.run (Cluster.algo_of red) bg ~ids () in
+        let clusters =
+          Array.init (Graph.card bg) (fun u ->
+              Codec.decode_bits Cluster.codec (Graph.label result.Runner.output u))
+        in
+        let image, owners = Cluster.assemble bg ~ids clusters in
+        let coloring = Option.get (Properties.find_k_coloring 3 image) in
+        let certs' = Array.map Bitstring.of_int coloring in
+        let lifted = Simulate.lift_cert_assignment ~owners ~card:(Graph.card bg) ~levels:1 certs' in
+        let sim = Simulate.through_reduction red ~inner:(Candidates.color_verifier 3) () in
+        check_bool "witness accepted" true (Runner.decides sim bg ~ids ~cert_list:lifted ());
+        let zeros = Array.map (fun _ -> "0") certs' in
+        let lifted0 = Simulate.lift_cert_assignment ~owners ~card:(Graph.card bg) ~levels:1 zeros in
+        check_bool "improper colouring rejected" false
+          (Runner.decides sim bg ~ids ~cert_list:lifted0 ()));
+    quick "simulation runs in constant rounds" (fun () ->
+        let sim =
+          Simulate.through_reduction Eulerian_red.reduction ~inner:Candidates.eulerian_decider ()
+        in
+        let rounds =
+          List.map
+            (fun n ->
+              let g = Generators.cycle n in
+              (Runner.run sim g ~ids:(global_ids g) ()).Runner.stats.Runner.rounds)
+            [ 4; 8; 16 ]
+        in
+        check_bool "constant" true (Step_time.check_rounds ~limit:5 ~rounds));
+  ]
+
+let suites =
+  [
+    ("reductions:cluster", cluster_tests);
+    ("reductions:classical", reduction_tests);
+    ("reductions:cook-levin", cook_levin_tests);
+    ("reductions:three-col", three_col_tests);
+    ("reductions:simulate", simulate_tests);
+  ]
+
+(* Remark 14: the generic verdict-relabelling reduction to ALL-SELECTED *)
+let to_all_selected_tests =
+  let parity_red =
+    To_all_selected.reduction ~name:"eulerian-to-all-selected" ~radius:1 ~decide:(fun ctx _ ->
+        ctx.Local_algo.degree mod 2 = 0)
+  in
+  [
+    quick "verdict relabelling reduces EULERIAN to ALL-SELECTED" (fun () ->
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            check_bool (graph_print g) true
+              (To_all_selected.correct parity_red ~decider:Candidates.eulerian_decider g ~ids);
+            let image = Cluster.apply parity_red g ~ids in
+            check_bool "topology preserved" true (Graph.edges image = Graph.edges g))
+          (rand_graphs ~count:10 ~max_nodes:6 41));
+    quick "the image property matches the decided property" (fun () ->
+        let g = Generators.complete 4 in
+        let image = Cluster.apply parity_red g ~ids:(global_ids g) in
+        check_bool "K4 has odd degrees" false (Graph.all_labels_one image);
+        let k5 = Generators.complete 5 in
+        let image5 = Cluster.apply parity_red k5 ~ids:(global_ids k5) in
+        check_bool "K5 has even degrees" true (Graph.all_labels_one image5));
+  ]
+
+let suites = suites @ [ ("reductions:to-all-selected", to_all_selected_tests) ]

@@ -1,0 +1,140 @@
+open Lph_core
+open Helpers
+
+(* A restrictor that only accepts certificates decoding to values below
+   k — the convention the colour verifier relies on. *)
+let below k =
+  Restrictor.per_node ~name:(Printf.sprintf "below-%d" k) (fun _ctx cert ->
+      Bitstring.to_int cert < k && String.length cert <= 2)
+
+let restrictor_tests =
+  [
+    quick "trivial restrictor accepts everything" (fun () ->
+        let g = Generators.cycle 3 in
+        check_bool "all" true
+          (Restrictor.accepts_all Restrictor.trivial g ~ids:(global_ids g) ~prefix:[]
+             ~candidate:[| "0"; "111"; "" |]));
+    quick "per-node verdicts" (fun () ->
+        let g = Generators.path 3 in
+        let v =
+          (below 3).Restrictor.verdicts g ~ids:(global_ids g) ~prefix:[] ~candidate:[| "10"; "11"; "0" |]
+        in
+        Alcotest.(check (array bool)) "verdicts" [| true; false; true |] v);
+    quick "local repairability of per-node restrictors" (fun () ->
+        let g = Generators.path 2 in
+        let universe = Game.of_choices [ ""; "0"; "1"; "10"; "11" ] in
+        check_bool "repairable" true
+          (Restrictor.locally_repairable (below 2) g ~ids:(global_ids g) ~prefix_universe:[ [] ]
+             ~universe));
+    quick "an unrepairable restrictor is detected" (fun () ->
+        (* parity restrictor: node accepts iff its certificate equals its
+           left neighbour's — fixing one node necessarily changes the
+           other's verdict basis... we model a simpler failure: a
+           restrictor with NO acceptable certificate at all *)
+        let impossible = Restrictor.per_node ~name:"impossible" (fun _ _ -> false) in
+        let g = Generators.path 2 in
+        check_bool "not repairable" false
+          (Restrictor.locally_repairable impossible g ~ids:(global_ids g) ~prefix_universe:[ [] ]
+             ~universe:(Game.of_choices [ ""; "1" ])));
+    quick "Lemma 8: restricted and converted games agree (3-COLORABLE)" (fun () ->
+        (* The colour verifier, played (a) over the semantic universe of
+           valid colour encodings, and (b) over ALL bit strings of
+           length <= 2 with the Lemma 8 conversion of the "below 3"
+           restrictor. The two game values must coincide. *)
+        let verifier = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3) in
+        let raw_universe = Game.bitstring_universe ~max_len:2 in
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            let restricted =
+              Restrictor.restricted_game ~first:Game.Eve ~arbiter:verifier
+                ~restrictors:[ below 3 ] g ~ids ~universes:[ raw_universe ]
+            in
+            let converted = Restrictor.lemma8_convert ~restrictors:[ below 3 ] ~first:Game.Eve verifier in
+            let permissive = Game.sigma_accepts converted g ~ids ~universes:[ raw_universe ] in
+            check_bool (graph_print g) restricted permissive;
+            (* and both agree with ground truth *)
+            check_bool (graph_print g ^ " truth") (Properties.three_colorable g) permissive)
+          [ Generators.path 3; Generators.cycle 3; Generators.complete 4 ]);
+    quick "Lemma 8 polarity: invalid universal certificates accept" (fun () ->
+        (* a 1-level Π arbiter whose restrictor always rejects: the
+           converted permissive arbiter must accept every certificate *)
+        let never = Restrictor.per_node ~name:"never" (fun _ _ -> false) in
+        let reject_all =
+          Arbiter.of_local_algo ~id_radius:1
+            (Local_algo.pure_decider ~name:"reject" ~levels:1 (fun _ -> false))
+        in
+        let converted = Restrictor.lemma8_convert ~restrictors:[ never ] ~first:Game.Adam reject_all in
+        let g = Generators.path 2 in
+        check_bool "accepts" true
+          (converted.Arbiter.accepts g ~ids:(global_ids g) ~certs:[ [| "1"; "0" |] ]));
+    quick "Lemma 8 polarity: invalid existential certificates reject" (fun () ->
+        let never = Restrictor.per_node ~name:"never" (fun _ _ -> false) in
+        let accept_all =
+          Arbiter.of_local_algo ~id_radius:1
+            (Local_algo.pure_decider ~name:"accept" ~levels:1 (fun _ -> true))
+        in
+        let converted = Restrictor.lemma8_convert ~restrictors:[ never ] ~first:Game.Eve accept_all in
+        let g = Generators.path 2 in
+        check_bool "rejects" false
+          (converted.Arbiter.accepts g ~ids:(global_ids g) ~certs:[ [| "1"; "0" |] ]));
+  ]
+
+let classes_tests =
+  [
+    quick "names" (fun () ->
+        check_string "lp" "LP" (Classes.name Classes.lp);
+        check_string "nlp" "NLP" (Classes.name Classes.nlp);
+        check_string "colp" "coLP" (Classes.name Classes.colp);
+        check_string "sigma2" "Σ2^LP" (Classes.name (Classes.sigma 2));
+        check_string "copi3" "coΠ3^LP" (Classes.name (Classes.co (Classes.pi 3))));
+    quick "move orders" (fun () ->
+        check_bool "lp empty" true (Classes.move_order Classes.lp = []);
+        check_bool "sigma3" true
+          (Classes.move_order (Classes.sigma 3) = [ Game.Eve; Game.Adam; Game.Eve ]);
+        check_bool "pi2" true (Classes.move_order (Classes.pi 2) = [ Game.Adam; Game.Eve ]));
+    quick "definitional inclusions of Figure 1" (fun () ->
+        check_bool "LP ⊆ NLP" true (Classes.includes Classes.nlp Classes.lp);
+        check_bool "LP ⊆ Π1" true (Classes.includes (Classes.pi 1) Classes.lp);
+        check_bool "NLP ⊆ Σ2" true (Classes.includes (Classes.sigma 2) Classes.nlp);
+        check_bool "NLP ⊆ Π2" true (Classes.includes (Classes.pi 2) Classes.nlp);
+        check_bool "NLP ⊄ Π1 definitionally" false (Classes.includes (Classes.pi 1) Classes.nlp);
+        check_bool "Π1 ⊄ NLP definitionally" false (Classes.includes Classes.nlp (Classes.pi 1));
+        check_bool "coLP ⊆ coNLP" true (Classes.includes Classes.conlp Classes.colp);
+        check_bool "co vs plain incomparable here" false (Classes.includes Classes.nlp Classes.colp));
+    quick "class membership via accepts" (fun () ->
+        let verifier = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 2) in
+        let g = Generators.cycle 5 in
+        let ids = global_ids g in
+        let universes = [ Candidates.color_universe 2 ] in
+        check_bool "NLP condition on C5" false (Classes.accepts Classes.nlp verifier g ~ids ~universes);
+        check_bool "complement flips" true
+          (Classes.accepts (Classes.co Classes.nlp) verifier g ~ids ~universes));
+    quick "figure levels listing" (fun () ->
+        check_int "levels 0..2" 10 (List.length (Classes.figure_one_levels 2)));
+  ]
+
+let suites = [ ("hierarchy:restrictor", restrictor_tests); ("hierarchy:classes", classes_tests) ]
+
+(* the complement hierarchy in action: coLP-complete NON-EULERIAN *)
+let complement_tests =
+  [
+    quick "coLP membership via Classes.accepts" (fun () ->
+        let eulerian_arbiter = Arbiter.of_local_algo ~id_radius:1 Candidates.eulerian_decider in
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            check_bool (graph_print g)
+              (not (Properties.eulerian g))
+              (Classes.accepts Classes.colp eulerian_arbiter g ~ids ~universes:[]))
+          [ Generators.cycle 4; Generators.path 3; Generators.complete 4; Generators.complete 5 ]);
+    quick "a property and its complement are decided by the same machine" (fun () ->
+        (* LP vs coLP differ only in which answer counts as membership *)
+        let a = Arbiter.of_local_algo ~id_radius:1 Candidates.all_selected_decider in
+        let g = Graph.with_labels (Generators.cycle 3) [| "1"; "0"; "1" |] in
+        let ids = global_ids g in
+        check_bool "LP view" false (Classes.accepts Classes.lp a g ~ids ~universes:[]);
+        check_bool "coLP view" true (Classes.accepts Classes.colp a g ~ids ~universes:[]));
+  ]
+
+let suites = suites @ [ ("hierarchy:complement", complement_tests) ]

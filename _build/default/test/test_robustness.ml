@@ -1,0 +1,168 @@
+(* Failure injection and fuzzing: malformed certificates, corrupted
+   wire data and adversarial cluster encodings must degrade into clean
+   rejections or typed errors — never crashes or false acceptance. *)
+
+open Lph_core
+open Helpers
+
+let codec_fuzz_tests =
+  [
+    qcheck ~count:300 "decode_bits never crashes unexpectedly" arb_bitstring (fun s ->
+        match Codec.decode_bits Codec.(list (pair string int)) s with
+        | _ -> true
+        | exception Failure _ -> true);
+    qcheck ~count:200 "decode of truncated encodings fails cleanly"
+      QCheck.(pair (list small_nat) (int_bound 20))
+      (fun (l, cut) ->
+        let encoded = Codec.encode Codec.(list int) l in
+        let cut = min cut (String.length encoded) in
+        let truncated = String.sub encoded 0 (String.length encoded - cut) in
+        match Codec.decode Codec.(list int) truncated with
+        | decoded -> cut = 0 && decoded = l
+        | exception Failure _ -> cut > 0 || l <> []);
+    qcheck ~count:200 "bool formula labels reject corruption"
+      QCheck.(pair (arb_bool_formula ~depth:2 ()) (int_bound 7))
+      (fun (f, flips) ->
+        let label = Bytes.of_string (Bool_formula.to_label f) in
+        if Bytes.length label = 0 then true
+        else begin
+          for k = 0 to flips - 1 do
+            let i = k * 7 mod Bytes.length label in
+            Bytes.set label i (if Bytes.get label i = '0' then '1' else '0')
+          done;
+          match Bool_formula.of_label (Bytes.to_string label) with
+          | _ -> true (* corruption may still decode to some formula *)
+          | exception Failure _ -> true
+        end);
+  ]
+
+let certificate_injection_tests =
+  [
+    quick "garbage certificates make verifiers reject, not crash" (fun () ->
+        let g = Generators.cycle 4 in
+        let ids = global_ids g in
+        List.iter
+          (fun (name, algo) ->
+            List.iter
+              (fun certs ->
+                match Runner.decides algo g ~ids ~cert_list:certs () with
+                | (_ : bool) -> ()
+                | exception e ->
+                    Alcotest.failf "%s crashed on garbage certs: %s" name (Printexc.to_string e))
+              [
+                [| "##"; "1#"; ""; "#" |];
+                [| "111111111111"; "0"; "1"; "" |];
+                Array.make 4 (String.concat "#" [ "0"; "1"; "0"; "1" ]);
+              ])
+          [
+            ("color", Candidates.color_verifier 3);
+            ("counter", Candidates.exact_counter_verifier ~cap:2);
+            ("mod-counter", Candidates.mod_counter_verifier ~period:3);
+          ]);
+    quick "fagin arbiter survives undecodable certificates" (fun () ->
+        let compiled = Fagin.compile Graph_formulas.two_colorable in
+        let g = Generators.path 2 in
+        let garbage = [| "1010"; "1" |] in
+        (* not a valid fragment encoding: must evaluate, not crash *)
+        match
+          compiled.Fagin.arbiter.Arbiter.accepts g ~ids:(global_ids g) ~certs:[ garbage ]
+        with
+        | (_ : bool) -> ()
+        | exception e -> Alcotest.failf "fagin arbiter crashed: %s" (Printexc.to_string e));
+    quick "simulation ignores undecodable hosted certificates" (fun () ->
+        let sim =
+          Simulate.through_reduction Eulerian_red.reduction
+            ~inner:(Candidates.color_verifier 3) ()
+        in
+        let g = Generators.cycle 3 in
+        match Runner.decides sim g ~ids:(global_ids g) ~cert_list:[| "101"; ""; "1#1" |] () with
+        | (_ : bool) -> ()
+        | exception e -> Alcotest.failf "simulation crashed: %s" (Printexc.to_string e));
+    quick "oversized certificates fail the (r,p) bound check" (fun () ->
+        let g = Generators.path 2 in
+        let ids = global_ids g in
+        let bound = { Certificates.radius = 1; poly = Poly.const 1 } in
+        check_bool "rejected" false (Certificates.is_bounded g ~ids bound [| "01"; "" |]));
+  ]
+
+let cluster_injection_tests =
+  let g2 = Generators.path 2 in
+  let ids2 = global_ids g2 in
+  let ok_node = ("0", "") in
+  [
+    quick "duplicate local names rejected" (fun () ->
+        let c = { Cluster.nodes = [ ok_node; ok_node ]; internal_edges = []; boundary_edges = [] } in
+        match Cluster.assemble g2 ~ids:ids2 [| c; c |] with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure msg ->
+            check_bool "mentions duplicate" true
+              (String.length msg > 0
+              && String.sub msg 0 16 = "Cluster.assemble"));
+    quick "unknown remote local name rejected" (fun () ->
+        let c other =
+          { Cluster.nodes = [ ok_node ]; internal_edges = []; boundary_edges = [ ("0", other, "ghost") ] }
+        in
+        match Cluster.assemble g2 ~ids:ids2 [| c ids2.(1); c ids2.(0) |] with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    quick "disconnected assembly rejected" (fun () ->
+        let c = { Cluster.nodes = [ ok_node ]; internal_edges = []; boundary_edges = [] } in
+        match Cluster.assemble g2 ~ids:ids2 [| c; c |] with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    quick "empty cluster rejected" (fun () ->
+        let empty = { Cluster.nodes = []; internal_edges = []; boundary_edges = [] } in
+        match Cluster.assemble g2 ~ids:ids2 [| empty; empty |] with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+  ]
+
+let machine_robustness_tests =
+  [
+    quick "even_label_ones decides per-label parity" (fun () ->
+        let run labels =
+          let g = Generators.cycle ~labels 3 in
+          Turing.accepts (Turing.run Machines.even_label_ones g ~ids:(global_ids g) ())
+        in
+        check_bool "all even" true (run [| "11"; "0"; "1010" |]);
+        check_bool "one odd" false (run [| "11"; "1"; "1010" |]);
+        check_bool "empty labels are even" true (run [| ""; ""; "" |]));
+    quick "step limit catches runaway machines" (fun () ->
+        let spin =
+          {
+            Turing.name = "spin";
+            delta = (fun _ (_, i, s) -> { Turing.next = 5; write_internal = i; write_sending = s; moves = (Turing.Stay, Turing.Stay, Turing.Stay) });
+          }
+        in
+        let g = Graph.singleton "" in
+        match Turing.run ~step_limit:50 spin g ~ids:[| "" |] () with
+        | _ -> Alcotest.fail "expected divergence"
+        | exception Turing.Diverged _ -> ());
+    quick "round limit catches machines that only pause" (fun () ->
+        let pause =
+          {
+            Turing.name = "pause";
+            delta = (fun _ (_, i, s) -> { Turing.next = Turing.q_pause; write_internal = i; write_sending = s; moves = (Turing.Stay, Turing.Stay, Turing.Stay) });
+          }
+        in
+        let g = Graph.singleton "" in
+        match Turing.run ~round_limit:7 pause g ~ids:[| "" |] () with
+        | _ -> Alcotest.fail "expected divergence"
+        | exception Turing.Diverged _ -> ());
+    qcheck ~count:40 "even_label_ones agrees with the parity predicate"
+      (arb_graph ~max_nodes:5 ~label_bits:3 ())
+      (fun g ->
+        let parity u =
+          String.fold_left (fun acc ch -> if ch = '1' then not acc else acc) true (Graph.label g u)
+        in
+        Turing.accepts (Turing.run Machines.even_label_ones g ~ids:(global_ids g) ())
+        = List.for_all parity (Graph.nodes g));
+  ]
+
+let suites =
+  [
+    ("robustness:codec", codec_fuzz_tests);
+    ("robustness:certificates", certificate_injection_tests);
+    ("robustness:clusters", cluster_injection_tests);
+    ("robustness:machines", machine_robustness_tests);
+  ]

@@ -1,0 +1,170 @@
+open Lph_core
+open Helpers
+
+let bitstring_tests =
+  [
+    quick "is_bitstring accepts" (fun () ->
+        check_bool "ok" true (Bitstring.is_bitstring "0101");
+        check_bool "empty" true (Bitstring.is_bitstring "");
+        check_bool "hash" false (Bitstring.is_bitstring "01#1");
+        check_bool "hash variant" true (Bitstring.is_bitstring_hash "01#1"));
+    quick "of_int / to_int" (fun () ->
+        check_string "zero" "0" (Bitstring.of_int 0);
+        check_string "six" "110" (Bitstring.of_int 6);
+        check_int "roundtrip 6" 6 (Bitstring.to_int (Bitstring.of_int 6));
+        check_int "empty is 0" 0 (Bitstring.to_int ""));
+    quick "of_int_width pads" (fun () ->
+        check_string "width" "0011" (Bitstring.of_int_width ~width:4 3);
+        check_string "zero width" "" (Bitstring.of_int_width ~width:0 0);
+        Alcotest.check_raises "too wide" (Invalid_argument "Bitstring.of_int_width: does not fit")
+          (fun () -> ignore (Bitstring.of_int_width ~width:2 4)));
+    quick "all_of_length" (fun () ->
+        check_int "2^3" 8 (List.length (Bitstring.all_of_length 3));
+        check_int "2^0" 1 (List.length (Bitstring.all_of_length 0));
+        check_bool "sorted distinct" true
+          (let l = Bitstring.all_of_length 3 in
+           List.sort_uniq compare l = l));
+    quick "all_up_to_length" (fun () ->
+        check_int "sum" (1 + 2 + 4 + 8) (List.length (Bitstring.all_up_to_length 3)));
+    quick "split/join hash" (fun () ->
+        Alcotest.(check (list string)) "split" [ "a"; "b"; "" ] (Bitstring.split_hash "a#b#");
+        check_string "join" "a#b#" (Bitstring.join_hash [ "a"; "b"; "" ]));
+    qcheck "of_int/to_int roundtrip" QCheck.(int_bound 100000) (fun n ->
+        Bitstring.to_int (Bitstring.of_int n) = n);
+    qcheck "to_int monotone on equal length"
+      QCheck.(pair (int_bound 1000) (int_bound 1000))
+      (fun (a, b) ->
+        let w = 12 in
+        let sa = Bitstring.of_int_width ~width:w a and sb = Bitstring.of_int_width ~width:w b in
+        compare a b = compare sa sb);
+  ]
+
+let codec_tests =
+  let roundtrip codec value = Codec.decode codec (Codec.encode codec value) = value in
+  [
+    quick "int examples" (fun () ->
+        check_bool "0" true (roundtrip Codec.int 0);
+        check_bool "127" true (roundtrip Codec.int 127);
+        check_bool "128" true (roundtrip Codec.int 128);
+        check_bool "big" true (roundtrip Codec.int 123_456_789));
+    quick "string examples" (fun () ->
+        check_bool "empty" true (roundtrip Codec.string "");
+        check_bool "hash" true (roundtrip Codec.string "a#b\x00c"));
+    quick "composites" (fun () ->
+        let c = Codec.(list (pair string (option int))) in
+        check_bool "mixed" true (roundtrip c [ ("a", Some 3); ("", None); ("zz", Some 0) ]));
+    quick "decode rejects garbage" (fun () ->
+        Alcotest.check_raises "trailing" (Failure "Codec.decode: trailing garbage") (fun () ->
+            ignore (Codec.decode Codec.int (Codec.encode Codec.int 5 ^ "x"))));
+    quick "bits encoding is a bit string" (fun () ->
+        let s = Codec.encode_bits Codec.string "hello" in
+        check_bool "bits" true (Bitstring.is_bitstring s);
+        check_string "roundtrip" "hello" (Codec.decode_bits Codec.string s));
+    qcheck "string roundtrip" QCheck.(string) (fun s -> roundtrip Codec.string s);
+    qcheck "int list roundtrip"
+      QCheck.(list (int_bound 1_000_000))
+      (fun l -> Codec.decode Codec.(list int) (Codec.encode Codec.(list int) l) = l);
+    qcheck "bits roundtrip"
+      QCheck.(pair string (list small_nat))
+      (fun (s, l) ->
+        let c = Codec.(pair string (list int)) in
+        Codec.decode_bits c (Codec.encode_bits c (s, l)) = (s, l));
+  ]
+
+let poly_tests =
+  [
+    quick "eval" (fun () ->
+        let p = Poly.of_coeffs [ 1; 2; 3 ] in
+        check_int "p(0)" 1 (Poly.eval p 0);
+        check_int "p(2)" (1 + 4 + 12) (Poly.eval p 2);
+        check_int "degree" 2 (Poly.degree p));
+    quick "normalisation" (fun () ->
+        check_int "trailing zeros" 1 (Poly.degree (Poly.of_coeffs [ 1; 2; 0; 0 ])));
+    quick "algebra" (fun () ->
+        let p = Poly.linear ~offset:1 2 and q = Poly.monomial ~coeff:1 ~degree:2 in
+        check_int "add" (Poly.eval p 5 + Poly.eval q 5) (Poly.eval (Poly.add p q) 5);
+        check_int "mul" (Poly.eval p 5 * Poly.eval q 5) (Poly.eval (Poly.mul p q) 5);
+        check_int "compose" (Poly.eval p (Poly.eval q 3)) (Poly.eval (Poly.compose p q) 3));
+    quick "max_bound dominates" (fun () ->
+        let p = Poly.of_coeffs [ 5; 1 ] and q = Poly.of_coeffs [ 1; 7 ] in
+        let m = Poly.max_bound p q in
+        List.iter
+          (fun n ->
+            check_bool "ge p" true (Poly.eval m n >= Poly.eval p n);
+            check_bool "ge q" true (Poly.eval m n >= Poly.eval q n))
+          [ 0; 1; 5; 100 ]);
+    quick "fits" (fun () ->
+        let bound = Poly.linear ~offset:2 3 in
+        check_bool "yes" true (Poly.fits ~bound [ (0, 2); (10, 32) ]);
+        check_bool "no" false (Poly.fits ~bound [ (10, 33) ]));
+    qcheck "add commutes"
+      QCheck.(pair (list (int_bound 9)) (list (int_bound 9)))
+      (fun (a, b) ->
+        let p = Poly.of_coeffs a and q = Poly.of_coeffs b in
+        Poly.eval (Poly.add p q) 7 = Poly.eval (Poly.add q p) 7);
+  ]
+
+let combinat_tests =
+  [
+    quick "subsets count" (fun () ->
+        check_int "2^4" 16 (List.length (List.of_seq (Combinat.subsets [ 1; 2; 3; 4 ]))));
+    quick "tuples count" (fun () ->
+        check_int "3^2" 9 (List.length (List.of_seq (Combinat.tuples [ 1; 2; 3 ] 2)));
+        check_int "arity 0" 1 (List.length (List.of_seq (Combinat.tuples [ 1; 2 ] 0))));
+    quick "product" (fun () ->
+        check_int "2*3" 6
+          (List.length (List.of_seq (Combinat.product [ [ 1; 2 ]; [ 3; 4; 5 ] ])));
+        Alcotest.(check (list (list int)))
+          "order" [ [] ]
+          (List.of_seq (Combinat.product [])));
+    quick "permutations" (fun () ->
+        check_int "3!" 6 (List.length (List.of_seq (Combinat.permutations [ 1; 2; 3 ])));
+        check_bool "all distinct" true
+          (let l = List.of_seq (Combinat.permutations [ 1; 2; 3; 4 ]) in
+           List.length (List.sort_uniq compare l) = 24));
+    quick "choose" (fun () ->
+        check_int "C(5,2)" 10 (List.length (List.of_seq (Combinat.choose [ 1; 2; 3; 4; 5 ] 2))));
+    quick "lazy early exit" (fun () ->
+        (* the subset stream of a large list must be consumable lazily *)
+        let s = Combinat.subsets (List.init 100 Fun.id) in
+        check_bool "found" true (Combinat.exists_seq (fun _ -> true) s));
+    qcheck "subsets are subsets"
+      QCheck.(list_of_size (QCheck.Gen.return 5) (int_bound 100))
+      (fun l ->
+        Combinat.for_all_seq (fun s -> List.for_all (fun x -> List.mem x l) s) (Combinat.subsets l));
+  ]
+
+let structure_tests =
+  [
+    quick "create and query" (fun () ->
+        let s =
+          Structure.create ~card:4 ~unary:[| [ 0; 2 ] |] ~binary:[| [ (0, 1); (1, 2) ]; [ (3, 0) ] |]
+        in
+        check_bool "unary" true (Structure.mem_unary s 1 0);
+        check_bool "unary not" false (Structure.mem_unary s 1 1);
+        check_bool "binary" true (Structure.mem_binary s 1 0 1);
+        check_bool "binary dir" false (Structure.mem_binary s 1 1 0);
+        check_bool "connected sym" true (Structure.connected s 1 0);
+        check_bool "connected rel2" true (Structure.connected s 0 3);
+        Alcotest.(check (pair int int)) "signature" (1, 2) (Structure.signature s));
+    quick "neighbours and distance" (fun () ->
+        let s = Structure.create ~card:4 ~unary:[||] ~binary:[| [ (0, 1); (1, 2); (2, 3) ] |] in
+        Alcotest.(check (list int)) "nbrs of 1" [ 0; 2 ] (Structure.neighbours s 1);
+        Alcotest.(check (option int)) "dist" (Some 3) (Structure.distance s 0 3);
+        Alcotest.(check (list int)) "ball 1 around 1" [ 0; 1; 2 ] (Structure.ball s ~radius:1 1));
+    quick "distance unreachable" (fun () ->
+        let s = Structure.create ~card:3 ~unary:[||] ~binary:[| [ (0, 1) ] |] in
+        Alcotest.(check (option int)) "none" None (Structure.distance s 0 2));
+    quick "invalid structures rejected" (fun () ->
+        Alcotest.check_raises "range" (Invalid_argument "Structure.create: element out of range")
+          (fun () -> ignore (Structure.create ~card:2 ~unary:[| [ 5 ] |] ~binary:[||])));
+  ]
+
+let suites =
+  [
+    ("util:bitstring", bitstring_tests);
+    ("util:codec", codec_tests);
+    ("util:poly", poly_tests);
+    ("util:combinat", combinat_tests);
+    ("structure", structure_tests);
+  ]
