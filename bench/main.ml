@@ -1,15 +1,92 @@
 (* Experiment harness: regenerates every figure/theorem artefact of the
    paper (see DESIGN.md, experiment index E1-E16), then times the core
-   operations with Bechamel.
+   operations with Bechamel and writes the measurements to BENCH_1.json.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   CI smoke: dune exec bench/main.exe -- --smoke   (small instances,
+   short Bechamel quota; same sections, same JSON schema) *)
 
 open Lph_core
+
+let smoke = ref false
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let row fmt = Printf.printf fmt
+
+(* ---- measurement accumulators, flushed to BENCH_1.json at the end ---- *)
+
+let section_times : (string * float) list ref = ref []
+
+let bechamel_rows : (string * float) list ref = ref []
+
+type engine_entry = {
+  game : string;
+  nodes : int;
+  exhaustive_ms : float option;  (** [None]: infeasible, not attempted *)
+  pruned_ms : float;
+  agree : bool option;  (** verdict agreement when both engines ran *)
+}
+
+let engine_entries : engine_entry list ref = ref []
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  section_times := (label, Unix.gettimeofday () -. t0) :: !section_times
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"lph-bench-1\",\n  \"smoke\": %b,\n" !smoke;
+  out "  \"sections_wall_clock_s\": {\n";
+  let sections = List.rev !section_times in
+  List.iteri
+    (fun i (name, s) ->
+      out "    \"%s\": %.6f%s\n" (json_escape name) s
+        (if i = List.length sections - 1 then "" else ","))
+    sections;
+  out "  },\n  \"engine\": [\n";
+  let entries = List.rev !engine_entries in
+  List.iteri
+    (fun i e ->
+      let ex =
+        match e.exhaustive_ms with
+        | Some ms -> Printf.sprintf "%.6f" ms
+        | None -> "null"
+      in
+      let agree = match e.agree with Some b -> string_of_bool b | None -> "null" in
+      out "    {\"game\": \"%s\", \"nodes\": %d, \"exhaustive_ms\": %s, \"pruned_ms\": %.6f, \"agree\": %s}%s\n"
+        (json_escape e.game) e.nodes ex e.pruned_ms agree
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  out "  ],\n  \"bechamel_ns_per_run\": {\n";
+  let rows = List.sort compare !bechamel_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    \"%s\": %.3f%s\n" (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  }\n}\n";
+  close_out oc
 
 let rand_graphs ~count ~max_nodes ~extra seed =
   let rng = Random.State.make [| seed |] in
@@ -47,21 +124,28 @@ let exp_prop21 () =
       ("local-2col radius 2", Candidates.local_two_col_decider ~radius:2);
       ("eulerian decider", Candidates.eulerian_decider);
     ];
-  let t_odd, g_odd, t_glued, g_glued = Separations.two_col_game_separation ~n:5 in
-  row "NLP game on 2-COLORABLE: C5 truth/game = %b/%b, glued C10 = %b/%b\n" t_odd g_odd t_glued
-    g_glued;
+  let ns = if !smoke then [ 5 ] else [ 5; 7; 9 ] in
+  List.iter
+    (fun (n, (t_odd, g_odd, t_glued, g_glued)) ->
+      row "NLP game on 2-COLORABLE: C%d truth/game = %b/%b, glued C%d = %b/%b\n" n t_odd g_odd
+        (2 * n) t_glued g_glued)
+    (Separations.two_col_game_sweep ns);
   row "Paper's claim: every deterministic decider sees identical views; 2COL separates. REPRODUCED\n"
 
 let exp_prop23 () =
   section "E3 (Prop 23, Fig 1): coLP ≹ NLP by the pigeonhole splice";
   row "%-10s %-10s %-6s %-14s %-16s %-16s\n" "period" "id-period" "n" "honest-accept" "spliced-accept"
     "verdicts-kept";
+  let configs =
+    if !smoke then [ (2, 5, 20); (3, 5, 30) ] else [ (2, 5, 20); (3, 5, 30); (3, 7, 42); (5, 6, 60) ]
+  in
   List.iter
-    (fun (period, id_period, n) ->
-      let o = Separations.prop23 ~period ~id_period ~n in
+    (fun ((period, id_period, n), o) ->
       row "%-10d %-10d %-6d %-14b %-16b %-16b\n" period id_period n o.Separations.yes_accepted
         o.Separations.spliced_accepted o.Separations.verdicts_preserved)
-    [ (2, 5, 20); (3, 5, 30); (3, 7, 42); (5, 6, 60) ];
+    (Parallel.map
+       (fun ((period, id_period, n) as c) -> (c, Separations.prop23 ~period ~id_period ~n))
+       configs);
   row "Spliced cycles are all-selected yet accepted: completeness forces unsoundness. REPRODUCED\n"
 
 (* ------------------------------------------------------------------ *)
@@ -518,6 +602,56 @@ let exp_lcl () =
   row "Every LCL yields a constant-round polynomial-step decider. REPRODUCED\n"
 
 (* ------------------------------------------------------------------ *)
+(* Engine comparison: exhaustive enumeration vs locality-pruned search. *)
+
+let exp_engine () =
+  section "Game engines: exhaustive enumeration vs locality-pruned search";
+  row "%-16s %-6s %-14s %-12s %-9s %-7s\n" "game" "n" "exhaustive" "pruned" "speedup" "agree";
+  let record e = engine_entries := e :: !engine_entries in
+  let compare_case game g ~arbiter ~universes =
+    let ids = Identifiers.make_global g in
+    let v_ex, ms_ex =
+      time_once (fun () -> Game.sigma_accepts ~engine:`Exhaustive arbiter g ~ids ~universes)
+    in
+    let v_pr, ms_pr =
+      time_once (fun () -> Game.sigma_accepts ~engine:`Pruned arbiter g ~ids ~universes)
+    in
+    row "%-16s %-6d %11.2fms %9.2fms %8.1fx %-7b\n" game (Graph.card g) ms_ex ms_pr
+      (ms_ex /. ms_pr) (v_ex = v_pr);
+    record
+      {
+        game;
+        nodes = Graph.card g;
+        exhaustive_ms = Some ms_ex;
+        pruned_ms = ms_pr;
+        agree = Some (v_ex = v_pr);
+      }
+  in
+  let pruned_only game g ~arbiter ~universes =
+    let ids = Identifiers.make_global g in
+    let v_pr, ms_pr =
+      time_once (fun () -> Game.sigma_accepts ~engine:`Pruned arbiter g ~ids ~universes)
+    in
+    row "%-16s %-6d %11s %11.2fms %8s %-7s\n" game (Graph.card g) "infeasible" ms_pr "-"
+      (Printf.sprintf "(=%b)" v_pr);
+    record { game; nodes = Graph.card g; exhaustive_ms = None; pruned_ms = ms_pr; agree = None }
+  in
+  let v2 = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2) in
+  let v3 = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3) in
+  let u2 = [ Candidates.color_universe 2 ] and u3 = [ Candidates.color_universe 3 ] in
+  compare_case "3col-C5" (Generators.cycle 5) ~arbiter:v3 ~universes:u3;
+  compare_case "2col-C9" (Generators.cycle 9) ~arbiter:v2 ~universes:u2;
+  if not !smoke then compare_case "2col-C11" (Generators.cycle 11) ~arbiter:v2 ~universes:u2;
+  (* sizes where exhaustive enumeration (|universe|^n full arbiter runs
+     on a rejecting instance) is out of reach but pruning is not *)
+  pruned_only "2col-C17" (Generators.cycle 17) ~arbiter:v2 ~universes:u2;
+  if not !smoke then begin
+    pruned_only "2col-C21" (Generators.cycle 21) ~arbiter:v2 ~universes:u2;
+    pruned_only "3col-C12" (Generators.cycle 12) ~arbiter:v3 ~universes:u3
+  end;
+  row "Verdicts agree everywhere; pruning turns |U|^n enumeration into ball-local backtracking.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Scaling series: wall-clock per instance size (the engine results).  *)
 
 let time_ms f =
@@ -531,7 +665,7 @@ let time_ms f =
 
 let exp_scaling () =
   section "Scaling series (ms per run; engines are polynomial, games exponential)";
-  let sizes = [ 8; 16; 32; 64 ] in
+  let sizes = if !smoke then [ 8; 16 ] else [ 8; 16; 32; 64 ] in
   row "%-34s %s\n" "operation \\ n" (String.concat "" (List.map (Printf.sprintf "%10d") sizes));
   let series name f =
     row "%-34s %s\n" name
@@ -586,55 +720,66 @@ let bechamel_suite () =
   let blank6 = Picture.constant ~bits:0 ~rows:6 ~cols:6 "" in
   let pic = Picture.constant ~bits:1 ~rows:3 ~cols:3 "1" in
   let mso_some_one = Formula.Exists ("x", Formula.Unary (1, "x")) in
-  let tests =
+  let cases =
     [
-      Test.make ~name:"turing/eulerian-C32"
-        (Staged.stage (fun () -> ignore (Turing.run Machines.eulerian c32 ~ids:ids32 ())));
-      Test.make ~name:"runner/gather-r2-grid4x4"
-        (Staged.stage (fun () -> ignore (Gather.collect ~radius:2 grid ~ids:gids ())));
-      Test.make ~name:"logic/all-selected-C8"
-        (Staged.stage (fun () -> ignore (Graph_formulas.holds c8 Graph_formulas.all_selected)));
-      Test.make ~name:"game/3col-C5"
-        (Staged.stage (fun () ->
-             ignore (Game.sigma_accepts v3 c5 ~ids:ids5 ~universes:[ Candidates.color_universe 3 ])));
-      Test.make ~name:"reduction/eulerian-C32"
-        (Staged.stage (fun () -> ignore (Cluster.apply Eulerian_red.reduction c32 ~ids:ids32)));
-      Test.make ~name:"reduction/cook-levin-C5"
-        (Staged.stage (fun () ->
-             ignore (Cook_levin.reduce Graph_formulas.all_selected c5 ~ids:ids5)));
-      Test.make ~name:"sat/dpll-pigeonhole-4-3"
-        (Staged.stage (fun () -> ignore (Sat_solver.satisfiable pigeon)));
-      Test.make ~name:"simulate/eulerian-through-red-C32"
-        (Staged.stage (fun () -> ignore (Runner.run sim c32 ~ids:ids32 ())));
-      Test.make ~name:"tiling/squares-6x6"
-        (Staged.stage (fun () -> ignore (Tiling.recognizes Tiling.squares blank6)));
-      Test.make ~name:"picture/encode-decode-3x3"
-        (Staged.stage (fun () -> ignore (Pic_to_graph.decode (Pic_to_graph.encode pic))));
-      Test.make ~name:"mso/compile-some-one"
-        (Staged.stage (fun () -> ignore (Mso_to_dfa.compile ~bits:1 mso_some_one)));
-      Test.make ~name:"properties/hamiltonian-grid3x4"
-        (Staged.stage (fun () -> ignore (Properties.hamiltonian (Generators.grid ~rows:3 ~cols:4 ()))));
+      ("turing/eulerian-C32", fun () -> ignore (Turing.run Machines.eulerian c32 ~ids:ids32 ()));
+      ("runner/gather-r2-grid4x4", fun () -> ignore (Gather.collect ~radius:2 grid ~ids:gids ()));
+      ("logic/all-selected-C8", fun () -> ignore (Graph_formulas.holds c8 Graph_formulas.all_selected));
+      ( "game/3col-C5",
+        fun () ->
+          ignore (Game.sigma_accepts v3 c5 ~ids:ids5 ~universes:[ Candidates.color_universe 3 ]) );
+      ("reduction/eulerian-C32", fun () -> ignore (Cluster.apply Eulerian_red.reduction c32 ~ids:ids32));
+      ( "reduction/cook-levin-C5",
+        fun () -> ignore (Cook_levin.reduce Graph_formulas.all_selected c5 ~ids:ids5) );
+      ("sat/dpll-pigeonhole-4-3", fun () -> ignore (Sat_solver.satisfiable pigeon));
+      ("simulate/eulerian-through-red-C32", fun () -> ignore (Runner.run sim c32 ~ids:ids32 ()));
+      ("tiling/squares-6x6", fun () -> ignore (Tiling.recognizes Tiling.squares blank6));
+      ("picture/encode-decode-3x3", fun () -> ignore (Pic_to_graph.decode (Pic_to_graph.encode pic)));
+      ("mso/compile-some-one", fun () -> ignore (Mso_to_dfa.compile ~bits:1 mso_some_one));
+      ( "properties/hamiltonian-grid3x4",
+        fun () -> ignore (Properties.hamiltonian (Generators.grid ~rows:3 ~cols:4 ())) );
     ]
   in
+  let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases in
   let test = Test.make_grouped ~name:"lph" tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let quota = if !smoke then 0.05 else 0.4 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances test in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan in
-        (name, ns) :: acc)
-      results []
+  (* a crude wall-clock estimate backs up any case whose OLS estimate
+     is unavailable, so BENCH_1.json always carries a number per name *)
+  let crude_ns f =
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.02 do
+      f ();
+      incr iters
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int !iters
   in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let full = "lph/" ^ name in
+        let ns =
+          match Hashtbl.find_opt results full with
+          | Some ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) when not (Float.is_nan t) -> t
+              | _ -> crude_ns f)
+          | None -> crude_ns f
+        in
+        (full, ns))
+      cases
+  in
+  bechamel_rows := rows;
   row "%-42s %16s\n" "benchmark" "time/run";
   List.iter
     (fun (name, ns) ->
       let pretty =
-        if Float.is_nan ns then "n/a"
-        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
         else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
         else Printf.sprintf "%.0f ns" ns
@@ -643,21 +788,29 @@ let bechamel_suite () =
     (List.sort compare rows)
 
 let () =
+  Arg.parse
+    [ ("--smoke", Arg.Set smoke, "small instances and short quotas (CI smoke run)") ]
+    (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
+    "usage: main.exe [--smoke]";
   print_endline "A LOCAL View of the Polynomial Hierarchy — experiment harness";
   print_endline "(paper: Reiter, PODC 2024; see DESIGN.md E1-E16 and EXPERIMENTS.md)";
-  exp_fig1 ();
-  exp_prop21 ();
-  exp_prop23 ();
-  exp_reductions ();
-  exp_cook_levin ();
-  exp_three_col ();
-  exp_fagin ();
-  exp_fig4 ();
-  exp_pictures ();
-  exp_words ();
-  exp_lemma8 ();
-  exp_lcl ();
-  exp_step_time ();
-  exp_scaling ();
-  bechamel_suite ();
-  print_endline "\nAll experiments completed."
+  if !smoke then print_endline "[smoke mode: reduced instance sizes and quotas]";
+  Printf.printf "[parallel sweeps: %d domain(s); override with LPH_JOBS]\n" (Parallel.jobs ());
+  timed "E1-hierarchy" exp_fig1;
+  timed "E2-prop21" exp_prop21;
+  timed "E3-prop23" exp_prop23;
+  timed "E4-E6-reductions" exp_reductions;
+  timed "E7-cook-levin" exp_cook_levin;
+  timed "E8-three-col" exp_three_col;
+  timed "E9-fagin" exp_fagin;
+  timed "E10-structural" exp_fig4;
+  timed "E11-pictures" exp_pictures;
+  timed "E12-words" exp_words;
+  timed "lemma8" exp_lemma8;
+  timed "lcl" exp_lcl;
+  timed "step-time" exp_step_time;
+  timed "engine-comparison" exp_engine;
+  timed "scaling" exp_scaling;
+  timed "bechamel" bechamel_suite;
+  write_bench_json "BENCH_1.json";
+  print_endline "\nAll experiments completed; measurements written to BENCH_1.json."

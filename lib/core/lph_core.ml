@@ -14,6 +14,7 @@ module Bitstring = Lph_util.Bitstring
 module Codec = Lph_util.Codec
 module Poly = Lph_util.Poly
 module Combinat = Lph_util.Combinat
+module Parallel = Lph_util.Parallel
 module Structure = Lph_structure.Structure
 
 module Graph = Lph_graph.Labeled_graph

@@ -1,8 +1,11 @@
 type t = {
+  uid : int; (* unique per [make]; keys the per-graph memo tables *)
   labels : string array;
   adj : int list array; (* sorted neighbour lists *)
   edge_list : (int * int) list; (* canonical (u < v), sorted *)
 }
+
+let uid_counter = Atomic.make 0
 
 exception Invalid of string
 
@@ -51,9 +54,11 @@ let make ~labels ~edges =
     edge_list;
   Array.iteri (fun u ns -> adj.(u) <- List.sort compare ns) adj;
   check_connected n adj;
-  { labels = Array.copy labels; adj; edge_list }
+  { uid = Atomic.fetch_and_add uid_counter 1; labels = Array.copy labels; adj; edge_list }
 
 let singleton label = make ~labels:[| label |] ~edges:[]
+
+let uid g = g.uid
 
 let card g = Array.length g.labels
 

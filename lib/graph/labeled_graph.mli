@@ -18,6 +18,12 @@ val singleton : string -> t
 (** The single-node graph carrying the given label: the paper's
     representation of a string as a graph (the class NODE). *)
 
+val uid : t -> int
+(** A session-unique identity assigned by {!make}. Graphs are immutable
+    after construction, so the uid is a sound key for memo tables
+    (distances, balls, certificate-length bounds). Structurally equal
+    graphs built by separate [make] calls have distinct uids. *)
+
 val card : t -> int
 val nodes : t -> int list
 val edges : t -> (int * int) list

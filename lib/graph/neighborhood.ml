@@ -1,31 +1,96 @@
 module G = Labeled_graph
 
-let distances g src =
+(* ------------------------------------------------------------------ *)
+(* Per-graph memoisation.
+
+   Graphs are immutable after [Labeled_graph.make], so BFS results can
+   be cached for the lifetime of the graph. The cache is keyed on the
+   graph's uid through a weak (ephemeron) table: entries die with their
+   graph, so sweeps that generate thousands of short-lived instances do
+   not leak. All table operations are guarded by a single mutex so the
+   Domain-parallel sweeps in the hierarchy layer can share the cache;
+   the BFS itself runs outside the lock (a lost race recomputes an
+   identical array, which is harmless). *)
+
+type cache = {
+  dist_rows : int array option array; (* per-source BFS distance rows *)
+  balls : (int * int, int list) Hashtbl.t; (* (radius, source) -> ball *)
+}
+
+module Graph_key = struct
+  type t = G.t
+
+  let equal = ( == )
+  let hash = G.uid
+end
+
+module Cache_table = Ephemeron.K1.Make (Graph_key)
+
+let caches : cache Cache_table.t = Cache_table.create 64
+let lock = Mutex.create ()
+
+let cache_of g =
+  Mutex.protect lock (fun () ->
+      match Cache_table.find_opt caches g with
+      | Some c -> c
+      | None ->
+          let c = { dist_rows = Array.make (G.card g) None; balls = Hashtbl.create 16 } in
+          Cache_table.replace caches g c;
+          c)
+
+let bfs g src ~stop_at =
   let n = G.card g in
   let dist = Array.make n (-1) in
   dist.(src) <- 0;
   let queue = Queue.create () in
   Queue.add src queue;
-  while not (Queue.is_empty queue) do
+  let finished = ref (stop_at = Some src) in
+  while (not !finished) && not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     List.iter
       (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- dist.(u) + 1;
+          if stop_at = Some v then finished := true;
           Queue.add v queue
         end)
       (G.neighbours g u)
   done;
   dist
 
-let distance g u v = (distances g u).(v)
+let distances g src =
+  let cache = cache_of g in
+  match cache.dist_rows.(src) with
+  | Some dist -> dist
+  | None ->
+      let dist = bfs g src ~stop_at:None in
+      (* races write identical rows; an option-pointer store is atomic *)
+      cache.dist_rows.(src) <- Some dist;
+      dist
+
+let distance g u v =
+  let cache = cache_of g in
+  match cache.dist_rows.(u) with
+  | Some dist -> dist.(v)
+  | None -> (
+      match cache.dist_rows.(v) with
+      | Some dist -> dist.(u)
+      | None ->
+          (* an early-exit BFS is not a full row, so it is not cached *)
+          (bfs g u ~stop_at:(Some v)).(v))
 
 let ball g ~radius u =
-  let dist = distances g u in
-  List.filter (fun v -> dist.(v) >= 0 && dist.(v) <= radius) (G.nodes g)
+  let cache = cache_of g in
+  let key = (radius, u) in
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt cache.balls key) with
+  | Some b -> b
+  | None ->
+      let dist = distances g u in
+      let b = List.filter (fun v -> dist.(v) >= 0 && dist.(v) <= radius) (G.nodes g) in
+      Mutex.protect lock (fun () -> Hashtbl.replace cache.balls key b);
+      b
 
-let eccentricity g u =
-  Array.fold_left max 0 (distances g u)
+let eccentricity g u = Array.fold_left max 0 (distances g u)
 
 let diameter g =
   List.fold_left (fun acc u -> max acc (eccentricity g u)) 0 (G.nodes g)

@@ -1,12 +1,20 @@
 (** Distances and r-neighbourhoods (Section 3). [N_r(u)] is the subgraph
     induced by all nodes at distance at most [r] from [u]; it is the unit
-    of "locally available information" throughout the paper. *)
+    of "locally available information" throughout the paper.
+
+    Distance rows and balls are memoised per graph (graphs are immutable
+    after {!Labeled_graph.make}); the memo is weakly keyed, safe to use
+    from parallel domains, and transparent to callers. *)
 
 val distances : Labeled_graph.t -> int -> int array
 (** BFS distances from a node; unreachable is impossible (graphs are
-    connected). *)
+    connected). The row is computed once per (graph, source) and cached;
+    callers must not mutate the returned array. *)
 
 val distance : Labeled_graph.t -> int -> int -> int
+(** Single-pair distance. Served from the cached row when one endpoint
+    already has one; otherwise runs a BFS that stops as soon as the
+    target is reached instead of exploring the whole graph. *)
 
 val ball : Labeled_graph.t -> radius:int -> int -> int list
 (** Nodes at distance [<= radius], sorted by node index. *)

@@ -8,9 +8,19 @@
     either all (r,p)-bounded bit strings up to a cap, or a semantic
     per-node universe (the restrictive-arbiter view of Lemma 8, which
     licenses restricting quantifiers as long as the restrictors are
-    locally repairable — the responsibility of the caller). Complexity
-    is [Π_u |universe u|] raised to the number of levels: strictly a
-    small-instance tool. *)
+    locally repairable — the responsibility of the caller).
+
+    Two engines compute the game value. The exhaustive engine
+    ({!solve}) enumerates whole certificate assignments; its cost is
+    [Π_u |universe u|] per level. The pruned engine
+    ({!solve_pruned}) exploits arbiter {e locality}
+    ({!Arbiter.locality}): the final quantifier level is assigned node
+    by node in BFS order and a subtree is cut (or, for Adam, a
+    rejecting witness returned) as soon as one fully-assigned radius-r
+    ball rejects, with ball verdicts memoised on ball contents and the
+    top-level branching fanned out over domains ({!Lph_util.Parallel}).
+    Both engines agree on every input; the pruned one silently falls
+    back to exhaustive search for [Opaque] arbiters. *)
 
 type player = Eve | Adam
 
@@ -43,11 +53,32 @@ val solve :
   universes:universe list ->
   arbiter:(Lph_graph.Certificates.t list -> bool) ->
   bool
-(** Exact game value: [universes] has one entry per level, in move
-    order. With [first = Eve] this computes
+(** Exact game value by exhaustive enumeration: [universes] has one
+    entry per level, in move order. With [first = Eve] this computes
     ∃k1 ∀k2 ... : arbiter [k1; k2; ...]. *)
 
+type engine = [ `Auto | `Exhaustive | `Pruned ]
+(** [`Auto] (the default everywhere) uses pruned search whenever the
+    arbiter declares ball locality and exhaustive search otherwise;
+    [`Exhaustive] forces enumeration; [`Pruned] requests pruning but
+    still falls back on opaque arbiters. *)
+
+val solve_pruned :
+  first:player ->
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  bool
+(** Locality-pruned game value; agrees with {!solve} on the same
+    arbiter for every input. Earlier levels are enumerated
+    exhaustively; the last level is a backtracking search over nodes in
+    BFS order that stops descending as soon as a fully-assigned ball's
+    verdict is decisive. Falls back to {!solve} when the arbiter is
+    [Opaque] or carries no per-node verdict function. *)
+
 val sigma_accepts :
+  ?engine:engine ->
   Arbiter.t ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
@@ -57,6 +88,7 @@ val sigma_accepts :
     (ℓ = [Arbiter.levels], Eve first)? *)
 
 val pi_accepts :
+  ?engine:engine ->
   Arbiter.t ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
@@ -64,10 +96,13 @@ val pi_accepts :
   bool
 
 val eve_witness :
+  ?engine:engine ->
   Arbiter.t ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
   universes:universe list ->
   Lph_graph.Certificates.t option
 (** For a 1-level arbiter: a certificate assignment making it accept,
-    if one exists (the NLP witness). *)
+    if one exists (the NLP witness). The pruned engine may return a
+    different — still valid — witness than exhaustive lexicographic
+    enumeration. *)

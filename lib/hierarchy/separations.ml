@@ -90,3 +90,16 @@ let two_col_game_separation ~n =
     Game.sigma_accepts verifier odd_cycle ~ids ~universes,
     Properties.two_colorable glued,
     Game.sigma_accepts verifier glued ~ids:ids' ~universes )
+
+(* Parallel sweeps: the per-instance experiments above are independent
+   across instance sizes, so fan them out over domains. Results come
+   back in input order ([Parallel.map] is deterministic). *)
+
+let prop21_sweep ~decider ~id_period ns =
+  Lph_util.Parallel.map (fun n -> (n, prop21 ~decider ~n ~id_period)) ns
+
+let prop23_sweep ~period ~id_period ns =
+  Lph_util.Parallel.map (fun n -> (n, prop23 ~period ~id_period ~n)) ns
+
+let two_col_game_sweep ns =
+  Lph_util.Parallel.map (fun n -> (n, two_col_game_separation ~n)) ns

@@ -54,3 +54,20 @@ val two_col_game_separation :
     (odd ∈ 2COL ground truth, odd accepted by the certificate game,
      glued ∈ 2COL ground truth, glued accepted by the game) using
     {!Candidates.color_verifier} 2 — expected (false, false, true, true). *)
+
+val prop21_sweep :
+  decider:Lph_machine.Local_algo.packed ->
+  id_period:int ->
+  int list ->
+  (int * prop21_outcome) list
+(** Run {!prop21} for each [n], fanned out over domains
+    ({!Lph_util.Parallel.map}); results in input order. Every [n] must
+    satisfy {!prop21}'s preconditions. *)
+
+val prop23_sweep :
+  period:int -> id_period:int -> int list -> (int * prop23_outcome) list
+
+val two_col_game_sweep : int list -> (int * (bool * bool * bool * bool)) list
+(** {!two_col_game_separation} per instance size, in parallel; the game
+    solves inside each task run sequentially (nested pools do not
+    oversubscribe). *)

@@ -113,6 +113,7 @@ let algo ~name ~radius ~levels ~decide =
     {
       Local_algo.name;
       levels;
+      radius = Some radius;
       init = init_state;
       round =
         (fun ctx round st ~inbox ->
@@ -127,6 +128,7 @@ let map_algo ~name ~radius ~levels ~f =
     {
       Local_algo.name;
       levels;
+      radius = Some radius;
       init = init_state;
       round =
         (fun ctx round st ~inbox ->
@@ -141,6 +143,7 @@ let ball_output_algo ~radius ~levels =
     {
       Local_algo.name = "gather-ball";
       levels;
+      radius = Some radius;
       init = init_state;
       round =
         (fun ctx round st ~inbox ->

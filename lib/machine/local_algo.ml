@@ -10,6 +10,7 @@ type ctx = {
 type 'st t = {
   name : string;
   levels : int;
+  radius : int option;
   init : ctx -> 'st;
   round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
   output : 'st -> string;
@@ -21,11 +22,14 @@ let name (Packed a) = a.name
 
 let levels (Packed a) = a.levels
 
+let radius (Packed a) = a.radius
+
 let pure_decider ~name ~levels verdict =
   Packed
     {
       name;
       levels;
+      radius = Some 0;
       init =
         (fun ctx ->
           ctx.charge

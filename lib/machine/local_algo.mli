@@ -21,6 +21,12 @@ type ctx = {
 type 'st t = {
   name : string;
   levels : int;  (** how many certificates the algorithm expects *)
+  radius : int option;
+      (** declared verification radius: when [Some r], every node's
+          verdict is a function of its radius-[r] view alone — the
+          induced [N_r] subgraph with labels, identifiers, certificates
+          and the node's own degree. [None] means the verdict may depend
+          on the whole graph; solvers then cannot prune. *)
   init : ctx -> 'st;
   round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
       (** [round ctx k st ~inbox] processes the messages received at the
@@ -38,9 +44,12 @@ type packed = Packed : 'st t -> packed
 val name : packed -> string
 val levels : packed -> int
 
+val radius : packed -> int option
+(** The declared verification radius, if any (see {!type:t}). *)
+
 val pure_decider : name:string -> levels:int -> (ctx -> bool) -> packed
 (** A one-round algorithm whose verdict depends only on the node's own
-    label, identifier and certificates. [charge] is bumped once per
-    input character. *)
+    label, identifier and certificates (declared radius 0). [charge] is
+    bumped once per input character. *)
 
 val map_output : (string -> string) -> packed -> packed

@@ -201,6 +201,7 @@ let through_reduction reduction ~inner ?(sim_rounds = 64) () =
     {
       LA.name;
       levels = LA.levels inner;
+      radius = None;
       init = (fun ctx -> { phase = Gathering (Gather.init_gather ctx) });
       round =
         (fun ctx round st ~inbox ->

@@ -5,16 +5,23 @@ let rec subsets = function
         let tails = subsets rest in
         Seq.append tails (Seq.map (fun s -> x :: s) tails) ()
 
+(* In both [tuples] and [product], the suffix enumeration is hoisted out
+   of the per-head closure: building it once shares the whole suffix
+   closure chain across head elements instead of reconstructing it from
+   scratch for every head (a quadratic pile of rebuilds at each nesting
+   level). Traversal stays lazy and re-entrant. *)
 let rec tuples xs k =
   if k < 0 then invalid_arg "Combinat.tuples: negative arity"
   else if k = 0 then Seq.return []
   else
-    Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) (tuples xs (k - 1))) (List.to_seq xs)
+    let tails = tuples xs (k - 1) in
+    Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) tails) (List.to_seq xs)
 
 let rec product = function
   | [] -> Seq.return []
   | xs :: rest ->
-      Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) (product rest)) (List.to_seq xs)
+      let tails = product rest in
+      Seq.concat_map (fun x -> Seq.map (fun t -> x :: t) tails) (List.to_seq xs)
 
 let rec permutations = function
   | [] -> Seq.return []

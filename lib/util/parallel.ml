@@ -1,0 +1,114 @@
+(* A small work-pool on OCaml 5 domains (stdlib only).
+
+   Tasks are list elements; workers pull indices from an atomic counter
+   and write results into a slot array, so results always come back in
+   input order regardless of which domain ran what. Early-exit
+   combinators ([exists], [for_all], [find_map_first]) share a stop
+   flag; [find_map_first] additionally tracks the lowest hit index so
+   the returned witness is the one sequential evaluation would find.
+
+   Nested calls (a parallel sweep whose tasks themselves call a parallel
+   solver) run sequentially in the inner layer instead of spawning
+   domains quadratically. *)
+
+let default_cap = 4
+
+let jobs () =
+  match Sys.getenv_opt "LPH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> invalid_arg "Parallel: LPH_JOBS must be a positive integer")
+  | None -> min default_cap (Domain.recommended_domain_count ())
+
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+(* Run [task i] for every index, at most [jobs] at a time. [task] must
+   itself decide what to record; [should_stop ()] lets it end the run
+   early. Exceptions from any worker are re-raised in the caller. *)
+let drive ~jobs:j ~n ~stop task =
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    Domain.DLS.set inside_pool true;
+    let rec loop () =
+      if (not (Atomic.get stop)) && Atomic.get failure = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try task i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+             Atomic.set stop true);
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let helpers = List.init (min (j - 1) (max 0 (n - 1))) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  Domain.DLS.set inside_pool false;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let effective_jobs j =
+  if Domain.DLS.get inside_pool then 1 else match j with Some j -> j | None -> jobs ()
+
+let map ?jobs:j f xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    drive ~jobs:j ~n ~stop:(Atomic.make false) (fun i -> out.(i) <- Some (f arr.(i)));
+    List.init n (fun i -> match out.(i) with Some y -> y | None -> assert false)
+  end
+
+let find_map_first ?jobs:j f xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.find_map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let best = Atomic.make max_int in
+    let stop = Atomic.make false in
+    drive ~jobs:j ~n ~stop (fun i ->
+        (* indices beyond an already-found witness cannot win; earlier
+           ones are still pulled in order, so the minimum is exact *)
+        if i <= Atomic.get best then
+          match f arr.(i) with
+          | Some _ as hit ->
+              out.(i) <- hit;
+              let rec lower () =
+                let b = Atomic.get best in
+                if i < b && not (Atomic.compare_and_set best b i) then lower ()
+              in
+              lower ();
+              if Atomic.get best = 0 then Atomic.set stop true
+          | None -> ());
+    let rec first i = if i >= n then None else match out.(i) with Some _ as r -> r | None -> first (i + 1) in
+    first 0
+  end
+
+let exists ?jobs:j p xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.exists p xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let stop = Atomic.make false in
+    let found = Atomic.make false in
+    drive ~jobs:j ~n ~stop (fun i ->
+        if p arr.(i) then begin
+          Atomic.set found true;
+          Atomic.set stop true
+        end);
+    Atomic.get found
+  end
+
+let for_all ?jobs p xs = not (exists ?jobs (fun x -> not (p x)) xs)

@@ -1,0 +1,33 @@
+(** A small Domain work-pool (OCaml 5 stdlib only, no dependencies).
+
+    All combinators take tasks as list elements, run them on at most
+    [jobs] domains, and are {e deterministic}: the result is identical
+    for every job count, including [jobs:1] (which degenerates to the
+    [List] sequential equivalent and spawns nothing). The job count
+    defaults to [min 4 (Domain.recommended_domain_count ())] and can be
+    overridden with the [LPH_JOBS] environment variable (read on every
+    call, so tests can toggle it). Nested calls run sequentially in the
+    inner layer rather than oversubscribing the machine.
+
+    Tasks must not rely on shared mutable state for their results; an
+    exception raised by any task is re-raised in the caller. *)
+
+val jobs : unit -> int
+(** The effective default job count ([LPH_JOBS] override included).
+    Raises [Invalid_argument] if [LPH_JOBS] is set but not a positive
+    integer. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map]; results in input order. *)
+
+val exists : ?jobs:int -> ('a -> bool) -> 'a list -> bool
+(** Parallel [List.exists]; stops all workers at the first witness. *)
+
+val for_all : ?jobs:int -> ('a -> bool) -> 'a list -> bool
+(** Parallel [List.for_all]; stops all workers at the first
+    counterexample. *)
+
+val find_map_first : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b option
+(** Parallel [List.find_map] returning the hit with the {e lowest input
+    index} — the same witness sequential evaluation finds — not merely
+    the first one any domain happens to produce. *)

@@ -1,0 +1,279 @@
+(* The locality-aware game-solving engine: pruned search must agree
+   with exhaustive enumeration on every instance, the neighbourhood
+   cache must be invisible, and the Domain work-pool must be
+   deterministic in the job count. *)
+
+open Lph_core
+open Helpers
+
+let v2 () = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2)
+
+let v3 () = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3)
+
+(* a two-level gather verifier with a deliberately arbitrary ball-local
+   predicate: the engines must agree whatever the arbiter computes *)
+let two_level_verifier =
+  Gather.algo ~name:"two-level-count" ~radius:1 ~levels:2 ~decide:(fun _ctx ball ->
+      let parsed =
+        List.map (fun e -> Certificates.split_list ~levels:2 e.Gather.cert) ball.Gather.entries
+      in
+      let count k = List.length (List.filter (fun ks -> List.nth ks k = "1") parsed) in
+      count 0 >= count 1)
+
+let engine_equivalence =
+  ( "engine:pruned-vs-exhaustive",
+    [
+      qcheck ~count:60 "sigma 3col agrees on random graphs"
+        (arb_graph ~max_nodes:5 ())
+        (fun g ->
+          let a = v3 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 3 ] in
+          Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:60 "pi 2col agrees on random graphs"
+        (arb_graph ~max_nodes:5 ())
+        (fun g ->
+          let a = v2 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 2 ] in
+          Game.pi_accepts ~engine:`Pruned a g ~ids ~universes
+          = Game.pi_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:40 "sigma counter verifier agrees on random graphs"
+        (arb_graph ~max_nodes:4 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:1 (Candidates.exact_counter_verifier ~cap:4) in
+          let ids = global_ids g in
+          let universes = [ Candidates.counter_universe ~bound:4 ] in
+          Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:25 "sigma2 and pi2 agree for a two-level arbiter"
+        (arb_graph ~max_nodes:4 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let universes = [ Game.of_choices [ "0"; "1" ]; Game.of_choices [ "0"; "1" ] ] in
+          Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes
+          && Game.pi_accepts ~engine:`Pruned a g ~ids ~universes
+             = Game.pi_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      quick "opaque arbiters fall back to exhaustive search" (fun () ->
+          let a = v3 () in
+          let opaque =
+            {
+              a with
+              Arbiter.locality = Arbiter.Opaque;
+              verdicts = None;
+              checker = Arbiter.opaque_checker;
+            }
+          in
+          let g = Generators.cycle 5 in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 3 ] in
+          check_bool "pruned request = exhaustive verdict"
+            (Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes)
+            (Game.sigma_accepts ~engine:`Pruned opaque g ~ids ~universes));
+      quick "known verdicts survive the pruned engine" (fun () ->
+          let a2 = v2 () and a3 = v3 () in
+          let check_cycle n k expected =
+            let g = Generators.cycle n in
+            let a = if k = 2 then a2 else a3 in
+            check_bool
+              (Printf.sprintf "C%d %d-colorable" n k)
+              expected
+              (Game.sigma_accepts a g ~ids:(global_ids g)
+                 ~universes:[ Candidates.color_universe k ])
+          in
+          check_cycle 5 2 false;
+          check_cycle 6 2 true;
+          check_cycle 5 3 true;
+          check_cycle 11 2 false;
+          check_cycle 12 2 true);
+    ] )
+
+let witness_suite =
+  ( "engine:eve-witness",
+    [
+      qcheck ~count:50 "pruned witness is valid and matches the game value"
+        (arb_graph ~max_nodes:5 ())
+        (fun g ->
+          let a = v3 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 3 ] in
+          match Game.eve_witness ~engine:`Pruned a g ~ids ~universes with
+          | Some w ->
+              a.Arbiter.accepts g ~ids ~certs:[ w ]
+              && Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes
+          | None -> not (Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes));
+      quick "witness on C6 2col is a proper colouring" (fun () ->
+          let g = Generators.cycle 6 in
+          let a = v2 () in
+          let ids = global_ids g in
+          match Game.eve_witness a g ~ids ~universes:[ Candidates.color_universe 2 ] with
+          | None -> Alcotest.fail "C6 should be 2-colorable"
+          | Some w ->
+              List.iter
+                (fun (u, v) -> check_bool "adjacent nodes differ" false (w.(u) = w.(v)))
+                (Graph.edges g));
+    ] )
+
+let neighborhood_suite =
+  ( "engine:neighborhood-cache",
+    [
+      qcheck ~count:80 "distance agrees with the cached distance row"
+        (arb_graph ~max_nodes:7 ())
+        (fun g ->
+          let n = Graph.card g in
+          List.for_all
+            (fun u ->
+              let row = Neighborhood.distances g u in
+              List.for_all (fun v -> Neighborhood.distance g u v = row.(v)) (Graph.nodes g)
+              && Array.length row = n)
+            (Graph.nodes g));
+      qcheck ~count:80 "ball = nodes within the cached distance"
+        (arb_graph ~max_nodes:7 ())
+        (fun g ->
+          List.for_all
+            (fun u ->
+              let row = Neighborhood.distances g u in
+              List.for_all
+                (fun radius ->
+                  Neighborhood.ball g ~radius u
+                  = List.filter (fun v -> row.(v) <= radius) (Graph.nodes g))
+                [ 0; 1; 2; 3 ])
+            (Graph.nodes g));
+      qcheck ~count:50 "cached results equal a fresh structurally-equal graph's"
+        (arb_graph ~max_nodes:6 ())
+        (fun g ->
+          (* force the cache on g, then rebuild the same graph with a
+             fresh uid and empty cache: answers must coincide *)
+          List.iter (fun u -> ignore (Neighborhood.distances g u)) (Graph.nodes g);
+          let g' = Graph.make ~labels:(Graph.labels g) ~edges:(Graph.edges g) in
+          Graph.uid g <> Graph.uid g'
+          && List.for_all
+               (fun u ->
+                 Neighborhood.distances g u = Neighborhood.distances g' u
+                 && Neighborhood.ball g ~radius:2 u = Neighborhood.ball g' ~radius:2 u)
+               (Graph.nodes g));
+      quick "distance early-exit on a long cycle" (fun () ->
+          let g = Generators.cycle 64 in
+          check_int "adjacent" 1 (Neighborhood.distance g 0 1);
+          check_int "opposite" 32 (Neighborhood.distance g 0 32);
+          check_int "self" 0 (Neighborhood.distance g 17 17));
+    ] )
+
+let parallel_suite =
+  ( "engine:parallel-pool",
+    [
+      quick "map matches List.map for every job count" (fun () ->
+          let xs = List.init 100 Fun.id in
+          let f x = (x * x) + 7 in
+          List.iter
+            (fun jobs ->
+              check_bool
+                (Printf.sprintf "jobs=%d" jobs)
+                true
+                (Parallel.map ~jobs f xs = List.map f xs))
+            [ 1; 2; 4 ]);
+      quick "exists and for_all match the List equivalents" (fun () ->
+          let xs = List.init 60 Fun.id in
+          List.iter
+            (fun jobs ->
+              check_bool "exists hit" true (Parallel.exists ~jobs (fun x -> x = 41) xs);
+              check_bool "exists miss" false (Parallel.exists ~jobs (fun x -> x > 100) xs);
+              check_bool "for_all holds" true (Parallel.for_all ~jobs (fun x -> x < 60) xs);
+              check_bool "for_all fails" false (Parallel.for_all ~jobs (fun x -> x <> 13) xs))
+            [ 1; 4 ]);
+      quick "find_map_first returns the lowest-index witness" (fun () ->
+          let xs = List.init 100 Fun.id in
+          let f x = if x mod 7 = 3 then Some (x * 2) else None in
+          List.iter
+            (fun jobs ->
+              check_bool
+                (Printf.sprintf "jobs=%d" jobs)
+                true
+                (Parallel.find_map_first ~jobs f xs = Some 6))
+            [ 1; 2; 4 ];
+          check_bool "no hit" true (Parallel.find_map_first ~jobs:4 (fun _ -> None) xs = None));
+      quick "worker exceptions reach the caller" (fun () ->
+          let xs = List.init 32 Fun.id in
+          match Parallel.map ~jobs:4 (fun x -> if x = 17 then failwith "boom" else x) xs with
+          | _ -> Alcotest.fail "expected Failure"
+          | exception Failure m -> check_string "message" "boom" m);
+      quick "empty and singleton inputs" (fun () ->
+          check_bool "map []" true (Parallel.map ~jobs:4 Fun.id [] = ([] : int list));
+          check_bool "exists []" false (Parallel.exists ~jobs:4 (fun _ -> true) ([] : int list));
+          check_bool "map [x]" true (Parallel.map ~jobs:4 succ [ 41 ] = [ 42 ]));
+      quick "LPH_JOBS=1 and LPH_JOBS=4 give identical game results" (fun () ->
+          let saved = Sys.getenv_opt "LPH_JOBS" in
+          let with_jobs j f =
+            Unix.putenv "LPH_JOBS" j;
+            let y = f () in
+            Unix.putenv "LPH_JOBS" (match saved with Some s -> s | None -> "2");
+            y
+          in
+          let solve () =
+            let c11 = Generators.cycle 11 and c9 = Generators.cycle 9 in
+            let a2 = v2 () and a3 = v3 () in
+            ( Game.sigma_accepts a2 c11 ~ids:(global_ids c11)
+                ~universes:[ Candidates.color_universe 2 ],
+              Game.sigma_accepts a3 c9 ~ids:(global_ids c9)
+                ~universes:[ Candidates.color_universe 3 ],
+              Game.eve_witness a3 c9 ~ids:(global_ids c9)
+                ~universes:[ Candidates.color_universe 3 ] )
+          in
+          let r1 = with_jobs "1" solve in
+          let r4 = with_jobs "4" solve in
+          check_bool "verdicts and witness identical" true (r1 = r4));
+    ] )
+
+let combinat_suite =
+  ( "engine:combinat",
+    [
+      qcheck ~count:100 "product equals the naive reference, in order"
+        QCheck.(list_of_size (QCheck.Gen.int_bound 3) (list_of_size (QCheck.Gen.int_bound 3) small_int))
+        (fun lists ->
+          let rec reference = function
+            | [] -> [ [] ]
+            | xs :: rest ->
+                let tails = reference rest in
+                List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+          in
+          List.of_seq (Combinat.product lists) = reference lists);
+      quick "tuples enumerates k-fold products" (fun () ->
+          check_int "3^2" 9 (Seq.length (Combinat.tuples [ 1; 2; 3 ] 2));
+          check_int "2^3" 8 (Seq.length (Combinat.tuples [ 0; 1 ] 3));
+          check_bool "order" true
+            (List.of_seq (Combinat.tuples [ 0; 1 ] 2) = [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]));
+      quick "product stays lazy" (fun () ->
+          (* 2^62 assignments: materialising would never finish *)
+          let huge = List.init 62 (fun _ -> [ 0; 1 ]) in
+          match Seq.uncons (Combinat.product huge) with
+          | Some (first, _) -> check_int "head length" 62 (List.length first)
+          | None -> Alcotest.fail "product of non-empty lists is non-empty");
+    ] )
+
+let runner_suite =
+  ( "engine:runner",
+    [
+      quick "duplicate identifiers among neighbours still raise" (fun () ->
+          let g = Generators.star 3 in
+          let ids = [| "00"; "01"; "01"; "10" |] in
+          match Runner.run Candidates.eulerian_decider g ~ids () with
+          | _ -> Alcotest.fail "expected Invalid_argument"
+          | exception Invalid_argument _ -> ());
+      quick "globally unique identifiers run fine" (fun () ->
+          let g = Generators.star 3 in
+          check_bool "star accepted by eulerian? (odd degrees)" false
+            (Runner.decides Candidates.eulerian_decider g ~ids:(global_ids g) ()));
+    ] )
+
+let suites =
+  [
+    engine_equivalence;
+    witness_suite;
+    neighborhood_suite;
+    parallel_suite;
+    combinat_suite;
+    runner_suite;
+  ]

@@ -104,6 +104,7 @@ let runner_tests =
             {
               Local_algo.name = "router";
               levels = 0;
+              radius = None;
               init = (fun ctx -> (ctx.Local_algo.ident, ref ""));
               round =
                 (fun ctx round ((_, got) as st) ~inbox ->
@@ -130,6 +131,7 @@ let runner_tests =
             {
               Local_algo.name = "loop";
               levels = 0;
+              radius = None;
               init = (fun _ -> ());
               round = (fun _ _ () ~inbox:_ -> ((), [], false));
               output = (fun () -> "1");
