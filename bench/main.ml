@@ -1,6 +1,9 @@
 (* Experiment harness: regenerates every figure/theorem artefact of the
    paper (see DESIGN.md, experiment index E1-E16), then times the core
-   operations with Bechamel and writes the measurements to BENCH_1.json.
+   operations with Bechamel and writes the measurements to BENCH_2.json.
+   BENCH_1.json is the committed pre-wire-layer baseline; --smoke
+   compares the shared Bechamel entries against it and fails on a >2x
+   regression.
 
    Run with: dune exec bench/main.exe
    CI smoke: dune exec bench/main.exe -- --smoke   (small instances,
@@ -56,7 +59,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-1\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-2\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -87,6 +90,72 @@ let write_bench_json path =
     rows;
   out "  }\n}\n";
   close_out oc
+
+(* ---- smoke regression gate ----------------------------------------- *)
+
+(* Line-based reader for a committed benchmark file's
+   [bechamel_ns_per_run] section — we only ever parse JSON this harness
+   emitted itself, one entry per line. *)
+let read_baseline_ns path =
+  try
+    let ic = open_in path in
+    let entries = ref [] in
+    let in_section = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if !in_section then begin
+           if String.length line > 0 && line.[0] = '}' then raise Exit;
+           match String.index_opt line ':' with
+           | Some colon when String.length line > 2 && line.[0] = '"' -> (
+               match String.rindex_from_opt line (colon - 1) '"' with
+               | Some close when close > 0 ->
+                   let name = String.sub line 1 (close - 1) in
+                   let value =
+                     String.trim (String.sub line (colon + 1) (String.length line - colon - 1))
+                   in
+                   let value =
+                     if String.length value > 0 && value.[String.length value - 1] = ',' then
+                       String.sub value 0 (String.length value - 1)
+                     else value
+                   in
+                   (match float_of_string_opt value with
+                   | Some ns -> entries := (name, ns) :: !entries
+                   | None -> ())
+               | _ -> ())
+           | _ -> ()
+         end
+         else if line = "\"bechamel_ns_per_run\": {" then in_section := true
+       done
+     with End_of_file | Exit -> ());
+    close_in ic;
+    Some (List.rev !entries)
+  with Sys_error _ -> None
+
+(* Fail if any Bechamel entry shared with the committed baseline runs
+   more than 2x slower; entries within a 50us absolute band are treated
+   as noise (the short smoke quota jitters small cases by more than
+   2x). New entries without a baseline are ignored. *)
+let regression_gate baseline_path =
+  match read_baseline_ns baseline_path with
+  | None ->
+      row "[gate] no %s baseline found; skipping the regression check\n" baseline_path;
+      true
+  | Some baseline ->
+      let ok = ref true in
+      List.iter
+        (fun (name, old_ns) ->
+          match List.assoc_opt name !bechamel_rows with
+          | None -> ()
+          | Some new_ns ->
+              if new_ns > 2.0 *. old_ns && new_ns -. old_ns > 50_000. then begin
+                ok := false;
+                row "[gate] REGRESSION %s: %.0f ns/run vs baseline %.0f ns/run (> 2x)\n" name
+                  new_ns old_ns
+              end)
+        baseline;
+      if !ok then row "[gate] no shared Bechamel entry regressed > 2x vs %s\n" baseline_path;
+      !ok
 
 let rand_graphs ~count ~max_nodes ~extra seed =
   let rng = Random.State.make [| seed |] in
@@ -717,6 +786,8 @@ let bechamel_suite () =
         [ 0; 1; 2 ]
   in
   let sim = Simulate.through_reduction Eulerian_red.reduction ~inner:Candidates.eulerian_decider () in
+  let c64 = Generators.cycle 64 in
+  let ids64 = Identifiers.make_global c64 in
   let blank6 = Picture.constant ~bits:0 ~rows:6 ~cols:6 "" in
   let pic = Picture.constant ~bits:1 ~rows:3 ~cols:3 "1" in
   let mso_some_one = Formula.Exists ("x", Formula.Unary (1, "x")) in
@@ -724,6 +795,7 @@ let bechamel_suite () =
     [
       ("turing/eulerian-C32", fun () -> ignore (Turing.run Machines.eulerian c32 ~ids:ids32 ()));
       ("runner/gather-r2-grid4x4", fun () -> ignore (Gather.collect ~radius:2 grid ~ids:gids ()));
+      ("runner/gather-r3-grid4x4", fun () -> ignore (Gather.collect ~radius:3 grid ~ids:gids ()));
       ("logic/all-selected-C8", fun () -> ignore (Graph_formulas.holds c8 Graph_formulas.all_selected));
       ( "game/3col-C5",
         fun () ->
@@ -733,6 +805,7 @@ let bechamel_suite () =
         fun () -> ignore (Cook_levin.reduce Graph_formulas.all_selected c5 ~ids:ids5) );
       ("sat/dpll-pigeonhole-4-3", fun () -> ignore (Sat_solver.satisfiable pigeon));
       ("simulate/eulerian-through-red-C32", fun () -> ignore (Runner.run sim c32 ~ids:ids32 ()));
+      ("simulate/eulerian-through-red-C64", fun () -> ignore (Runner.run sim c64 ~ids:ids64 ()));
       ("tiling/squares-6x6", fun () -> ignore (Tiling.recognizes Tiling.squares blank6));
       ("picture/encode-decode-3x3", fun () -> ignore (Pic_to_graph.decode (Pic_to_graph.encode pic)));
       ("mso/compile-some-one", fun () -> ignore (Mso_to_dfa.compile ~bits:1 mso_some_one));
@@ -796,6 +869,8 @@ let () =
   print_endline "(paper: Reiter, PODC 2024; see DESIGN.md E1-E16 and EXPERIMENTS.md)";
   if !smoke then print_endline "[smoke mode: reduced instance sizes and quotas]";
   Printf.printf "[parallel sweeps: %d domain(s); override with LPH_JOBS]\n" (Parallel.jobs ());
+  Printf.printf "[wire: %s transport; override with LPH_WIRE=bits|packed]\n"
+    (match Codec.wire_mode () with Codec.Packed -> "packed" | Codec.Bits -> "legacy bits");
   timed "E1-hierarchy" exp_fig1;
   timed "E2-prop21" exp_prop21;
   timed "E3-prop23" exp_prop23;
@@ -812,5 +887,6 @@ let () =
   timed "engine-comparison" exp_engine;
   timed "scaling" exp_scaling;
   timed "bechamel" bechamel_suite;
-  write_bench_json "BENCH_1.json";
-  print_endline "\nAll experiments completed; measurements written to BENCH_1.json."
+  write_bench_json "BENCH_2.json";
+  print_endline "\nAll experiments completed; measurements written to BENCH_2.json.";
+  if !smoke && not (regression_gate "BENCH_1.json") then exit 1

@@ -74,10 +74,15 @@ val step_gather :
   Local_algo.ctx ->
   int ->
   gather_state ->
-  inbox:string list ->
-  string list * bool
+  inbox:Local_algo.msg list ->
+  Local_algo.msg list * bool
 (** One round of flooding ([int] is the global round number, starting
-    at 1); returns the outbox and whether the ball is complete. *)
+    at 1); returns the outbox and whether the ball is complete. Under
+    the packed wire mode ({!Lph_util.Codec.wire_mode}) each round ships
+    only the {e delta} — entries learned or completed while processing
+    this round's inbox — but every message is costed at the bit-string
+    length of the full-table broadcast of the paper's protocol, so all
+    {!Runner} statistics are mode-independent. *)
 
 val completed_ball : gather_state -> ball
 (** The gathered ball; raises [Failure] before completion. *)

@@ -1,3 +1,15 @@
+module C = Lph_util.Codec
+
+type msg = { wire : string; cost : int }
+
+let no_msg = { wire = ""; cost = 0 }
+
+let raw_msg s = { wire = s; cost = String.length s }
+
+let encode_msg c v = let wire = C.encode_wire c v in { wire; cost = C.wire_bits wire }
+
+let decode_msg c (m : msg) = C.decode_wire c m.wire
+
 type ctx = {
   label : string;
   ident : string;
@@ -12,7 +24,7 @@ type 'st t = {
   levels : int;
   radius : int option;
   init : ctx -> 'st;
-  round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
+  round : ctx -> int -> 'st -> inbox:msg list -> 'st * msg list * bool;
   output : 'st -> string;
 }
 

@@ -9,6 +9,33 @@
     sizes so that polynomial step time can be verified empirically
     ({!Step_time}). *)
 
+type msg = { wire : string; cost : int }
+(** One message on the wire. [wire] is the transport representation
+    (mode-dependent, see {!Lph_util.Codec.wire_mode}); [cost] is the
+    message's length in the paper's bit-string accounting — the value
+    every charge, input size and message-volume statistic is computed
+    from. For plainly transported messages [cost] is the length of the
+    bit string the seed runtime would have shipped
+    ([Codec.wire_bits wire]); delta-flooded {!Gather} messages carry the
+    cost of the full table the paper's protocol broadcasts, which their
+    (smaller) wire only summarises. *)
+
+val no_msg : msg
+(** The empty message (["" ], cost 0) — what stopped or silent
+    neighbours deliver. *)
+
+val raw_msg : string -> msg
+(** A message charged at face value (cost = byte length): for verdicts,
+    labels and other strings that are already bit strings. *)
+
+val encode_msg : 'a Lph_util.Codec.t -> 'a -> msg
+(** Encode a value for transport in the current wire mode, costed at
+    its bit-string length (8x the packed byte length). *)
+
+val decode_msg : 'a Lph_util.Codec.t -> msg -> 'a
+(** Decode a message produced by {!encode_msg} under the same mode.
+    Raises [Failure] on malformed input. *)
+
 type ctx = {
   label : string;
   ident : string;
@@ -28,12 +55,14 @@ type 'st t = {
           and the node's own degree. [None] means the verdict may depend
           on the whole graph; solvers then cannot prune. *)
   init : ctx -> 'st;
-  round : ctx -> int -> 'st -> inbox:string list -> 'st * string list * bool;
+  round : ctx -> int -> 'st -> inbox:msg list -> 'st * msg list * bool;
       (** [round ctx k st ~inbox] processes the messages received at the
-          beginning of round [k] (sender-sorted by identifier; all empty
-          in round 1) and returns the new state, the outgoing messages
-          (i-th message to the i-th neighbour in identifier order,
-          missing ones default to ""), and whether the node stops. *)
+          beginning of round [k] (sender-sorted by identifier; all
+          {!no_msg} in round 1) and returns the new state, the outgoing
+          messages (i-th message to the i-th neighbour in identifier
+          order, missing ones default to {!no_msg}; emitting more
+          messages than the node's degree is an error the runner
+          rejects), and whether the node stops. *)
   output : 'st -> string;  (** the final label; "1" means accept *)
 }
 

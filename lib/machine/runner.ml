@@ -1,4 +1,5 @@
 module G = Lph_graph.Labeled_graph
+module Parallel = Lph_util.Parallel
 
 type stats = {
   rounds : int;
@@ -18,6 +19,17 @@ type 'st node_exec = {
   neighbours : int array; (* sorted by identifier *)
   charge_cell : int ref;
 }
+
+(* The per-round compute phase runs on the domain team only once the
+   instance is big enough to amortize the barrier; below the threshold
+   (or under LPH_JOBS=1) execution is plain sequential iteration. *)
+let parallel_threshold () =
+  match Sys.getenv_opt "LPH_PAR_MIN" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> v
+      | _ -> invalid_arg "Runner: LPH_PAR_MIN must be a positive integer")
+  | None -> 32
 
 let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
   let n = G.card g in
@@ -52,7 +64,7 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
         in
         { state = algo.init ctx; finished = false; ctx; neighbours = sorted_neighbours u; charge_cell })
   in
-  let pending = Array.init n (fun u -> Array.make (Array.length nodes.(u).neighbours) "") in
+  let pending = Array.init n (fun u -> Array.make (Array.length nodes.(u).neighbours) Local_algo.no_msg) in
   let slot_of = Array.init n (fun u ->
       (* slot_of.(u).(i): position of u in the neighbour ordering of its
          i-th neighbour *)
@@ -66,43 +78,61 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
   in
   let charges_log = ref [] and input_log = ref [] and msg_log = ref [] in
   let round = ref 0 in
-  while not (Array.for_all (fun ne -> ne.finished) nodes) do
-    incr round;
-    if !round > round_limit then raise (Diverged (algo.name ^ ": round limit exceeded"));
-    let charges_r = Array.make n 0 and input_r = Array.make n 0 and msg_r = Array.make n 0 in
-    let outgoing = Array.make n [||] in
-    Array.iteri
-      (fun u ne ->
-        let d = Array.length ne.neighbours in
-        if ne.finished then outgoing.(u) <- Array.make d ""
-        else begin
-          let inbox = Array.to_list pending.(u) in
-          input_r.(u) <-
-            List.fold_left (fun acc m -> acc + String.length m + 1) 0 inbox
-            + String.length ne.ctx.Local_algo.label
-            + String.length ne.ctx.Local_algo.ident
-            + (if !round = 1 then String.length cert_list.(u) else 0);
-          (* round 1 keeps the charges accumulated by [init] *)
-          if !round > 1 then ne.charge_cell := 0;
-          let state, outbox, finished = algo.round ne.ctx !round ne.state ~inbox in
-          ne.state <- state;
-          ne.finished <- finished;
-          charges_r.(u) <- !(ne.charge_cell);
-          let out = Array.make d "" in
-          List.iteri (fun i msg -> if i < d then out.(i) <- msg) outbox;
-          Array.iter (fun msg -> msg_r.(u) <- msg_r.(u) + String.length msg) out;
-          outgoing.(u) <- out
-        end)
-      nodes;
-    (* deliver *)
-    Array.iteri
-      (fun u ne ->
-        Array.iteri (fun i v -> pending.(v).(slot_of.(u).(i)) <- outgoing.(u).(i)) ne.neighbours)
-      nodes;
-    charges_log := charges_r :: !charges_log;
-    input_log := input_r :: !input_log;
-    msg_log := msg_r :: !msg_log
-  done;
+  let run_rounds iter =
+    while not (Array.for_all (fun ne -> ne.finished) nodes) do
+      incr round;
+      if !round > round_limit then raise (Diverged (algo.name ^ ": round limit exceeded"));
+      let charges_r = Array.make n 0 and input_r = Array.make n 0 and msg_r = Array.make n 0 in
+      let outgoing = Array.make n [||] in
+      (* compute: embarrassingly parallel — every write below lands in
+         node [u]'s own cells *)
+      iter n (fun u ->
+          let ne = nodes.(u) in
+          let d = Array.length ne.neighbours in
+          if ne.finished then outgoing.(u) <- Array.make d Local_algo.no_msg
+          else begin
+            let inbox = Array.to_list pending.(u) in
+            input_r.(u) <-
+              List.fold_left (fun acc (m : Local_algo.msg) -> acc + m.Local_algo.cost + 1) 0 inbox
+              + String.length ne.ctx.Local_algo.label
+              + String.length ne.ctx.Local_algo.ident
+              + (if !round = 1 then String.length cert_list.(u) else 0);
+            (* round 1 keeps the charges accumulated by [init] *)
+            if !round > 1 then ne.charge_cell := 0;
+            let state, outbox, finished = algo.round ne.ctx !round ne.state ~inbox in
+            ne.state <- state;
+            ne.finished <- finished;
+            charges_r.(u) <- !(ne.charge_cell);
+            let k = List.length outbox in
+            if k > d then
+              invalid_arg
+                (Printf.sprintf "Runner.run: algorithm %s emits %d messages at node %d of degree %d"
+                   algo.name k u d);
+            let out = Array.make d Local_algo.no_msg in
+            List.iteri (fun i msg -> out.(i) <- msg) outbox;
+            Array.iter
+              (fun (m : Local_algo.msg) -> msg_r.(u) <- msg_r.(u) + m.Local_algo.cost)
+              out;
+            outgoing.(u) <- out
+          end);
+      (* deliver *)
+      Array.iteri
+        (fun u ne ->
+          Array.iteri (fun i v -> pending.(v).(slot_of.(u).(i)) <- outgoing.(u).(i)) ne.neighbours)
+        nodes;
+      charges_log := charges_r :: !charges_log;
+      input_log := input_r :: !input_log;
+      msg_log := msg_r :: !msg_log
+    done
+  in
+  let jobs = min (Parallel.jobs ()) n in
+  if jobs > 1 && n >= parallel_threshold () then
+    Parallel.with_team ~jobs (fun team -> run_rounds (Parallel.team_iter team))
+  else
+    run_rounds (fun n f ->
+        for u = 0 to n - 1 do
+          f u
+        done);
   let output = G.with_labels g (Array.map (fun ne -> algo.output ne.state) nodes) in
   let rev l = Array.of_list (List.rev l) in
   {

@@ -2,7 +2,19 @@
     the same scheduling discipline as {!Turing.run} (rounds of
     receive / compute / send, neighbours ordered by identifier,
     stopped nodes emit empty messages), with per-node, per-round
-    charge and input-size accounting. *)
+    charge and input-size accounting.
+
+    All statistics are computed from message {e costs}
+    ({!Local_algo.msg}), i.e. the paper's bit-string lengths — they are
+    independent of the transport wire mode
+    ({!Lph_util.Codec.wire_mode}).
+
+    The per-round compute phase runs on a persistent
+    {!Lph_util.Parallel} domain team when the effective job count
+    ([LPH_JOBS]) exceeds 1 and the graph has at least [LPH_PAR_MIN]
+    nodes (default 32); message delivery is sequential and
+    identifier-ordered either way, so results and statistics are
+    bit-identical for every job count. *)
 
 type stats = {
   rounds : int;
@@ -29,7 +41,8 @@ val run :
 (** [cert_list] is the certificate-list assignment (strings over
     {0,1,#}); each node's entry is decoded into [levels] certificates.
     Raises [Invalid_argument] if identifiers are not distinct among any
-    node's neighbourhood (the 1-local uniqueness precondition). *)
+    node's neighbourhood (the 1-local uniqueness precondition), or if
+    the algorithm emits more messages than a node's degree. *)
 
 val accepts : result -> bool
 val verdict : result -> int -> string

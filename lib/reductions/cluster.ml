@@ -7,48 +7,113 @@ type t = {
   boundary_edges : (string * string * string) list;
 }
 
+(* Boundary edges are serialized with consecutive triples sharing a
+   neighbour identifier grouped under one copy of the identifier —
+   reductions emit several boundary edges per neighbour back-to-back, so
+   this shrinks cluster labels considerably. Consecutive grouping is
+   lossless: ungrouping restores the exact original list. *)
+let group_boundary triples =
+  let rec go = function
+    | [] -> []
+    | (local, ident, remote) :: rest -> (
+        match go rest with
+        | (ident', pairs) :: tl when String.equal ident' ident ->
+            (ident, (local, remote) :: pairs) :: tl
+        | grouped -> (ident, [ (local, remote) ]) :: grouped)
+  in
+  go triples
+
+let ungroup_boundary grouped =
+  List.concat_map (fun (ident, pairs) -> List.map (fun (l, r) -> (l, ident, r)) pairs) grouped
+
 let codec : t C.t =
   C.map
-    (fun (nodes, (internal_edges, boundary_edges)) -> { nodes; internal_edges; boundary_edges })
-    (fun c -> (c.nodes, (c.internal_edges, c.boundary_edges)))
+    (fun (nodes, (internal_edges, grouped)) ->
+      { nodes; internal_edges; boundary_edges = ungroup_boundary grouped })
+    (fun c -> (c.nodes, (c.internal_edges, group_boundary c.boundary_edges)))
     (C.pair
        (C.list (C.pair C.string C.string))
-       (C.pair (C.list (C.pair C.string C.string)) (C.list (C.triple C.string C.string C.string))))
+       (C.pair
+          (C.list (C.pair C.string C.string))
+          (C.list (C.pair C.string (C.list (C.pair C.string C.string))))))
 
 let assemble g ~ids clusters =
   let n = G.card g in
   if Array.length clusters <> n then failwith "Cluster.assemble: wrong number of clusters";
-  (* global index of every (owner, local name) *)
-  let index = Hashtbl.create 64 in
-  let owners = ref [] in
+  (* clusters receive consecutive global indices: node [i] of cluster
+     [u] is global [base.(u) + i]. Local names resolve by scanning the
+     cluster's (small) name array; large clusters fall back to a
+     hashtable. *)
+  let base = Array.make n 0 in
+  let names = Array.make n [||] in
   let next = ref 0 in
   Array.iteri
     (fun u cluster ->
       if cluster.nodes = [] then failwith "Cluster.assemble: empty cluster";
-      List.iter
-        (fun (local, _) ->
-          if Hashtbl.mem index (u, local) then
-            failwith (Printf.sprintf "Cluster.assemble: duplicate local name %s in cluster %d" local u);
-          Hashtbl.replace index (u, local) !next;
-          owners := (u, local) :: !owners;
-          incr next)
-        cluster.nodes)
+      base.(u) <- !next;
+      let arr = Array.of_list (List.map fst cluster.nodes) in
+      names.(u) <- arr;
+      next := !next + Array.length arr)
     clusters;
-  let owners = Array.of_list (List.rev !owners) in
-  let labels = Array.make !next "" in
+  let total = !next in
+  let dup local u =
+    failwith (Printf.sprintf "Cluster.assemble: duplicate local name %s in cluster %d" local u)
+  in
+  let lookup =
+    Array.init n (fun u ->
+        let arr = names.(u) in
+        let k = Array.length arr in
+        if k <= 32 then begin
+          Array.iteri
+            (fun i nm ->
+              for j = 0 to i - 1 do
+                if String.equal arr.(j) nm then dup nm u
+              done)
+            arr;
+          fun name ->
+            let rec go i =
+              if i >= k then None
+              else if String.equal (Array.unsafe_get arr i) name then Some (base.(u) + i)
+              else go (i + 1)
+            in
+            go 0
+        end
+        else begin
+          let t = Hashtbl.create k in
+          Array.iteri
+            (fun i nm ->
+              if Hashtbl.mem t nm then dup nm u;
+              Hashtbl.replace t nm (base.(u) + i))
+            arr;
+          fun name -> Hashtbl.find_opt t name
+        end)
+  in
+  let owners = Array.make total (0, "") in
+  let labels = Array.make total "" in
   Array.iteri
     (fun u cluster ->
-      List.iter (fun (local, label) -> labels.(Hashtbl.find index (u, local)) <- label) cluster.nodes)
+      List.iteri
+        (fun i (local, label) ->
+          let gi = base.(u) + i in
+          owners.(gi) <- (u, local);
+          labels.(gi) <- label)
+        cluster.nodes)
     clusters;
-  (* map identifiers back to node indices, per neighbourhood *)
-  let node_of_ident u ident =
-    match List.find_opt (fun v -> ids.(v) = ident) (G.neighbours g u) with
-    | Some v -> v
-    | None ->
+  (* map identifiers back to node indices: one global table, with the
+     neighbour requirement checked against the (short) adjacency list *)
+  let ident_tbl = Hashtbl.create (2 * n) in
+  for v = 0 to n - 1 do
+    Hashtbl.replace ident_tbl ids.(v) v
+  done;
+  let node_of_ident u neighbours ident =
+    match Hashtbl.find_opt ident_tbl ident with
+    | Some v when List.mem v neighbours -> v
+    | _ ->
         failwith
           (Printf.sprintf "Cluster.assemble: cluster %d references identifier %s of a non-neighbour" u
              ident)
   in
+  let find_exn u name = match lookup.(u) name with Some i -> i | None -> raise Not_found in
   let internal =
     List.concat
       (Array.to_list
@@ -56,38 +121,52 @@ let assemble g ~ids clusters =
             (fun u cluster ->
               List.map
                 (fun (a, b) ->
-                  let ia = Hashtbl.find index (u, a) and ib = Hashtbl.find index (u, b) in
+                  let ia = find_exn u a and ib = find_exn u b in
                   (min ia ib, max ia ib))
                 cluster.internal_edges)
             clusters))
   in
-  (* boundary edges must be declared symmetrically *)
+  (* boundary edges must be declared symmetrically; keyed by the
+     endpoint pair packed into one int for cheap hashing *)
   let declared = Hashtbl.create 64 in
   Array.iteri
     (fun u cluster ->
+      let neighbours = G.neighbours g u in
+      (* consecutive boundary triples usually target the same neighbour;
+         a one-slot memo skips most identifier lookups *)
+      let memo_ident = ref "" and memo_v = ref (-1) in
       List.iter
         (fun (local, ident, remote) ->
-          let v = node_of_ident u ident in
+          let v =
+            if !memo_v >= 0 && String.equal ident !memo_ident then !memo_v
+            else begin
+              let v = node_of_ident u neighbours ident in
+              memo_ident := ident;
+              memo_v := v;
+              v
+            end
+          in
           let ia =
-            match Hashtbl.find_opt index (u, local) with
+            match lookup.(u) local with
             | Some i -> i
             | None -> failwith (Printf.sprintf "Cluster.assemble: unknown local name %s in cluster %d" local u)
           in
           let ib =
-            match Hashtbl.find_opt index (v, remote) with
+            match lookup.(v) remote with
             | Some i -> i
             | None ->
                 failwith
                   (Printf.sprintf "Cluster.assemble: cluster %d references unknown node %s of cluster %d"
                      u remote v)
           in
-          Hashtbl.replace declared (ia, ib) ())
+          Hashtbl.replace declared ((ia * total) + ib) ())
         cluster.boundary_edges)
     clusters;
   let boundary =
     Hashtbl.fold
-      (fun (ia, ib) () acc ->
-        if not (Hashtbl.mem declared (ib, ia)) then
+      (fun key () acc ->
+        let ia = key / total and ib = key mod total in
+        if not (Hashtbl.mem declared ((ib * total) + ia)) then
           failwith "Cluster.assemble: inter-cluster edge declared by only one side";
         if ia < ib then (ia, ib) :: acc else acc)
       declared []
@@ -106,9 +185,16 @@ type reduction = {
   compute : Lph_machine.Local_algo.ctx -> Lph_machine.Gather.ball -> t;
 }
 
+(* Output labels are part of the graph model and must be bit strings
+   ([Labeled_graph] enforces it); the packed wire format applies to
+   messages only. *)
+let encode_label c = C.encode_bits codec c
+
+let decode_label s = C.decode_bits codec s
+
 let algo_of reduction =
   Lph_machine.Gather.map_algo ~name:reduction.name ~radius:reduction.gather_radius ~levels:0
-    ~f:(fun ctx ball -> C.encode_bits codec (reduction.compute ctx ball))
+    ~f:(fun ctx ball -> encode_label (reduction.compute ctx ball))
 
 let run_reduction reduction g ~ids =
   Lph_machine.Runner.run (algo_of reduction) g ~ids ()
@@ -116,8 +202,7 @@ let run_reduction reduction g ~ids =
 let apply reduction g ~ids =
   let result = run_reduction reduction g ~ids in
   let clusters =
-    Array.init (G.card g) (fun u ->
-        C.decode_bits codec (G.label result.Lph_machine.Runner.output u))
+    Array.init (G.card g) (fun u -> decode_label (G.label result.Lph_machine.Runner.output u))
   in
   fst (assemble g ~ids clusters)
 

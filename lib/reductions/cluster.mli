@@ -20,6 +20,14 @@ type t = {
 
 val codec : t Lph_util.Codec.t
 
+val encode_label : t -> string
+(** Encode a cluster as an output label. Output labels are part of the
+    graph model and are always bit strings, whatever the wire mode. *)
+
+val decode_label : string -> t
+(** Decode an output label of the reduction machine (the inverse of
+    {!encode_label}). Raises [Failure] on malformed labels. *)
+
 val assemble :
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->

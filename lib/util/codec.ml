@@ -16,30 +16,81 @@ let decode c s =
   if pos <> String.length s then failwith "Codec.decode: trailing garbage";
   v
 
+let encoded_length c v =
+  let buf = Buffer.create 64 in
+  c.enc buf v;
+  Buffer.length buf
+
+let bits_length c v = 8 * encoded_length c v
+
+type wire = Packed | Bits
+
+let mode =
+  ref
+    (match Sys.getenv_opt "LPH_WIRE" with
+    | None | Some "packed" -> Packed
+    | Some ("bits" | "legacy") -> Bits
+    | Some other -> invalid_arg ("Codec: LPH_WIRE must be \"packed\" or \"bits\", got " ^ other))
+
+let wire_mode () = !mode
+
+let set_wire_mode m = mode := m
+
+(* the 8-character '0'/'1' expansion of each byte value, pre-packed as a
+   little-endian int64 so expansion is one 8-byte store per input byte *)
+let byte_bits =
+  lazy
+    (Array.init 256 (fun b ->
+         let s = String.init 8 (fun i -> if (b lsr (7 - i)) land 1 = 1 then '1' else '0') in
+         String.get_int64_le s 0))
+
 let encode_bits c v =
   let raw = encode c v in
-  let buf = Buffer.create (8 * String.length raw) in
-  String.iter
-    (fun ch ->
-      let b = Char.code ch in
-      for i = 7 downto 0 do
-        Buffer.add_char buf (if (b lsr i) land 1 = 1 then '1' else '0')
-      done)
-    raw;
-  Buffer.contents buf
+  let tbl = Lazy.force byte_bits in
+  let n = String.length raw in
+  let out = Bytes.create (8 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le out (8 * i) (Array.unsafe_get tbl (Char.code (String.unsafe_get raw i)))
+  done;
+  Bytes.unsafe_to_string out
 
 let decode_bits c s =
   let len = String.length s in
   if len mod 8 <> 0 then failwith "Codec.decode_bits: length not a multiple of 8";
-  let raw =
-    String.init (len / 8) (fun i ->
-        let b = ref 0 in
-        for j = 0 to 7 do
-          b := (!b lsl 1) lor (match s.[(8 * i) + j] with '0' -> 0 | '1' -> 1 | _ -> failwith "Codec.decode_bits: non-bit character")
-        done;
-        Char.chr !b)
-  in
-  decode c raw
+  let nb = len / 8 in
+  let raw = Bytes.create nb in
+  (* accumulate validity instead of branching per character: any byte
+     that is not '0'/'1' leaves bits above bit 0 in [bad] *)
+  let bad = ref 0 in
+  for i = 0 to nb - 1 do
+    let base = 8 * i in
+    let c0 = Char.code (String.unsafe_get s base) - 48 in
+    let c1 = Char.code (String.unsafe_get s (base + 1)) - 48 in
+    let c2 = Char.code (String.unsafe_get s (base + 2)) - 48 in
+    let c3 = Char.code (String.unsafe_get s (base + 3)) - 48 in
+    let c4 = Char.code (String.unsafe_get s (base + 4)) - 48 in
+    let c5 = Char.code (String.unsafe_get s (base + 5)) - 48 in
+    let c6 = Char.code (String.unsafe_get s (base + 6)) - 48 in
+    let c7 = Char.code (String.unsafe_get s (base + 7)) - 48 in
+    bad := !bad lor c0 lor c1 lor c2 lor c3 lor c4 lor c5 lor c6 lor c7;
+    let b =
+      (c0 lsl 7) lor (c1 lsl 6) lor (c2 lsl 5) lor (c3 lsl 4) lor (c4 lsl 3) lor (c5 lsl 2)
+      lor (c6 lsl 1) lor c7
+    in
+    Bytes.unsafe_set raw i (Char.unsafe_chr (b land 255))
+  done;
+  if !bad lsr 1 <> 0 then failwith "Codec.decode_bits: non-bit character";
+  decode c (Bytes.unsafe_to_string raw)
+
+(* The transport format follows the global wire mode: [Packed] ships the
+   raw serialized bytes, [Bits] the paper-literal '0'/'1' expansion. Cost
+   accounting is mode-independent: a packed byte stands for 8 bits. *)
+
+let encode_wire c v = match !mode with Packed -> encode c v | Bits -> encode_bits c v
+
+let decode_wire c s = match !mode with Packed -> decode c s | Bits -> decode_bits c s
+
+let wire_bits s = match !mode with Packed -> 8 * String.length s | Bits -> String.length s
 
 (* Integers are encoded in base 128 with a continuation bit (LEB128-style),
    so small values cost one byte. *)
@@ -56,15 +107,26 @@ let int =
     go n
   in
   let dec s pos =
+    (* the continuation-bit shift is bounded: OCaml ints hold 62 value
+       bits, so any chunk that would spill past bit 62 (including into
+       the sign bit) is rejected instead of silently wrapping *)
     let rec go pos shift acc =
       if pos >= String.length s then failwith "Codec.int: truncated";
       let b = Char.code s.[pos] in
-      let acc = acc lor ((b land 127) lsl shift) in
+      let chunk = b land 127 in
+      if shift > 62 || (chunk <> 0 && chunk > max_int lsr shift) then
+        failwith "Codec.int: overflow";
+      let acc = acc lor (chunk lsl shift) in
       if b land 128 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
     in
     go pos 0 0
   in
   { enc; dec }
+
+let int_length n =
+  if n < 0 then invalid_arg "Codec.int_length: negative";
+  let rec go n acc = if n < 128 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
 
 let string =
   let enc buf s =
@@ -152,3 +214,9 @@ let map of_wire to_wire c =
     (of_wire v, pos)
   in
   { enc; dec }
+
+let enc c = c.enc
+
+let dec c = c.dec
+
+let custom ~enc ~dec = { enc; dec }

@@ -22,6 +22,50 @@ val encode_bits : 'a t -> 'a -> string
 
 val decode_bits : 'a t -> string -> 'a
 
+val encoded_length : 'a t -> 'a -> int
+(** Byte length of [encode c v], computed without materializing the
+    string. [8 * encoded_length c v] is exactly the length of
+    [encode_bits c v] — the charging shim the runtime uses to keep the
+    paper's bit accounting while shipping packed bytes. *)
+
+val bits_length : 'a t -> 'a -> int
+(** [8 * encoded_length c v]: the length of the bit string the paper's
+    protocol would put on the wire for [v]. *)
+
+val int_length : int -> int
+(** Byte length of the {!int} encoding of a non-negative integer
+    (equals [encoded_length int n]); raises [Invalid_argument] on
+    negatives. *)
+
+(** {1 Wire mode}
+
+    The runtime transports messages and transformation labels either as
+    raw serialized bytes ({!Packed}, the default) or as the paper's
+    literal '0'/'1' expansions ({!Bits}, the pre-optimisation seed
+    behaviour, kept as the reference for equivalence tests and A/B
+    benchmarks). The mode only affects the transport representation;
+    all charges and {!Runner.stats}-style accounting are stated in bits
+    and identical in both modes. Initialised from [LPH_WIRE]
+    ("packed" | "bits"); raises [Invalid_argument] on other values. *)
+
+type wire = Packed | Bits
+
+val wire_mode : unit -> wire
+
+val set_wire_mode : wire -> unit
+(** For tests and A/B benchmarks. Do not flip it while a run is in
+    flight: messages encoded in one mode must be decoded in the same
+    mode. *)
+
+val encode_wire : 'a t -> 'a -> string
+(** [encode] or [encode_bits] according to the current mode. *)
+
+val decode_wire : 'a t -> string -> 'a
+
+val wire_bits : string -> int
+(** The bit-accounted length of an {!encode_wire} result: [8 * length]
+    in packed mode, [length] in bits mode. *)
+
 (** {1 Primitives} *)
 
 val int : int t
@@ -40,3 +84,21 @@ val list : 'a t -> 'a list t
 val option : 'a t -> 'a option t
 val map : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
 (** [map of_wire to_wire c] transports a codec along an isomorphism. *)
+
+(** {1 Cursor access}
+
+    Escape hatch for hot paths: a hand-written codec over the same
+    primitives avoids the intermediate tuples the generic combinators
+    build. The custom functions must produce/consume exactly the bytes
+    of the combinator layout they replace (pairs and triples are plain
+    concatenation), or cross-mode equivalence breaks. *)
+
+val enc : 'a t -> Buffer.t -> 'a -> unit
+(** Append the encoding of a value to a buffer. *)
+
+val dec : 'a t -> string -> int -> 'a * int
+(** Decode a value at a cursor; returns the value and the next cursor.
+    Raises [Failure] on malformed input. *)
+
+val custom : enc:(Buffer.t -> 'a -> unit) -> dec:(string -> int -> 'a * int) -> 'a t
+(** Build a codec from explicit cursor functions. *)

@@ -112,3 +112,125 @@ let exists ?jobs:j p xs =
   end
 
 let for_all ?jobs p xs = not (exists ?jobs (fun x -> not (p x)) xs)
+
+(* A persistent worker team for round-structured workloads (the
+   synchronous runner): domains are spawned once and re-dispatched every
+   round through a condition-variable barrier, so the per-round cost is
+   two broadcasts instead of [jobs - 1] domain spawns. *)
+
+type team = {
+  jobs : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int; (* bumped once per team_iter batch *)
+  mutable shutdown : bool;
+  mutable n : int;
+  mutable task : int -> unit;
+  next : int Atomic.t;
+  mutable active : int; (* helpers still working on the current epoch *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+let team_jobs t = t.jobs
+
+(* Pull indices until exhausted; the first failure is recorded and ends
+   the batch early (the counter is pushed past [n]). *)
+let team_pull t =
+  let rec go () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < t.n then begin
+      (try t.task i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some (e, bt);
+         Mutex.unlock t.mutex;
+         Atomic.set t.next t.n);
+      go ()
+    end
+  in
+  go ()
+
+let team_helper t () =
+  Domain.DLS.set inside_pool true;
+  Mutex.lock t.mutex;
+  let seen = ref 0 in
+  let rec loop () =
+    while (not t.shutdown) && t.epoch = !seen do
+      Condition.wait t.start t.mutex
+    done;
+    if not t.shutdown then begin
+      seen := t.epoch;
+      Mutex.unlock t.mutex;
+      team_pull t;
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.finished;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.mutex
+
+let team_iter t n task =
+  if t.jobs <= 1 then
+    for i = 0 to n - 1 do
+      task i
+    done
+  else begin
+    Mutex.lock t.mutex;
+    t.n <- n;
+    t.task <- task;
+    t.failure <- None;
+    Atomic.set t.next 0;
+    t.active <- t.jobs - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    (* the calling domain participates; its tasks count as inside the
+       pool so nested combinators degrade to sequential *)
+    let was_inside = Domain.DLS.get inside_pool in
+    Domain.DLS.set inside_pool true;
+    team_pull t;
+    Domain.DLS.set inside_pool was_inside;
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    let failure = t.failure in
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let with_team ?jobs:j f =
+  let j = effective_jobs j in
+  let t =
+    {
+      jobs = j;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      shutdown = false;
+      n = 0;
+      task = ignore;
+      next = Atomic.make 0;
+      active = 0;
+      failure = None;
+    }
+  in
+  if j <= 1 then f t
+  else begin
+    let helpers = List.init (j - 1) (fun _ -> Domain.spawn (team_helper t)) in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.mutex;
+        t.shutdown <- true;
+        Condition.broadcast t.start;
+        Mutex.unlock t.mutex;
+        List.iter Domain.join helpers)
+      (fun () -> f t)
+  end

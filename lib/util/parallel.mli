@@ -31,3 +31,28 @@ val find_map_first : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b option
 (** Parallel [List.find_map] returning the hit with the {e lowest input
     index} — the same witness sequential evaluation finds — not merely
     the first one any domain happens to produce. *)
+
+(** {1 Persistent worker team}
+
+    For round-structured workloads (the synchronous {!Lph_machine.Runner})
+    that dispatch many small batches: domains are spawned once per team
+    and reused across batches, so a batch costs two condition-variable
+    broadcasts instead of fresh domain spawns. Determinism contract as
+    above: tasks must write only to their own slots; results are
+    independent of the job count. *)
+
+type team
+
+val with_team : ?jobs:int -> (team -> 'a) -> 'a
+(** [with_team f] spawns [jobs - 1] helper domains (none when the
+    effective job count is 1, including inside a nested pool), runs [f]
+    and joins the helpers — also on exceptions. *)
+
+val team_iter : team -> int -> (int -> unit) -> unit
+(** [team_iter t n task] runs [task 0 .. task (n-1)] across the team
+    (the calling domain participates) and returns when all are done.
+    The first exception raised by any task ends the batch early and is
+    re-raised in the caller. *)
+
+val team_jobs : team -> int
+(** The team's effective job count. *)

@@ -109,9 +109,12 @@ let runner_tests =
               round =
                 (fun ctx round ((_, got) as st) ~inbox ->
                   if round = 1 then
-                    (st, List.init ctx.Local_algo.degree (fun i -> Bitstring.of_int_width ~width:4 i), false)
+                    ( st,
+                      List.init ctx.Local_algo.degree (fun i ->
+                          Local_algo.raw_msg (Bitstring.of_int_width ~width:4 i)),
+                      false )
                   else begin
-                    got := String.concat "" inbox;
+                    got := String.concat "" (List.map (fun m -> m.Local_algo.wire) inbox);
                     (st, [], true)
                   end);
               output = (fun (_, got) -> !got);
@@ -145,6 +148,26 @@ let runner_tests =
         let g = Graph.singleton "1111" in
         let r = Runner.run algo g ~ids:[| "" |] () in
         check_int "init charge counted" 4 r.Runner.stats.Runner.charges.(0).(0));
+    quick "outboxes larger than the degree are rejected" (fun () ->
+        let algo =
+          Local_algo.Packed
+            {
+              Local_algo.name = "chatty";
+              levels = 0;
+              radius = None;
+              init = (fun _ -> ());
+              round =
+                (fun ctx _ () ~inbox:_ ->
+                  ( (),
+                    List.init (ctx.Local_algo.degree + 1) (fun _ -> Local_algo.raw_msg "1"),
+                    true ));
+              output = (fun () -> "1");
+            }
+        in
+        let g = Generators.cycle 3 in
+        Alcotest.check_raises "rejected"
+          (Invalid_argument "Runner.run: algorithm chatty emits 3 messages at node 0 of degree 2")
+          (fun () -> ignore (Runner.run algo g ~ids:(global_ids g) ())));
   ]
 
 let gather_tests =

@@ -243,7 +243,7 @@ let simulate_tests =
         let result = Runner.run (Cluster.algo_of red) bg ~ids () in
         let clusters =
           Array.init (Graph.card bg) (fun u ->
-              Codec.decode_bits Cluster.codec (Graph.label result.Runner.output u))
+              Cluster.decode_label (Graph.label result.Runner.output u))
         in
         let image, owners = Cluster.assemble bg ~ids clusters in
         let coloring = Option.get (Properties.find_k_coloring 3 image) in
