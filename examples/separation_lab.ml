@@ -28,7 +28,7 @@ let () =
     (String.concat "" (Array.to_list out.Separations.verdicts_glued));
   Format.printf "  node-by-node indistinguishable: %b — the decider accepts both,@." out.Separations.indistinguishable;
   Format.printf "  yet only the glued cycle is 2-colourable. No LP machine can win this.@.";
-  let t_odd, g_odd, t_glued, g_glued = Separations.two_col_game_separation ~n:5 in
+  let t_odd, g_odd, t_glued, g_glued = Separations.two_col_game_separation ~n:5 () in
   Format.printf "With one Eve certificate (NLP), the game gets it right:@.";
   Format.printf "  C5:  truth %-5b game %-5b | glued C10: truth %-5b game %-5b@.@." t_odd g_odd t_glued
     g_glued;

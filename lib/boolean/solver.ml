@@ -1,64 +1,417 @@
-module Smap = Map.Make (String)
+(* A watched-literal CDCL solver (Chaff-style: Moskewicz et al., DAC
+   2001), replacing the earlier map-based DPLL. The design is the
+   MiniSat core reduced to what the game backend needs:
 
-(* Assignments are persistent maps, so backtracking simply drops the
-   extended map. *)
+   - two watched literals per clause, so only clauses watching a
+     literal that just became false are visited during propagation;
+   - conflict analysis to the first unique implication point, with the
+     learned clause driving a non-chronological backjump;
+   - VSIDS-style branching: per-variable activities bumped on conflict
+     participation and decayed geometrically, broken by a linear scan
+     (instance sizes here are hundreds of variables, not millions);
+   - phase saving, so consecutive [solve_with] calls under different
+     assumptions revisit similar assignments cheaply;
+   - an incremental interface: clauses can be added between solves and
+     learned clauses are kept, which is what makes assumption-based
+     re-solving of the game CNF fast.
 
-let clause_status assignment clause =
-  let rec go acc = function
-    | [] -> `Clause (List.rev acc)
-    | l :: rest -> begin
-        match Smap.find_opt l.Cnf.var assignment with
-        | Some b -> if b = l.Cnf.positive then `Satisfied else go acc rest
-        | None -> go (l :: acc) rest
-      end
-  in
-  go [] clause
+   Variables are interned: the external (string) names of {!Cnf} map to
+   dense integers, and a literal is [2*var + (0 if positive else 1)].
+   All mutable state (watch lists, trail, activities) stays private to
+   this module; the interface only exposes solving and statistics. *)
 
-(* Simplify under the assignment and propagate unit clauses to a
-   fixpoint. Returns None on conflict. *)
-let rec simplify assignment cnf =
-  let rec scan acc units = function
-    | [] -> `Done (List.rev acc, units)
-    | clause :: rest -> begin
-        match clause_status assignment clause with
-        | `Satisfied -> scan acc units rest
-        | `Clause [] -> `Conflict
-        | `Clause [ l ] -> scan acc (l :: units) rest
-        | `Clause c -> scan (c :: acc) units rest
-      end
-  in
-  match scan [] [] cnf with
-  | `Conflict -> None
-  | `Done (remaining, []) -> Some (assignment, remaining)
-  | `Done (remaining, units) ->
-      let assignment, conflict =
-        List.fold_left
-          (fun (a, conflict) l ->
-            match Smap.find_opt l.Cnf.var a with
-            | Some b when b <> l.Cnf.positive -> (a, true)
-            | _ -> (Smap.add l.Cnf.var l.Cnf.positive a, conflict))
-          (assignment, false) units
-      in
-      if conflict then None else simplify assignment remaining
+type cls = { mutable lits : int array }
 
-let rec dpll assignment cnf =
-  match simplify assignment cnf with
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  max_backjump : int;
+}
+
+type t = {
+  mutable names : string array;  (* var -> external name *)
+  ids : (string, int) Hashtbl.t;  (* external name -> var *)
+  mutable nvars : int;
+  (* per-variable state, capacity [Array.length assign] *)
+  mutable assign : int array;  (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : cls option array;
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;  (* conflict-analysis scratch *)
+  mutable watches : cls list array;  (* literal -> watching clauses *)
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable trail_lim : int array;  (* decision level -> trail mark *)
+  mutable dlevel : int;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable root_conflict : bool;
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable s_conflicts : int;
+  mutable s_learned : int;
+  mutable s_max_backjump : int;
+}
+
+let create () =
+  {
+    names = Array.make 16 "";
+    ids = Hashtbl.create 64;
+    nvars = 0;
+    assign = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 None;
+    activity = Array.make 16 0.;
+    polarity = Array.make 16 false;
+    seen = Array.make 16 false;
+    watches = Array.make 32 [];
+    trail = Array.make 16 0;
+    trail_n = 0;
+    trail_lim = Array.make 16 0;
+    dlevel = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    root_conflict = false;
+    s_decisions = 0;
+    s_propagations = 0;
+    s_conflicts = 0;
+    s_learned = 0;
+    s_max_backjump = 0;
+  }
+
+let stats s =
+  {
+    decisions = s.s_decisions;
+    propagations = s.s_propagations;
+    conflicts = s.s_conflicts;
+    learned = s.s_learned;
+    max_backjump = s.s_max_backjump;
+  }
+
+(* ---- literals ----------------------------------------------------- *)
+
+let var_of l = l lsr 1
+
+let neg_lit l = l lxor 1
+
+let lit_of_var v ~positive = if positive then 2 * v else (2 * v) + 1
+
+let lit_of_cnf s_var (l : Cnf.literal) = lit_of_var (s_var l.Cnf.var) ~positive:l.Cnf.positive
+
+(* -1 unassigned, 0 false, 1 true — of the literal, not the variable *)
+let value s l =
+  let a = s.assign.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let grow arr len fill =
+  let a = Array.make (max len (2 * Array.length arr)) fill in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let intern s name =
+  match Hashtbl.find_opt s.ids name with
+  | Some v -> v
+  | None ->
+      let v = s.nvars in
+      s.nvars <- v + 1;
+      if v >= Array.length s.assign then begin
+        s.names <- grow s.names (v + 1) "";
+        s.assign <- grow s.assign (v + 1) (-1);
+        s.level <- grow s.level (v + 1) 0;
+        s.reason <- grow s.reason (v + 1) None;
+        s.activity <- grow s.activity (v + 1) 0.;
+        s.polarity <- grow s.polarity (v + 1) false;
+        s.seen <- grow s.seen (v + 1) false;
+        s.trail <- grow s.trail (v + 1) 0
+      end;
+      if 2 * v + 1 >= Array.length s.watches then s.watches <- grow s.watches (2 * v + 2) [];
+      s.names.(v) <- name;
+      Hashtbl.replace s.ids name v;
+      v
+
+(* ---- trail -------------------------------------------------------- *)
+
+let enqueue s l reason =
+  match value s l with
+  | 1 -> true
+  | 0 -> false
+  | _ ->
+      let v = var_of l in
+      s.assign.(v) <- 1 - (l land 1);
+      s.level.(v) <- s.dlevel;
+      s.reason.(v) <- reason;
+      if reason <> None then s.s_propagations <- s.s_propagations + 1;
+      s.trail.(s.trail_n) <- l;
+      s.trail_n <- s.trail_n + 1;
+      true
+
+let new_decision_level s =
+  if s.dlevel >= Array.length s.trail_lim then s.trail_lim <- grow s.trail_lim (s.dlevel + 1) 0;
+  s.trail_lim.(s.dlevel) <- s.trail_n;
+  s.dlevel <- s.dlevel + 1
+
+let backtrack s target =
+  if s.dlevel > target then begin
+    let mark = s.trail_lim.(target) in
+    for i = s.trail_n - 1 downto mark do
+      let v = var_of s.trail.(i) in
+      s.polarity.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None
+    done;
+    s.trail_n <- mark;
+    s.qhead <- mark;
+    s.dlevel <- target
+  end
+
+(* ---- propagation -------------------------------------------------- *)
+
+(* Process the watch list of each newly falsified literal: a clause
+   either finds a replacement watch, is satisfied, propagates its other
+   watch, or is the conflict. *)
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_n do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let false_lit = neg_lit p in
+    let ws = s.watches.(false_lit) in
+    s.watches.(false_lit) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> (
+          let lits = c.lits in
+          (* normalise: the falsified watch sits at index 1 *)
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          if value s lits.(0) = 1 then begin
+            (* satisfied by the other watch: keep watching *)
+            s.watches.(false_lit) <- c :: s.watches.(false_lit);
+            go rest
+          end
+          else
+            let n = Array.length lits in
+            let rec find k = if k >= n then -1 else if value s lits.(k) <> 0 then k else find (k + 1) in
+            match find 2 with
+            | k when k >= 0 ->
+                (* new watch found: move the clause to its list *)
+                lits.(1) <- lits.(k);
+                lits.(k) <- false_lit;
+                s.watches.(lits.(1)) <- c :: s.watches.(lits.(1));
+                go rest
+            | _ ->
+                s.watches.(false_lit) <- c :: s.watches.(false_lit);
+                if value s lits.(0) = 0 then begin
+                  (* all literals false: conflict; keep the rest watched *)
+                  conflict := Some c;
+                  List.iter
+                    (fun c' -> s.watches.(false_lit) <- c' :: s.watches.(false_lit))
+                    rest
+                end
+                else begin
+                  ignore (enqueue s lits.(0) (Some c));
+                  go rest
+                end)
+    in
+    go ws
+  done;
+  !conflict
+
+(* ---- VSIDS -------------------------------------------------------- *)
+
+let rescale s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale s
+
+let decay s = s.var_inc <- s.var_inc /. 0.95
+
+let pick_branch_var s =
+  let best = ref (-1) and best_act = ref neg_infinity in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* ---- conflict analysis -------------------------------------------- *)
+
+(* First-UIP resolution along the trail. Returns the learned clause
+   (asserting literal first) and the backjump level. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl in
+  let idx = ref (s.trail_n - 1) in
+  let continue = ref true in
+  while !continue do
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = var_of q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            bump s v;
+            if s.level.(v) = s.dlevel then incr counter else learnt := q :: !learnt
+          end
+        end)
+      !c.lits;
+    while not s.seen.(var_of s.trail.(!idx)) do
+      decr idx
+    done;
+    p := s.trail.(!idx);
+    s.seen.(var_of !p) <- false;
+    decr counter;
+    if !counter = 0 then continue := false
+    else
+      c :=
+        (match s.reason.(var_of !p) with
+        | Some r -> r
+        | None -> assert false (* only the UIP can lack a reason *))
+  done;
+  List.iter (fun q -> s.seen.(var_of q) <- false) !learnt;
+  let bj = List.fold_left (fun acc q -> max acc s.level.(var_of q)) 0 !learnt in
+  (neg_lit !p :: !learnt, bj)
+
+let attach s c =
+  s.watches.(c.lits.(0)) <- c :: s.watches.(c.lits.(0));
+  s.watches.(c.lits.(1)) <- c :: s.watches.(c.lits.(1))
+
+(* Install a learned clause after backjumping: the asserting literal is
+   watched together with a literal from the backjump level. *)
+let learn s lits_list bj =
+  s.s_learned <- s.s_learned + 1;
+  match lits_list with
+  | [] -> s.root_conflict <- true
+  | [ l ] -> if not (enqueue s l None) then s.root_conflict <- true
+  | first :: _ ->
+      let lits = Array.of_list lits_list in
+      let k = ref 1 in
+      Array.iteri (fun i q -> if i >= 1 && s.level.(var_of q) = bj then k := i) lits;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!k);
+      lits.(!k) <- tmp;
+      let c = { lits } in
+      attach s c;
+      ignore (enqueue s first (Some c))
+
+(* ---- clause addition ---------------------------------------------- *)
+
+exception Found_true
+
+(* Clauses are added at decision level 0 (every [solve_with] returns
+   with the trail rewound), so literals already assigned are assigned
+   permanently: true literals discharge the clause, false ones are
+   dropped. *)
+let add_clause s (clause : Cnf.clause) =
+  backtrack s 0;
+  if not s.root_conflict then begin
+    let seen_lits = Hashtbl.create 8 in
+    match
+      List.fold_left
+        (fun acc cl ->
+          let l = lit_of_cnf (intern s) cl in
+          if Hashtbl.mem seen_lits (neg_lit l) then raise Found_true (* tautology *)
+          else if Hashtbl.mem seen_lits l then acc
+          else begin
+            Hashtbl.replace seen_lits l ();
+            match value s l with
+            | 1 -> raise Found_true (* satisfied at root *)
+            | 0 -> acc (* permanently false: drop *)
+            | _ -> l :: acc
+          end)
+        [] clause
+    with
+    | [] -> s.root_conflict <- true
+    | [ l ] ->
+        if not (enqueue s l None) then s.root_conflict <- true
+        else if propagate s <> None then s.root_conflict <- true
+    | lits -> attach s { lits = Array.of_list (List.rev lits) }
+    | exception Found_true -> ()
+  end
+
+(* ---- search ------------------------------------------------------- *)
+
+let extract_model s =
+  let model = Array.sub s.assign 0 s.nvars in
+  let ids = Hashtbl.copy s.ids in
+  fun name ->
+    match Hashtbl.find_opt ids name with Some v -> model.(v) = 1 | None -> false
+
+let solve_with ?(assumptions : Cnf.clause = []) s =
+  if s.root_conflict then None
+  else begin
+    backtrack s 0;
+    let assumptions = Array.of_list (List.map (lit_of_cnf (intern s)) assumptions) in
+    let n_assumed = Array.length assumptions in
+    let result = ref None and running = ref true in
+    while !running do
+      match propagate s with
+      | Some confl ->
+          s.s_conflicts <- s.s_conflicts + 1;
+          if s.dlevel = 0 then begin
+            s.root_conflict <- true;
+            running := false
+          end
+          else begin
+            let learned, bj = analyze s confl in
+            s.s_max_backjump <- max s.s_max_backjump (s.dlevel - bj);
+            backtrack s bj;
+            learn s learned bj;
+            decay s;
+            if s.root_conflict then running := false
+          end
+      | None ->
+          if s.dlevel < n_assumed then begin
+            (* re-assert the next assumption as a decision *)
+            let p = assumptions.(s.dlevel) in
+            match value s p with
+            | 1 -> new_decision_level s (* already holds: dummy level *)
+            | 0 -> running := false (* UNSAT under the assumptions *)
+            | _ ->
+                s.s_decisions <- s.s_decisions + 1;
+                new_decision_level s;
+                ignore (enqueue s p None)
+          end
+          else begin
+            match pick_branch_var s with
+            | -1 ->
+                (* every variable assigned without conflict: a model *)
+                result := Some (extract_model s);
+                running := false
+            | v ->
+                s.s_decisions <- s.s_decisions + 1;
+                new_decision_level s;
+                ignore (enqueue s (lit_of_var v ~positive:s.polarity.(v)) None)
+          end
+    done;
+    backtrack s 0;
+    !result
+  end
+
+let root_value s name =
+  match Hashtbl.find_opt s.ids name with
   | None -> None
-  | Some (assignment, []) -> Some assignment
-  | Some (assignment, remaining) ->
-      let l = List.hd (List.hd remaining) in
-      let try_value b = dpll (Smap.add l.Cnf.var b assignment) remaining in
-      begin
-        match try_value l.Cnf.positive with
-        | Some a -> Some a
-        | None -> try_value (not l.Cnf.positive)
-      end
+  | Some v -> if s.assign.(v) < 0 || s.level.(v) > 0 then None else Some (s.assign.(v) = 1)
+
+(* ---- one-shot compatibility API ----------------------------------- *)
 
 let solve cnf =
-  match dpll Smap.empty cnf with
-  | None -> None
-  | Some assignment ->
-      let lookup v = match Smap.find_opt v assignment with Some b -> b | None -> false in
-      Some lookup
+  let s = create () in
+  List.iter (add_clause s) cnf;
+  solve_with s
 
 let satisfiable cnf = Option.is_some (solve cnf)

@@ -176,9 +176,9 @@ let fragment_universes ?(tuple_filter = fun _ -> true) compiled g ~ids =
   in
   List.map (fun (_, vars) -> universe_for_block vars) compiled.blocks
 
-let game_accepts ?tuple_filter compiled g ~ids =
+let game_accepts ?(engine = `Auto) ?tuple_filter compiled g ~ids =
   let universes = fragment_universes ?tuple_filter compiled g ~ids in
   match compiled.first with
   | None -> compiled.arbiter.Lph_hierarchy.Arbiter.accepts g ~ids ~certs:[]
-  | Some Game.Eve -> Game.sigma_accepts compiled.arbiter g ~ids ~universes
-  | Some Game.Adam -> Game.pi_accepts compiled.arbiter g ~ids ~universes
+  | Some Game.Eve -> Game.sigma_accepts ~engine compiled.arbiter g ~ids ~universes
+  | Some Game.Adam -> Game.pi_accepts ~engine compiled.arbiter g ~ids ~universes

@@ -45,10 +45,12 @@ val fragment_universes :
     count. *)
 
 val game_accepts :
+  ?engine:Lph_hierarchy.Game.engine ->
   ?tuple_filter:(int list -> bool) ->
   t ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
   bool
 (** The certificate game value under {!fragment_universes} — by
-    Theorem 12 equal to the sentence's truth value on the graph. *)
+    Theorem 12 equal to the sentence's truth value on the graph.
+    [engine] selects the game engine (default [`Auto]: [LPH_ENGINE]). *)

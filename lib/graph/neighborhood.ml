@@ -90,6 +90,15 @@ let ball g ~radius u =
       Mutex.protect lock (fun () -> Hashtbl.replace cache.balls key b);
       b
 
+(* Dirty-set computation for incremental re-verification: a radius-r
+   verifier at [u] must be re-run after a certificate mutation iff
+   ball(u, r) meets the changed nodes — by symmetry of the distance,
+   iff [u] lies in some changed node's r-ball. *)
+let touched g ~radius changed =
+  let mark = Array.make (G.card g) false in
+  List.iter (fun v -> List.iter (fun u -> mark.(u) <- true) (ball g ~radius v)) changed;
+  List.filter (fun u -> mark.(u)) (G.nodes g)
+
 let eccentricity g u = Array.fold_left max 0 (distances g u)
 
 let diameter g =

@@ -19,6 +19,12 @@ val distance : Labeled_graph.t -> int -> int -> int
 val ball : Labeled_graph.t -> radius:int -> int -> int list
 (** Nodes at distance [<= radius], sorted by node index. *)
 
+val touched : Labeled_graph.t -> radius:int -> int list -> int list
+(** [touched g ~radius changed]: the nodes whose radius-[radius] ball
+    intersects [changed] — exactly the verifiers a radius-[radius]
+    arbiter must re-run after the certificates of [changed] mutate
+    (the incremental-evaluation dirty set). Sorted by node index. *)
+
 val eccentricity : Labeled_graph.t -> int -> int
 val diameter : Labeled_graph.t -> int
 

@@ -52,14 +52,14 @@ let includes c d =
        ~inner:(d.level, match d.polarity with Sigma -> Game.Eve | Pi -> Game.Adam)
        ~outer:(c.level, match c.polarity with Sigma -> Game.Eve | Pi -> Game.Adam)
 
-let accepts c (arbiter : Arbiter.t) g ~ids ~universes =
+let accepts ?(engine = `Auto) c (arbiter : Arbiter.t) g ~ids ~universes =
   let value =
     match first_player c with
     | None ->
         if universes <> [] then invalid_arg "Classes.accepts: level 0 takes no universes";
         arbiter.Arbiter.accepts g ~ids ~certs:[]
-    | Some Game.Eve -> Game.sigma_accepts arbiter g ~ids ~universes
-    | Some Game.Adam -> Game.pi_accepts arbiter g ~ids ~universes
+    | Some Game.Eve -> Game.sigma_accepts ~engine arbiter g ~ids ~universes
+    | Some Game.Adam -> Game.pi_accepts ~engine arbiter g ~ids ~universes
   in
   if c.complement then not value else value
 

@@ -39,6 +39,7 @@ val includes : t -> t -> bool
     cross-hierarchy inclusions are not decided here. *)
 
 val accepts :
+  ?engine:Game.engine ->
   t ->
   Arbiter.t ->
   Lph_graph.Labeled_graph.t ->
@@ -47,7 +48,8 @@ val accepts :
   bool
 (** Membership condition of a graph for the property arbitrated by the
     given machine with respect to this class: the Σ/Π game value,
-    negated for complement classes. *)
+    negated for complement classes. [engine] selects the game engine
+    (default [`Auto], i.e. the [LPH_ENGINE] environment variable). *)
 
 val figure_one_levels : int -> t list
 (** All classes of both hierarchies up to the given level, in display

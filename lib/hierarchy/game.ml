@@ -35,7 +35,63 @@ let solve ~first ~n ~universes ~arbiter =
   in
   go first universes []
 
-type engine = [ `Auto | `Exhaustive | `Pruned ]
+type engine = [ `Auto | `Exhaustive | `Pruned | `Sat ]
+
+(* [`Auto] defers to the environment (like [Parallel.jobs] and
+   [LPH_JOBS]) so experiment binaries and CI legs can switch engines
+   without threading an argument through every call site. *)
+let engine_of_env () : engine =
+  match Sys.getenv_opt "LPH_ENGINE" with
+  | None | Some "" -> `Pruned
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "exhaustive" -> `Exhaustive
+      | "pruned" -> `Pruned
+      | "sat" -> `Sat
+      | other ->
+          invalid_arg
+            (Printf.sprintf
+               "Game: LPH_ENGINE must be \"exhaustive\", \"pruned\" or \"sat\" (got %S)" other))
+
+let resolve : engine -> engine = function `Auto -> engine_of_env () | e -> e
+
+(* Incremental re-verification for the exhaustive engine. Enumeration
+   orders ({!Lph_util.Combinat.product}) vary the trailing nodes
+   fastest, so consecutive certificate-list assignments differ at few
+   nodes; a [Ball r] arbiter's verdict at [u] can only change when the
+   mutation meets [ball(u, r)] ({!N.touched}), so only that dirty set
+   is re-run — through the memoised ball checker, which also
+   deduplicates recurring ball configurations. Opaque arbiters get no
+   oracle and keep running their full [accepts]. *)
+let incremental_accepts (a : Arbiter.t) g ~ids =
+  match (a.Arbiter.locality, Arbiter.ball_checker a g ~ids) with
+  | Arbiter.Ball r, Some check ->
+      let n = G.card g in
+      let verdicts = Array.make n true in
+      let prev = ref None in
+      Some
+        (fun (certs : Certs.t list) ->
+          let rerun = List.iter (fun u -> verdicts.(u) <- check u ~certs) in
+          (match !prev with
+          | Some old when List.length old = List.length certs ->
+              let changed =
+                List.filter
+                  (fun u -> List.exists2 (fun (k : Certs.t) (k' : Certs.t) -> k.(u) <> k'.(u)) old certs)
+                  (G.nodes g)
+              in
+              rerun (N.touched g ~radius:r changed)
+          | _ -> rerun (G.nodes g));
+          prev := Some (List.map Array.copy certs);
+          Array.for_all Fun.id verdicts)
+  | _ -> None
+
+let solve_exhaustive ~first (a : Arbiter.t) g ~ids ~universes =
+  let arbiter =
+    match incremental_accepts a g ~ids with
+    | Some oracle -> oracle
+    | None -> fun certs -> a.Arbiter.accepts g ~ids ~certs
+  in
+  solve ~first ~n:(G.card g) ~universes ~arbiter
 
 (* Pruned last-level search. The solver assigns the final quantifier
    level's certificates node by node, in BFS order from node 0, so that
@@ -155,41 +211,78 @@ let solve_pruned ~first (a : Arbiter.t) g ~ids ~universes =
       in
       go first universes []
 
+(* SAT-backed game value. The innermost block is answered by the
+   compiled CNF ({!Game_sat}); outer levels are enumerated here exactly
+   as in [solve_pruned], each chosen outer assignment reaching the
+   solver as assumption literals. Falls back to pruned search when the
+   game cannot be compiled (opaque arbiter, no verdicts, or the ball
+   tables exceed the compile budget). *)
+let solve_sat ~first (a : Arbiter.t) g ~ids ~universes =
+  match (universes, Game_sat.compile a g ~ids ~universes) with
+  | [], _ | _, None -> solve_pruned ~first a g ~ids ~universes
+  | _, Some inst ->
+      let n = G.card g in
+      let rec go player universes rev_prefix =
+        match universes with
+        | [] -> assert false
+        | [ _last ] -> (
+            let prefix = List.rev rev_prefix in
+            match player with
+            | Eve -> Option.is_some (Game_sat.eve_leaf inst ~prefix)
+            | Adam -> not (Game_sat.adam_rejects inst ~prefix))
+        | universe :: rest ->
+            let options = assignments ~n universe in
+            let continue k = go (opponent player) rest (k :: rev_prefix) in
+            begin
+              match player with
+              | Eve -> Seq.exists continue options
+              | Adam -> Seq.for_all continue options
+            end
+      in
+      go first universes []
+
 let check_levels (a : Arbiter.t) universes =
   if List.length universes <> a.Arbiter.levels then
     invalid_arg
       (Printf.sprintf "Game: arbiter %s expects %d levels, got %d universes" a.Arbiter.name
          a.Arbiter.levels (List.length universes))
 
+let solve_first ~first engine a g ~ids ~universes =
+  match resolve engine with
+  | `Exhaustive -> solve_exhaustive ~first a g ~ids ~universes
+  | `Sat -> solve_sat ~first a g ~ids ~universes
+  | `Auto | `Pruned -> solve_pruned ~first a g ~ids ~universes
+
 let sigma_accepts ?(engine = `Auto) a g ~ids ~universes =
   check_levels a universes;
-  match engine with
-  | `Exhaustive ->
-      solve ~first:Eve ~n:(G.card g) ~universes
-        ~arbiter:(fun certs -> a.Arbiter.accepts g ~ids ~certs)
-  | `Auto | `Pruned -> solve_pruned ~first:Eve a g ~ids ~universes
+  solve_first ~first:Eve engine a g ~ids ~universes
 
 let pi_accepts ?(engine = `Auto) a g ~ids ~universes =
   check_levels a universes;
-  match engine with
-  | `Exhaustive ->
-      solve ~first:Adam ~n:(G.card g) ~universes
-        ~arbiter:(fun certs -> a.Arbiter.accepts g ~ids ~certs)
-  | `Auto | `Pruned -> solve_pruned ~first:Adam a g ~ids ~universes
+  solve_first ~first:Adam engine a g ~ids ~universes
 
 let eve_witness ?(engine = `Auto) a g ~ids ~universes =
   check_levels a universes;
   match universes with
   | [ universe ] -> (
       let exhaustive () =
-        Seq.find
-          (fun k -> a.Arbiter.accepts g ~ids ~certs:[ k ])
-          (assignments ~n:(G.card g) universe)
+        let accepts =
+          match incremental_accepts a g ~ids with
+          | Some oracle -> fun k -> oracle [ k ]
+          | None -> fun k -> a.Arbiter.accepts g ~ids ~certs:[ k ]
+        in
+        Seq.find accepts (assignments ~n:(G.card g) universe)
       in
-      match engine with
+      let pruned () =
+        match pruned_last_level a g ~ids with
+        | Some search -> search ~mode:`Accepting ~prefix:[] ~universe
+        | None -> exhaustive ()
+      in
+      match resolve engine with
       | `Exhaustive -> exhaustive ()
-      | `Auto | `Pruned -> (
-          match pruned_last_level a g ~ids with
-          | Some search -> search ~mode:`Accepting ~prefix:[] ~universe
-          | None -> exhaustive ()))
+      | `Sat -> (
+          match Game_sat.compile a g ~ids ~universes with
+          | Some inst -> Game_sat.eve_leaf inst ~prefix:[]
+          | None -> pruned ())
+      | `Auto | `Pruned -> pruned ())
   | _ -> invalid_arg "Game.eve_witness: arbiter must have exactly one level"

@@ -57,11 +57,25 @@ val solve :
     entry per level, in move order. With [first = Eve] this computes
     ∃k1 ∀k2 ... : arbiter [k1; k2; ...]. *)
 
-type engine = [ `Auto | `Exhaustive | `Pruned ]
-(** [`Auto] (the default everywhere) uses pruned search whenever the
-    arbiter declares ball locality and exhaustive search otherwise;
-    [`Exhaustive] forces enumeration; [`Pruned] requests pruning but
-    still falls back on opaque arbiters. *)
+type engine = [ `Auto | `Exhaustive | `Pruned | `Sat ]
+(** [`Auto] (the default everywhere) defers to the [LPH_ENGINE]
+    environment variable — ["exhaustive"], ["pruned"] or ["sat"],
+    anything else raises [Invalid_argument], unset means pruned — read
+    at each call like [LPH_JOBS]. [`Exhaustive] forces enumeration
+    (with incremental dirty-set re-verification when the arbiter is
+    ball-local: only verifiers whose r-ball meets the certificate bits
+    changed since the previous candidate are re-run, via
+    {!Lph_graph.Neighborhood.touched}). [`Pruned] requests
+    locality-pruned search but still falls back to exhaustive on opaque
+    arbiters. [`Sat] compiles the innermost block to CNF ({!Game_sat})
+    and answers every game-tree leaf with an incremental
+    assumption-based solver call, falling back to pruned search when
+    compilation is unavailable or over budget. *)
+
+val resolve : engine -> engine
+(** Resolve [`Auto] against the [LPH_ENGINE] environment variable (see
+    {!type:engine}); concrete engines pass through unchanged. Useful to
+    pin the engine once before fanning work out over domains. *)
 
 val solve_pruned :
   first:player ->
@@ -76,6 +90,20 @@ val solve_pruned :
     BFS order that stops descending as soon as a fully-assigned ball's
     verdict is decisive. Falls back to {!solve} when the arbiter is
     [Opaque] or carries no per-node verdict function. *)
+
+val solve_sat :
+  first:player ->
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  bool
+(** SAT-backed game value; agrees with {!solve} and {!solve_pruned} on
+    every input. The innermost quantifier block is compiled once to CNF
+    ({!Game_sat.compile}) and each leaf of the outer enumeration is an
+    incremental solve under assumption literals fixing that leaf's
+    outer certificates. Falls back to {!solve_pruned} when the game
+    cannot be compiled. *)
 
 val sigma_accepts :
   ?engine:engine ->

@@ -1,0 +1,54 @@
+(** The SAT-backed certificate-game engine: the constructive face of
+    the paper's distributed Cook–Levin theorem (Theorem 19). The
+    innermost existential block of a certificate game over explicit
+    finite universes is compiled to one CNF per (arbiter, graph,
+    identifiers, universes) — selector variables with exactly-one
+    constraints encode the per-node candidate choices, per-node
+    acceptance variables are Tseytin-bound to the tabulated radius-r
+    ball verdicts, and a mode variable switches the same instance
+    between "every verifier accepts" (Eve's last move) and "some
+    verifier rejects" (Adam's). The enumeration engine walks the outer
+    quantifier levels and fixes each chosen outer certificate through
+    {e assumption literals}, so every leaf of the game tree is an
+    incremental {!Lph_boolean.Solver.solve_with} call on the same
+    solver: the CNF is built once, and clauses learned under one outer
+    prefix keep pruning under all later ones. *)
+
+type t
+(** A compiled game instance: one incremental SAT solver plus the
+    materialised choice tables. Safe to share across domains — solver
+    calls are serialised internally. *)
+
+val compile :
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:(int -> string list) list ->
+  t option
+(** Compile the full game (all [universes] levels) to CNF. [None] when
+    the arbiter is [Opaque], exposes no per-node verdicts, or the total
+    ball-table size exceeds the compile budget (default 200000 verifier
+    runs; override with [LPH_SAT_BUDGET]) — callers fall back to pruned
+    search. Instances are cached on (arbiter name, graph, identifiers,
+    materialised universes), so repeated solves and parallel sweeps
+    over the same graph reuse both the CNF and its learned clauses. *)
+
+val eve_leaf : t -> prefix:Lph_graph.Certificates.t list -> Lph_graph.Certificates.t option
+(** A last-level certificate assignment under which every node accepts,
+    given the outer levels fixed to [prefix] (in move order, one entry
+    per level except the last) — or [None] if none exists. Raises
+    [Invalid_argument] if a prefix certificate is outside its level's
+    universe. *)
+
+val adam_rejects : t -> prefix:Lph_graph.Certificates.t list -> bool
+(** Is there a last-level assignment under which some node rejects?
+    [false] means every last-level choice is accepted — i.e. Adam has
+    no winning move at this leaf. *)
+
+val table_entries : t -> int
+(** Total number of tabulated ball configurations (the one-off compile
+    cost, in verifier runs). *)
+
+val solver_stats : t -> Lph_boolean.Solver.stats
+(** Counters of the underlying solver, cumulative over every leaf
+    solved on this instance. *)

@@ -79,7 +79,7 @@ let prop23 ~period ~id_period ~n =
   in
   { yes_cycle; yes_accepted; view_pair = (v, v'); spliced; spliced_accepted; verdicts_preserved }
 
-let two_col_game_separation ~n =
+let two_col_game_separation ?(engine = `Auto) ~n () =
   if n < 3 || n mod 2 = 0 then invalid_arg "Separations.two_col_game_separation: n must be odd";
   let odd_cycle, glued = Gen.glued_even_cycle n in
   let verifier = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2) in
@@ -87,9 +87,9 @@ let two_col_game_separation ~n =
   let ids = Ids.make_global odd_cycle in
   let ids' = Ids.make_global glued in
   ( Properties.two_colorable odd_cycle,
-    Game.sigma_accepts verifier odd_cycle ~ids ~universes,
+    Game.sigma_accepts ~engine verifier odd_cycle ~ids ~universes,
     Properties.two_colorable glued,
-    Game.sigma_accepts verifier glued ~ids:ids' ~universes )
+    Game.sigma_accepts ~engine verifier glued ~ids:ids' ~universes )
 
 (* Parallel sweeps: the per-instance experiments above are independent
    across instance sizes, so fan them out over domains. Results come
@@ -101,5 +101,7 @@ let prop21_sweep ~decider ~id_period ns =
 let prop23_sweep ~period ~id_period ns =
   Lph_util.Parallel.map (fun n -> (n, prop23 ~period ~id_period ~n)) ns
 
-let two_col_game_sweep ns =
-  Lph_util.Parallel.map (fun n -> (n, two_col_game_separation ~n)) ns
+let two_col_game_sweep ?(engine = `Auto) ns =
+  (* resolve once: each domain would otherwise consult the environment *)
+  let engine = Game.resolve engine in
+  Lph_util.Parallel.map (fun n -> (n, two_col_game_separation ~engine ~n ())) ns

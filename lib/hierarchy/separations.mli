@@ -49,11 +49,12 @@ val prop23 : period:int -> id_period:int -> n:int -> prop23_outcome
     both periods dividing [n] so that views repeat. *)
 
 val two_col_game_separation :
-  n:int -> (bool * bool * bool * bool)
+  ?engine:Game.engine -> n:int -> unit -> bool * bool * bool * bool
 (** The NLP side of Proposition 21 on the two cycles: returns
     (odd ∈ 2COL ground truth, odd accepted by the certificate game,
      glued ∈ 2COL ground truth, glued accepted by the game) using
-    {!Candidates.color_verifier} 2 — expected (false, false, true, true). *)
+    {!Candidates.color_verifier} 2 — expected (false, false, true, true).
+    [engine] selects the game engine (default [`Auto]: [LPH_ENGINE]). *)
 
 val prop21_sweep :
   decider:Lph_machine.Local_algo.packed ->
@@ -67,7 +68,9 @@ val prop21_sweep :
 val prop23_sweep :
   period:int -> id_period:int -> int list -> (int * prop23_outcome) list
 
-val two_col_game_sweep : int list -> (int * (bool * bool * bool * bool)) list
+val two_col_game_sweep :
+  ?engine:Game.engine -> int list -> (int * (bool * bool * bool * bool)) list
 (** {!two_col_game_separation} per instance size, in parallel; the game
     solves inside each task run sequentially (nested pools do not
-    oversubscribe). *)
+    oversubscribe). [`Auto] is resolved against [LPH_ENGINE] once,
+    before the fan-out. *)

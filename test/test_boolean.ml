@@ -114,6 +114,85 @@ let solver_tests =
         | None -> true);
   ]
 
+let cdcl_tests =
+  [
+    quick "unit propagation fixes root values" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.pos "b" ];
+        Sat_solver.add_clause s [ Cnf.neg "b"; Cnf.pos "c" ];
+        check_bool "nothing forced yet" true (Sat_solver.root_value s "b" = None);
+        Sat_solver.add_clause s [ Cnf.pos "a" ];
+        check_bool "a forced" true (Sat_solver.root_value s "a" = Some true);
+        check_bool "b propagated" true (Sat_solver.root_value s "b" = Some true);
+        check_bool "c propagated" true (Sat_solver.root_value s "c" = Some true);
+        check_bool "unseen var unknown" true (Sat_solver.root_value s "d" = None);
+        check_bool "propagations counted" true ((Sat_solver.stats s).propagations >= 2);
+        check_bool "no decisions taken" true ((Sat_solver.stats s).decisions = 0));
+    quick "conflict analysis backjumps over an irrelevant level" (fun () ->
+        (* assuming a, b, c in that order: d is propagated and refuted
+           purely from a and c, so the learned clause must jump the
+           b level (level 2) in one step *)
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.neg "c"; Cnf.pos "d" ];
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.neg "c"; Cnf.neg "d" ];
+        check_bool "a,b,c contradictory" true
+          (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a"; Cnf.pos "b"; Cnf.pos "c" ] s = None);
+        check_bool "jumped at least two levels" true ((Sat_solver.stats s).max_backjump >= 2);
+        check_bool "learned a clause" true ((Sat_solver.stats s).learned >= 1);
+        (* the clause database is untouched: other assumption sets
+           still satisfiable on the same instance *)
+        (match Sat_solver.solve_with ~assumptions:[ Cnf.pos "a"; Cnf.pos "b" ] s with
+        | None -> Alcotest.fail "a,b should be satisfiable"
+        | Some v -> check_bool "model refutes c" false (v "c"));
+        match Sat_solver.solve_with ~assumptions:[ Cnf.pos "c" ] s with
+        | None -> Alcotest.fail "c alone should be satisfiable"
+        | Some v -> check_bool "model refutes a" false (v "a"));
+    quick "assumptions do not persist" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.pos "p"; Cnf.pos "q" ];
+        check_bool "p assumable" true
+          (match Sat_solver.solve_with ~assumptions:[ Cnf.pos "p"; Cnf.neg "q" ] s with
+          | Some v -> v "p" && not (v "q")
+          | None -> false);
+        check_bool "opposite assumption next call" true
+          (match Sat_solver.solve_with ~assumptions:[ Cnf.neg "p" ] s with
+          | Some v -> (not (v "p")) && v "q"
+          | None -> false);
+        check_bool "p still open at root" true (Sat_solver.root_value s "p" = None));
+    quick "clauses added between solves take effect" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.pos "x"; Cnf.pos "y" ];
+        check_bool "sat" true (Sat_solver.solve_with s <> None);
+        Sat_solver.add_clause s [ Cnf.neg "x" ];
+        check_bool "still sat via y" true
+          (match Sat_solver.solve_with s with Some v -> v "y" | None -> false);
+        Sat_solver.add_clause s [ Cnf.neg "y" ];
+        check_bool "now unsat" true (Sat_solver.solve_with s = None);
+        check_bool "permanently unsat" true (Sat_solver.solve_with ~assumptions:[ Cnf.pos "z" ] s = None));
+    quick "assumption on a fresh variable" (fun () ->
+        let s = Sat_solver.create () in
+        check_bool "forced true in the model" true
+          (match Sat_solver.solve_with ~assumptions:[ Cnf.pos "z" ] s with
+          | Some v -> v "z"
+          | None -> false));
+    qcheck ~count:100 "assumption solving agrees with clause addition"
+      QCheck.(pair (arb_bool_formula ~depth:3 ()) (small_list bool))
+      (fun (f, phases) ->
+        (* solving under assumptions == satisfiability of the CNF with
+           the assumptions added as unit clauses *)
+        let cnf = Tseytin.transform ~fresh_prefix:"aux" f in
+        let vars = List.filteri (fun i _ -> i < List.length phases) (Cnf.vars cnf) in
+        let assumptions =
+          List.map2 (fun v positive -> if positive then Cnf.pos v else Cnf.neg v) vars
+            (List.filteri (fun i _ -> i < List.length vars) phases)
+        in
+        let s = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause s) cnf;
+        let incremental = Sat_solver.solve_with ~assumptions s <> None in
+        let oneshot = Sat_solver.satisfiable (List.map (fun l -> [ l ]) assumptions @ cnf) in
+        incremental = oneshot);
+  ]
+
 let boolean_graph_tests =
   let p = BF.Var "p" and q = BF.Var "q" in
   [
@@ -165,5 +244,6 @@ let suites =
     ("boolean:cnf", cnf_tests);
     ("boolean:tseytin", tseytin_tests);
     ("boolean:solver", solver_tests);
+    ("boolean:cdcl", cdcl_tests);
     ("boolean:graph", boolean_graph_tests);
   ]

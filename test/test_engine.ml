@@ -91,6 +91,142 @@ let engine_equivalence =
           check_cycle 12 2 true);
     ] )
 
+(* a single-level radius-2 verifier with an arbitrary ball predicate:
+   engine agreement must not depend on the verdict's meaning *)
+let parity_r2_verifier =
+  Gather.algo ~name:"parity-r2" ~radius:2 ~levels:1 ~decide:(fun _ctx ball ->
+      let ones = List.filter (fun e -> e.Gather.cert = "1") ball.Gather.entries in
+      List.length ones mod 2 = 0)
+
+let with_env name value f =
+  let saved = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect ~finally:(fun () -> Unix.putenv name (Option.value saved ~default:"")) f
+
+let sat_suite =
+  ( "engine:sat",
+    [
+      qcheck ~count:40 "sigma 2col: all three engines agree"
+        (arb_graph ~max_nodes:10 ())
+        (fun g ->
+          let a = v2 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 2 ] in
+          let sat = Game.sigma_accepts ~engine:`Sat a g ~ids ~universes in
+          sat = Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          && sat = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:30 "pi 3col: all three engines agree"
+        (arb_graph ~max_nodes:6 ())
+        (fun g ->
+          let a = v3 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 3 ] in
+          let sat = Game.pi_accepts ~engine:`Sat a g ~ids ~universes in
+          sat = Game.pi_accepts ~engine:`Pruned a g ~ids ~universes
+          && sat = Game.pi_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:25 "radius-2 verifier: all three engines agree"
+        (arb_graph ~max_nodes:6 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:3 parity_r2_verifier in
+          let ids = global_ids g in
+          let universes = [ Game.of_choices [ "0"; "1" ] ] in
+          let sat = Game.sigma_accepts ~engine:`Sat a g ~ids ~universes in
+          sat = Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          && sat = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes
+          && Game.pi_accepts ~engine:`Sat a g ~ids ~universes
+             = Game.pi_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:20 "two-level arbiter: sat agrees with exhaustive"
+        (arb_graph ~max_nodes:4 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let universes = [ Game.of_choices [ "0"; "1" ]; Game.of_choices [ "0"; "1" ] ] in
+          Game.sigma_accepts ~engine:`Sat a g ~ids ~universes
+          = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes
+          && Game.pi_accepts ~engine:`Sat a g ~ids ~universes
+             = Game.pi_accepts ~engine:`Exhaustive a g ~ids ~universes);
+      qcheck ~count:30 "sat witness is valid and matches the game value"
+        (arb_graph ~max_nodes:8 ())
+        (fun g ->
+          let a = v2 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 2 ] in
+          match Game.eve_witness ~engine:`Sat a g ~ids ~universes with
+          | Some w ->
+              a.Arbiter.accepts g ~ids ~certs:[ w ]
+              && Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes
+          | None -> not (Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes));
+      quick "known cycle verdicts survive the sat engine" (fun () ->
+          List.iter
+            (fun (n, k, expected) ->
+              let g = Generators.cycle n in
+              let a = if k = 2 then v2 () else v3 () in
+              check_bool
+                (Printf.sprintf "C%d %d-colorable" n k)
+                expected
+                (Game.sigma_accepts ~engine:`Sat a g ~ids:(global_ids g)
+                   ~universes:[ Candidates.color_universe k ]))
+            [ (5, 2, false); (6, 2, true); (5, 3, true); (11, 2, false); (12, 2, true) ]);
+      quick "LPH_ENGINE selects the engine under `Auto" (fun () ->
+          let g = Generators.cycle 7 in
+          let a = v2 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 2 ] in
+          let expected = Game.sigma_accepts ~engine:`Exhaustive a g ~ids ~universes in
+          List.iter
+            (fun e ->
+              check_bool e expected (with_env "LPH_ENGINE" e (fun () -> Game.sigma_accepts a g ~ids ~universes)))
+            [ "sat"; "pruned"; "exhaustive"; "SAT" ];
+          match with_env "LPH_ENGINE" "dpll" (fun () -> Game.sigma_accepts a g ~ids ~universes) with
+          | _ -> Alcotest.fail "expected Invalid_argument"
+          | exception Invalid_argument _ -> ());
+      quick "over-budget compiles fall back to pruned search" (fun () ->
+          with_env "LPH_SAT_BUDGET" "1" (fun () ->
+              (* fresh graph: the compile cache is keyed per graph *)
+              let g = Generators.cycle 6 in
+              let a = v2 () in
+              let ids = global_ids g in
+              let universes = [ Candidates.color_universe 2 ] in
+              check_bool "compile refused" true (Game_sat.compile a g ~ids ~universes = None);
+              check_bool "verdict still correct" true
+                (Game.sigma_accepts ~engine:`Sat a g ~ids ~universes)));
+      quick "compiled instance re-solves incrementally across prefixes" (fun () ->
+          let g = Generators.cycle 5 in
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let universes = [ Game.of_choices [ "0"; "1" ]; Game.of_choices [ "0"; "1" ] ] in
+          match Game_sat.compile a g ~ids ~universes with
+          | None -> Alcotest.fail "two-level game should compile"
+          | Some inst ->
+              check_bool "tables tabulated" true (Game_sat.table_entries inst > 0);
+              let prefixes =
+                List.map Array.of_list
+                  [ [ "0"; "0"; "0"; "0"; "0" ]; [ "1"; "0"; "1"; "0"; "1" ]; [ "1"; "1"; "1"; "1"; "1" ] ]
+              in
+              List.iter
+                (fun k1 ->
+                  let reference =
+                    Game.solve ~first:Game.Eve ~n:5 ~universes:[ List.tl universes |> List.hd ]
+                      ~arbiter:(fun certs -> a.Arbiter.accepts g ~ids ~certs:(k1 :: certs))
+                  in
+                  check_bool "leaf agrees with enumeration" reference
+                    (Option.is_some (Game_sat.eve_leaf inst ~prefix:[ k1 ])))
+                prefixes;
+              check_bool "solver worked incrementally" true
+                ((Game_sat.solver_stats inst).decisions > 0));
+      quick "out-of-universe prefixes are rejected" (fun () ->
+          let g = Generators.cycle 5 in
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let universes = [ Game.of_choices [ "0"; "1" ]; Game.of_choices [ "0"; "1" ] ] in
+          match Game_sat.compile a g ~ids ~universes with
+          | None -> Alcotest.fail "two-level game should compile"
+          | Some inst -> (
+              match Game_sat.eve_leaf inst ~prefix:[ [| "2"; "0"; "0"; "0"; "0" |] ] with
+              | _ -> Alcotest.fail "expected Invalid_argument"
+              | exception Invalid_argument _ -> ()));
+    ] )
+
 let witness_suite =
   ( "engine:eve-witness",
     [
@@ -271,6 +407,7 @@ let runner_suite =
 let suites =
   [
     engine_equivalence;
+    sat_suite;
     witness_suite;
     neighborhood_suite;
     parallel_suite;

@@ -46,6 +46,15 @@ let compile_tests =
         let c = Fagin.compile GF.two_colorable in
         let g = Generators.path 2 in
         check_bool "P2" true (Fagin.game_accepts c g ~ids:(global_ids g)));
+    quick "level 1: sat engine agrees on compiled 2-COLORABLE" (fun () ->
+        let c = Fagin.compile GF.two_colorable in
+        List.iter
+          (fun g ->
+            let ids = global_ids g in
+            check_bool (graph_print g)
+              (Fagin.game_accepts ~engine:`Pruned ~tuple_filter:(node_only g) c g ~ids)
+              (Fagin.game_accepts ~engine:`Sat ~tuple_filter:(node_only g) c g ~ids))
+          [ Generators.path 2; Generators.path 3; Generators.cycle 3; Generators.cycle 5 ]);
     slow "level 3: compiled NOT-ALL-SELECTED game" (fun () ->
         let c = Fagin.compile GF.not_all_selected in
         List.iter

@@ -197,11 +197,20 @@ let separation_tests =
         check_bool "glued cycle is 2-colourable" true
           (Properties.two_colorable out.Separations.glued));
     quick "Prop 21: the game side separates" (fun () ->
-        let truth_odd, game_odd, truth_glued, game_glued = Separations.two_col_game_separation ~n:5 in
+        let truth_odd, game_odd, truth_glued, game_glued = Separations.two_col_game_separation ~n:5 () in
         check_bool "odd truth" false truth_odd;
         check_bool "odd game" false game_odd;
         check_bool "glued truth" true truth_glued;
         check_bool "glued game" true game_glued);
+    quick "Prop 21: every engine separates, also under the sweep" (fun () ->
+        List.iter
+          (fun engine ->
+            check_bool "separation quadruple" true
+              (Separations.two_col_game_separation ~engine ~n:5 () = (false, false, true, true)))
+          [ `Exhaustive; `Pruned; `Sat ];
+        check_bool "sat sweep agrees with pruned sweep" true
+          (Separations.two_col_game_sweep ~engine:`Sat [ 3; 5; 7 ]
+          = Separations.two_col_game_sweep ~engine:`Pruned [ 3; 5; 7 ]));
     quick "Prop 23: pigeonhole splice" (fun () ->
         List.iter
           (fun (period, id_period, n) ->
