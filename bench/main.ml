@@ -36,6 +36,9 @@ type engine_entry = {
 
 let engine_entries : engine_entry list ref = ref []
 
+(* workload, no-plan ms, installed-zero-rate-plan ms, relative overhead *)
+let faults_entries : (string * float * float * float) list ref = ref []
+
 let timed label f =
   let t0 = Unix.gettimeofday () in
   f ();
@@ -61,7 +64,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-3\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-4\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -84,6 +87,15 @@ let write_bench_json path =
         (json_escape e.game) e.nodes ex e.pruned_ms e.sat_ms agree
         (if i = List.length entries - 1 then "" else ","))
     entries;
+  out "  ],\n  \"faults_overhead\": [\n";
+  let fentries = List.rev !faults_entries in
+  List.iteri
+    (fun i (workload, off_ms, noop_ms, overhead) ->
+      out
+        "    {\"workload\": \"%s\", \"no_plan_ms\": %.6f, \"noop_plan_ms\": %.6f, \"overhead\": %.6f}%s\n"
+        (json_escape workload) off_ms noop_ms overhead
+        (if i = List.length fentries - 1 then "" else ","))
+    fentries;
   out "  ],\n  \"bechamel_ns_per_run\": {\n";
   let rows = List.sort compare !bechamel_rows in
   List.iteri
@@ -775,6 +787,82 @@ let exp_engine () =
      and the compiled CNF answers warm re-queries by incremental assumption solves.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault-hook overhead: the zero-overhead-when-off claim, measured.    *)
+
+let exp_faults_overhead () =
+  section "Fault-hook overhead: no plan vs installed zero-rate plan";
+  let grid = Generators.grid ~rows:4 ~cols:4 () in
+  let gids = Identifiers.make_global grid in
+  let c5 = Generators.cycle 5 in
+  let ids5 = Identifiers.make_global c5 in
+  let v3 = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3) in
+  let workloads =
+    [
+      ("gather-r2-grid4x4", fun () -> ignore (Gather.collect ~radius:2 grid ~ids:gids ()));
+      ( "game/3col-C5-sat",
+        fun () ->
+          ignore
+            (Game.sigma_accepts ~engine:`Sat v3 c5 ~ids:ids5
+               ~universes:[ Candidates.color_universe 3 ]) );
+    ]
+  in
+  let budget = if !smoke then 0.01 else 0.02 in
+  let time_budget f =
+    f ();
+    (* warm caches before the clock starts *)
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < budget do
+      f ();
+      incr iters
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int !iters
+  in
+  let noop = Fault_plan.make ~rate:0.0 ~kinds:Fault_plan.all_kinds 1 in
+  let pairs = if !smoke then 9 else 25 in
+  row "%-24s %12s %12s %10s\n" "workload" "no-plan" "noop-plan" "overhead";
+  List.iter
+    (fun (name, f) ->
+      let saved = Runner.fault_plan () in
+      (* the hook cost is (at most) a few percent and the machine's
+         load noise is larger, so estimate it from PAIRED back-to-back
+         slices: both halves of a pair see the same load and GC phase,
+         the per-pair ratio cancels them, and the median of the ratios
+         discards spikes entirely. Pair order flips each rep so
+         first-vs-second bias cancels too. *)
+      let off = ref infinity and noop_ms = ref infinity in
+      let ratios = Array.make pairs 0.0 in
+      for rep = 0 to pairs - 1 do
+        let t_off, t_noop =
+          if rep land 1 = 0 then begin
+            Runner.set_fault_plan None;
+            let a = time_budget f in
+            Runner.set_fault_plan (Some noop);
+            (a, time_budget f)
+          end
+          else begin
+            Runner.set_fault_plan (Some noop);
+            let b = time_budget f in
+            Runner.set_fault_plan None;
+            (time_budget f, b)
+          end
+        in
+        off := Float.min !off t_off;
+        noop_ms := Float.min !noop_ms t_noop;
+        ratios.(rep) <- t_noop /. t_off
+      done;
+      Runner.set_fault_plan saved;
+      Array.sort compare ratios;
+      let overhead = ratios.(pairs / 2) -. 1.0 in
+      row "%-24s %10.4fms %10.4fms %9.2f%%\n" name !off !noop_ms (100. *. overhead);
+      faults_entries := (name, !off, !noop_ms, overhead) :: !faults_entries)
+    workloads;
+  row
+    "With no plan each injection point is one match on None; an installed zero-rate plan\n\
+     short-circuits every firing decision (threshold 0, no hashing) and delivers messages\n\
+     on the plan-free path (Fault_plan.wire_active), so both rows should be within noise.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Scaling series: wall-clock per instance size (the engine results).  *)
 
 let time_ms f =
@@ -948,6 +1036,7 @@ let () =
   timed "lcl" exp_lcl;
   timed "step-time" exp_step_time;
   timed "engine-comparison" exp_engine;
+  timed "faults-overhead" exp_faults_overhead;
   timed "scaling" exp_scaling;
   timed "bechamel" bechamel_suite;
   let baseline = newest_bench () in

@@ -1,0 +1,238 @@
+(* lph-fuzz: seeded soundness campaigns against the fault-injection
+   layer (run in CI; see DESIGN.md, "Fault model").
+
+   Three campaigns, all deterministic given the base spec:
+
+   - certificate: flipped and forged certificates attack arbiters on
+     known no-instances (K4 vs 3-colouring, an odd cycle vs
+     2-colouring, a contradictory Boolean graph vs SAT-GRAPH). No
+     tampering may flip a no-instance to accept, and the fault-free
+     game must reject on every engine.
+   - wire: corrupted and truncated transport bytes are decoded in both
+     wire modes. Every failure must be the typed
+     [Error.Decode_error] — a raw [Failure _] or [Invalid_argument _]
+     is a violation.
+   - runner: whole runs under all-kinds plans on random graphs.
+     [Runner.run_outcome] must return [Completed] (then the result
+     must be identical to the fault-free run) or [Faulted] (then the
+     report must explain itself); a zero-rate twin plan must be a
+     provable no-op.
+
+   Usage: fuzz.exe [scenarios] (default 600, split across campaigns).
+   [LPH_FAULTS] seeds the base plan (default "all@0.3:1"); every
+   violation prints the offending scenario's replay spec. *)
+
+open Lph_core
+
+let usage () =
+  prerr_endline "usage: fuzz.exe [scenarios]";
+  exit 2
+
+let scenarios =
+  match Sys.argv with
+  | [| _ |] -> 600
+  | [| _; n |] -> ( match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ())
+  | _ -> usage ()
+
+let base =
+  match Fault_plan.of_env () with
+  | Some p -> p
+  | None -> Fault_plan.make ~rate:0.3 ~kinds:Fault_plan.all_kinds 1
+
+(* Engine-internal Runner calls (game engines, reductions) must stay
+   fault-free — and so must their verdict caches. Scenarios pass their
+   plan explicitly instead of going through the ambient hook. *)
+let () = Runner.set_fault_plan None
+
+let scenario_seed i = (Fault_plan.seed base * 1_000_003) + i
+
+let violations = ref 0
+
+let complain fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr violations;
+      Printf.printf "VIOLATION: %s\n%!" s)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Certificate campaign *)
+
+let fixtures =
+  let k4 = Generators.complete 4 in
+  let c5 = Generators.cycle 5 in
+  let bg =
+    Boolean_graph.make (Generators.path 2)
+      [| Bool_formula.Var "x"; Bool_formula.Not (Bool_formula.Var "x") |]
+  in
+  [
+    ( "3col-K4",
+      k4,
+      Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3),
+      [ Candidates.color_universe 3 ],
+      Array.init 4 (fun u -> Bitstring.of_int (u mod 3)) );
+    ( "2col-C5",
+      c5,
+      Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 2),
+      [ Candidates.color_universe 2 ],
+      Array.init 5 (fun u -> Bitstring.of_int (u mod 2)) );
+    ( "sat-graph-x-notx",
+      bg,
+      Arbiter.of_local_algo ~id_radius:2 Candidates.sat_graph_verifier,
+      [ Candidates.sat_graph_universe bg ],
+      [| "1"; "0" |] );
+  ]
+
+let engines = [ ("exhaustive", `Exhaustive); ("pruned", `Pruned); ("sat", `Sat) ]
+
+let check_no_instances () =
+  List.iter
+    (fun (name, g, a, universes, _) ->
+      let ids = Identifiers.make_global g in
+      List.iter
+        (fun (ename, e) ->
+          if Game.sigma_accepts ~engine:e a g ~ids ~universes then
+            complain "fixture %s accepted by engine %s without faults" name ename)
+        engines)
+    fixtures
+
+let cert_campaign n =
+  let fired = ref 0 in
+  for i = 0 to n - 1 do
+    let name, g, a, _, basec = List.nth fixtures (i mod List.length fixtures) in
+    let plan =
+      Fault_plan.make ~rate:0.9
+        ~kinds:[ Fault_plan.Cert_flip; Fault_plan.Cert_forge ]
+        (scenario_seed i)
+    in
+    let certs =
+      Array.mapi
+        (fun u c ->
+          let c', f = Fault_plan.tamper_cert plan ~node:u c in
+          if f <> None then incr fired;
+          c')
+        basec
+    in
+    let ids = Identifiers.make_global g in
+    match a.Arbiter.accepts g ~ids ~certs:[ certs ] with
+    | true -> complain "accept-flip on %s under %s" name (Fault_plan.to_spec plan)
+    | false -> ()
+    | exception e ->
+        complain "escape on %s under %s: %s" name (Fault_plan.to_spec plan)
+          (Printexc.to_string e)
+  done;
+  !fired
+
+(* ------------------------------------------------------------------ *)
+(* Wire campaign *)
+
+let wire_codec = Codec.(pair (list int) (pair string bool))
+
+let with_mode m f =
+  let saved = Codec.wire_mode () in
+  Codec.set_wire_mode m;
+  Fun.protect ~finally:(fun () -> Codec.set_wire_mode saved) f
+
+let wire_campaign n =
+  let fired = ref 0 and typed = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = scenario_seed (1_000_000 + i) in
+    let rng = Random.State.make [| seed |] in
+    let value =
+      ( List.init (Random.State.int rng 5) (fun _ -> Random.State.int rng 10_000),
+        ( String.init (Random.State.int rng 8) (fun _ -> if Random.State.bool rng then '1' else '0'),
+          Random.State.bool rng ) )
+    in
+    (* drop outranks the other wire kinds inside a plan, so rotate
+       single-kind plans to actually exercise truncation and
+       corruption at rate 1 *)
+    let kind =
+      match i mod 3 with 0 -> Fault_plan.Truncate | 1 -> Fault_plan.Corrupt | _ -> Fault_plan.Drop
+    in
+    let plan = Fault_plan.make ~rate:1.0 ~kinds:[ kind ] seed in
+    List.iter
+      (fun mode ->
+        with_mode mode (fun () ->
+            let w = Codec.encode_wire wire_codec value in
+            match Fault_plan.tamper_wire plan ~round:1 ~src:0 ~dst:1 w with
+            | None, _ -> incr fired (* dropped *)
+            | Some w', f -> (
+                if f <> None then incr fired;
+                match Codec.decode_wire wire_codec w' with
+                | _ -> ()
+                | exception Error.Error (Error.Decode_error _) -> incr typed
+                | exception e ->
+                    complain "untyped escape decoding %S under %s: %s" w'
+                      (Fault_plan.to_spec plan) (Printexc.to_string e))))
+      [ Codec.Packed; Codec.Bits ]
+  done;
+  (!fired, !typed)
+
+(* ------------------------------------------------------------------ *)
+(* Runner campaign *)
+
+let run_repr (r : Runner.result) =
+  (Graph.labels r.Runner.output, r.Runner.stats.Runner.rounds, r.Runner.stats.Runner.charges)
+
+let runner_campaign n =
+  let fired = ref 0 and faulted = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = scenario_seed (2_000_000 + i) in
+    let rng = Random.State.make [| seed |] in
+    let g =
+      Generators.random_connected ~rng
+        ~n:(2 + Random.State.int rng 6)
+        ~extra_edges:(Random.State.int rng 3) ~label_bits:1 ()
+    in
+    let ids = Identifiers.make_global g in
+    let algo =
+      if i mod 2 = 0 then Candidates.color_verifier 3 else Candidates.constant_label_decider
+    in
+    let certs = Array.init (Graph.card g) (fun u -> Bitstring.of_int (u mod 3)) in
+    let base_run = Runner.run algo g ~ids ~cert_list:certs () in
+    let plan = Fault_plan.make ~rate:(Fault_plan.rate base) ~kinds:(Fault_plan.kinds base) seed in
+    (match Runner.run_outcome ~round_limit:100 ~faults:plan algo g ~ids ~cert_list:certs () with
+    | Runner.Completed r ->
+        if run_repr r <> run_repr base_run then
+          complain "Completed differs from the fault-free run under %s" (Fault_plan.to_spec plan)
+    | Runner.Faulted rep ->
+        incr faulted;
+        fired := !fired + List.length rep.Runner.faults;
+        if rep.Runner.faults = [] && rep.Runner.error = None && rep.Runner.diverged = None then
+          complain "empty fault report under %s" (Fault_plan.to_spec plan)
+    | exception e ->
+        complain "untyped escape from run_outcome under %s: %s" (Fault_plan.to_spec plan)
+          (Printexc.to_string e));
+    (* the zero-rate twin: an installed plan that never fires must be a
+       provable no-op *)
+    let noop = Fault_plan.make ~rate:0.0 ~kinds:Fault_plan.all_kinds seed in
+    match Runner.run_outcome ~faults:noop algo g ~ids ~cert_list:certs () with
+    | Runner.Completed r ->
+        if run_repr r <> run_repr base_run then
+          complain "zero-rate plan changed the run under %s" (Fault_plan.to_spec noop)
+    | Runner.Faulted _ ->
+        complain "zero-rate plan reported faults under %s" (Fault_plan.to_spec noop)
+  done;
+  (!fired, !faulted)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let na = scenarios / 3 in
+  let nb = scenarios / 3 in
+  let nc = scenarios - na - nb in
+  Printf.printf "lph-fuzz: %d scenarios, base plan %s\n%!" scenarios (Fault_plan.to_spec base);
+  check_no_instances ();
+  let cert_fired = cert_campaign na in
+  let wire_fired, wire_typed = wire_campaign nb in
+  let run_fired, run_faulted = runner_campaign nc in
+  Printf.printf "  certificate: %4d scenarios, %4d tampers, 0 accept-flips allowed\n" na cert_fired;
+  Printf.printf "  wire:        %4d scenarios, %4d tampers, %4d typed rejections\n" nb wire_fired
+    wire_typed;
+  Printf.printf "  runner:      %4d scenarios, %4d faults fired, %4d Faulted outcomes\n" nc
+    run_fired run_faulted;
+  if !violations = 0 then Printf.printf "OK: no accept-flips, no untyped escapes\n"
+  else begin
+    Printf.printf "FAILED: %d violation(s)\n" !violations;
+    exit 1
+  end

@@ -38,7 +38,7 @@ let property_of_language lang g =
 
 let cert_codec : (string option * int) C.t = C.pair (C.option C.string) C.int
 
-let decode_cert cert = try Some (C.decode_bits cert_codec cert) with Failure _ -> None
+let decode_cert cert = try Some (C.decode_bits cert_codec cert) with Lph_util.Error.Error _ -> None
 
 let encode_cert pred state = C.encode_bits cert_codec (pred, state)
 

@@ -76,20 +76,21 @@ let rec write buf = function
 
 let read s =
   let rec go pos =
-    if pos >= String.length s then failwith "Bool_formula.of_label: truncated";
+    if pos >= String.length s then Lph_util.Error.decode_error ~what:"Bool_formula.of_label" "truncated";
     match s.[pos] with
     | 'T' -> (Const true, pos + 1)
     | 'F' -> (Const false, pos + 1)
     | 'V' ->
         (* decode a length-prefixed string starting at pos + 1 *)
         let rec varint p shift acc =
-          if p >= String.length s then failwith "Bool_formula.of_label: truncated var";
+          if p >= String.length s then Lph_util.Error.decode_error ~what:"Bool_formula.of_label" "truncated var";
           let b = Char.code s.[p] in
           let acc = acc lor ((b land 127) lsl shift) in
           if b land 128 = 0 then (acc, p + 1) else varint (p + 1) (shift + 7) acc
         in
         let len, p = varint (pos + 1) 0 0 in
-        if p + len > String.length s then failwith "Bool_formula.of_label: truncated var body";
+        if p + len > String.length s then
+          Lph_util.Error.decode_error ~what:"Bool_formula.of_label" "truncated var body";
         (Var (String.sub s p len), p + len)
     | '!' ->
         let f, p = go (pos + 1) in
@@ -102,10 +103,10 @@ let read s =
         let f, p = go (pos + 1) in
         let g, p = go p in
         (Or (f, g), p)
-    | c -> failwith (Printf.sprintf "Bool_formula.of_label: bad tag %c" c)
+    | c -> Lph_util.Error.decode_error ~what:"Bool_formula.of_label" "bad tag %c" c
   in
   let f, pos = go 0 in
-  if pos <> String.length s then failwith "Bool_formula.of_label: trailing garbage";
+  if pos <> String.length s then Lph_util.Error.decode_error ~what:"Bool_formula.of_label" "trailing garbage";
   f
 
 let to_label f =

@@ -31,7 +31,7 @@ val to_label : t -> string
 (** Bit-string encoding (for use as a graph label). *)
 
 val of_label : string -> t
-(** Raises [Failure] on malformed encodings. *)
+(** Raises [Error.Error (Decode_error _)] on malformed encodings. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -114,7 +114,7 @@ let is_3cnf_graph g =
     (fun u ->
       match formula_of_node g u with
       | f -> is_3cnf_formula f
-      | exception Failure _ -> false)
+      | exception Lph_util.Error.Error (Lph_util.Error.Decode_error _) -> false)
     (G.nodes g)
 
 let sat f = make (G.singleton "") [| f |]

@@ -12,6 +12,7 @@ let version = "1.0.0"
 
 module Bitstring = Lph_util.Bitstring
 module Codec = Lph_util.Codec
+module Error = Lph_util.Error
 module Poly = Lph_util.Poly
 module Combinat = Lph_util.Combinat
 module Parallel = Lph_util.Parallel
@@ -35,6 +36,7 @@ module Relation = Lph_logic.Relation
 
 (** {1 Machines (Section 4)} *)
 
+module Fault_plan = Lph_faults.Fault_plan
 module Turing = Lph_machine.Turing
 module Machines = Lph_machine.Machines
 module Local_algo = Lph_machine.Local_algo

@@ -97,7 +97,7 @@ let decide ~blocks ~x ~psi ~levels (ctx : LA.ctx) ball =
                           end)
                         tuples)
                 fragments
-          | exception Failure _ -> ())
+          | exception Lph_util.Error.Error (Lph_util.Error.Decode_error _) -> ())
         (G.nodes sub))
     blocks;
   let env =

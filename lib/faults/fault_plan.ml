@@ -1,0 +1,214 @@
+(* Deterministic, seeded fault plans. A plan is a pure function from
+   coordinates (round, node, message endpoints) to injection decisions:
+   the same spec and seed always produce the same faults, regardless of
+   evaluation order, so every failure a fuzz campaign finds is
+   reproducible from its spec string alone. No mutable state, no RNG
+   stream — each decision hashes (seed, kind, coordinates). *)
+
+module Error = Lph_util.Error
+
+type kind = Corrupt | Truncate | Drop | Cert_flip | Cert_forge | Dup_id | Crash | Overcharge
+
+let all_kinds = [ Corrupt; Truncate; Drop; Cert_flip; Cert_forge; Dup_id; Crash; Overcharge ]
+
+let kind_name = function
+  | Corrupt -> "corrupt"
+  | Truncate -> "truncate"
+  | Drop -> "drop"
+  | Cert_flip -> "cert-flip"
+  | Cert_forge -> "cert-forge"
+  | Dup_id -> "dup-id"
+  | Crash -> "crash"
+  | Overcharge -> "overcharge"
+
+let kind_of_name = function
+  | "corrupt" -> Corrupt
+  | "truncate" -> Truncate
+  | "drop" -> Drop
+  | "cert-flip" -> Cert_flip
+  | "cert-forge" -> Cert_forge
+  | "dup-id" -> Dup_id
+  | "crash" -> Crash
+  | "overcharge" -> Overcharge
+  | s -> invalid_arg ("Fault_plan: unknown fault kind " ^ s)
+
+let kind_index = function
+  | Corrupt -> 0
+  | Truncate -> 1
+  | Drop -> 2
+  | Cert_flip -> 3
+  | Cert_forge -> 4
+  | Dup_id -> 5
+  | Crash -> 6
+  | Overcharge -> 7
+
+type t = {
+  seed : int;
+  rate : float;
+  threshold : int; (* [rate] scaled to the 30-bit hash range *)
+  kinds : kind list;
+  have : bool array; (* indexed by kind_index *)
+}
+
+let seed t = t.seed
+
+let rate t = t.rate
+
+let kinds t = t.kinds
+
+let has t k = t.have.(kind_index k)
+
+let make ?(rate = 0.05) ~kinds seed =
+  if not (rate >= 0.0 && rate <= 1.0) then invalid_arg "Fault_plan.make: rate must be in [0,1]";
+  let have = Array.make 8 false in
+  List.iter (fun k -> have.(kind_index k) <- true) kinds;
+  { seed; rate; threshold = int_of_float (rate *. 1073741824.0); kinds; have }
+
+let to_spec t =
+  let names =
+    if List.length t.kinds = List.length all_kinds then "all"
+    else String.concat "," (List.map kind_name t.kinds)
+  in
+  if t.rate = 0.05 then Printf.sprintf "%s:%d" names t.seed
+  else Printf.sprintf "%s@%g:%d" names t.rate t.seed
+
+let parse spec =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "Fault_plan.parse: %S, expected <kinds>[@<rate>]:<seed> (e.g. \"all:7\")" spec)
+  in
+  match String.rindex_opt spec ':' with
+  | None -> bad ()
+  | Some i -> (
+      let head = String.sub spec 0 i in
+      let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt (String.trim tail) with
+      | None -> bad ()
+      | Some seed ->
+          let head, rate =
+            match String.index_opt head '@' with
+            | None -> (head, 0.05)
+            | Some j -> (
+                let r = String.sub head (j + 1) (String.length head - j - 1) in
+                match float_of_string_opt (String.trim r) with
+                | Some r when r >= 0.0 && r <= 1.0 -> (String.sub head 0 j, r)
+                | _ -> bad ())
+          in
+          let kinds =
+            match String.trim head with
+            | "all" | "" -> all_kinds
+            | names -> List.map (fun n -> kind_of_name (String.trim n)) (String.split_on_char ',' names)
+          in
+          make ~rate ~kinds seed)
+
+let of_env () =
+  match Sys.getenv_opt "LPH_FAULTS" with
+  | None | Some "" | Some "off" -> None
+  | Some spec -> Some (parse spec)
+
+(* Boost-style hash combining on the native int, finished with a
+   xorshift-multiply avalanche and masked to 30 bits. Not cryptographic;
+   only needs to decorrelate nearby coordinates. *)
+let mix h k = (h lxor (k + 0x9E3779B9 + (h lsl 6) + (h lsr 2))) land max_int
+
+let finish h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x4F6CDD1D land max_int in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x2545F491 land max_int in
+  (h lxor (h lsr 31)) land 0x3FFFFFFF
+
+let hash30 t tag xs = finish (List.fold_left mix (mix (mix 0x6c7068 t.seed) tag) xs)
+
+(* [threshold = 0] (a zero-rate plan, the overhead probe) decides
+   without hashing — the decision is constant *)
+let fires t k xs =
+  t.have.(kind_index k) && t.threshold > 0 && hash30 t (kind_index k) xs < t.threshold
+
+(* wire faults share one guard the runner can hoist out of its
+   per-message delivery loop: when no transport kind can ever fire the
+   plan-installed path collapses to the plan-free one *)
+let wire_active t =
+  t.threshold > 0
+  && (t.have.(kind_index Drop) || t.have.(kind_index Truncate) || t.have.(kind_index Corrupt))
+
+(* positional choices use a disjoint tag space so "whether" and "where"
+   are independent *)
+let pick t k xs bound = hash30 t (64 + kind_index k) xs mod bound
+
+let pick2 t k xs bound = hash30 t (128 + kind_index k) xs mod bound
+
+let fault t k ~round ~node detail =
+  { Error.fault_kind = kind_name k; seed = t.seed; round; node; detail }
+
+let tamper_wire t ~round ~src ~dst wire =
+  let len = String.length wire in
+  if len = 0 then (Some wire, None)
+  else
+    let xs = [ round; src; dst ] in
+    if fires t Drop xs then
+      (None, Some (fault t Drop ~round ~node:src (Printf.sprintf "message to node %d dropped" dst)))
+    else if fires t Truncate xs then begin
+      let keep = pick t Truncate xs len in
+      ( Some (String.sub wire 0 keep),
+        Some
+          (fault t Truncate ~round ~node:src
+             (Printf.sprintf "message to node %d truncated %d -> %d bytes" dst len keep)) )
+    end
+    else if fires t Corrupt xs then begin
+      let i = pick t Corrupt xs len in
+      let c =
+        match wire.[i] with
+        | '0' -> '1'
+        | '1' -> '0'
+        | c -> Char.chr (Char.code c lxor (1 + pick2 t Corrupt xs 255))
+      in
+      let b = Bytes.of_string wire in
+      Bytes.set b i c;
+      ( Some (Bytes.unsafe_to_string b),
+        Some
+          (fault t Corrupt ~round ~node:src
+             (Printf.sprintf "message to node %d corrupted at byte %d" dst i)) )
+    end
+    else (Some wire, None)
+
+let tamper_cert t ~node cert =
+  if fires t Cert_forge [ node ] then begin
+    let len = 1 + pick t Cert_forge [ node ] (max 8 (String.length cert)) in
+    let forged = String.init len (fun i -> if hash30 t 200 [ node; i ] land 1 = 1 then '1' else '0') in
+    (forged, Some (fault t Cert_forge ~round:(-1) ~node (Printf.sprintf "forged %d-bit certificate" len)))
+  end
+  else if String.length cert > 0 && fires t Cert_flip [ node ] then begin
+    let i = pick t Cert_flip [ node ] (String.length cert) in
+    let c = match cert.[i] with '0' -> '1' | '1' -> '0' | _ -> '0' in
+    let b = Bytes.of_string cert in
+    Bytes.set b i c;
+    ( Bytes.unsafe_to_string b,
+      Some (fault t Cert_flip ~round:(-1) ~node (Printf.sprintf "certificate bit %d flipped" i)) )
+  end
+  else (cert, None)
+
+let tamper_ids t ids =
+  let n = Array.length ids in
+  if n >= 2 && fires t Dup_id [ n ] then begin
+    let a = pick t Dup_id [ 0; n ] n in
+    let b = pick t Dup_id [ 1; n ] (n - 1) in
+    let b = if b >= a then b + 1 else b in
+    let ids' = Array.copy ids in
+    ids'.(b) <- ids.(a);
+    ( ids',
+      Some
+        (fault t Dup_id ~round:(-1) ~node:b
+           (Printf.sprintf "identifier of node %d duplicated onto node %d" a b)) )
+  end
+  else (ids, None)
+
+let crash_round t ~node = if fires t Crash [ node ] then Some (1 + pick t Crash [ node ] 8) else None
+
+let crash_fault t ~round ~node = fault t Crash ~round ~node "crash-stop"
+
+let overcharge t ~round ~node =
+  if fires t Overcharge [ round; node ] then
+    let k = 1 + pick t Overcharge [ round; node ] 1024 in
+    Some (k, fault t Overcharge ~round ~node (Printf.sprintf "+%d bits charged" k))
+  else None

@@ -1,0 +1,98 @@
+(** Deterministic, seeded fault plans for the distributed runtime.
+
+    A plan decides, purely from its seed and the coordinates of an event
+    (round, node, message endpoints), whether to inject a fault there
+    and what the fault looks like. Decisions are stateless hashes, so a
+    plan is reproducible from its spec string alone and independent of
+    evaluation order — the same spec and seed fault the same messages
+    whether the runner iterates nodes forwards, backwards or in
+    parallel. The runner threads a plan through its transport layer (see
+    [Runner.run_outcome]); the spec grammar is also accepted from the
+    [LPH_FAULTS] environment variable. With no plan installed the hook
+    is a single match on [None] — zero overhead.
+
+    Spec grammar: [<kinds>[@<rate>]:<seed>] where [<kinds>] is [all] or
+    a comma-separated subset of [corrupt], [truncate], [drop],
+    [cert-flip], [cert-forge], [dup-id], [crash], [overcharge]; [<rate>]
+    is a per-event firing probability in [0,1] (default 0.05). Examples:
+    ["all:7"], ["corrupt,drop:42"], ["cert-forge@0.5:3"]. *)
+
+type kind =
+  | Corrupt  (** flip one byte (or one bit character) of a message *)
+  | Truncate  (** cut a message short *)
+  | Drop  (** suppress a message entirely *)
+  | Cert_flip  (** flip one character of a node's certificate list *)
+  | Cert_forge  (** replace a node's certificate list with seeded noise *)
+  | Dup_id  (** copy one node's identifier onto another *)
+  | Crash  (** crash-stop a node at a seeded round *)
+  | Overcharge  (** inflate a node's per-round charge *)
+
+type t
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+val make : ?rate:float -> kinds:kind list -> int -> t
+(** [make ~kinds seed] builds a plan. [rate] is the per-event firing
+    probability (default 0.05); raises [Invalid_argument] outside
+    [0,1]. [rate = 0.0] is a valid plan that never fires — used to
+    measure hook overhead. *)
+
+val parse : string -> t
+(** Parse a spec string (grammar above); raises [Invalid_argument] on
+    malformed specs — this is configuration validation, not a
+    wire-reachable path. *)
+
+val of_env : unit -> t option
+(** The plan requested by [LPH_FAULTS], if any. Unset, [""] and ["off"]
+    all mean no plan. *)
+
+val to_spec : t -> string
+(** A spec string that re-creates this plan — print it next to any
+    failure so the scenario can be replayed. *)
+
+val seed : t -> int
+
+val rate : t -> float
+
+val kinds : t -> kind list
+
+val has : t -> kind -> bool
+
+val wire_active : t -> bool
+(** Whether any transport fault ({!Corrupt}, {!Truncate}, {!Drop}) can
+    ever fire under this plan. The runner hoists this check out of its
+    per-message delivery loop, so an installed plan that cannot touch
+    wires (a zero-rate plan, or cert/crash-only kinds) delivers
+    messages on exactly the plan-free path. *)
+
+(** {1 Injection points}
+
+    Each tamper function returns the possibly-modified value plus fault
+    metadata when a fault actually fired ([None] means the value is
+    returned unchanged). A fired fault always changes its target, so
+    "no fault metadata" and "no behavioural difference" coincide. *)
+
+val tamper_wire :
+  t -> round:int -> src:int -> dst:int -> string -> string option * Lph_util.Error.fault option
+(** Transport hook for one message. Returns [None] for a dropped
+    message, [Some wire] otherwise. Empty wires are never tampered
+    (dropping or corrupting nothing is a no-op). *)
+
+val tamper_cert : t -> node:int -> string -> string * Lph_util.Error.fault option
+(** Certificate-list hook: bit flips and wholesale forgeries. *)
+
+val tamper_ids : t -> string array -> string array * Lph_util.Error.fault option
+(** Identifier-assignment hook: may duplicate one identifier onto
+    another node (the input array is not mutated). *)
+
+val crash_round : t -> node:int -> int option
+(** [Some r] if the plan crash-stops [node] at round [r] (1-based). *)
+
+val crash_fault : t -> round:int -> node:int -> Lph_util.Error.fault
+(** The metadata to record when a scheduled crash takes effect. *)
+
+val overcharge : t -> round:int -> node:int -> (int * Lph_util.Error.fault) option
+(** Extra bits to add to a node's charge this round, if the plan says
+    so. *)

@@ -15,7 +15,7 @@ let ball_neighbours ball =
 let ball_self ball =
   match List.find_opt (fun e -> e.Gather.dist = 0) ball.Gather.entries with
   | Some e -> e
-  | None -> failwith "ball without centre entry"
+  | None -> Lph_util.Error.protocol_error ~what:"Candidates" "ball without centre entry"
 
 let constant_label_decider =
   Gather.algo ~name:"constant-label-decider" ~radius:1 ~levels:0 ~decide:(fun ctx ball ->
@@ -73,3 +73,66 @@ let mod_counter_verifier ~period =
           (ball_neighbours ball))
 
 let honest_mod_certs ~period ~n = Array.init n (fun i -> B.of_int (i mod period))
+
+(* ------------------------------------------------------------------ *)
+(* SAT-GRAPH (Theorem 19): labels encode Boolean formulas, the level-1
+   certificate claims a valuation of the node's own variables — one bit
+   per variable, in sorted variable order. The verifier re-checks what
+   {!Lph_boolean.Boolean_graph.checkable_locally} states globally:
+   every formula satisfied, adjacent valuations agreeing on shared
+   variables. Malformed labels and forged certificates must REJECT,
+   never crash — the soundness fuzzer attacks exactly this path. *)
+
+module BF = Lph_boolean.Bool_formula
+
+let sat_graph_formula label =
+  match BF.of_label label with
+  | f -> Some (f, BF.vars f)
+  | exception Lph_util.Error.Error _ -> None
+
+(* The valuation claimed by a certificate: exactly one '0'/'1' per
+   variable, or [None] if the certificate is malformed. *)
+let sat_graph_valuation vars cert =
+  let cert = match Lph_util.Bitstring.split_hash cert with c :: _ -> c | [] -> "" in
+  if String.length cert <> List.length vars || not (String.for_all (fun c -> c = '0' || c = '1') cert)
+  then None
+  else begin
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i v -> Hashtbl.replace tbl v (cert.[i] = '1')) vars;
+    Some tbl
+  end
+
+let sat_graph_verifier =
+  Gather.algo ~name:"sat-graph-verifier" ~radius:1 ~levels:1 ~decide:(fun ctx ball ->
+      let self = ball_self ball in
+      ctx.LA.charge (String.length self.Gather.label + String.length self.Gather.cert);
+      match sat_graph_formula self.Gather.label with
+      | None -> false
+      | Some (f, vs) -> (
+          match sat_graph_valuation vs self.Gather.cert with
+          | None -> false
+          | Some mine ->
+              BF.eval (Hashtbl.find mine) f
+              && List.for_all
+                   (fun e ->
+                     ctx.LA.charge (String.length e.Gather.label + String.length e.Gather.cert);
+                     match sat_graph_formula e.Gather.label with
+                     | None -> false
+                     | Some (_, nvs) -> (
+                         match sat_graph_valuation nvs e.Gather.cert with
+                         | None -> false
+                         | Some theirs ->
+                             List.for_all
+                               (fun v ->
+                                 match Hashtbl.find_opt theirs v with
+                                 | None -> true
+                                 | Some b -> Hashtbl.find mine v = b)
+                               vs))
+                   (ball_neighbours ball)))
+
+let sat_graph_universe g u =
+  match sat_graph_formula (G.label g u) with
+  | None -> [ "" ]
+  | Some (_, vs) ->
+      let k = List.length vs in
+      List.init (1 lsl k) (fun v -> B.of_int_width ~width:k v)

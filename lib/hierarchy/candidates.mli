@@ -56,3 +56,16 @@ val honest_mod_certs : period:int -> n:int -> Lph_graph.Certificates.t
 (** The honest prover's certificates for {!mod_counter_verifier} on the
     cycle of length [n] whose unselected node is node 0:
     node i gets [i mod period]. *)
+
+val sat_graph_verifier : Lph_machine.Local_algo.packed
+(** Verifier for SAT-GRAPH (Theorem 19) on Boolean graphs
+    ({!Lph_boolean.Boolean_graph}): the certificate claims a valuation
+    of the node's own formula variables, one bit per variable in sorted
+    variable order; accept iff the formula is satisfied and every
+    neighbour's claimed valuation agrees on shared variables. Malformed
+    labels and forged certificates reject — they never raise, so
+    soundness survives arbitrary certificate tampering. *)
+
+val sat_graph_universe : Lph_boolean.Boolean_graph.t -> Game.universe
+(** The matching certificate universe: all bit strings with one bit per
+    variable of the node's formula ([ [""] ] for malformed labels). *)

@@ -99,7 +99,15 @@ let tabulate ~check ~choices ~levels ~n members u =
 
 let compile_uncached (a : Arbiter.t) g ~ids ~universes =
   match (a.Arbiter.locality, Arbiter.ball_checker a g ~ids) with
-  | Arbiter.Opaque, _ | _, None -> None
+  | Arbiter.Opaque, _ | _, None ->
+      Result.Error
+        (Lph_util.Error.Protocol_error
+           {
+             what = "Game_sat";
+             detail = "arbiter " ^ a.Arbiter.name ^ " is opaque or exposes no per-node verdicts";
+             round = None;
+             node = None;
+           })
   | Arbiter.Ball r, Some check ->
       let n = G.card g in
       let levels = List.length universes in
@@ -114,7 +122,16 @@ let compile_uncached (a : Arbiter.t) g ~ids ~universes =
           1 balls.(u)
       in
       let total = Array.fold_left (fun acc u -> acc + table_size u) 0 (Array.init n Fun.id) in
-      if total > budget () then None
+      let limit = budget () in
+      if total > limit then
+        Result.Error
+          (Lph_util.Error.Resource_exhausted
+             {
+               what = "Game_sat";
+               limit;
+               detail =
+                 Printf.sprintf "ball-table size %d exceeds the LPH_SAT_BUDGET tabulation cap" total;
+             })
       else begin
         let solver = Solver.create () in
         (* acceptance definitions: a_u <-> (ball of u accepts) *)
@@ -145,19 +162,19 @@ let compile_uncached (a : Arbiter.t) g ~ids ~universes =
           (fun u -> Solver.add_clause solver [ Cnf.neg mode; Cnf.pos (acc u) ])
           (List.init n Fun.id);
         Solver.add_clause solver (Cnf.pos mode :: List.init n (fun u -> Cnf.neg (acc u)));
-        Some { solver; lock = Mutex.create (); levels; choices; table_entries = total }
+        Result.Ok { solver; lock = Mutex.create (); levels; choices; table_entries = total }
       end
 
 (* Compiled instances are reused across game solves (sweeps and
    benchmarks re-solve the same graph under many prefixes), keyed on
    the arbiter's name, the graph and the materialised universes —
    arbiter names encode their parameters throughout this codebase. *)
-let cache : (string * int * string array * string list array array, t option) Hashtbl.t =
+let cache : (string * int * string array * string list array array, (t, Lph_util.Error.t) result) Hashtbl.t =
   Hashtbl.create 16
 
 let cache_lock = Mutex.create ()
 
-let compile (a : Arbiter.t) g ~ids ~universes =
+let compile_explain (a : Arbiter.t) g ~ids ~universes =
   let choices_key =
     Array.of_list (List.map (fun universe -> Array.init (G.card g) universe) universes)
   in
@@ -170,6 +187,8 @@ let compile (a : Arbiter.t) g ~ids ~universes =
           if Hashtbl.length cache > 64 then Hashtbl.reset cache;
           Hashtbl.replace cache key inst);
       inst
+
+let compile a g ~ids ~universes = Result.to_option (compile_explain a g ~ids ~universes)
 
 let find_index x xs =
   let rec go i = function
@@ -212,7 +231,7 @@ let eve_leaf t ~prefix =
         (Array.mapi
            (fun u cands ->
              let rec pick i = function
-               | [] -> failwith "Game_sat: model selects no candidate"
+               | [] -> Lph_util.Error.protocol_error ~what:"Game_sat" "model selects no candidate"
                | c :: rest -> if model (sel l u i) then c else pick (i + 1) rest
              in
              pick 0 cands)

@@ -33,6 +33,17 @@ val compile :
     materialised universes), so repeated solves and parallel sweeps
     over the same graph reuse both the CNF and its learned clauses. *)
 
+val compile_explain :
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:(int -> string list) list ->
+  (t, Lph_util.Error.t) result
+(** Like {!compile} but the refusal carries its typed reason:
+    [Resource_exhausted] with the effective [LPH_SAT_BUDGET] limit when
+    the ball tables are over budget, [Protocol_error] when the arbiter
+    is opaque or exposes no per-node verdicts. *)
+
 val eve_leaf : t -> prefix:Lph_graph.Certificates.t list -> Lph_graph.Certificates.t option
 (** A last-level certificate assignment under which every node accepts,
     given the outer levels fixed to [prefix] (in move order, one entry

@@ -116,6 +116,11 @@ let decode_cache : (string, entry list) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let decode_table (m : Local_algo.msg) =
+  if m.Local_algo.wire = "" then []
+    (* [Local_algo.no_msg]: a stopped (or crash-faulted) neighbour.
+       Silence carries no entries — it is not a decode error, and no
+       non-empty table encodes to the empty wire. *)
+  else
   let cache = Domain.DLS.get decode_cache in
   let wire = m.Local_algo.wire in
   match Hashtbl.find_opt cache wire with
@@ -243,7 +248,9 @@ let gather_round ~radius (ctx : Local_algo.ctx) round st ~inbox =
   end
 
 let the_ball st =
-  match st.ball with Some b -> b | None -> failwith "Gather: ball not completed"
+  match st.ball with
+  | Some b -> b
+  | None -> Lph_util.Error.protocol_error ~what:"Gather" "ball not completed"
 
 let algo ~name ~radius ~levels ~decide =
   Local_algo.Packed
@@ -297,7 +304,7 @@ let reconstruct ball =
   let index = Hashtbl.create 16 in
   List.iteri (fun i e -> Hashtbl.replace index e.ident i) entries;
   if Hashtbl.length index <> List.length entries then
-    failwith "Gather.reconstruct: duplicate identifiers";
+    Lph_util.Error.protocol_error ~what:"Gather.reconstruct" "duplicate identifiers";
   let labels = Array.of_list (List.map (fun e -> e.label) entries) in
   let ids = Array.of_list (List.map (fun e -> e.ident) entries) in
   let certs = Array.of_list (List.map (fun e -> e.cert) entries) in
@@ -321,7 +328,7 @@ let reconstruct ball =
   let centre =
     match Hashtbl.find_opt index ball.centre with
     | Some i -> i
-    | None -> failwith "Gather.reconstruct: centre not in ball"
+    | None -> Lph_util.Error.protocol_error ~what:"Gather.reconstruct" "centre not in ball"
   in
   (g, ids, certs, centre)
 
@@ -333,6 +340,6 @@ let step_gather = gather_round
 
 let completed_ball = the_ball
 
-let collect ~radius g ~ids ?cert_list () =
-  let result = Runner.run (ball_output_algo ~radius ~levels:1) g ~ids ?cert_list () in
+let collect ~radius ?faults g ~ids ?cert_list () =
+  let result = Runner.run ?faults (ball_output_algo ~radius ~levels:1) g ~ids ?cert_list () in
   Array.init (G.card g) (fun u -> C.decode_bits ball_codec (G.label result.Runner.output u))

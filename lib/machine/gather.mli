@@ -38,7 +38,8 @@ val reconstruct :
     returns the subgraph, the identifier assignment, the raw
     certificate-list strings, and the index of the centre node. Entries
     with unknown adjacency contribute only the edges reported by their
-    neighbours. Raises [Failure] on inconsistent balls. *)
+    neighbours. Raises [Error.Error (Protocol_error _)] on inconsistent
+    balls (duplicate identifiers, centre missing). *)
 
 val algo :
   name:string ->
@@ -85,14 +86,18 @@ val step_gather :
     {!Runner} statistics are mode-independent. *)
 
 val completed_ball : gather_state -> ball
-(** The gathered ball; raises [Failure] before completion. *)
+(** The gathered ball; raises [Error.Error (Protocol_error _)] before
+    completion. *)
 
 val collect :
   radius:int ->
+  ?faults:Lph_faults.Fault_plan.t ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
   ?cert_list:string array ->
   unit ->
   ball array
 (** Convenience: run the gathering algorithm and return every node's
-    completed ball (used by tests to compare against direct BFS). *)
+    completed ball (used by tests to compare against direct BFS).
+    [faults] threads a fault plan into the underlying {!Runner.run} —
+    the transport hook then tampers with the flooding messages. *)

@@ -34,7 +34,9 @@ val encode_msg : 'a Lph_util.Codec.t -> 'a -> msg
 
 val decode_msg : 'a Lph_util.Codec.t -> msg -> 'a
 (** Decode a message produced by {!encode_msg} under the same mode.
-    Raises [Failure] on malformed input. *)
+    Raises [Error.Error (Decode_error _)] on malformed input — wire
+    bytes are a trust boundary; no raw [Failure _] ever escapes the
+    decode path. *)
 
 type ctx = {
   label : string;

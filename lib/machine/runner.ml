@@ -1,5 +1,7 @@
 module G = Lph_graph.Labeled_graph
 module Parallel = Lph_util.Parallel
+module Error = Lph_util.Error
+module Fault_plan = Lph_faults.Fault_plan
 
 type stats = {
   rounds : int;
@@ -10,7 +12,33 @@ type stats = {
 
 type result = { output : G.t; stats : stats }
 
-exception Diverged of string
+type divergence = { algo : string; rounds : int; reason : string }
+
+exception Diverged of divergence
+
+let () =
+  Printexc.register_printer (function
+    | Diverged d ->
+        Some (Printf.sprintf "Runner.Diverged(%s after %d rounds: %s)" d.algo d.rounds d.reason)
+    | _ -> None)
+
+type fault_report = {
+  faults : Error.fault list;
+  error : Error.t option;
+  diverged : divergence option;
+  partial : result option;
+}
+
+type outcome = Completed of result | Faulted of fault_report
+
+(* The ambient plan is read from LPH_FAULTS once at start-up; with no
+   plan installed the fault hook below is a single [match] on [None]
+   per injection point — the "provably zero overhead" default. *)
+let ambient_plan = ref (Fault_plan.of_env ())
+
+let fault_plan () = !ambient_plan
+
+let set_fault_plan p = ambient_plan := p
 
 type 'st node_exec = {
   mutable state : 'st;
@@ -31,9 +59,33 @@ let parallel_threshold () =
       | _ -> invalid_arg "Runner: LPH_PAR_MIN must be a positive integer")
   | None -> 32
 
-let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
+let run_core ?(round_limit = 1000) ~plan ~record (Local_algo.Packed algo) g ~ids ?cert_list () =
   let n = G.card g in
+  let ids =
+    match plan with
+    | None -> ids
+    | Some p ->
+        let ids', f = Fault_plan.tamper_ids p ids in
+        Option.iter record f;
+        ids'
+  in
   let cert_list = match cert_list with Some c -> c | None -> Array.make n "" in
+  let cert_list =
+    match plan with
+    | None -> cert_list
+    | Some p ->
+        Array.mapi
+          (fun u c ->
+            let c', f = Fault_plan.tamper_cert p ~node:u c in
+            Option.iter record f;
+            c')
+          cert_list
+  in
+  let crash_at =
+    match plan with
+    | None -> [||]
+    | Some p -> Array.init n (fun u -> Fault_plan.crash_round p ~node:u)
+  in
   let sorted_neighbours u =
     let ns =
       List.sort (fun a b -> Lph_graph.Identifiers.compare_id ids.(a) ids.(b)) (G.neighbours g u)
@@ -41,8 +93,8 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
     let rec check = function
       | a :: (b :: _ as rest) ->
           if ids.(a) = ids.(b) then
-            invalid_arg
-              (Printf.sprintf "Runner.run: neighbours of node %d share identifier %s" u ids.(a));
+            Error.protocol_error ~what:"Runner.run" ~node:u
+              "neighbours of node %d share identifier %s" u ids.(a);
           check rest
       | _ -> ()
     in
@@ -81,9 +133,24 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
   let run_rounds iter =
     while not (Array.for_all (fun ne -> ne.finished) nodes) do
       incr round;
-      if !round > round_limit then raise (Diverged (algo.name ^ ": round limit exceeded"));
+      if !round > round_limit then
+        raise (Diverged { algo = algo.name; rounds = round_limit; reason = "round limit exceeded" });
       let charges_r = Array.make n 0 and input_r = Array.make n 0 and msg_r = Array.make n 0 in
       let outgoing = Array.make n [||] in
+      (* crash-stop scheduled by the fault plan: the node goes silent
+         before this round's compute phase and never finishes on its
+         own. Decided (and recorded) here, outside [iter] — with a plan
+         active execution is sequential, so [record] needs no lock. *)
+      (match plan with
+      | None -> ()
+      | Some p ->
+          for u = 0 to n - 1 do
+            match crash_at.(u) with
+            | Some r when r <= !round && not nodes.(u).finished ->
+                nodes.(u).finished <- true;
+                record (Fault_plan.crash_fault p ~round:!round ~node:u)
+            | _ -> ()
+          done);
       (* compute: embarrassingly parallel — every write below lands in
          node [u]'s own cells *)
       iter n (fun u ->
@@ -105,9 +172,8 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
             charges_r.(u) <- !(ne.charge_cell);
             let k = List.length outbox in
             if k > d then
-              invalid_arg
-                (Printf.sprintf "Runner.run: algorithm %s emits %d messages at node %d of degree %d"
-                   algo.name k u d);
+              Error.protocol_error ~what:"Runner.run" ~round:!round ~node:u
+                "algorithm %s emits %d messages at node %d of degree %d" algo.name k u d;
             let out = Array.make d Local_algo.no_msg in
             List.iteri (fun i msg -> out.(i) <- msg) outbox;
             Array.iter
@@ -115,10 +181,47 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
               out;
             outgoing.(u) <- out
           end);
-      (* deliver *)
+      (* over-budget charges injected after the compute phase, so the
+         inflation is visible in this round's stats row *)
+      (match plan with
+      | None -> ()
+      | Some p ->
+          for u = 0 to n - 1 do
+            match Fault_plan.overcharge p ~round:!round ~node:u with
+            | Some (k, f) ->
+                record f;
+                charges_r.(u) <- charges_r.(u) + k
+            | None -> ()
+          done);
+      (* deliver — the transport hook tampers each non-empty wire on its
+         way into the receiver's slot. The hook is hoisted: a plan that
+         cannot fire any wire fault delivers on the plan-free path, so
+         the per-message cost of an installed-but-inert plan is one
+         pattern match, same as no plan at all *)
+      let wire_plan =
+        match plan with Some p when Fault_plan.wire_active p -> Some p | _ -> None
+      in
       Array.iteri
         (fun u ne ->
-          Array.iteri (fun i v -> pending.(v).(slot_of.(u).(i)) <- outgoing.(u).(i)) ne.neighbours)
+          Array.iteri
+            (fun i v ->
+              let m = outgoing.(u).(i) in
+              let m =
+                match wire_plan with
+                | None -> m
+                | Some p -> (
+                    match Fault_plan.tamper_wire p ~round:!round ~src:u ~dst:v m.Local_algo.wire with
+                    | Some _, None -> m
+                    | Some w, Some f ->
+                        record f;
+                        { Local_algo.wire = w; cost = Lph_util.Codec.wire_bits w }
+                    | None, Some f ->
+                        record f;
+                        Local_algo.no_msg
+                    | None, None -> assert false)
+              in
+              pending.(v).(slot_of.(u).(i)) <- m)
+            ne.neighbours)
         nodes;
       charges_log := charges_r :: !charges_log;
       input_log := input_r :: !input_log;
@@ -126,7 +229,10 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
     done
   in
   let jobs = min (Parallel.jobs ()) n in
-  if jobs > 1 && n >= parallel_threshold () then
+  (* with a fault plan active execution is forced sequential: fault
+     recording stays lock-free and the injected schedule is the one the
+     seed describes, independent of LPH_JOBS *)
+  if plan = None && jobs > 1 && n >= parallel_threshold () then
     Parallel.with_team ~jobs (fun team -> run_rounds (Parallel.team_iter team))
   else
     run_rounds (fun n f ->
@@ -145,6 +251,28 @@ let run ?(round_limit = 1000) (Local_algo.Packed algo) g ~ids ?cert_list () =
         message_bytes = rev !msg_log;
       };
   }
+
+let ignore_fault (_ : Error.fault) = ()
+
+let run ?round_limit ?faults algo g ~ids ?cert_list () =
+  let plan = match faults with Some _ as p -> p | None -> !ambient_plan in
+  run_core ?round_limit ~plan ~record:ignore_fault algo g ~ids ?cert_list ()
+
+let run_outcome ?round_limit ?faults algo g ~ids ?cert_list () =
+  let plan = match faults with Some _ as p -> p | None -> !ambient_plan in
+  match plan with
+  | None -> Completed (run_core ?round_limit ~plan:None ~record:ignore_fault algo g ~ids ?cert_list ())
+  | Some _ -> (
+      let log = ref [] in
+      let record f = log := f :: !log in
+      match run_core ?round_limit ~plan ~record algo g ~ids ?cert_list () with
+      | result ->
+          if !log = [] then Completed result
+          else Faulted { faults = List.rev !log; error = None; diverged = None; partial = Some result }
+      | exception Error.Error e ->
+          Faulted { faults = List.rev !log; error = Some e; diverged = None; partial = None }
+      | exception Diverged d ->
+          Faulted { faults = List.rev !log; error = None; diverged = Some d; partial = None })
 
 let accepts result = G.all_labels_one result.output
 

@@ -14,7 +14,18 @@
     ([LPH_JOBS]) exceeds 1 and the graph has at least [LPH_PAR_MIN]
     nodes (default 32); message delivery is sequential and
     identifier-ordered either way, so results and statistics are
-    bit-identical for every job count. *)
+    bit-identical for every job count.
+
+    {b Fault injection.} An optional {!Lph_faults.Fault_plan} tampers
+    with the run at its trust boundaries: identifiers and certificates
+    before round 1, each message wire during delivery, crash-stops and
+    charge inflation per round. The plan comes from the [?faults]
+    argument or, failing that, the ambient plan installed from
+    [LPH_FAULTS] at start-up ({!fault_plan} / {!set_fault_plan}). With
+    no plan the hook is one [match] on [None] per injection point —
+    the default costs nothing. With a plan active the compute phase is
+    forced sequential so the injected schedule is exactly the one the
+    seed describes and fault recording needs no lock. *)
 
 type stats = {
   rounds : int;
@@ -28,10 +39,41 @@ type stats = {
 
 type result = { output : Lph_graph.Labeled_graph.t; stats : stats }
 
-exception Diverged of string
+type divergence = { algo : string; rounds : int; reason : string }
+(** Context for a run that failed to converge: which algorithm, after
+    how many rounds, and why. *)
+
+exception Diverged of divergence
+
+type fault_report = {
+  faults : Lph_util.Error.fault list;
+      (** injected faults that actually fired, in firing order *)
+  error : Lph_util.Error.t option;
+      (** the typed error that aborted the run, if one did *)
+  diverged : divergence option;  (** set when the run hit its round limit *)
+  partial : result option;
+      (** the tainted result, when the run still ran to completion *)
+}
+
+type outcome =
+  | Completed of result
+      (** No injected fault fired: the result is bit-identical to the
+          fault-free run. *)
+  | Faulted of fault_report
+      (** At least one fault fired (or the faulted run raised a typed
+          error / diverged): never trust [partial] as a verdict. *)
+
+val fault_plan : unit -> Lph_faults.Fault_plan.t option
+(** The ambient fault plan, initialised from [LPH_FAULTS]. *)
+
+val set_fault_plan : Lph_faults.Fault_plan.t option -> unit
+(** Install or clear the ambient plan (tests and the fuzzer harness;
+    the fuzzer clears the ambient plan and passes per-scenario plans
+    explicitly so engine-internal runs stay fault-free). *)
 
 val run :
   ?round_limit:int ->
+  ?faults:Lph_faults.Fault_plan.t ->
   Local_algo.packed ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
@@ -40,9 +82,30 @@ val run :
   result
 (** [cert_list] is the certificate-list assignment (strings over
     {0,1,#}); each node's entry is decoded into [levels] certificates.
-    Raises [Invalid_argument] if identifiers are not distinct among any
-    node's neighbourhood (the 1-local uniqueness precondition), or if
-    the algorithm emits more messages than a node's degree. *)
+    Raises [Error.Error (Protocol_error _)] if identifiers are not
+    distinct among any node's neighbourhood (the 1-local uniqueness
+    precondition) or if the algorithm emits more messages than a node's
+    degree, and {!Diverged} past [round_limit] (default 1000). Under an
+    active fault plan the result may additionally be tainted and decode
+    errors ([Error.Error (Decode_error _)]) may surface from message
+    handlers; use {!run_outcome} to observe faults explicitly. *)
+
+val run_outcome :
+  ?round_limit:int ->
+  ?faults:Lph_faults.Fault_plan.t ->
+  Local_algo.packed ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  ?cert_list:string array ->
+  unit ->
+  outcome
+(** Like {!run} but faults degrade to an explicit {!Faulted} outcome
+    instead of tainted results or escaping exceptions: typed errors and
+    divergence raised by the faulted run are captured in the report
+    together with every fault that fired. [Completed r] is a guarantee
+    that no injected fault fired, so [r] equals the fault-free run's
+    result. Without an active plan this is exactly [run] (errors
+    propagate as exceptions). *)
 
 val accepts : result -> bool
 val verdict : result -> int -> string

@@ -39,7 +39,8 @@ let codec : t C.t =
 
 let assemble g ~ids clusters =
   let n = G.card g in
-  if Array.length clusters <> n then failwith "Cluster.assemble: wrong number of clusters";
+  if Array.length clusters <> n then
+    Lph_util.Error.protocol_error ~what:"Cluster.assemble" "wrong number of clusters";
   (* clusters receive consecutive global indices: node [i] of cluster
      [u] is global [base.(u) + i]. Local names resolve by scanning the
      cluster's (small) name array; large clusters fall back to a
@@ -49,7 +50,7 @@ let assemble g ~ids clusters =
   let next = ref 0 in
   Array.iteri
     (fun u cluster ->
-      if cluster.nodes = [] then failwith "Cluster.assemble: empty cluster";
+      if cluster.nodes = [] then Lph_util.Error.protocol_error ~what:"Cluster.assemble" "empty cluster";
       base.(u) <- !next;
       let arr = Array.of_list (List.map fst cluster.nodes) in
       names.(u) <- arr;
@@ -57,7 +58,8 @@ let assemble g ~ids clusters =
     clusters;
   let total = !next in
   let dup local u =
-    failwith (Printf.sprintf "Cluster.assemble: duplicate local name %s in cluster %d" local u)
+    Lph_util.Error.protocol_error ~what:"Cluster.assemble" ~node:u "duplicate local name %s in cluster %d"
+      local u
   in
   let lookup =
     Array.init n (fun u ->
@@ -109,9 +111,8 @@ let assemble g ~ids clusters =
     match Hashtbl.find_opt ident_tbl ident with
     | Some v when List.mem v neighbours -> v
     | _ ->
-        failwith
-          (Printf.sprintf "Cluster.assemble: cluster %d references identifier %s of a non-neighbour" u
-             ident)
+        Lph_util.Error.protocol_error ~what:"Cluster.assemble" ~node:u
+          "cluster %d references identifier %s of a non-neighbour" u ident
   in
   let find_exn u name = match lookup.(u) name with Some i -> i | None -> raise Not_found in
   let internal =
@@ -149,15 +150,16 @@ let assemble g ~ids clusters =
           let ia =
             match lookup.(u) local with
             | Some i -> i
-            | None -> failwith (Printf.sprintf "Cluster.assemble: unknown local name %s in cluster %d" local u)
+            | None ->
+                Lph_util.Error.protocol_error ~what:"Cluster.assemble" ~node:u
+                  "unknown local name %s in cluster %d" local u
           in
           let ib =
             match lookup.(v) remote with
             | Some i -> i
             | None ->
-                failwith
-                  (Printf.sprintf "Cluster.assemble: cluster %d references unknown node %s of cluster %d"
-                     u remote v)
+                Lph_util.Error.protocol_error ~what:"Cluster.assemble" ~node:u
+                  "cluster %d references unknown node %s of cluster %d" u remote v
           in
           Hashtbl.replace declared ((ia * total) + ib) ())
         cluster.boundary_edges)
@@ -167,14 +169,16 @@ let assemble g ~ids clusters =
       (fun key () acc ->
         let ia = key / total and ib = key mod total in
         if not (Hashtbl.mem declared ((ib * total) + ia)) then
-          failwith "Cluster.assemble: inter-cluster edge declared by only one side";
+          Lph_util.Error.protocol_error ~what:"Cluster.assemble"
+            "inter-cluster edge declared by only one side";
         if ia < ib then (ia, ib) :: acc else acc)
       declared []
   in
   let edges = List.sort_uniq compare (internal @ boundary) in
   let graph =
     try G.make ~labels ~edges
-    with G.Invalid msg -> failwith ("Cluster.assemble: invalid result graph: " ^ msg)
+    with G.Invalid msg ->
+      Lph_util.Error.protocol_error ~what:"Cluster.assemble" "invalid result graph: %s" msg
   in
   (graph, owners)
 

@@ -26,7 +26,8 @@ val encode_label : t -> string
 
 val decode_label : string -> t
 (** Decode an output label of the reduction machine (the inverse of
-    {!encode_label}). Raises [Failure] on malformed labels. *)
+    {!encode_label}). Raises [Error.Error (Decode_error _)] on
+    malformed labels. *)
 
 val assemble :
   Lph_graph.Labeled_graph.t ->
@@ -38,8 +39,8 @@ val assemble :
     names unique per cluster, boundary references point to identifiers
     of adjacent nodes, and both endpoints declare each inter-cluster
     edge. Returns the new graph and, for each new node, its
-    (owner, local name). Raises [Failure] on violations (including a
-    disconnected result). *)
+    (owner, local name). Raises [Error.Error (Protocol_error _)] on
+    violations (including a disconnected result). *)
 
 type reduction = {
   name : string;

@@ -89,7 +89,7 @@ let build_sim reduction ~inner ~(ctx : LA.ctx) ~round ball =
   let real_index ident =
     match Hashtbl.find_opt real_index_tbl ident with
     | Some i -> i
-    | None -> failwith "Simulate: boundary edge to a non-neighbour"
+    | None -> Lph_util.Error.protocol_error ~what:"Simulate" "boundary edge to a non-neighbour"
   in
   let index_of_local = Hashtbl.create 16 in
   List.iteri (fun i (local, _) -> Hashtbl.replace index_of_local local i) cluster.Cluster.nodes;
@@ -117,7 +117,7 @@ let build_sim reduction ~inner ~(ctx : LA.ctx) ~round ball =
            List.iter
              (fun (local, c) -> if not (Hashtbl.mem tbl local) then Hashtbl.add tbl local c)
              (C.decode_bits hosted_certs_codec cert)
-         with Failure _ -> ());
+         with Lph_util.Error.Error (Lph_util.Error.Decode_error _) -> ());
         tbl)
       ctx.LA.certs
   in
@@ -191,7 +191,7 @@ let sim_round sim ~(ctx : LA.ctx) ~round ~inbox ~sim_rounds =
                     Hashtbl.replace deliveries (vi, src, dst)
                       { LA.wire = payload; cost = String.length payload })
                   crossings
-            | exception Failure _ -> ())
+            | exception Lph_util.Error.Error (Lph_util.Error.Decode_error _) -> ())
         | C.Packed -> (
             match C.decode packed_crossing_codec msg.LA.wire with
             | crossings ->
@@ -199,7 +199,7 @@ let sim_round sim ~(ctx : LA.ctx) ~round ~inbox ~sim_rounds =
                   (fun ((src, dst), (cost, wire)) ->
                     Hashtbl.replace deliveries (vi, src, dst) { LA.wire; cost })
                   crossings
-            | exception Failure _ -> ())
+            | exception Lph_util.Error.Error (Lph_util.Error.Decode_error _) -> ())
       end)
     inbox;
   (* run one simulated round at each hosted node; internal messages are

@@ -35,7 +35,7 @@ let to_3sat_correct g ~ids =
 let clauses_of_label label =
   match Cnf.of_formula (BF.of_label label) with
   | Some cnf when Cnf.is_3cnf cnf -> cnf
-  | Some _ | None -> failwith "three_col_red: label is not a 3-CNF formula"
+  | Some _ | None -> Lph_util.Error.decode_error ~what:"three_col_red" "label is not a 3-CNF formula"
 
 let lit_node (l : Cnf.literal) = (if l.Cnf.positive then "P+" else "N+") ^ l.Cnf.var
 
@@ -92,7 +92,7 @@ let to_three_col_compute (ctx : LA.ctx) ball =
         let nodes1, edges1 = or_gadget ~tag:(tag 0) (lit_node l1) (lit_node l2) m in
         let nodes2, edges2 = or_gadget ~tag:(tag 1) m (lit_node l3) ("O" ^ string_of_int i) in
         (nodes1 @ nodes2, edges1 @ edges2 @ [ ("O" ^ string_of_int i, "F"); ("O" ^ string_of_int i, "B") ])
-    | _ -> failwith "three_col_red: clause with more than 3 literals"
+    | _ -> Lph_util.Error.decode_error ~what:"three_col_red" "clause with more than 3 literals"
   in
   let clause_nodes, clause_edges =
     let parts = List.mapi clause_gadget cnf in

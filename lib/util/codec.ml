@@ -13,7 +13,9 @@ let encode c v =
 
 let decode c s =
   let v, pos = c.dec s 0 in
-  if pos <> String.length s then failwith "Codec.decode: trailing garbage";
+  if pos <> String.length s then
+    Error.decode_error ~what:"Codec.decode" "trailing garbage (%d of %d bytes consumed)" pos
+      (String.length s);
   v
 
 let encoded_length c v =
@@ -56,7 +58,8 @@ let encode_bits c v =
 
 let decode_bits c s =
   let len = String.length s in
-  if len mod 8 <> 0 then failwith "Codec.decode_bits: length not a multiple of 8";
+  if len mod 8 <> 0 then
+    Error.decode_error ~what:"Codec.decode_bits" "length %d not a multiple of 8" len;
   let nb = len / 8 in
   let raw = Bytes.create nb in
   (* accumulate validity instead of branching per character: any byte
@@ -79,7 +82,7 @@ let decode_bits c s =
     in
     Bytes.unsafe_set raw i (Char.unsafe_chr (b land 255))
   done;
-  if !bad lsr 1 <> 0 then failwith "Codec.decode_bits: non-bit character";
+  if !bad lsr 1 <> 0 then Error.decode_error ~what:"Codec.decode_bits" "non-bit character";
   decode c (Bytes.unsafe_to_string raw)
 
 (* The transport format follows the global wire mode: [Packed] ships the
@@ -111,11 +114,11 @@ let int =
        bits, so any chunk that would spill past bit 62 (including into
        the sign bit) is rejected instead of silently wrapping *)
     let rec go pos shift acc =
-      if pos >= String.length s then failwith "Codec.int: truncated";
+      if pos >= String.length s then Error.decode_error ~what:"Codec.int" "truncated";
       let b = Char.code s.[pos] in
       let chunk = b land 127 in
       if shift > 62 || (chunk <> 0 && chunk > max_int lsr shift) then
-        failwith "Codec.int: overflow";
+        Error.decode_error ~what:"Codec.int" "overflow";
       let acc = acc lor (chunk lsl shift) in
       if b land 128 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
     in
@@ -135,7 +138,7 @@ let string =
   in
   let dec s pos =
     let len, pos = int.dec s pos in
-    if pos + len > String.length s then failwith "Codec.string: truncated";
+    if pos + len > String.length s then Error.decode_error ~what:"Codec.string" "truncated";
     (String.sub s pos len, pos + len)
   in
   { enc; dec }
@@ -143,7 +146,7 @@ let string =
 let bool =
   let enc buf b = Buffer.add_char buf (if b then '\001' else '\000') in
   let dec s pos =
-    if pos >= String.length s then failwith "Codec.bool: truncated";
+    if pos >= String.length s then Error.decode_error ~what:"Codec.bool" "truncated";
     (s.[pos] <> '\000', pos + 1)
   in
   { enc; dec }

@@ -12,7 +12,9 @@ type 'a t
 val encode : 'a t -> 'a -> string
 val decode : 'a t -> string -> 'a
 (** [decode c s] decodes a value and requires that [s] is consumed
-    exactly. Raises [Failure] on malformed input. *)
+    exactly. Raises [Error.Error (Decode_error _)] on malformed input —
+    truncation, overflow, trailing garbage. No decoder in this module
+    lets a raw [Failure _] escape. *)
 
 val encode_bits : 'a t -> 'a -> string
 (** Like {!encode} but the result is a genuine bit string (characters
@@ -98,7 +100,7 @@ val enc : 'a t -> Buffer.t -> 'a -> unit
 
 val dec : 'a t -> string -> int -> 'a * int
 (** Decode a value at a cursor; returns the value and the next cursor.
-    Raises [Failure] on malformed input. *)
+    Raises [Error.Error (Decode_error _)] on malformed input. *)
 
 val custom : enc:(Buffer.t -> 'a -> unit) -> dec:(string -> int -> 'a * int) -> 'a t
 (** Build a codec from explicit cursor functions. *)

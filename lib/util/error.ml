@@ -1,0 +1,56 @@
+(* The shared typed error taxonomy for the runtime. Every malformed-wire,
+   protocol-violation and resource-refusal path in the library raises
+   [Error of t] instead of a stringly [Failure _] / [Invalid_argument _],
+   so callers (and the fault fuzzer) can react to the *kind* of failure
+   without parsing messages. *)
+
+type fault = {
+  fault_kind : string;  (* "corrupt", "drop", "crash", ... *)
+  seed : int;           (* fault-plan seed, for reproduction *)
+  round : int;          (* round in which the fault fired; -1 if n/a *)
+  node : int;           (* node it hit; -1 if n/a *)
+  detail : string;
+}
+
+type t =
+  | Decode_error of { what : string; detail : string }
+  | Protocol_error of { what : string; detail : string; round : int option; node : int option }
+  | Resource_exhausted of { what : string; limit : int; detail : string }
+
+exception Error of t
+
+let to_string = function
+  | Decode_error { what; detail } -> Printf.sprintf "%s: decode error: %s" what detail
+  | Protocol_error { what; detail; round; node } ->
+      let ctx =
+        match (round, node) with
+        | None, None -> ""
+        | Some r, None -> Printf.sprintf " (round %d)" r
+        | None, Some v -> Printf.sprintf " (node %d)" v
+        | Some r, Some v -> Printf.sprintf " (round %d, node %d)" r v
+      in
+      Printf.sprintf "%s: protocol error%s: %s" what ctx detail
+  | Resource_exhausted { what; limit; detail } ->
+      Printf.sprintf "%s: resource exhausted (limit %d): %s" what limit detail
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let fault_to_string f =
+  Printf.sprintf "%s@seed=%d,round=%d,node=%d%s" f.fault_kind f.seed f.round f.node
+    (if f.detail = "" then "" else ": " ^ f.detail)
+
+let decode_error ~what fmt =
+  Printf.ksprintf (fun detail -> raise (Error (Decode_error { what; detail }))) fmt
+
+let protocol_error ~what ?round ?node fmt =
+  Printf.ksprintf (fun detail -> raise (Error (Protocol_error { what; detail; round; node }))) fmt
+
+let resource_exhausted ~what ~limit fmt =
+  Printf.ksprintf (fun detail -> raise (Error (Resource_exhausted { what; limit; detail }))) fmt
+
+(* Register a printer so uncaught errors (and OCAMLRUNPARAM=b backtraces
+   in CI) show the structured message instead of an opaque constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Lph_util.Error.Error: " ^ to_string e)
+    | _ -> None)

@@ -392,12 +392,13 @@ let combinat_suite =
 let runner_suite =
   ( "engine:runner",
     [
-      quick "duplicate identifiers among neighbours still raise" (fun () ->
+      quick "duplicate identifiers among neighbours raise a typed error" (fun () ->
           let g = Generators.star 3 in
           let ids = [| "00"; "01"; "01"; "10" |] in
           match Runner.run Candidates.eulerian_decider g ~ids () with
-          | _ -> Alcotest.fail "expected Invalid_argument"
-          | exception Invalid_argument _ -> ());
+          | _ -> Alcotest.fail "expected Error.Error (Protocol_error _)"
+          | exception Error.Error (Error.Protocol_error { what = "Runner.run"; node = Some 0; _ }) ->
+              ());
       quick "globally unique identifiers run fine" (fun () ->
           let g = Generators.star 3 in
           check_bool "star accepted by eulerian? (odd degrees)" false

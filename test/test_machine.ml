@@ -141,8 +141,9 @@ let runner_tests =
             }
         in
         let g = Graph.singleton "" in
-        Alcotest.check_raises "diverged" (Runner.Diverged "loop: round limit exceeded") (fun () ->
-            ignore (Runner.run ~round_limit:10 algo g ~ids:[| "" |] ())));
+        Alcotest.check_raises "diverged"
+          (Runner.Diverged { algo = "loop"; rounds = 10; reason = "round limit exceeded" })
+          (fun () -> ignore (Runner.run ~round_limit:10 algo g ~ids:[| "" |] ())));
     quick "charges are recorded" (fun () ->
         let algo = Local_algo.pure_decider ~name:"charged" ~levels:0 (fun _ -> true) in
         let g = Graph.singleton "1111" in
@@ -166,7 +167,14 @@ let runner_tests =
         in
         let g = Generators.cycle 3 in
         Alcotest.check_raises "rejected"
-          (Invalid_argument "Runner.run: algorithm chatty emits 3 messages at node 0 of degree 2")
+          (Error.Error
+             (Error.Protocol_error
+                {
+                  what = "Runner.run";
+                  detail = "algorithm chatty emits 3 messages at node 0 of degree 2";
+                  round = Some 1;
+                  node = Some 0;
+                }))
           (fun () -> ignore (Runner.run algo g ~ids:(global_ids g) ())));
   ]
 

@@ -35,16 +35,29 @@ let cluster_tests =
         in
         let c1 = { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = [] } in
         Alcotest.check_raises "one-sided"
-          (Failure "Cluster.assemble: inter-cluster edge declared by only one side") (fun () ->
-            ignore (Cluster.assemble g ~ids [| c0; c1 |])));
+          (Error.Error
+             (Error.Protocol_error
+                {
+                  what = "Cluster.assemble";
+                  detail = "inter-cluster edge declared by only one side";
+                  round = None;
+                  node = None;
+                }))
+          (fun () -> ignore (Cluster.assemble g ~ids [| c0; c1 |])));
     quick "assemble rejects edges to non-neighbours" (fun () ->
         let g = Generators.path 3 in
         let ids = global_ids g in
         let mk boundary = { Cluster.nodes = [ ("0", "") ]; internal_edges = []; boundary_edges = boundary } in
         Alcotest.check_raises "non-neighbour"
-          (Failure
-             (Printf.sprintf "Cluster.assemble: cluster 0 references identifier %s of a non-neighbour"
-                ids.(2)))
+          (Error.Error
+             (Error.Protocol_error
+                {
+                  what = "Cluster.assemble";
+                  detail =
+                    Printf.sprintf "cluster 0 references identifier %s of a non-neighbour" ids.(2);
+                  round = None;
+                  node = Some 0;
+                }))
           (fun () ->
             ignore
               (Cluster.assemble g ~ids

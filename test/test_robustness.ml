@@ -10,7 +10,7 @@ let codec_fuzz_tests =
     qcheck ~count:300 "decode_bits never crashes unexpectedly" arb_bitstring (fun s ->
         match Codec.decode_bits Codec.(list (pair string int)) s with
         | _ -> true
-        | exception Failure _ -> true);
+        | exception Error.Error (Error.Decode_error _) -> true);
     qcheck ~count:200 "decode of truncated encodings fails cleanly"
       QCheck.(pair (list small_nat) (int_bound 20))
       (fun (l, cut) ->
@@ -19,7 +19,7 @@ let codec_fuzz_tests =
         let truncated = String.sub encoded 0 (String.length encoded - cut) in
         match Codec.decode Codec.(list int) truncated with
         | decoded -> cut = 0 && decoded = l
-        | exception Failure _ -> cut > 0 || l <> []);
+        | exception Error.Error (Error.Decode_error _) -> cut > 0 || l <> []);
     qcheck ~count:200 "bool formula labels reject corruption"
       QCheck.(pair (arb_bool_formula ~depth:2 ()) (int_bound 7))
       (fun (f, flips) ->
@@ -32,7 +32,7 @@ let codec_fuzz_tests =
           done;
           match Bool_formula.of_label (Bytes.to_string label) with
           | _ -> true (* corruption may still decode to some formula *)
-          | exception Failure _ -> true
+          | exception Error.Error (Error.Decode_error _) -> true
         end);
   ]
 
@@ -94,27 +94,27 @@ let cluster_injection_tests =
         let c = { Cluster.nodes = [ ok_node; ok_node ]; internal_edges = []; boundary_edges = [] } in
         match Cluster.assemble g2 ~ids:ids2 [| c; c |] with
         | _ -> Alcotest.fail "expected failure"
-        | exception Failure msg ->
+        | exception Error.Error (Error.Protocol_error { what = "Cluster.assemble"; _ } as e) ->
             check_bool "mentions duplicate" true
-              (String.length msg > 0
-              && String.sub msg 0 16 = "Cluster.assemble"));
+              (let msg = Error.to_string e in
+               String.length msg > 0 && String.sub msg 0 16 = "Cluster.assemble"));
     quick "unknown remote local name rejected" (fun () ->
         let c other =
           { Cluster.nodes = [ ok_node ]; internal_edges = []; boundary_edges = [ ("0", other, "ghost") ] }
         in
         match Cluster.assemble g2 ~ids:ids2 [| c ids2.(1); c ids2.(0) |] with
         | _ -> Alcotest.fail "expected failure"
-        | exception Failure _ -> ());
+        | exception Error.Error (Error.Protocol_error _) -> ());
     quick "disconnected assembly rejected" (fun () ->
         let c = { Cluster.nodes = [ ok_node ]; internal_edges = []; boundary_edges = [] } in
         match Cluster.assemble g2 ~ids:ids2 [| c; c |] with
         | _ -> Alcotest.fail "expected failure"
-        | exception Failure _ -> ());
+        | exception Error.Error (Error.Protocol_error _) -> ());
     quick "empty cluster rejected" (fun () ->
         let empty = { Cluster.nodes = []; internal_edges = []; boundary_edges = [] } in
         match Cluster.assemble g2 ~ids:ids2 [| empty; empty |] with
         | _ -> Alcotest.fail "expected failure"
-        | exception Failure _ -> ());
+        | exception Error.Error (Error.Protocol_error _) -> ());
   ]
 
 let machine_robustness_tests =

@@ -105,22 +105,26 @@ let int_boundary_tests =
           (fun n -> check_int (string_of_int n) n (Codec.decode Codec.int (Codec.encode Codec.int n)))
           [ 0; 1; 127; 128; 16383; 16384; max_int - 1; max_int ]);
     quick "truncated input is rejected" (fun () ->
-        Alcotest.check_raises "empty" (Failure "Codec.int: truncated") (fun () ->
-            ignore (Codec.decode Codec.int ""));
-        Alcotest.check_raises "dangling continuation" (Failure "Codec.int: truncated") (fun () ->
-            ignore (Codec.decode Codec.int "\x80")));
+        Alcotest.check_raises "empty"
+          (Error.Error (Error.Decode_error { what = "Codec.int"; detail = "truncated" }))
+          (fun () -> ignore (Codec.decode Codec.int ""));
+        Alcotest.check_raises "dangling continuation"
+          (Error.Error (Error.Decode_error { what = "Codec.int"; detail = "truncated" }))
+          (fun () -> ignore (Codec.decode Codec.int "\x80")));
     quick "a chunk spilling past bit 62 is rejected" (fun () ->
         (* 9th byte lands at shift 56; max_int lsr 56 = 63, so chunk 64
            would overflow into the sign bit *)
         let s = String.make 8 '\x80' ^ "\x40" in
-        Alcotest.check_raises "chunk overflow" (Failure "Codec.int: overflow") (fun () ->
-            ignore (Codec.decode Codec.int s));
+        Alcotest.check_raises "chunk overflow"
+          (Error.Error (Error.Decode_error { what = "Codec.int"; detail = "overflow" }))
+          (fun () -> ignore (Codec.decode Codec.int s));
         (* ...while chunk 63 at the same shift is max_int and fine *)
         check_int "max_int" max_int (Codec.decode Codec.int (String.make 8 '\xff' ^ "\x3f")));
     quick "a tenth continuation byte is rejected" (fun () ->
         let s = String.make 9 '\x80' ^ "\x00" in
-        Alcotest.check_raises "shift overflow" (Failure "Codec.int: overflow") (fun () ->
-            ignore (Codec.decode Codec.int s)));
+        Alcotest.check_raises "shift overflow"
+          (Error.Error (Error.Decode_error { what = "Codec.int"; detail = "overflow" }))
+          (fun () -> ignore (Codec.decode Codec.int s)));
   ]
 
 (* ------------------------------------------------------------------ *)
