@@ -1,0 +1,40 @@
+(* Static analyzer entry point: runs every lint rule over the built-in
+   registry (or the seeded violation fixtures) and reports typed
+   diagnostics.
+
+   Exit codes: 0 = no error-severity finding, 1 = at least one error,
+   2 = usage / internal failure. CI runs both `lint.exe --json` (must
+   exit 0) and `lint.exe --fixtures` (must exit 1). *)
+
+module Lint = Lph_core.Lint
+
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--json] [--fixtures]\n\
+    \  --json      emit the lph-lint-1 JSON report instead of text\n\
+    \  --fixtures  analyse the seeded violation fixtures instead of the registry";
+  exit 2
+
+let () =
+  let json = ref false and fixtures = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--fixtures" -> fixtures := true
+        | _ -> usage ())
+    Sys.argv;
+  match
+    let registry =
+      if !fixtures then Lph_core.Lint_fixtures.violations () else Lph_core.Lint_registry.builtin ()
+    in
+    Lint.run registry
+  with
+  | report ->
+      if !json then print_endline (Lph_core.Json.pretty (Lint.report_to_json report))
+      else Format.printf "%a" Lint.pp_report report;
+      exit (if Lint.has_errors report then 1 else 0)
+  | exception e ->
+      Printf.eprintf "lint.exe: internal failure: %s\n" (Printexc.to_string e);
+      exit 2

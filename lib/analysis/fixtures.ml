@@ -1,0 +1,80 @@
+module Gen = Lph_graph.Generators
+module LA = Lph_machine.Local_algo
+module Candidates = Lph_hierarchy.Candidates
+module GF = Lph_logic.Graph_formulas
+module F = Lph_logic.Formula
+module Cluster = Lph_reductions.Cluster
+
+(* A correct radius-1 machine re-declared at radius 0: probing must
+   find the label flip at distance 1 that changes the verdict. *)
+let under_declared () =
+  Registry.of_algo
+    (LA.with_radius (Some 0) Candidates.constant_label_decider)
+    ~probes:[ Gen.cycle 4; Gen.path ~labels:[| "1"; "1"; "0" |] 3 ]
+
+let opaque () =
+  Registry.of_algo
+    (LA.with_radius None Candidates.constant_label_decider)
+    ~probes:[ Gen.cycle 4 ]
+
+let over_declared () =
+  Registry.of_algo
+    (LA.with_radius (Some 2) Candidates.constant_label_decider)
+    ~probes:[ Gen.cycle 5; Gen.path ~labels:[| "1"; "1"; "0" |] 3 ]
+
+(* ∃R ∀x ∃y R(y): the inner ∃y is an unbounded first-order quantifier,
+   so the matrix is not LFO — locality is lost however low the level
+   claim. *)
+let unbounded_matrix = F.Exists_so ("R", 1, F.Forall ("x", F.Exists ("y", F.App ("R", [ "y" ]))))
+
+let bad_reduction () =
+  { Lph_reductions.Eulerian_red.reduction with Cluster.name = "fixture:bad-reduction"; id_radius = 1 }
+
+let rename name (spec : Registry.arbiter_spec) = { spec with Registry.a_name = name }
+
+let violations () =
+  {
+    Registry.arbiters =
+      [
+        rename "fixture:under-declared" (under_declared ());
+        rename "fixture:opaque" (opaque ());
+        rename "fixture:over-declared" (over_declared ());
+      ];
+    formulas =
+      [
+        {
+          Registry.f_name = "fixture:over-deep-formula";
+          formula = GF.not_all_selected;
+          claimed_level = 1;
+          claimed_polarity = Registry.Sigma;
+          budget_probes = [];
+        };
+        {
+          Registry.f_name = "fixture:unbounded-formula";
+          formula = unbounded_matrix;
+          claimed_level = 1;
+          claimed_polarity = Registry.Sigma;
+          budget_probes = [];
+        };
+      ];
+    reductions =
+      [
+        {
+          Registry.r_name = "fixture:bad-reduction";
+          reduction = bad_reduction ();
+          r_probes = [ Gen.cycle 4 ];
+          output_bound = Lph_util.Poly.monomial ~coeff:2048 ~degree:2;
+        };
+      ];
+    codecs = [];
+  }
+
+let expectations =
+  [
+    ("fixture:under-declared", Diagnostic.Radius_sound, Diagnostic.Error);
+    ("fixture:opaque", Diagnostic.Radius_declared, Diagnostic.Error);
+    ("fixture:over-declared", Diagnostic.Radius_tight, Diagnostic.Warning);
+    ("fixture:over-deep-formula", Diagnostic.Stratification, Diagnostic.Error);
+    ("fixture:unbounded-formula", Diagnostic.Bounded_quantifiers, Diagnostic.Error);
+    ("fixture:bad-reduction", Diagnostic.Cluster_radius, Diagnostic.Error);
+  ]

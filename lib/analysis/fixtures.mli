@@ -1,0 +1,22 @@
+(** Seeded violations: deliberately broken specs proving the analyzer
+    catches what it claims to catch. [bin/lint.exe --fixtures] must
+    exit 1 on {!violations}, and the test suite checks each fixture
+    trips exactly the rule named in {!expectations}. The fixtures
+    reuse {e correct} machines with wrong declarations wherever
+    possible ([Local_algo.with_radius]), so the finding is about the
+    claim, not about broken behaviour. *)
+
+val violations : unit -> Registry.t
+(** - an under-declared arbiter (a radius-1 machine claiming radius 0:
+      pruning with it would be unsound);
+    - an arbiter declaring no radius at all (Opaque locality);
+    - an over-declared arbiter (radius 2 claimed for a radius-1
+      machine: sound, but flagged as loose);
+    - a Σ3 sentence claimed at level Σ1;
+    - a sentence whose matrix uses an unbounded existential
+      first-order quantifier (not LFO);
+    - a reduction whose id_radius is below its gather radius + 1. *)
+
+val expectations : (string * Diagnostic.rule * Diagnostic.severity) list
+(** For each fixture spec name, the rule it must trip and the expected
+    severity. *)

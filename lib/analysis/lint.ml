@@ -1,0 +1,344 @@
+module G = Lph_graph.Labeled_graph
+module N = Lph_graph.Neighborhood
+module Ids = Lph_graph.Identifiers
+module Certs = Lph_graph.Certificates
+module C = Lph_util.Codec
+module Poly = Lph_util.Poly
+module Arbiter = Lph_hierarchy.Arbiter
+module Syntax = Lph_logic.Syntax
+module Compile = Lph_fagin.Compile
+module Cluster = Lph_reductions.Cluster
+module Runner = Lph_machine.Runner
+module D = Diagnostic
+
+type report = {
+  arbiters : int;
+  formulas : int;
+  reductions : int;
+  codecs : int;
+  diagnostics : D.t list;
+}
+
+let collector spec =
+  let diags = ref [] in
+  let add rule severity message = diags := D.make ~spec ~rule ~severity message :: !diags in
+  (diags, add)
+
+(* printf-style front end; a top-level function so each call site gets
+   its own format instantiation *)
+let addf add rule severity fmt = Printf.ksprintf (add rule severity) fmt
+
+let pp_violation (v : Probe.violation) =
+  Printf.sprintf "node %d of probe sample %d: %s" v.Probe.node v.Probe.graph_index
+    v.Probe.detail
+
+(* ------------------------------------------------------------------ *)
+(* arbiters: radius declaration, soundness, tightness / static bound,
+   message accounting *)
+
+let analyze_radius add (spec : Registry.arbiter_spec) samples =
+  let a = spec.Registry.arbiter in
+  match a.Arbiter.locality with
+  | Arbiter.Opaque -> begin
+      addf add D.Radius_declared D.Error
+        "arbiter declares no verification radius (Opaque locality): locality pruning is \
+         disabled and the constant-radius side condition is unchecked";
+      (* still probe, to tell the author what to declare *)
+      match (Probe.infer ~max_radius:spec.Registry.max_radius a samples).Probe.inferred with
+      | Some r -> addf add D.Radius_declared D.Info "probing suggests declaring radius %d" r
+      | None -> ()
+    end
+  | Arbiter.Ball declared -> begin
+      match spec.Registry.expectation with
+      | Registry.Static expected -> begin
+          if declared <> expected then
+            addf add D.Radius_expected D.Error
+              "declared radius %d differs from the quantifier-derived bound %d" declared
+              expected;
+          match Probe.consistent_at ~radius:declared a samples with
+          | None -> ()
+          | Some v ->
+              addf add D.Radius_sound D.Error "declared radius %d is unsound: %s" declared
+                (pp_violation v)
+        end
+      | Registry.Probed -> begin
+          let outcome = Probe.infer ~max_radius:spec.Registry.max_radius a samples in
+          (match List.assoc_opt declared outcome.Probe.results with
+          | Some (Some v) ->
+              addf add D.Radius_sound D.Error "declared radius %d is unsound: %s" declared
+                (pp_violation v)
+          | Some None | None -> ());
+          match outcome.Probe.inferred with
+          | Some r when r < declared ->
+              addf add D.Radius_tight D.Warning
+                "radius %d survives the same probes: the declaration %d over-approximates \
+                 the spec's locality (sound, but prunes less)"
+                r declared
+          | _ -> ()
+        end
+    end
+
+let analyze_messages add (spec : Registry.arbiter_spec) samples =
+  match (spec.Registry.algo, spec.Registry.msg_bound) with
+  | Some packed, Some bound ->
+      let radius =
+        match spec.Registry.arbiter.Arbiter.locality with
+        | Arbiter.Ball r -> max r 1
+        | Arbiter.Opaque -> 1
+      in
+      let bad = ref None in
+      List.iter
+        (fun (s : Probe.sample) ->
+          if !bad = None then begin
+            let g = s.Probe.graph in
+            let ids = Ids.make_global g in
+            let cert_list =
+              match s.Probe.certs with [] -> None | cs -> Some (Certs.list_assignment cs)
+            in
+            let result = Runner.run packed g ~ids ?cert_list () in
+            let stats = result.Runner.stats in
+            Array.iteri
+              (fun round per_node ->
+                Array.iteri
+                  (fun u cost ->
+                    if !bad = None then begin
+                      let info = N.ball_information g ~ids ~radius u in
+                      if not (Poly.fits ~bound [ (info, cost) ]) then
+                        bad := Some (round + 1, u, cost, info)
+                    end)
+                  per_node)
+              stats.Runner.message_bytes
+          end)
+        samples;
+      (match !bad with
+      | Some (round, u, cost, info) ->
+          addf add D.Message_size D.Error
+            "round %d message cost %d at node %d exceeds the declared polynomial of its \
+             %d-ball information (%d): p(%d) = %d"
+            round cost u radius info info (Poly.eval bound info)
+      | None -> ())
+  | _ -> ()
+
+let analyze_arbiter (spec : Registry.arbiter_spec) =
+  let diags, add = collector spec.Registry.a_name in
+  let a = spec.Registry.arbiter in
+  if Probe.has_verdicts a then begin
+    let samples =
+      Probe.samples_for a ~universes:spec.Registry.universes spec.Registry.probes
+      @ spec.Registry.extra_samples
+    in
+    analyze_radius add spec samples;
+    analyze_messages add spec samples
+  end
+  else
+    addf add D.Radius_sound D.Warning
+      "arbiter exposes no per-node verdict function: the radius declaration cannot be probed";
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* formulas: stratification, LFO matrix, certificate budget *)
+
+let polarity_name = function Registry.Sigma -> "Σ" | Registry.Pi -> "Π"
+
+let in_claimed_class (spec : Registry.formula_spec) =
+  match (spec.Registry.claimed_level, spec.Registry.claimed_polarity) with
+  | 0, _ -> Syntax.in_sigma_lfo 0 spec.Registry.formula
+  | l, Registry.Sigma -> Syntax.in_sigma_lfo l spec.Registry.formula
+  | l, Registry.Pi -> Syntax.in_pi_lfo l spec.Registry.formula
+
+let analyze_stratification add (spec : Registry.formula_spec) =
+  let f = spec.Registry.formula in
+  let claimed = spec.Registry.claimed_level in
+  let level, first = Syntax.level f in
+  let _, matrix = Syntax.so_prefix f in
+  if not (Syntax.is_lfo matrix) then
+    addf add D.Bounded_quantifiers D.Error
+      "the matrix below the second-order prefix is not LFO: first-order quantifiers must \
+       be bounded (one outer unbounded universal excepted)"
+  else if not (in_claimed_class spec) then
+    addf add D.Stratification D.Error
+      "sentence is not in the claimed %s%d^LFO: the prefix has %d alternating block(s)%s"
+      (polarity_name spec.Registry.claimed_polarity)
+      claimed level
+      (match first with
+      | Some Syntax.Ex -> " starting existentially"
+      | Some Syntax.All -> " starting universally"
+      | None -> "")
+  else if level < claimed then
+    addf add D.Stratification D.Warning
+      "claimed level %d is loose: the prefix has only %d alternating block(s)" claimed level
+
+let analyze_budget add (spec : Registry.formula_spec) =
+  if in_claimed_class spec then begin
+    let compiled = Compile.compile spec.Registry.formula in
+    match compiled.Compile.arbiter.Arbiter.cert_bound with
+    | None ->
+        addf add D.Certificate_budget D.Error
+          "compiled arbiter declares no certificate bound: the game quantifies over \
+           unbounded certificates"
+    | Some bound ->
+        let bad = ref None in
+        List.iter
+          (fun g ->
+            if !bad = None then begin
+              let ids = Ids.make_global g in
+              let universes = Compile.fragment_universes compiled g ~ids in
+              List.iteri
+                (fun lvl universe ->
+                  List.iter
+                    (fun u ->
+                      let cap = Certs.max_length g ~ids bound u in
+                      List.iter
+                        (fun cert ->
+                          if !bad = None && String.length cert > cap then
+                            bad := Some (lvl, u, String.length cert, cap))
+                        (universe u))
+                    (G.nodes g))
+                universes
+            end)
+          spec.Registry.budget_probes;
+        (match !bad with
+        | Some (lvl, u, len, cap) ->
+            addf add D.Certificate_budget D.Error
+              "level-%d fragment certificate of length %d at node %d exceeds the declared \
+               (r,p) budget (%d)"
+              (lvl + 1) len u cap
+        | None -> ())
+  end
+
+let analyze_formula (spec : Registry.formula_spec) =
+  let diags, add = collector spec.Registry.f_name in
+  analyze_stratification add spec;
+  (try analyze_budget add spec
+   with Lph_util.Error.Error e ->
+     addf add D.Certificate_budget D.Error "compilation failed: %s"
+       (Format.asprintf "%a" Lph_util.Error.pp e));
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* reductions: constant cluster radius, polynomial per-node output *)
+
+let analyze_reduction (spec : Registry.reduction_spec) =
+  let diags, add = collector spec.Registry.r_name in
+  let red = spec.Registry.reduction in
+  let gr = red.Cluster.gather_radius in
+  if gr < 0 then addf add D.Cluster_radius D.Error "negative gather radius %d" gr;
+  if red.Cluster.id_radius < gr + 1 then
+    addf add D.Cluster_radius D.Error
+      "id_radius %d is below the gather layer's precondition: gathering radius %d needs \
+       identifiers unique at radius %d"
+      red.Cluster.id_radius gr (gr + 1);
+  let bad = ref None in
+  (try
+     List.iter
+       (fun g ->
+         if !bad = None then begin
+           let ids = Ids.make_global g in
+           (* the assemble protocol itself re-checks ownership and
+              boundary agreement; a raise here is a finding, not a
+              crash *)
+           ignore (Cluster.apply red g ~ids);
+           let result = Runner.run (Cluster.algo_of red) g ~ids () in
+           List.iter
+             (fun u ->
+               if !bad = None then begin
+                 let len = String.length (G.label result.Runner.output u) in
+                 let info = N.ball_information g ~ids ~radius:gr u in
+                 if not (Poly.fits ~bound:spec.Registry.output_bound [ (info, len) ]) then
+                   bad := Some (u, len, info)
+               end)
+             (G.nodes g)
+         end)
+       spec.Registry.r_probes;
+     match !bad with
+     | Some (u, len, info) ->
+         addf add D.Output_poly D.Error
+           "encoded cluster of %d bytes at node %d exceeds the declared polynomial of its \
+            %d-ball information (%d): p(%d) = %d"
+           len u gr info info
+           (Poly.eval spec.Registry.output_bound info)
+     | None -> ()
+   with Lph_util.Error.Error e ->
+     addf add D.Cluster_radius D.Error "reduction failed on a probe graph: %s"
+       (Format.asprintf "%a" Lph_util.Error.pp e));
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* codecs: length accounting vs materialised encodings, both modes *)
+
+let analyze_codec (Registry.Codec_spec { c_name; codec; values }) =
+  let diags, add = collector c_name in
+  List.iteri
+    (fun i v ->
+      let packed = C.encode codec v and bits = C.encode_bits codec v in
+      let plen = C.encoded_length codec v and blen = C.bits_length codec v in
+      if String.length packed <> plen then
+        addf add D.Cost_accounting D.Error
+          "value #%d: encoded_length %d but the packed encoding is %d bytes" i plen
+          (String.length packed);
+      if String.length bits <> blen then
+        addf add D.Cost_accounting D.Error
+          "value #%d: bits_length %d but the bit-string encoding is %d characters" i blen
+          (String.length bits);
+      if blen <> 8 * plen then
+        addf add D.Cost_accounting D.Error
+          "value #%d: bits_length %d is not 8 * encoded_length (%d): the two wire modes \
+           charge different costs"
+          i blen plen;
+      (try
+         if C.decode codec packed <> v then
+           addf add D.Cost_accounting D.Error "value #%d: packed round-trip changed the value" i;
+         if C.decode_bits codec bits <> v then
+           addf add D.Cost_accounting D.Error "value #%d: bit-string round-trip changed the value" i
+       with Lph_util.Error.Error e ->
+         addf add D.Cost_accounting D.Error "value #%d: round-trip decode failed: %s" i
+           (Format.asprintf "%a" Lph_util.Error.pp e)))
+    values;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+
+let run (registry : Registry.t) =
+  let diagnostics =
+    List.concat_map analyze_arbiter registry.Registry.arbiters
+    @ List.concat_map analyze_formula registry.Registry.formulas
+    @ List.concat_map analyze_reduction registry.Registry.reductions
+    @ List.concat_map analyze_codec registry.Registry.codecs
+  in
+  {
+    arbiters = List.length registry.Registry.arbiters;
+    formulas = List.length registry.Registry.formulas;
+    reductions = List.length registry.Registry.reductions;
+    codecs = List.length registry.Registry.codecs;
+    diagnostics;
+  }
+
+let errors r = List.filter D.is_error r.diagnostics
+let warnings r = List.filter (fun (d : D.t) -> d.D.severity = D.Warning) r.diagnostics
+let has_errors r = errors r <> []
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "lph-lint-1");
+      ( "specs",
+        Json.Obj
+          [
+            ("arbiters", Json.Int r.arbiters);
+            ("formulas", Json.Int r.formulas);
+            ("reductions", Json.Int r.reductions);
+            ("codecs", Json.Int r.codecs);
+          ] );
+      ("errors", Json.Int (List.length (errors r)));
+      ("warnings", Json.Int (List.length (warnings r)));
+      ("diagnostics", Json.List (List.map D.to_json r.diagnostics));
+    ]
+
+let pp_report fmt r =
+  List.iter (fun d -> Format.fprintf fmt "%a@." D.pp d) r.diagnostics;
+  Format.fprintf fmt "%d spec(s) analysed (%d arbiters, %d formulas, %d reductions, %d \
+                      codecs): %d error(s), %d warning(s)@."
+    (r.arbiters + r.formulas + r.reductions + r.codecs)
+    r.arbiters r.formulas r.reductions r.codecs
+    (List.length (errors r))
+    (List.length (warnings r))

@@ -1,0 +1,49 @@
+(** The spec analyzer: runs every lint rule over a {!Registry.t} and
+    collects typed {!Diagnostic.t}s. The rules mechanise the side
+    conditions the paper attaches to its definitions:
+
+    - radius rules (Theorems 11/12): every arbiter declares a
+      verification radius; the declaration survives outside-ball
+      probing; no smaller radius does (hand-written arbiters); the
+      declaration equals the quantifier-derived bound (compiled ones);
+    - stratification rules (Theorems 11/12): the second-order prefix
+      has the claimed alternation depth and polarity, the matrix is
+      LFO, and every compiled fragment certificate fits the declared
+      (r, p) budget;
+    - cost rules (Section 4): per-round message volume fits the
+      declared polynomial of the ball information, and codec length
+      accounting agrees with materialised encodings;
+    - reduction rules (Theorems 19/20): constant cluster radius with
+      the gather layer's identifier precondition, and per-node output
+      polynomial in the gathered ball.
+
+    The analyzer is empirical where it must be (probing opaque code)
+    and symbolic where it can be (quantifier structure, codec
+    arithmetic); each diagnostic says which. *)
+
+type report = {
+  arbiters : int;
+  formulas : int;
+  reductions : int;
+  codecs : int;  (** how many specs of each kind were analysed *)
+  diagnostics : Diagnostic.t list;  (** in registry order *)
+}
+
+val analyze_arbiter : Registry.arbiter_spec -> Diagnostic.t list
+val analyze_formula : Registry.formula_spec -> Diagnostic.t list
+val analyze_reduction : Registry.reduction_spec -> Diagnostic.t list
+val analyze_codec : Registry.codec_spec -> Diagnostic.t list
+
+val run : Registry.t -> report
+
+val has_errors : report -> bool
+
+val errors : report -> Diagnostic.t list
+val warnings : report -> Diagnostic.t list
+
+val report_to_json : report -> Json.t
+(** Schema ["lph-lint-1"]: spec counts, error/warning totals, and the
+    diagnostic list ({!Diagnostic.to_json}). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable: one line per diagnostic plus a summary line. *)

@@ -1,0 +1,207 @@
+module G = Lph_graph.Labeled_graph
+module N = Lph_graph.Neighborhood
+module Ids = Lph_graph.Identifiers
+module Certs = Lph_graph.Certificates
+module Arbiter = Lph_hierarchy.Arbiter
+
+type sample = { graph : G.t; certs : Certs.t list }
+
+let has_verdicts (a : Arbiter.t) = a.Arbiter.verdicts <> None
+
+let verdicts_of (a : Arbiter.t) =
+  match a.Arbiter.verdicts with
+  | Some f -> f
+  | None -> invalid_arg "Probe: arbiter exposes no per-node verdict function"
+
+(* ------------------------------------------------------------------ *)
+(* sample construction *)
+
+let longest choices =
+  List.fold_left (fun acc c -> if String.length c > String.length acc then c else acc) "" choices
+
+let random_choice rng choices =
+  match choices with
+  | [] -> ""
+  | _ -> List.nth choices (Random.State.int rng (List.length choices))
+
+let samples_for ?(seed = 0x5eed) ?(random_per_probe = 2) (a : Arbiter.t) ~universes probes =
+  let levels = a.Arbiter.levels in
+  List.concat_map
+    (fun g ->
+      if levels = 0 then [ { graph = g; certs = [] } ]
+      else begin
+        let n = G.card g in
+        let ids = Ids.make_global g in
+        let unis =
+          match universes with
+          | Some f -> f g ids
+          | None ->
+              List.init levels (fun _ _u ->
+                  List.concat_map Lph_util.Bitstring.all_of_length [ 0; 1; 2; 3 ])
+        in
+        let unis = if List.length unis = levels then unis else List.init levels (fun _ _ -> [ "" ]) in
+        let empty = { graph = g; certs = List.map (fun _ -> Array.make n "") unis } in
+        let rich =
+          { graph = g; certs = List.map (fun u -> Array.init n (fun v -> longest (u v))) unis }
+        in
+        let rng = Random.State.make [| seed; G.uid g |] in
+        let randoms =
+          List.init random_per_probe (fun _ ->
+              {
+                graph = g;
+                certs = List.map (fun u -> Array.init n (fun v -> random_choice rng (u v))) unis;
+              })
+        in
+        (empty :: rich :: randoms)
+      end)
+    probes
+
+(* ------------------------------------------------------------------ *)
+(* consistency checks *)
+
+type violation = { node : int; graph_index : int; detail : string }
+
+type outcome = {
+  declared : int option;
+  tested_max : int;
+  results : (int * violation option) list;
+  inferred : int option;
+}
+
+let flip_label l = if l = "1" then "0" else "1"
+
+(* Rewriting a certificate to a fixed non-empty bit string is the
+   perturbation most likely to be noticed: it is malformed for
+   structured certificate formats and a different value for numeric
+   ones. *)
+let forged_cert = "101"
+
+(* Cap on structure perturbations per node: each one re-runs the
+   arbiter on a fresh graph, and distance-2 pairs grow quadratically
+   on dense probes. *)
+let max_extra_edges = 6
+
+let check_sample ~radius (a : Arbiter.t) ~graph_index { graph = g; certs } =
+  let f = verdicts_of a in
+  let n = G.card g in
+  let ids = Ids.make_global g in
+  let whole = f g ~ids ~certs in
+  let violation = ref None in
+  let record node detail = if !violation = None then violation := Some { node; graph_index; detail } in
+  let eval_radius = max radius 1 in
+  let u = ref 0 in
+  while !violation = None && !u < n do
+    let node = !u in
+    let drow = N.distances g node in
+    (* ball restriction: the verdict recomputed on the induced
+       neighbourhood, outside-ball certificates canonicalised — the
+       equation Arbiter.ball_checker (and hence pruned search) uses *)
+    let ind = N.r_neighbourhood g ~radius:eval_radius node in
+    let m = G.card ind.N.subgraph in
+    let sub_ids = Array.init m (fun i -> ids.(ind.N.of_sub i)) in
+    let sub_certs =
+      List.map
+        (fun (c : Certs.t) ->
+          Array.init m (fun i ->
+              let orig = ind.N.of_sub i in
+              if drow.(orig) <= radius then c.(orig) else ""))
+        certs
+    in
+    let centre = match ind.N.to_sub node with Some c -> c | None -> assert false in
+    let ball_verdict = (f ind.N.subgraph ~ids:sub_ids ~certs:sub_certs).(centre) in
+    if ball_verdict <> whole.(node) then
+      record node
+        (Printf.sprintf
+           "verdict on the induced %d-ball (%b) differs from the whole-graph verdict (%b)"
+           radius ball_verdict whole.(node));
+    (* outside perturbations: labels and certificates beyond N_radius *)
+    let outside = List.filter (fun v -> drow.(v) > radius) (G.nodes g) in
+    if !violation = None && outside <> [] then begin
+      let outside_set = Array.make n false in
+      List.iter (fun v -> outside_set.(v) <- true) outside;
+      let flipped =
+        G.with_labels g (Array.init n (fun v -> if outside_set.(v) then flip_label (G.label g v) else G.label g v))
+      in
+      if (f flipped ~ids ~certs).(node) <> whole.(node) then
+        record node
+          (Printf.sprintf "flipping labels outside the %d-ball changed the verdict" radius);
+      if !violation = None && certs <> [] then
+        List.iter
+          (fun replacement ->
+            if !violation = None then begin
+              let certs' =
+                List.map
+                  (fun (c : Certs.t) ->
+                    Array.init n (fun v -> if outside_set.(v) then replacement else c.(v)))
+                  certs
+              in
+              if (f g ~ids ~certs:certs').(node) <> whole.(node) then
+                record node
+                  (Printf.sprintf
+                     "rewriting certificates outside the %d-ball to %S changed the verdict"
+                     radius replacement)
+            end)
+          [ ""; forged_cert ];
+      (* structure perturbation: a new edge between two outside nodes
+         leaves N_radius(u) untouched (every path through it reaches u
+         in > radius hops) but extends the induced subgraphs of larger
+         balls — the only probe that catches arbiters reading
+         structure, not labels, beyond the candidate radius. Pairs at
+         mutual distance 2 are the sharpest instances (they close
+         triangles through the ball boundary). *)
+      if !violation = None then begin
+        let pairs = ref [] and budget = ref max_extra_edges in
+        List.iter
+          (fun v ->
+            let dv = N.distances g v in
+            List.iter
+              (fun w ->
+                if w > v && dv.(w) = 2 && !budget > 0 then begin
+                  pairs := (v, w) :: !pairs;
+                  decr budget
+                end)
+              outside)
+          outside;
+        List.iter
+          (fun (v, w) ->
+            if !violation = None then begin
+              let extended =
+                G.make ~labels:(Array.init n (G.label g)) ~edges:((v, w) :: G.edges g)
+              in
+              if (f extended ~ids ~certs).(node) <> whole.(node) then
+                record node
+                  (Printf.sprintf
+                     "adding an edge between nodes %d and %d outside the %d-ball changed the \
+                      verdict"
+                     v w radius)
+            end)
+          !pairs
+      end
+    end;
+    incr u
+  done;
+  !violation
+
+let consistent_at ~radius a samples =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> begin
+        match check_sample ~radius a ~graph_index:i s with
+        | Some v -> Some v
+        | None -> go (i + 1) rest
+      end
+  in
+  go 0 samples
+
+let infer ?(max_radius = 3) (a : Arbiter.t) samples =
+  let declared = match a.Arbiter.locality with Arbiter.Ball r -> Some r | Arbiter.Opaque -> None in
+  let tested_max = max max_radius (match declared with Some r -> r | None -> 0) in
+  let results =
+    List.init (tested_max + 1) (fun r -> (r, consistent_at ~radius:r a samples))
+  in
+  let inferred =
+    List.fold_left
+      (fun acc (r, v) -> match (acc, v) with None, None -> Some r | _ -> acc)
+      None results
+  in
+  { declared; tested_max; results; inferred }

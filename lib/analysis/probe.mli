@@ -1,0 +1,79 @@
+(** Empirical verification-radius inference for arbiters.
+
+    An arbiter declaring [Ball r] locality claims that every node's
+    verdict is a function of the induced radius-[r] neighbourhood (with
+    its labels, identifiers and certificates) and the node's own
+    degree — the side condition of Theorems 11/12 that makes locality
+    pruning ({!Lph_hierarchy.Game.solve_pruned}) sound. This module
+    checks the claim from the outside, treating the arbiter as a black
+    box over its per-node verdict function:
+
+    - {e ball restriction}: node [u]'s verdict recomputed on the
+      induced subgraph [N_{max r 1}(u)] (certificates outside [N_r(u)]
+      canonicalised to [""]) must equal the whole-graph verdict — the
+      exact equation pruned search relies on;
+    - {e outside perturbation}: flipping the labels, rewriting the
+      certificates, or adding an edge between nodes at distance [> r]
+      from [u] must leave [u]'s whole-graph verdict unchanged (a new
+      edge between outside nodes never enters [N_r(u)]: any path
+      through it reaches [u] in more than [r] hops).
+
+    A candidate radius is {e consistent} when every node of every probe
+    sample passes both checks. The inferred radius is the least
+    consistent candidate; declaring less is unsound (pruning can cut a
+    live branch), declaring more is sound but lies about the spec's
+    locality. The check is empirical — as strong as the probe set — so
+    the registry pairs every arbiter with probes rich enough to expose
+    its true dependencies (accepting runs, mixed labels, odd cycles),
+    and qcheck cross-validates that verdicts are stable under further
+    perturbations outside the ball. *)
+
+type sample = {
+  graph : Lph_graph.Labeled_graph.t;
+  certs : Lph_graph.Certificates.t list;
+      (** one assignment per arbiter level (empty for deciders) *)
+}
+
+val samples_for :
+  ?seed:int ->
+  ?random_per_probe:int ->
+  Lph_hierarchy.Arbiter.t ->
+  universes:
+    (Lph_graph.Labeled_graph.t -> Lph_graph.Identifiers.t -> Lph_hierarchy.Game.universe list)
+    option ->
+  Lph_graph.Labeled_graph.t list ->
+  sample list
+(** Build probe samples for the given graphs: for each graph, the
+    all-empty certificate assignment, the per-node {e longest} universe
+    candidate (the richest certificates, most likely to carry
+    long-range references), and [random_per_probe] (default 2) seeded
+    random draws. Without [universes], random bit strings of length at
+    most 3 stand in. Deciders (level 0) get a single certificate-free
+    sample per graph. *)
+
+type violation = { node : int; graph_index : int; detail : string }
+(** The first probe failure found for a candidate radius: which node of
+    which sample (index into the sample list) changed its verdict, and
+    how. *)
+
+type outcome = {
+  declared : int option;  (** the arbiter's declared [Ball] radius *)
+  tested_max : int;
+  results : (int * violation option) list;
+      (** per candidate radius [0..tested_max]: [None] = consistent *)
+  inferred : int option;
+      (** least consistent candidate, if any is consistent *)
+}
+
+val consistent_at :
+  radius:int -> Lph_hierarchy.Arbiter.t -> sample list -> violation option
+(** Check one candidate radius against every sample ([None] =
+    consistent). Requires the arbiter to expose per-node verdicts;
+    raises [Invalid_argument] otherwise (callers gate on
+    {!has_verdicts}). *)
+
+val has_verdicts : Lph_hierarchy.Arbiter.t -> bool
+
+val infer : ?max_radius:int -> Lph_hierarchy.Arbiter.t -> sample list -> outcome
+(** Probe every candidate radius from 0 to [max ?max_radius declared]
+    (default cap 3). *)

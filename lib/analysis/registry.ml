@@ -1,0 +1,267 @@
+module G = Lph_graph.Labeled_graph
+module Gen = Lph_graph.Generators
+module B = Lph_util.Bitstring
+module Poly = Lph_util.Poly
+module C = Lph_util.Codec
+module LA = Lph_machine.Local_algo
+module Machines = Lph_machine.Machines
+module Arbiter = Lph_hierarchy.Arbiter
+module Candidates = Lph_hierarchy.Candidates
+module GF = Lph_logic.Graph_formulas
+module Syntax = Lph_logic.Syntax
+module Compile = Lph_fagin.Compile
+module Cluster = Lph_reductions.Cluster
+module BG = Lph_boolean.Boolean_graph
+module BF = Lph_boolean.Bool_formula
+
+type radius_expectation = Probed | Static of int
+
+type arbiter_spec = {
+  a_name : string;
+  arbiter : Arbiter.t;
+  algo : LA.packed option;
+  probes : G.t list;
+  universes : (G.t -> Lph_graph.Identifiers.t -> Lph_hierarchy.Game.universe list) option;
+  extra_samples : Probe.sample list;
+  expectation : radius_expectation;
+  msg_bound : Poly.t option;
+  max_radius : int;
+}
+
+(* The gather layer re-broadcasts its whole table every round, and the
+   table's entries are labels + identifiers + certificates of the
+   ball — so per-round cost is at worst quadratic in the ball
+   information content, with a constant absorbing the codec framing
+   and the bits-per-byte factor. *)
+let default_msg_bound = Poly.monomial ~coeff:64 ~degree:2
+
+let arbiter_spec ?algo ?universes ?(extra_samples = []) ?(expectation = Probed) ?msg_bound
+    ?(max_radius = 3) ~name ~probes arbiter =
+  let msg_bound =
+    match (msg_bound, algo) with
+    | (Some _ as b), _ -> b
+    | None, Some _ -> Some default_msg_bound
+    | None, None -> None
+  in
+  { a_name = name; arbiter; algo; probes; universes; extra_samples; expectation; msg_bound; max_radius }
+
+let of_algo ?universes ?extra_samples ?expectation ?msg_bound ?max_radius ?(id_radius = 2)
+    ~probes packed =
+  arbiter_spec ~algo:packed ?universes ?extra_samples ?expectation ?msg_bound ?max_radius
+    ~name:(LA.name packed) ~probes
+    (Arbiter.of_local_algo ~id_radius packed)
+
+type polarity = Sigma | Pi
+
+type formula_spec = {
+  f_name : string;
+  formula : Lph_logic.Formula.t;
+  claimed_level : int;
+  claimed_polarity : polarity;
+  budget_probes : G.t list;
+}
+
+type reduction_spec = {
+  r_name : string;
+  reduction : Cluster.reduction;
+  r_probes : G.t list;
+  output_bound : Poly.t;
+}
+
+type codec_spec =
+  | Codec_spec : { c_name : string; codec : 'a C.t; values : 'a list } -> codec_spec
+
+type t = {
+  arbiters : arbiter_spec list;
+  formulas : formula_spec list;
+  reductions : reduction_spec list;
+  codecs : codec_spec list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* probe graphs: small but chosen to separate candidate radii — mixed
+   labels (label-reading arbiters), odd cycles and boundary triangles
+   (structure-reading ones), honest certificate assignments (so
+   outside perturbations have accepting verdicts to flip) *)
+
+let path_mixed () = Gen.path ~labels:[| "1"; "0"; "1" |] 3
+let nearly_ones () = Gen.path ~labels:[| "1"; "1"; "0" |] 3
+
+let compiled_spec ~name ~probes ?(tuple_cap = 4) formula =
+  let c = Compile.compile formula in
+  (* derived independently of [Compile]'s own bookkeeping: the matrix's
+     visibility radius (unbounded quantifiers contribute nothing) plus
+     one gathering step for the boundary neighbourhoods its deepest
+     bounded quantifier ranges over *)
+  let expected = Syntax.visibility_radius formula + 1 in
+  let universes g ids =
+    Compile.fragment_universes
+      ~tuple_filter:(fun tup -> List.for_all (fun i -> i < tuple_cap) tup)
+      c g ~ids
+  in
+  arbiter_spec ~name ~probes ~universes ~expectation:(Static expected) c.Compile.arbiter
+
+let turing_spec ~verify_radius ~probes m =
+  let arbiter = Arbiter.of_turing ~levels:0 ~id_radius:1 ~verify_radius m in
+  arbiter_spec ~name:arbiter.Arbiter.name ~probes arbiter
+
+let sat_probe () =
+  BG.make (Gen.path 2) [| BF.Var "x"; BF.disj [ BF.Var "x"; BF.Var "y" ] |]
+
+let sat_probe_mixed () =
+  BG.make (Gen.path 3) [| BF.Var "x"; BF.Not (BF.Var "x"); BF.Var "y" |]
+
+let builtin_arbiters () =
+  [
+    (* hand-written machines: full probe-based radius inference *)
+    of_algo Candidates.all_selected_decider ~probes:[ path_mixed (); Gen.cycle 4 ];
+    of_algo Candidates.eulerian_decider ~probes:[ Gen.cycle 4; Gen.star 4; Gen.path 3 ];
+    of_algo Candidates.constant_label_decider ~probes:[ Gen.cycle 4; nearly_ones () ];
+    of_algo
+      (Candidates.local_two_col_decider ~radius:1)
+      ~probes:[ Gen.path 4; Gen.complete 3; Gen.cycle 5 ];
+    of_algo
+      (Candidates.local_two_col_decider ~radius:2)
+      ~probes:[ Gen.path 4; Gen.complete 3; Gen.cycle 5 ];
+    of_algo (Candidates.color_verifier 2)
+      ~universes:(fun _g _ids -> [ Candidates.color_universe 2 ])
+      ~extra_samples:
+        [ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "0"; "1" |] ] } ]
+      ~probes:[ Gen.cycle 4; Gen.path 3 ];
+    of_algo (Candidates.color_verifier 3)
+      ~universes:(fun _g _ids -> [ Candidates.color_universe 3 ])
+      ~extra_samples:
+        [ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "10"; "1" |] ] } ]
+      ~probes:[ Gen.cycle 4; Gen.path 3 ];
+    of_algo
+      (Candidates.exact_counter_verifier ~cap:4)
+      ~universes:(fun _g _ids -> [ Candidates.counter_universe ~bound:5 ])
+      ~extra_samples:
+        [
+          {
+            Probe.graph = Gen.cycle ~labels:[| "0"; "1"; "1"; "1" |] 4;
+            certs = [ [| B.of_int 0; B.of_int 1; B.of_int 2; B.of_int 1 |] ];
+          };
+        ]
+      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1" |] 4; Gen.cycle 4 ];
+    of_algo
+      (Candidates.mod_counter_verifier ~period:3)
+      ~universes:(fun _g _ids -> [ Candidates.counter_universe ~bound:3 ])
+      ~extra_samples:
+        [
+          {
+            Probe.graph = Gen.cycle ~labels:[| "0"; "1"; "1"; "1"; "1"; "1" |] 6;
+            certs = [ Candidates.honest_mod_certs ~period:3 ~n:6 ];
+          };
+        ]
+      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1"; "1"; "1" |] 6 ];
+    of_algo Candidates.sat_graph_verifier
+      ~universes:(fun g _ids -> [ Candidates.sat_graph_universe g ])
+      ~extra_samples:[ { Probe.graph = sat_probe (); certs = [ [| "1"; "10" |] ] } ]
+      ~probes:[ sat_probe (); sat_probe_mixed () ];
+    (* raw Turing tables: verify_radius is a claim of ours, probed like
+       any other declaration *)
+    turing_spec Machines.all_selected ~verify_radius:0 ~probes:[ path_mixed (); Gen.cycle 4 ];
+    turing_spec Machines.eulerian ~verify_radius:0 ~probes:[ Gen.cycle 4; Gen.star 4 ];
+    turing_spec Machines.even_label_ones ~verify_radius:0
+      ~probes:[ Gen.path ~labels:[| "11"; "1"; "101" |] 3 ];
+    turing_spec Machines.constant_labelling ~verify_radius:1
+      ~probes:[ Gen.cycle 4; nearly_ones () ];
+    (* Fagin-compiled arbiters: the radius comes from quantifier
+       bounds (Theorem 12), so the declaration is checked against the
+       static derivation and probed for soundness only *)
+    compiled_spec ~name:"compiled:all-selected" GF.all_selected
+      ~probes:[ path_mixed (); Gen.cycle 4 ];
+    compiled_spec ~name:"compiled:2-colorable" GF.two_colorable
+      ~probes:[ Gen.path 5; Gen.cycle 4 ];
+    compiled_spec ~name:"compiled:3-colorable" GF.three_colorable
+      ~probes:[ Gen.cycle 4; Gen.path 4 ];
+    compiled_spec ~name:"compiled:not-all-selected" GF.not_all_selected
+      ~probes:[ Gen.path ~labels:[| "1"; "1"; "0"; "1" |] 4 ];
+  ]
+
+let builtin_formulas () =
+  let tiny = [ Gen.path ~labels:[| ""; "" |] 2; Gen.cycle ~labels:[| ""; ""; "" |] 3 ] in
+  let spec ?(probes = tiny) name formula claimed_level claimed_polarity =
+    { f_name = name; formula; claimed_level; claimed_polarity; budget_probes = probes }
+  in
+  [
+    spec "all-selected" GF.all_selected 0 Sigma;
+    spec "2-colorable" GF.two_colorable 1 Sigma;
+    spec "3-colorable" GF.three_colorable 1 Sigma;
+    spec "not-all-selected" GF.not_all_selected 3 Sigma;
+    spec "non-3-colorable" GF.non_3_colorable 4 Pi;
+    spec "hamiltonian" GF.hamiltonian 5 Sigma;
+    spec "non-hamiltonian" GF.non_hamiltonian 4 Pi;
+  ]
+
+(* Encoded clusters carry the node's whole gathered ball re-expressed
+   as gadget nodes and ports, so their size is at worst quadratic in
+   the ball information; the constant absorbs gadget fan-out (the
+   Hamiltonian gadgets triple each node) and codec framing. *)
+let default_output_bound = Poly.monomial ~coeff:2048 ~degree:2
+
+let builtin_reductions () =
+  let spec ?(output_bound = default_output_bound) name reduction probes =
+    { r_name = name; reduction; r_probes = probes; output_bound }
+  in
+  [
+    spec "eulerian-red" Lph_reductions.Eulerian_red.reduction
+      [ Gen.cycle 4; nearly_ones () ];
+    spec "hamiltonian-red" Lph_reductions.Hamiltonian_red.reduction
+      [ Gen.cycle 4; path_mixed () ];
+    spec "co-hamiltonian-red" Lph_reductions.Hamiltonian_red.co_reduction
+      [ Gen.cycle 4; path_mixed () ];
+    spec "cook-levin:2-colorable"
+      (Lph_reductions.Cook_levin.reduction GF.two_colorable)
+      [ Gen.cycle 4; Gen.path 3 ];
+    spec "3sat-red" Lph_reductions.Three_col_red.to_3sat [ sat_probe (); sat_probe_mixed () ];
+    spec "to-all-selected:eulerian"
+      (Lph_reductions.To_all_selected.reduction ~name:"eulerian-to-all-selected" ~radius:0
+         ~decide:(fun ctx _ball -> ctx.LA.degree mod 2 = 0))
+      [ Gen.cycle 4; Gen.star 4 ];
+  ]
+
+let builtin_codecs () =
+  [
+    Codec_spec { c_name = "int"; codec = C.int; values = [ 0; 1; 7; 127; 128; 65536 ] };
+    Codec_spec { c_name = "string"; codec = C.string; values = [ ""; "1"; "#"; String.make 40 'x' ] };
+    Codec_spec { c_name = "bool"; codec = C.bool; values = [ true; false ] };
+    Codec_spec
+      { c_name = "pair-int-string"; codec = C.pair C.int C.string; values = [ (0, ""); (300, "ab") ] };
+    Codec_spec
+      {
+        c_name = "triple";
+        codec = C.triple C.string C.int C.bool;
+        values = [ ("", 0, false); ("node", 12, true) ];
+      };
+    Codec_spec
+      { c_name = "list-int"; codec = C.list C.int; values = [ []; [ 1 ]; [ 1; 2; 3; 400 ] ] };
+    Codec_spec
+      { c_name = "option-string"; codec = C.option C.string; values = [ None; Some ""; Some "x" ] };
+    Codec_spec
+      {
+        c_name = "cluster";
+        codec = Cluster.codec;
+        values =
+          (* real cluster values, as produced by a shipped reduction *)
+          (let g = Gen.cycle 4 in
+           let ids = Lph_graph.Identifiers.make_global g in
+           let result =
+             Lph_machine.Runner.run
+               (Cluster.algo_of Lph_reductions.Eulerian_red.reduction)
+               g ~ids ()
+           in
+           List.map
+             (fun u -> Cluster.decode_label (G.label result.Lph_machine.Runner.output u))
+             [ 0; 1 ]);
+      };
+  ]
+
+let builtin () =
+  {
+    arbiters = builtin_arbiters ();
+    formulas = builtin_formulas ();
+    reductions = builtin_reductions ();
+    codecs = builtin_codecs ();
+  }

@@ -1,0 +1,119 @@
+(** The analyzer's catalogue: every built-in spec of the project's
+    three embedded languages — arbiters / local algorithms, LFO/MSO
+    sentences, and cluster reductions — paired with the metadata the
+    lint rules need (probe graphs, certificate universes, expected
+    radii, cost polynomials). [bin/lint.exe] runs {!Lint} over
+    {!builtin}; the seeded violation fixtures live in {!Fixtures} and
+    reuse the same spec types. *)
+
+(** How the analyzer determines a spec's exact verification radius:
+
+    - [Probed]: full empirical inference ({!Probe.infer}) — the
+      declared radius must survive probing {e and} no smaller radius
+      may (hand-written arbiters, whose locality is a claim about
+      code);
+    - [Static r]: the radius is derived from quantifier structure
+      (Fagin-compiled arbiters: visibility radius of the matrix + 1;
+      reduction compositions: gather radius + inner radius). The
+      declared radius must equal [r], and probing checks soundness of
+      the declaration only — the structural bound is intentionally
+      conservative, so a smaller empirical radius is not a finding. *)
+type radius_expectation = Probed | Static of int
+
+type arbiter_spec = {
+  a_name : string;
+  arbiter : Lph_hierarchy.Arbiter.t;
+  algo : Lph_machine.Local_algo.packed option;
+      (** the underlying machine, when there is one (message-size
+          accounting needs runner statistics) *)
+  probes : Lph_graph.Labeled_graph.t list;
+  universes :
+    (Lph_graph.Labeled_graph.t ->
+    Lph_graph.Identifiers.t ->
+    Lph_hierarchy.Game.universe list)
+    option;
+  extra_samples : Probe.sample list;
+      (** hand-picked accepting runs (honest certificates), so outside
+          perturbations have accepting verdicts to flip *)
+  expectation : radius_expectation;
+  msg_bound : Lph_util.Poly.t option;
+      (** per-round per-node message cost as a polynomial of the
+          declared-radius ball information; [None] skips the rule *)
+  max_radius : int;  (** probe cap for {!Probe.infer} *)
+}
+
+val arbiter_spec :
+  ?algo:Lph_machine.Local_algo.packed ->
+  ?universes:
+    (Lph_graph.Labeled_graph.t ->
+    Lph_graph.Identifiers.t ->
+    Lph_hierarchy.Game.universe list) ->
+  ?extra_samples:Probe.sample list ->
+  ?expectation:radius_expectation ->
+  ?msg_bound:Lph_util.Poly.t ->
+  ?max_radius:int ->
+  name:string ->
+  probes:Lph_graph.Labeled_graph.t list ->
+  Lph_hierarchy.Arbiter.t ->
+  arbiter_spec
+(** Defaults: [Probed], no universes, no extras, [max_radius] 3, and
+    (when [algo] is given) the message bound [64 * info^2]. *)
+
+val of_algo :
+  ?universes:
+    (Lph_graph.Labeled_graph.t ->
+    Lph_graph.Identifiers.t ->
+    Lph_hierarchy.Game.universe list) ->
+  ?extra_samples:Probe.sample list ->
+  ?expectation:radius_expectation ->
+  ?msg_bound:Lph_util.Poly.t ->
+  ?max_radius:int ->
+  ?id_radius:int ->
+  probes:Lph_graph.Labeled_graph.t list ->
+  Lph_machine.Local_algo.packed ->
+  arbiter_spec
+(** Wrap a local algorithm as {!arbiter_spec} via
+    [Arbiter.of_local_algo] (default [id_radius] 2), keeping the
+    machine for message accounting and naming the spec after it. *)
+
+type polarity = Sigma | Pi
+
+type formula_spec = {
+  f_name : string;
+  formula : Lph_logic.Formula.t;
+  claimed_level : int;  (** 0 = plain LFO, no second-order prefix *)
+  claimed_polarity : polarity;  (** ignored at level 0 *)
+  budget_probes : Lph_graph.Labeled_graph.t list;
+      (** graphs on which every compiled fragment certificate must fit
+          the (r,p) bound; keep them tiny — universes are exponential *)
+}
+
+type reduction_spec = {
+  r_name : string;
+  reduction : Lph_reductions.Cluster.reduction;
+  r_probes : Lph_graph.Labeled_graph.t list;
+  output_bound : Lph_util.Poly.t;
+      (** per-node encoded cluster size as a polynomial of the node's
+          gather-radius ball information *)
+}
+
+type codec_spec =
+  | Codec_spec : {
+      c_name : string;
+      codec : 'a Lph_util.Codec.t;
+      values : 'a list;
+    }
+      -> codec_spec
+      (** a codec and representative values for cost-accounting checks *)
+
+type t = {
+  arbiters : arbiter_spec list;
+  formulas : formula_spec list;
+  reductions : reduction_spec list;
+  codecs : codec_spec list;
+}
+
+val builtin : unit -> t
+(** Every shipped arbiter, sentence, reduction and wire codec. Built on
+    demand — compiling the Fagin entries is not free, and binaries that
+    merely link the library should not pay for it. *)

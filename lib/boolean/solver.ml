@@ -20,7 +20,7 @@
    All mutable state (watch lists, trail, activities) stays private to
    this module; the interface only exposes solving and statistics. *)
 
-type cls = { mutable lits : int array }
+type cls = { lits : int array }
 
 type stats = {
   decisions : int;

@@ -79,6 +79,15 @@ module To_all_selected = Lph_reductions.To_all_selected
 module Fagin = Lph_fagin.Compile
 module Tableau = Lph_fagin.Tableau
 
+(** {1 Spec analyzer (static side-condition checking)} *)
+
+module Json = Lph_analysis.Json
+module Diagnostic = Lph_analysis.Diagnostic
+module Radius_probe = Lph_analysis.Probe
+module Lint = Lph_analysis.Lint
+module Lint_registry = Lph_analysis.Registry
+module Lint_fixtures = Lph_analysis.Fixtures
+
 (** {1 Pictures and tiling systems (Section 9.2)} *)
 
 module Picture = Lph_picture.Picture

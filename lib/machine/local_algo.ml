@@ -53,3 +53,5 @@ let pure_decider ~name ~levels verdict =
     }
 
 let map_output f (Packed a) = Packed { a with output = (fun st -> f (a.output st)) }
+
+let with_radius radius (Packed a) = Packed { a with radius }

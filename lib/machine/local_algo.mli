@@ -84,3 +84,10 @@ val pure_decider : name:string -> levels:int -> (ctx -> bool) -> packed
     bumped once per input character. *)
 
 val map_output : (string -> string) -> packed -> packed
+
+val with_radius : int option -> packed -> packed
+(** Override the declared verification radius: the machine's behaviour
+    is untouched, only the locality {e claim} changes. This exists for
+    the analyzer's fixtures (deliberately under-, over- and
+    un-declared variants of a correct machine) — shipping code should
+    declare its radius at construction. *)

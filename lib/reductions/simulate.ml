@@ -55,7 +55,6 @@ type hosted = {
 
 type sim = {
   hosted : hosted array;
-  index_of_local : (string, int) Hashtbl.t;
   real_neighbours : string array; (* identifiers, sorted *)
   start_round : int; (* first simulated round = start_round + 1 *)
   mutable verdict : string option;
@@ -171,7 +170,7 @@ let build_sim reduction ~inner ~(ctx : LA.ctx) ~round ball =
                 match Hashtbl.find_opt slot_tables.(j) gid with Some s -> s | None -> -1))
           h.nbrs)
     hosted;
-  { hosted; index_of_local; real_neighbours; start_round = round; verdict = None }
+  { hosted; real_neighbours; start_round = round; verdict = None }
 
 let sim_round sim ~(ctx : LA.ctx) ~round ~inbox ~sim_rounds =
   let s = round - sim.start_round in
@@ -282,7 +281,17 @@ let through_reduction reduction ~inner ?(sim_rounds = 64) () =
     {
       LA.name;
       levels = LA.levels inner;
-      radius = None;
+      (* A hosted node's radius-r view of the transformed graph maps
+         back to source owners within distance r (every transformed
+         edge crosses at most one source edge), and each owner's
+         cluster is a function of its gather-radius ball — so the
+         composition verifies within gather_radius + r of the source
+         graph. Conservative: the semantic radius can be smaller
+         (e.g. a verdict that ignores most of the cluster). *)
+      radius =
+        Option.map
+          (fun r -> reduction.Cluster.gather_radius + r)
+          (LA.radius inner);
       init = (fun ctx -> { phase = Gathering (Gather.init_gather ctx) });
       round =
         (fun ctx round st ~inbox ->

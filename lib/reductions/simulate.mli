@@ -23,7 +23,11 @@ val through_reduction :
 (** The simulating machine: gathers the reduction's ball, computes the
     cluster, then runs [inner] on the hosted nodes for at most
     [sim_rounds] (default 64) simulated rounds (stopping early once all
-    hosted nodes halt). Its levels equal [inner]'s levels. *)
+    hosted nodes halt). Its levels equal [inner]'s levels; when [inner]
+    declares verification radius [r], the composition declares
+    [gather_radius + r] — a sound (possibly loose) bound, since a
+    hosted node's radius-[r] transformed view unfolds to source
+    clusters computed within that distance. *)
 
 val hosted_identifier : owner:string -> local:string -> string
 (** The identifier a hosted node runs under. *)

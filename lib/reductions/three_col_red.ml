@@ -1,6 +1,5 @@
 module LA = Lph_machine.Local_algo
 module Gather = Lph_machine.Gather
-module G = Lph_graph.Labeled_graph
 module BF = Lph_boolean.Bool_formula
 module Cnf = Lph_boolean.Cnf
 module Bgraph = Lph_boolean.Boolean_graph

@@ -13,7 +13,12 @@ let reduction ~name ~radius ~decide =
           ball.Gather.entries;
     }
   in
-  { Cluster.name; id_radius = radius + 1; gather_radius = max 1 radius; compute }
+  (* boundary edges name distance-1 identifiers, so the gather radius
+     is at least 1 whatever [radius]; identifier uniqueness must cover
+     the gather layer's precondition (gather radius + 1), not the
+     nominal decision radius *)
+  let gather_radius = max 1 radius in
+  { Cluster.name; id_radius = gather_radius + 1; gather_radius; compute }
 
 let correct reduction ~decider g ~ids =
   let image = Cluster.apply reduction g ~ids in
