@@ -29,8 +29,10 @@ type engine_entry = {
   game : string;
   nodes : int;
   exhaustive_ms : float option;  (** [None]: infeasible, not attempted *)
-  pruned_ms : float;
-  sat_ms : float;  (** warm SAT-backed solve (compiled CNF, incremental re-solve) *)
+  pruned_ms : float option;  (** [None] on cegar-only rows (enumeration infeasible) *)
+  sat_ms : float option;  (** warm SAT-backed solve (compiled CNF, incremental re-solve) *)
+  cegar_ms : float option;  (** warm dueling-solver (CEGAR) solve *)
+  cegar_iters : int option;  (** refinement rounds accumulated over the timed solves *)
   agree : bool option;  (** verdict agreement across every engine that ran *)
 }
 
@@ -64,7 +66,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-4\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-5\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -74,17 +76,15 @@ let write_bench_json path =
     sections;
   out "  },\n  \"engine\": [\n";
   let entries = List.rev !engine_entries in
+  let opt_ms = function Some ms -> Printf.sprintf "%.6f" ms | None -> "null" in
   List.iteri
     (fun i e ->
-      let ex =
-        match e.exhaustive_ms with
-        | Some ms -> Printf.sprintf "%.6f" ms
-        | None -> "null"
-      in
       let agree = match e.agree with Some b -> string_of_bool b | None -> "null" in
+      let iters = match e.cegar_iters with Some n -> string_of_int n | None -> "null" in
       out
-        "    {\"game\": \"%s\", \"nodes\": %d, \"exhaustive_ms\": %s, \"pruned_ms\": %.6f, \"sat_ms\": %.6f, \"agree\": %s}%s\n"
-        (json_escape e.game) e.nodes ex e.pruned_ms e.sat_ms agree
+        "    {\"game\": \"%s\", \"nodes\": %d, \"exhaustive_ms\": %s, \"pruned_ms\": %s, \"sat_ms\": %s, \"cegar_ms\": %s, \"cegar_iters\": %s, \"agree\": %s}%s\n"
+        (json_escape e.game) e.nodes (opt_ms e.exhaustive_ms) (opt_ms e.pruned_ms)
+        (opt_ms e.sat_ms) (opt_ms e.cegar_ms) iters agree
         (if i = List.length entries - 1 then "" else ","))
     entries;
   out "  ],\n  \"faults_overhead\": [\n";
@@ -233,6 +233,11 @@ let exp_prop21 () =
       row "NLP game on 2-COLORABLE: C%d truth/game = %b/%b, glued C%d = %b/%b\n" n t_odd g_odd
         (2 * n) t_glued g_glued)
     (Separations.two_col_game_sweep ns);
+  List.iter
+    (fun (n, (t_odd, g_odd, t_glued, g_glued)) ->
+      row "Σ2 game (robust 2COL, cegar): C%d truth/game = %b/%b, glued C%d = %b/%b\n" n t_odd g_odd
+        (2 * n) t_glued g_glued)
+    (Separations.sigma2_game_sweep ~engine:`Cegar (if !smoke then [ 3 ] else [ 3; 5; 7 ]));
   row "Paper's claim: every deterministic decider sees identical views; 2COL separates. REPRODUCED\n"
 
 let exp_prop23 () =
@@ -708,15 +713,16 @@ let exp_lcl () =
 (* Engine comparison: exhaustive enumeration vs locality-pruned search. *)
 
 let exp_engine () =
-  section "Game engines: exhaustive enumeration vs pruned search vs SAT backend";
-  row "%-16s %-6s %-14s %-12s %-12s %-8s %-7s\n" "game" "n" "exhaustive" "pruned" "sat" "pr/sat" "agree";
+  section "Game engines: exhaustive vs pruned vs SAT backend vs CEGAR duel";
+  row "%-18s %-6s %-14s %-12s %-12s %-12s %-9s %-7s\n" "game" "n" "exhaustive" "pruned" "sat"
+    "cegar" "pr/cegar" "agree";
   let record e = engine_entries := e :: !engine_entries in
-  (* Pruned and sat are timed warm (averaged over repeat runs after one
-     priming call): memoised ball verdicts resp. the compiled CNF
-     persist across solves, and the warm figure is what sweeps and
-     repeated queries pay — for the SAT engine, the incremental
-     assumption-based re-solve that compiling once is for. Exhaustive
-     enumeration has no reusable state worth warming; one cold run. *)
+  (* Pruned, sat and cegar are timed warm (averaged over repeat runs
+     after one priming call): memoised ball verdicts resp. the compiled
+     CNF and the proposer's blocking clauses persist across solves, and
+     the warm figure is what sweeps and repeated queries pay.
+     Exhaustive enumeration has no reusable state worth warming; one
+     cold run. *)
   let warm_avg ?(runs = 8) f =
     let v = f () in
     let t0 = Unix.gettimeofday () in
@@ -725,26 +731,44 @@ let exp_engine () =
     done;
     (v, (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int runs)
   in
-  let bench_case game ~nodes ?exhaustive ~pruned ~sat () =
+  let ms_cell = function
+    | Some (_, ms) -> Printf.sprintf "%9.3fms " ms
+    | None -> Printf.sprintf "%11s " "--"
+  in
+  let bench_case game ~nodes ?exhaustive ?pruned ?sat ?cegar ?(cegar_iters = fun () -> None) () =
     let ex = Option.map time_once exhaustive in
-    let v_pr, ms_pr = warm_avg pruned in
-    let v_sat, ms_sat = warm_avg sat in
-    let agree = v_pr = v_sat && match ex with Some (v, _) -> v = v_pr | None -> true in
+    let pr = Option.map (fun f -> warm_avg f) pruned in
+    let st = Option.map (fun f -> warm_avg f) sat in
+    let cg = Option.map (fun f -> warm_avg f) cegar in
+    let iters = cegar_iters () in
+    let agree =
+      match List.filter_map Fun.id [ Option.map fst ex; Option.map fst pr; Option.map fst st; Option.map fst cg ] with
+      | [] -> None
+      | v :: rest -> Some (List.for_all (( = ) v) rest)
+    in
     let ex_cell =
       match ex with
       | Some (_, ms) -> Printf.sprintf "%11.2fms" ms
       | None -> Printf.sprintf "%13s" "infeasible"
     in
-    row "%-16s %-6d %s %9.3fms %9.3fms %7.1fx %-7b\n" game nodes ex_cell ms_pr ms_sat
-      (ms_pr /. ms_sat) agree;
+    let ratio =
+      match (pr, cg) with
+      | Some (_, p), Some (_, c) -> Printf.sprintf "%8.1fx" (p /. c)
+      | _ -> Printf.sprintf "%9s" "--"
+    in
+    row "%-18s %-6d %s %s%s%s%s %-7s\n" game nodes ex_cell (ms_cell pr) (ms_cell st) (ms_cell cg)
+      ratio
+      (match agree with Some b -> string_of_bool b | None -> "--");
     record
       {
         game;
         nodes;
         exhaustive_ms = Option.map snd ex;
-        pruned_ms = ms_pr;
-        sat_ms = ms_sat;
-        agree = Some agree;
+        pruned_ms = Option.map snd pr;
+        sat_ms = Option.map snd st;
+        cegar_ms = Option.map snd cg;
+        cegar_iters = iters;
+        agree;
       }
   in
   let v2 = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2) in
@@ -755,7 +779,7 @@ let exp_engine () =
     let engine e () = Game.sigma_accepts ~engine:e arbiter g ~ids ~universes in
     bench_case game ~nodes:(Graph.card g)
       ?exhaustive:(if exhaustive then Some (engine `Exhaustive) else None)
-      ~pruned:(engine `Pruned) ~sat:(engine `Sat) ()
+      ~pruned:(engine `Pruned) ~sat:(engine `Sat) ~cegar:(engine `Cegar) ()
   in
   (* a Σ1 game whose arbiter and universes come out of the Fagin
      compiler rather than a hand-written verifier *)
@@ -768,6 +792,26 @@ let exp_engine () =
       ?exhaustive:(if exhaustive then Some (engine `Exhaustive) else None)
       ~pruned:(engine `Pruned) ~sat:(engine `Sat) ()
   in
+  (* Σ2: the robust-2col probe — every Eve claim carries a full ∀-block,
+     so enumerating engines pay 2^n per claim where the CEGAR duel pays
+     one refutation query. Rows without pruned/sat timings are games
+     only the duel completes. *)
+  let robust = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+  let u22 = [ Candidates.color_universe 2; Candidates.color_universe 2 ] in
+  let sigma2_case game g ~exhaustive ~with_pruned ~with_sat =
+    let ids = Identifiers.make_global g in
+    let engine e () = Game.sigma_accepts ~engine:e robust g ~ids ~universes:u22 in
+    let cegar_iters () =
+      Option.map
+        (fun d -> (Game_cegar.stats d).Game_cegar.iterations)
+        (Game_cegar.instance ~eve_first:true robust g ~ids ~universes:u22)
+    in
+    bench_case game ~nodes:(Graph.card g)
+      ?exhaustive:(if exhaustive then Some (engine `Exhaustive) else None)
+      ?pruned:(if with_pruned then Some (engine `Pruned) else None)
+      ?sat:(if with_sat then Some (engine `Sat) else None)
+      ~cegar:(engine `Cegar) ~cegar_iters ()
+  in
   game_case "3col-C5" (Generators.cycle 5) ~arbiter:v3 ~universes:u3 ~exhaustive:true;
   game_case "2col-C9" (Generators.cycle 9) ~arbiter:v2 ~universes:u2 ~exhaustive:true;
   if not !smoke then game_case "2col-C11" (Generators.cycle 11) ~arbiter:v2 ~universes:u2 ~exhaustive:true;
@@ -778,13 +822,33 @@ let exp_engine () =
     game_case "2col-C21" (Generators.cycle 21) ~arbiter:v2 ~universes:u2 ~exhaustive:false;
     game_case "3col-C12" (Generators.cycle 12) ~arbiter:v3 ~universes:u3 ~exhaustive:false
   end;
+  (* the SAT engine still enumerates the ∃-block (2^n leaf solves), so
+     it is only timed at C9; pruned refutes improper claims fast and
+     scales to C15 *)
+  sigma2_case "sigma2-2col-C9" (Generators.cycle 9) ~exhaustive:(not !smoke) ~with_pruned:true
+    ~with_sat:true;
+  if not !smoke then begin
+    sigma2_case "sigma2-2col-C13" (Generators.cycle 13) ~exhaustive:false ~with_pruned:true
+      ~with_sat:false;
+    sigma2_case "sigma2-2col-C15" (Generators.cycle 15) ~exhaustive:false ~with_pruned:true
+      ~with_sat:false
+  end;
+  (* the duel's headroom: Σ2 instances 5-6x larger than anything the
+     enumerating engines finish — 2^91 outer claims are unreachable,
+     the proposer answers them with a handful of solver calls *)
+  sigma2_case "sigma2-2col-C91" (Generators.cycle 91) ~exhaustive:false ~with_pruned:false
+    ~with_sat:false;
+  if not !smoke then
+    sigma2_case "sigma2-2col-C92" (Generators.cycle 92) ~exhaustive:false ~with_pruned:false
+      ~with_sat:false;
   (* exhaustive here means |fragment universe|^9 full compiled-arbiter
      runs (~20s) — full runs only *)
   fagin_case "fagin-2col-C9" Graph_formulas.two_colorable (Generators.cycle 9)
     ~exhaustive:(not !smoke);
   row
     "Verdicts agree everywhere; pruning cuts |U|^n enumeration to ball-local backtracking,\n\
-     and the compiled CNF answers warm re-queries by incremental assumption solves.\n"
+     the compiled CNF answers warm re-queries by incremental assumption solves, and the\n\
+     CEGAR duel replaces whole quantifier blocks by counterexample-guided refinement.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Fault-hook overhead: the zero-overhead-when-off claim, measured.    *)
@@ -951,6 +1015,12 @@ let bechamel_suite () =
           ignore
             (Game.sigma_accepts ~engine:`Sat v3 c5 ~ids:ids5
                ~universes:[ Candidates.color_universe 3 ]) );
+      ( "game/sigma2-2col-C9-cegar",
+        let robust = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+        let c9 = Generators.cycle 9 in
+        let ids9 = Identifiers.make_global c9 in
+        let u22 = [ Candidates.color_universe 2; Candidates.color_universe 2 ] in
+        fun () -> ignore (Game.sigma_accepts ~engine:`Cegar robust c9 ~ids:ids9 ~universes:u22) );
       ("reduction/eulerian-C32", fun () -> ignore (Cluster.apply Eulerian_red.reduction c32 ~ids:ids32));
       ( "reduction/cook-levin-C5",
         fun () -> ignore (Cook_levin.reduce Graph_formulas.all_selected c5 ~ids:ids5) );

@@ -76,4 +76,28 @@ let () =
   time "decode_bits ~300B x16" (fun () ->
       for _ = 1 to 16 do
         ignore (Codec.decode_bits codec bits)
-      done)
+      done);
+  (* CDCL counters behind the game engines: one cold Σ2 CEGAR duel on
+     the robust-2col probe, with both solvers' statistics *)
+  let c21 = Generators.cycle 21 in
+  let ids21 = Identifiers.make_global c21 in
+  let robust = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+  let universes = [ Candidates.color_universe 2; Candidates.color_universe 2 ] in
+  time "sigma2 robust-2col C21 (cegar, warm)" (fun () ->
+      ignore (Game.sigma_accepts ~engine:`Cegar robust c21 ~ids:ids21 ~universes));
+  (match Game_cegar.instance ~eve_first:true robust c21 ~ids:ids21 ~universes with
+  | None -> Printf.printf "cegar instance: not built (over budget?)\n"
+  | Some d ->
+      let s = Game_cegar.stats d in
+      Printf.printf
+        "cegar C21: iterations %d, proposals %d, refutations %d, cubes %d, generalised %d\n"
+        s.Game_cegar.iterations s.Game_cegar.proposals s.Game_cegar.refutations s.Game_cegar.cubes
+        s.Game_cegar.generalised;
+      let solver name (st : Sat_solver.stats) =
+        Printf.printf
+          "%-10s decisions %-8d propagations %-10d conflicts %-7d learned %-7d restarts %d\n" name
+          st.Sat_solver.decisions st.Sat_solver.propagations st.Sat_solver.conflicts
+          st.Sat_solver.learned st.Sat_solver.restarts
+      in
+      solver "proposer" (Game_cegar.proposer_stats d);
+      solver "refuter" (Game_cegar.shared_stats d))

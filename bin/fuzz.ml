@@ -70,20 +70,29 @@ let fixtures =
       k4,
       Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3),
       [ Candidates.color_universe 3 ],
-      Array.init 4 (fun u -> Bitstring.of_int (u mod 3)) );
+      [ Array.init 4 (fun u -> Bitstring.of_int (u mod 3)) ] );
     ( "2col-C5",
       c5,
       Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 2),
       [ Candidates.color_universe 2 ],
-      Array.init 5 (fun u -> Bitstring.of_int (u mod 2)) );
+      [ Array.init 5 (fun u -> Bitstring.of_int (u mod 2)) ] );
     ( "sat-graph-x-notx",
       bg,
       Arbiter.of_local_algo ~id_radius:2 Candidates.sat_graph_verifier,
       [ Candidates.sat_graph_universe bg ],
-      [| "1"; "0" |] );
+      [ [| "1"; "0" |] ] );
+    (* a Σ2 no-instance: the odd cycle loses the robust-2col game
+       whatever the claim and challenge — tampering either level must
+       never produce an all-accepting pair *)
+    ( "sigma2-2col-C5",
+      c5,
+      Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier,
+      [ Candidates.color_universe 2; Candidates.color_universe 2 ],
+      [ Array.init 5 (fun u -> Bitstring.of_int (u mod 2)); Array.init 5 (fun u -> Bitstring.of_int (u mod 2)) ] );
   ]
 
-let engines = [ ("exhaustive", `Exhaustive); ("pruned", `Pruned); ("sat", `Sat) ]
+let engines =
+  [ ("exhaustive", `Exhaustive); ("pruned", `Pruned); ("sat", `Sat); ("cegar", `Cegar) ]
 
 let check_no_instances () =
   List.iter
@@ -106,15 +115,15 @@ let cert_campaign n =
         (scenario_seed i)
     in
     let certs =
-      Array.mapi
-        (fun u c ->
-          let c', f = Fault_plan.tamper_cert plan ~node:u c in
-          if f <> None then incr fired;
-          c')
+      List.map
+        (Array.mapi (fun u c ->
+             let c', f = Fault_plan.tamper_cert plan ~node:u c in
+             if f <> None then incr fired;
+             c'))
         basec
     in
     let ids = Identifiers.make_global g in
-    match a.Arbiter.accepts g ~ids ~certs:[ certs ] with
+    match a.Arbiter.accepts g ~ids ~certs with
     | true -> complain "accept-flip on %s under %s" name (Fault_plan.to_spec plan)
     | false -> ()
     | exception e ->

@@ -27,6 +27,16 @@ let over_declared () =
    claim. *)
 let unbounded_matrix = F.Exists_so ("R", 1, F.Forall ("x", F.Exists ("y", F.App ("R", [ "y" ]))))
 
+(* The CEGAR engine's Σ2 game shape mis-declared one level down: an
+   ∃C̄ ∀D prefix has two alternating blocks, so claiming Σ1 must trip
+   the stratification rule (the matrix is the LFO colouring check, so
+   no other formula rule can fire instead). *)
+let misdeclared_sigma2 =
+  let colors = [ "C0"; "C1" ] in
+  F.exists_so_many
+    (List.map (fun c -> (c, 1)) colors)
+    (F.Forall_so ("D", 1, GF.forall_node "x" (GF.well_colored ~colors "x")))
+
 let bad_reduction () =
   { Lph_reductions.Eulerian_red.reduction with Cluster.name = "fixture:bad-reduction"; id_radius = 1 }
 
@@ -56,6 +66,13 @@ let violations () =
           claimed_polarity = Registry.Sigma;
           budget_probes = [];
         };
+        {
+          Registry.f_name = "fixture:misdeclared-sigma2";
+          formula = misdeclared_sigma2;
+          claimed_level = 1;
+          claimed_polarity = Registry.Sigma;
+          budget_probes = [];
+        };
       ];
     reductions =
       [
@@ -76,5 +93,6 @@ let expectations =
     ("fixture:over-declared", Diagnostic.Radius_tight, Diagnostic.Warning);
     ("fixture:over-deep-formula", Diagnostic.Stratification, Diagnostic.Error);
     ("fixture:unbounded-formula", Diagnostic.Bounded_quantifiers, Diagnostic.Error);
+    ("fixture:misdeclared-sigma2", Diagnostic.Stratification, Diagnostic.Error);
     ("fixture:bad-reduction", Diagnostic.Cluster_radius, Diagnostic.Error);
   ]

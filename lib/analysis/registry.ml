@@ -128,6 +128,19 @@ let builtin_arbiters () =
       ~extra_samples:
         [ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "0"; "1" |] ] } ]
       ~probes:[ Gen.cycle 4; Gen.path 3 ];
+    (* the CEGAR engine's scaling probe: two alternation levels, so the
+       honest sample carries one certificate array per level *)
+    of_algo Candidates.robust_two_col_verifier
+      ~universes:(fun _g _ids ->
+        [ Candidates.color_universe 2; Candidates.color_universe 2 ])
+      ~extra_samples:
+        [
+          {
+            Probe.graph = Gen.cycle 4;
+            certs = [ [| "0"; "1"; "0"; "1" |]; [| "1"; "0"; "1"; "0" |] ];
+          };
+        ]
+      ~probes:[ Gen.cycle 4; Gen.path 3 ];
     of_algo (Candidates.color_verifier 3)
       ~universes:(fun _g _ids -> [ Candidates.color_universe 3 ])
       ~extra_samples:

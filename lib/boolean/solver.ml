@@ -28,6 +28,7 @@ type stats = {
   conflicts : int;
   learned : int;
   max_backjump : int;
+  restarts : int;
 }
 
 type t = {
@@ -54,6 +55,7 @@ type t = {
   mutable s_conflicts : int;
   mutable s_learned : int;
   mutable s_max_backjump : int;
+  mutable s_restarts : int;
 }
 
 let create () =
@@ -80,6 +82,7 @@ let create () =
     s_conflicts = 0;
     s_learned = 0;
     s_max_backjump = 0;
+    s_restarts = 0;
   }
 
 let stats s =
@@ -89,6 +92,59 @@ let stats s =
     conflicts = s.s_conflicts;
     learned = s.s_learned;
     max_backjump = s.s_max_backjump;
+    restarts = s.s_restarts;
+  }
+
+(* ---- cloning ------------------------------------------------------- *)
+
+(* Clause values are mutable and each lives in exactly two watch lists
+   (and possibly in [reason] slots), so the copy must preserve clause
+   IDENTITY: one fresh clause per original, reused wherever the
+   original appeared. Keyed on physical equality — [Hashtbl.hash] is
+   depth-bounded, so structurally similar clauses only cost a few
+   [==] probes. *)
+module Cls_tbl = Hashtbl.Make (struct
+  type t = cls
+
+  let equal = ( == )
+
+  let hash c = Hashtbl.hash c.lits
+end)
+
+let copy s =
+  let tbl = Cls_tbl.create 256 in
+  let dup c =
+    match Cls_tbl.find_opt tbl c with
+    | Some c' -> c'
+    | None ->
+        let c' = { lits = Array.copy c.lits } in
+        Cls_tbl.add tbl c c';
+        c'
+  in
+  {
+    names = Array.copy s.names;
+    ids = Hashtbl.copy s.ids;
+    nvars = s.nvars;
+    assign = Array.copy s.assign;
+    level = Array.copy s.level;
+    reason = Array.map (Option.map dup) s.reason;
+    activity = Array.copy s.activity;
+    polarity = Array.copy s.polarity;
+    seen = Array.copy s.seen;
+    watches = Array.map (List.map dup) s.watches;
+    trail = Array.copy s.trail;
+    trail_n = s.trail_n;
+    trail_lim = Array.copy s.trail_lim;
+    dlevel = s.dlevel;
+    qhead = s.qhead;
+    var_inc = s.var_inc;
+    root_conflict = s.root_conflict;
+    s_decisions = 0;
+    s_propagations = 0;
+    s_conflicts = 0;
+    s_learned = 0;
+    s_max_backjump = 0;
+    s_restarts = 0;
   }
 
 (* ---- literals ----------------------------------------------------- *)
@@ -358,6 +414,10 @@ let solve_with ?(assumptions : Cnf.clause = []) s =
     let assumptions = Array.of_list (List.map (lit_of_cnf (intern s)) assumptions) in
     let n_assumed = Array.length assumptions in
     let result = ref None and running = ref true in
+    (* geometric restarts: every learned clause is kept, so a restart
+       only abandons the current decision stack and lets VSIDS +
+       phase saving re-descend along fresher activities *)
+    let restart_limit = ref 100 and restart_conflicts = ref 0 in
     while !running do
       match propagate s with
       | Some confl ->
@@ -373,6 +433,17 @@ let solve_with ?(assumptions : Cnf.clause = []) s =
             learn s learned bj;
             decay s;
             if s.root_conflict then running := false
+            else begin
+              incr restart_conflicts;
+              if !restart_conflicts >= !restart_limit && s.dlevel > n_assumed then begin
+                (* the solve loop re-asserts the assumptions as fresh
+                   decisions after the rewind *)
+                backtrack s 0;
+                s.s_restarts <- s.s_restarts + 1;
+                restart_conflicts := 0;
+                restart_limit := (!restart_limit * 3 / 2) + 1
+              end
+            end
           end
       | None ->
           if s.dlevel < n_assumed then begin

@@ -18,6 +18,15 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** An independent deep copy: same interned variables, clause database
+    (including clauses learned so far), saved phases and activities —
+    but clauses added or learned on either side afterwards are
+    invisible to the other. This is what lets the CEGAR game engine
+    fork a compiled game CNF into a private proposer solver and keep
+    feeding it blocking clauses without polluting the shared instance.
+    Statistics counters start from zero in the copy. *)
+
 val add_clause : t -> Cnf.clause -> unit
 (** Add a clause permanently. Tautologies are discarded, duplicate
     literals merged, and literals already decided at the root level
@@ -45,6 +54,9 @@ type stats = {
   conflicts : int;
   learned : int;  (** clauses learned at first-UIP cuts *)
   max_backjump : int;  (** largest number of levels jumped at once *)
+  restarts : int;
+      (** geometric restarts taken (decision stack abandoned, learned
+          clauses and phases kept) *)
 }
 
 val stats : t -> stats

@@ -52,6 +52,7 @@ module Restrictor = Lph_hierarchy.Restrictor
 module Lcl = Lph_hierarchy.Lcl
 module Game = Lph_hierarchy.Game
 module Game_sat = Lph_hierarchy.Game_sat
+module Game_cegar = Lph_hierarchy.Game_cegar
 module Properties = Lph_hierarchy.Properties
 module Candidates = Lph_hierarchy.Candidates
 module Separations = Lph_hierarchy.Separations

@@ -75,6 +75,50 @@ let mod_counter_verifier ~period =
 let honest_mod_certs ~period ~n = Array.init n (fun i -> B.of_int (i mod period))
 
 (* ------------------------------------------------------------------ *)
+(* A genuinely two-level colouring game: Eve claims a 2-colouring k1,
+   Adam challenges with an arbitrary k2, and node u accepts iff k1 is
+   proper at u AND (k2 is improper at u OR k2 is a local relabelling
+   of k1, i.e. k1 xor k2 is constant on u's ball). With two colours,
+   any two colourings proper at the same node already agree up to a
+   flip there, so the Σ2 value coincides with 2-COLORABLE — Adam's
+   block does no semantic work, but an enumerating engine must still
+   sweep all 2^n challenges behind every claim, while the CEGAR engine
+   answers the whole ∀-block with one UNSAT call. That asymmetry makes
+   this family the scaling probe for the dueling-solver engine. *)
+
+let robust_two_col_verifier =
+  Gather.algo ~name:"robust-2col-verifier" ~radius:1 ~levels:2 ~decide:(fun ctx ball ->
+      ctx.LA.charge (2 * List.length ball.Gather.entries);
+      let self = ball_self ball in
+      let nbrs = ball_neighbours ball in
+      let value level e =
+        match List.nth (Lph_graph.Certificates.split_list ~levels:2 e.Gather.cert) level with
+        | "0" -> Some 0
+        | "1" -> Some 1
+        | _ -> None (* out of range or malformed: never a proper colour *)
+      in
+      let proper level =
+        match value level self with
+        | None -> false
+        | Some mine ->
+            List.for_all
+              (fun e -> match value level e with Some v -> v <> mine | None -> false)
+              nbrs
+      in
+      let aligned () =
+        match (value 0 self, value 1 self) with
+        | Some c1, Some c2 ->
+            List.for_all
+              (fun e ->
+                match (value 0 e, value 1 e) with
+                | Some c1', Some c2' -> c1 lxor c2 = c1' lxor c2'
+                | _ -> false)
+              nbrs
+        | _ -> false
+      in
+      proper 0 && ((not (proper 1)) || aligned ()))
+
+(* ------------------------------------------------------------------ *)
 (* SAT-GRAPH (Theorem 19): labels encode Boolean formulas, the level-1
    certificate claims a valuation of the node's own variables — one bit
    per variable, in sorted variable order. The verifier re-checks what

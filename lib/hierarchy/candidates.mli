@@ -48,6 +48,21 @@ val mod_counter_verifier : period:int -> Lph_machine.Local_algo.packed
     Proposition 23 predicts: it accepts all-selected cycles whose
     length is a multiple of [period]. *)
 
+(** {1 Σ2 verifiers (level 2)} *)
+
+val robust_two_col_verifier : Lph_machine.Local_algo.packed
+(** A two-level arbiter whose Σ2 game value is 2-COLORABLE: Eve claims
+    a 2-colouring, Adam challenges with a second one, and a node
+    accepts iff Eve's colouring is proper at it and Adam's challenge is
+    either improper there or a local flip of Eve's. The universal block
+    is semantically inert (two colourings proper at a node agree up to
+    flipping), which is the point: engines that enumerate Adam's block
+    pay 2^n per Eve claim, the CEGAR engine one UNSAT call — the
+    scaling probe behind the `sigma2-2col` benchmarks and the
+    [`Cegar]-engine separation sweep
+    ({!Separations.sigma2_game_separation}). Certificate universe:
+    {!color_universe}[ 2] at both levels. *)
+
 val counter_universe : bound:int -> Game.universe
 (** Binary encodings of 0 .. bound-1 (certificate candidates for the
     counter verifiers). *)

@@ -35,7 +35,7 @@ let solve ~first ~n ~universes ~arbiter =
   in
   go first universes []
 
-type engine = [ `Auto | `Exhaustive | `Pruned | `Sat ]
+type engine = [ `Auto | `Exhaustive | `Pruned | `Sat | `Cegar ]
 
 (* [`Auto] defers to the environment (like [Parallel.jobs] and
    [LPH_JOBS]) so experiment binaries and CI legs can switch engines
@@ -48,10 +48,12 @@ let engine_of_env () : engine =
       | "exhaustive" -> `Exhaustive
       | "pruned" -> `Pruned
       | "sat" -> `Sat
+      | "cegar" -> `Cegar
       | other ->
           invalid_arg
             (Printf.sprintf
-               "Game: LPH_ENGINE must be \"exhaustive\", \"pruned\" or \"sat\" (got %S)" other))
+               "Game: LPH_ENGINE must be \"exhaustive\", \"pruned\", \"sat\" or \"cegar\" (got %S)"
+               other))
 
 let resolve : engine -> engine = function `Auto -> engine_of_env () | e -> e
 
@@ -241,6 +243,20 @@ let solve_sat ~first (a : Arbiter.t) g ~ids ~universes =
       in
       go first universes []
 
+(* CEGAR game value: the whole game handed to the dueling-solver loop
+   of {!Game_cegar}. The fallback ladder degrades gracefully — when
+   CEGAR cannot decide the game (opaque arbiter, over-budget compile,
+   an empty candidate slot, or an [LPH_CEGAR_MAX_ITERS] overrun) the
+   SAT engine takes over, which itself falls back to pruned search
+   when even the leaf cannot be compiled. *)
+let solve_cegar ~first (a : Arbiter.t) g ~ids ~universes =
+  match universes with
+  | [] -> solve_pruned ~first a g ~ids ~universes
+  | _ -> (
+      match Game_cegar.solve ~eve_first:(first = Eve) a g ~ids ~universes with
+      | Some value -> value
+      | None -> solve_sat ~first a g ~ids ~universes)
+
 let check_levels (a : Arbiter.t) universes =
   if List.length universes <> a.Arbiter.levels then
     invalid_arg
@@ -251,6 +267,7 @@ let solve_first ~first engine a g ~ids ~universes =
   match resolve engine with
   | `Exhaustive -> solve_exhaustive ~first a g ~ids ~universes
   | `Sat -> solve_sat ~first a g ~ids ~universes
+  | `Cegar -> solve_cegar ~first a g ~ids ~universes
   | `Auto | `Pruned -> solve_pruned ~first a g ~ids ~universes
 
 let sigma_accepts ?(engine = `Auto) a g ~ids ~universes =
@@ -280,7 +297,9 @@ let eve_witness ?(engine = `Auto) a g ~ids ~universes =
       in
       match resolve engine with
       | `Exhaustive -> exhaustive ()
-      | `Sat -> (
+      | `Sat | `Cegar -> (
+          (* a one-level game has no outer block to refine: CEGAR and
+             SAT coincide on the shared compiled instance *)
           match Game_sat.compile a g ~ids ~universes with
           | Some inst -> Game_sat.eve_leaf inst ~prefix:[]
           | None -> pruned ())

@@ -57,20 +57,23 @@ val solve :
     entry per level, in move order. With [first = Eve] this computes
     ∃k1 ∀k2 ... : arbiter [k1; k2; ...]. *)
 
-type engine = [ `Auto | `Exhaustive | `Pruned | `Sat ]
+type engine = [ `Auto | `Exhaustive | `Pruned | `Sat | `Cegar ]
 (** [`Auto] (the default everywhere) defers to the [LPH_ENGINE]
-    environment variable — ["exhaustive"], ["pruned"] or ["sat"],
-    anything else raises [Invalid_argument], unset means pruned — read
-    at each call like [LPH_JOBS]. [`Exhaustive] forces enumeration
-    (with incremental dirty-set re-verification when the arbiter is
-    ball-local: only verifiers whose r-ball meets the certificate bits
-    changed since the previous candidate are re-run, via
-    {!Lph_graph.Neighborhood.touched}). [`Pruned] requests
+    environment variable — ["exhaustive"], ["pruned"], ["sat"] or
+    ["cegar"], anything else raises [Invalid_argument], unset means
+    pruned — read at each call like [LPH_JOBS]. [`Exhaustive] forces
+    enumeration (with incremental dirty-set re-verification when the
+    arbiter is ball-local: only verifiers whose r-ball meets the
+    certificate bits changed since the previous candidate are re-run,
+    via {!Lph_graph.Neighborhood.touched}). [`Pruned] requests
     locality-pruned search but still falls back to exhaustive on opaque
     arbiters. [`Sat] compiles the innermost block to CNF ({!Game_sat})
     and answers every game-tree leaf with an incremental
     assumption-based solver call, falling back to pruned search when
-    compilation is unavailable or over budget. *)
+    compilation is unavailable or over budget. [`Cegar] hands the whole
+    game — every quantifier block — to the abstraction-refinement duel
+    of {!Game_cegar}, falling back down the ladder ([`Sat], then
+    [`Pruned]) when it cannot decide the game. *)
 
 val resolve : engine -> engine
 (** Resolve [`Auto] against the [LPH_ENGINE] environment variable (see
@@ -104,6 +107,20 @@ val solve_sat :
     incremental solve under assumption literals fixing that leaf's
     outer certificates. Falls back to {!solve_pruned} when the game
     cannot be compiled. *)
+
+val solve_cegar :
+  first:player ->
+  Arbiter.t ->
+  Lph_graph.Labeled_graph.t ->
+  ids:Lph_graph.Identifiers.t ->
+  universes:universe list ->
+  bool
+(** CEGAR game value; agrees with every other engine on every input.
+    The whole game is run as {!Game_cegar}'s propose/refute/generalise
+    loop between two incremental solver instances; when that engine
+    reports [None] (opaque arbiter, over-budget compile, empty
+    candidate slot, iteration cap) the value comes from {!solve_sat}
+    instead, which has its own pruned fallback. *)
 
 val sigma_accepts :
   ?engine:engine ->

@@ -44,6 +44,7 @@ type t = {
   solver : Solver.t;
   lock : Mutex.t;  (** the solver is single-threaded; sweeps are not *)
   levels : int;
+  radius : int;  (** the arbiter's declared ball radius *)
   choices : string list array array;  (** level -> node -> candidates *)
   table_entries : int;  (** total tabulated ball configurations *)
 }
@@ -162,14 +163,25 @@ let compile_uncached (a : Arbiter.t) g ~ids ~universes =
           (fun u -> Solver.add_clause solver [ Cnf.neg mode; Cnf.pos (acc u) ])
           (List.init n Fun.id);
         Solver.add_clause solver (Cnf.pos mode :: List.init n (fun u -> Cnf.neg (acc u)));
-        Result.Ok { solver; lock = Mutex.create (); levels; choices; table_entries = total }
+        Result.Ok
+          { solver; lock = Mutex.create (); levels; radius = r; choices; table_entries = total }
       end
 
 (* Compiled instances are reused across game solves (sweeps and
    benchmarks re-solve the same graph under many prefixes), keyed on
    the arbiter's name, the graph and the materialised universes —
-   arbiter names encode their parameters throughout this codebase. *)
-let cache : (string * int * string array * string list array array, (t, Lph_util.Error.t) result) Hashtbl.t =
+   arbiter names encode their parameters throughout this codebase.
+
+   Synchronisation is PER ENTRY: the global lock only guards the
+   find-or-insert of an entry record, while the (possibly expensive)
+   compilation runs under that entry's own lock. [LPH_JOBS>1] sweeps
+   over independent (arbiter, graph) pairs therefore compile and solve
+   concurrently; only two domains racing for the SAME instance
+   serialise, and each key is compiled exactly once. *)
+
+type entry = { e_lock : Mutex.t; mutable compiled : (t, Lph_util.Error.t) result option }
+
+let cache : (string * int * string array * string list array array, entry) Hashtbl.t =
   Hashtbl.create 16
 
 let cache_lock = Mutex.create ()
@@ -179,14 +191,23 @@ let compile_explain (a : Arbiter.t) g ~ids ~universes =
     Array.of_list (List.map (fun universe -> Array.init (G.card g) universe) universes)
   in
   let key = (a.Arbiter.name, G.uid g, ids, choices_key) in
-  match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) with
-  | Some inst -> inst
-  | None ->
-      let inst = compile_uncached a g ~ids ~universes in
-      Mutex.protect cache_lock (fun () ->
-          if Hashtbl.length cache > 64 then Hashtbl.reset cache;
-          Hashtbl.replace cache key inst);
-      inst
+  let entry =
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some e -> e
+        | None ->
+            if Hashtbl.length cache > 64 then Hashtbl.reset cache;
+            let e = { e_lock = Mutex.create (); compiled = None } in
+            Hashtbl.add cache key e;
+            e)
+  in
+  Mutex.protect entry.e_lock (fun () ->
+      match entry.compiled with
+      | Some inst -> inst
+      | None ->
+          let inst = compile_uncached a g ~ids ~universes in
+          entry.compiled <- Some inst;
+          inst)
 
 let compile a g ~ids ~universes = Result.to_option (compile_explain a g ~ids ~universes)
 
@@ -222,22 +243,50 @@ let solve_mode t ~prefix ~eve =
   Mutex.protect t.lock (fun () ->
       Solver.solve_with ~assumptions:(mode_lit :: prefix_assumptions t ~prefix) t.solver)
 
+let solve_model = solve_mode
+
+let model_level t model ~level =
+  Array.mapi
+    (fun u cands ->
+      let rec pick i = function
+        | [] -> Lph_util.Error.protocol_error ~what:"Game_sat" "model selects no candidate"
+        | c :: rest -> if model (sel level u i) then c else pick (i + 1) rest
+      in
+      pick 0 cands)
+    t.choices.(level)
+
 let eve_leaf t ~prefix =
   match solve_mode t ~prefix ~eve:true with
   | None -> None
-  | Some model ->
-      let l = t.levels - 1 in
-      Some
-        (Array.mapi
-           (fun u cands ->
-             let rec pick i = function
-               | [] -> Lph_util.Error.protocol_error ~what:"Game_sat" "model selects no candidate"
-               | c :: rest -> if model (sel l u i) then c else pick (i + 1) rest
-             in
-             pick 0 cands)
-           t.choices.(l))
+  | Some model -> Some (model_level t model ~level:(t.levels - 1))
 
 let adam_rejects t ~prefix = Option.is_some (solve_mode t ~prefix ~eve:false)
+
+let rejecting_nodes t model =
+  List.filter (fun u -> not (model (acc u))) (List.init (Array.length t.choices.(0)) Fun.id)
+
+let levels t = t.levels
+
+let radius t = t.radius
+
+let candidates t ~level ~node = t.choices.(level).(node)
+
+let selector t ~level ~node cert =
+  match find_index cert t.choices.(level).(node) with
+  | Some i -> Cnf.pos (sel level node i)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Game_sat: certificate %S at node %d is not in level %d's universe" cert
+           node level)
+
+(* The clause database is forked under the instance lock: a concurrent
+   solve would leave the trail mid-descent. [solve_with] always rewinds
+   to level 0 before returning, so the fork starts at the root. *)
+let fork_solver t ~eve =
+  Mutex.protect t.lock (fun () ->
+      let s = Solver.copy t.solver in
+      Solver.add_clause s [ (if eve then Cnf.pos mode else Cnf.neg mode) ];
+      s)
 
 let table_entries t = t.table_entries
 

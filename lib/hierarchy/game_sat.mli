@@ -60,6 +60,54 @@ val table_entries : t -> int
 (** Total number of tabulated ball configurations (the one-off compile
     cost, in verifier runs). *)
 
+(** {1 CEGAR access}
+
+    The [`Cegar] engine ({!Game_cegar}) drives the same compiled CNF
+    from outside: it forks the clause database into a private proposer
+    solver, decodes whole levels out of refutation models, and maps
+    rejecting nodes back to ball-restricted blocking cubes. *)
+
+val levels : t -> int
+(** Number of quantifier levels compiled into the instance. *)
+
+val radius : t -> int
+(** The arbiter's declared [Ball r] locality radius — the
+    generalisation radius for CEGAR blocking cubes. *)
+
+val candidates : t -> level:int -> node:int -> string list
+(** The materialised certificate universe of one (level, node) slot, in
+    selector-index order. *)
+
+val selector : t -> level:int -> node:int -> string -> Lph_boolean.Cnf.literal
+(** The positive selector literal of a (level, node, certificate)
+    choice. Raises [Invalid_argument] when the certificate is not in
+    that slot's universe. *)
+
+val solve_model :
+  t ->
+  prefix:Lph_graph.Certificates.t list ->
+  eve:bool ->
+  (Lph_boolean.Bool_formula.var -> bool) option
+(** The raw model behind {!eve_leaf}/{!adam_rejects}: a last-level
+    assignment (under the outer [prefix]) making every node accept
+    ([eve:true]) or some node reject ([eve:false]), as a full valuation
+    of the instance's variables. *)
+
+val model_level : t -> (Lph_boolean.Bool_formula.var -> bool) -> level:int -> Lph_graph.Certificates.t
+(** Decode the certificate assignment a model selects at one level. *)
+
+val rejecting_nodes : t -> (Lph_boolean.Bool_formula.var -> bool) -> int list
+(** The nodes whose acceptance variable is false in a model — under
+    [eve:false] the witnesses Adam's refutation rests on. *)
+
+val fork_solver : t -> eve:bool -> Lph_boolean.Solver.t
+(** A private copy of the instance's solver (clause database, learned
+    clauses, phases) with the mode variable permanently fixed: [eve:true]
+    keeps only assignments every verifier accepts, [eve:false] only
+    those some verifier rejects. The copy is independent — clauses
+    added to it never reach the shared instance — and, like any
+    {!Lph_boolean.Solver.t}, not domain-safe without external locking. *)
+
 val solver_stats : t -> Lph_boolean.Solver.stats
 (** Counters of the underlying solver, cumulative over every leaf
     solved on this instance. *)

@@ -91,6 +91,25 @@ let two_col_game_separation ?(engine = `Auto) ~n () =
     Properties.two_colorable glued,
     Game.sigma_accepts ~engine verifier glued ~ids:ids' ~universes )
 
+(* The same separation one alternation level up: the Σ2 game of
+   {!Candidates.robust_two_col_verifier} has 2-COLORABLE as its value,
+   so the odd cycle must lose it and the glued even double must win it
+   — but now every Eve claim carries a full universal block, which an
+   enumerating engine sweeps (2^n challenges per claim) and the CEGAR
+   engine discharges with a single UNSAT refutation query. This is the
+   scaling family for the [`Cegar] bench rows. *)
+let sigma2_game_separation ?(engine = `Auto) ~n () =
+  if n < 3 || n mod 2 = 0 then invalid_arg "Separations.sigma2_game_separation: n must be odd";
+  let odd_cycle, glued = Gen.glued_even_cycle n in
+  let verifier = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+  let universes = [ Candidates.color_universe 2; Candidates.color_universe 2 ] in
+  let ids = Ids.make_global odd_cycle in
+  let ids' = Ids.make_global glued in
+  ( Properties.two_colorable odd_cycle,
+    Game.sigma_accepts ~engine verifier odd_cycle ~ids ~universes,
+    Properties.two_colorable glued,
+    Game.sigma_accepts ~engine verifier glued ~ids:ids' ~universes )
+
 (* Parallel sweeps: the per-instance experiments above are independent
    across instance sizes, so fan them out over domains. Results come
    back in input order ([Parallel.map] is deterministic). *)
@@ -105,3 +124,7 @@ let two_col_game_sweep ?(engine = `Auto) ns =
   (* resolve once: each domain would otherwise consult the environment *)
   let engine = Game.resolve engine in
   Lph_util.Parallel.map (fun n -> (n, two_col_game_separation ~engine ~n ())) ns
+
+let sigma2_game_sweep ?(engine = `Auto) ns =
+  let engine = Game.resolve engine in
+  Lph_util.Parallel.map (fun n -> (n, sigma2_game_separation ~engine ~n ())) ns

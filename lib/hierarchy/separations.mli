@@ -56,6 +56,16 @@ val two_col_game_separation :
     {!Candidates.color_verifier} 2 — expected (false, false, true, true).
     [engine] selects the game engine (default [`Auto]: [LPH_ENGINE]). *)
 
+val sigma2_game_separation :
+  ?engine:Game.engine -> n:int -> unit -> bool * bool * bool * bool
+(** The same separation one alternation level up: the Σ2 game of
+    {!Candidates.robust_two_col_verifier} (value: 2-COLORABLE, but with
+    a full universal challenge block behind every Eve claim) on the odd
+    cycle and its glued even double — expected
+    (false, false, true, true). Enumerating engines pay [2^n]
+    challenges per claim here, the [`Cegar] engine one refutation
+    query; this family is the [`Cegar] scaling probe. *)
+
 val prop21_sweep :
   decider:Lph_machine.Local_algo.packed ->
   id_period:int ->
@@ -74,3 +84,9 @@ val two_col_game_sweep :
     solves inside each task run sequentially (nested pools do not
     oversubscribe). [`Auto] is resolved against [LPH_ENGINE] once,
     before the fan-out. *)
+
+val sigma2_game_sweep :
+  ?engine:Game.engine -> int list -> (int * (bool * bool * bool * bool)) list
+(** {!sigma2_game_separation} per instance size, in parallel, with the
+    same engine-resolution and pool discipline as
+    {!two_col_game_sweep}. *)

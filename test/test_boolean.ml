@@ -191,6 +191,65 @@ let cdcl_tests =
         let incremental = Sat_solver.solve_with ~assumptions s <> None in
         let oneshot = Sat_solver.satisfiable (List.map (fun l -> [ l ]) assumptions @ cnf) in
         incremental = oneshot);
+    quick "copy is an independent snapshot" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.pos "a"; Cnf.pos "b" ];
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.pos "c" ];
+        check_bool "original sat" true (Sat_solver.solve_with s <> None);
+        let s' = Sat_solver.copy s in
+        check_bool "copy counts from zero" true ((Sat_solver.stats s').decisions = 0);
+        Sat_solver.add_clause s' [ Cnf.neg "a" ];
+        Sat_solver.add_clause s' [ Cnf.neg "b" ];
+        check_bool "copy driven unsat" true (Sat_solver.solve_with s' = None);
+        check_bool "original untouched" true
+          (match Sat_solver.solve_with ~assumptions:[ Cnf.pos "a" ] s with
+          | Some v -> v "a" && v "c"
+          | None -> false);
+        Sat_solver.add_clause s [ Cnf.neg "c" ];
+        check_bool "original driven unsat under a" true
+          (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a" ] s = None);
+        check_bool "copy's verdict unchanged" true (Sat_solver.solve_with s' = None));
+    quick "copy preserves learned state" (fun () ->
+        (* same instance as the backjump test: learn on the original,
+           copy, and the copy must answer every assumption set alike *)
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.neg "c"; Cnf.pos "d" ];
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.neg "c"; Cnf.neg "d" ];
+        check_bool "a,c contradictory" true
+          (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a"; Cnf.pos "c" ] s = None);
+        let s' = Sat_solver.copy s in
+        List.iter
+          (fun assumptions ->
+            check_bool "copy agrees with original" true
+              (Sat_solver.solve_with ~assumptions s' <> None
+              = (Sat_solver.solve_with ~assumptions s <> None)))
+          [ [ Cnf.pos "a"; Cnf.pos "c" ]; [ Cnf.pos "a" ]; [ Cnf.pos "c" ]; [] ]);
+    quick "restarts fire on a hard instance without changing the verdict" (fun () ->
+        let var i h = Printf.sprintf "p%d_%d" i h in
+        let pigeonhole ~pigeons ~holes =
+          List.init pigeons (fun i -> List.init holes (fun h -> Cnf.pos (var i h)))
+          @ List.concat_map
+              (fun h ->
+                List.concat_map
+                  (fun i ->
+                    List.filter_map
+                      (fun j -> if j > i then Some [ Cnf.neg (var i h); Cnf.neg (var j h) ] else None)
+                      (List.init pigeons Fun.id))
+                  (List.init pigeons Fun.id))
+              (List.init holes Fun.id)
+        in
+        let s = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause s) (pigeonhole ~pigeons:7 ~holes:6);
+        check_bool "7 pigeons, 6 holes: unsat" true (Sat_solver.solve_with s = None);
+        let st = Sat_solver.stats s in
+        check_bool "enough conflicts to restart" true (st.conflicts > 100);
+        check_bool "restarted at least once" true (st.restarts >= 1);
+        let sat_instance = pigeonhole ~pigeons:6 ~holes:6 in
+        let s2 = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause s2) sat_instance;
+        match Sat_solver.solve_with s2 with
+        | None -> Alcotest.fail "6 pigeons fit 6 holes"
+        | Some v -> check_bool "model is real" true (Cnf.eval v sat_instance));
   ]
 
 let boolean_graph_tests =

@@ -176,7 +176,7 @@ let sat_suite =
           List.iter
             (fun e ->
               check_bool e expected (with_env "LPH_ENGINE" e (fun () -> Game.sigma_accepts a g ~ids ~universes)))
-            [ "sat"; "pruned"; "exhaustive"; "SAT" ];
+            [ "sat"; "pruned"; "exhaustive"; "SAT"; "cegar" ];
           match with_env "LPH_ENGINE" "dpll" (fun () -> Game.sigma_accepts a g ~ids ~universes) with
           | _ -> Alcotest.fail "expected Invalid_argument"
           | exception Invalid_argument _ -> ());
@@ -225,6 +225,197 @@ let sat_suite =
               match Game_sat.eve_leaf inst ~prefix:[ [| "2"; "0"; "0"; "0"; "0" |] ] with
               | _ -> Alcotest.fail "expected Invalid_argument"
               | exception Invalid_argument _ -> ()));
+    ] )
+
+(* a Σ2 game that is always false but keeps an optimistic Eve proposer
+   busy: accept iff the challenge echoes the claim at the node, so every
+   claim has an all-accepting completion (the proposer sees 2^n models)
+   while Adam refutes each one — the duel is forced through several
+   refinement rounds, which the cap and stats tests rely on *)
+let echo_verifier =
+  Gather.algo ~name:"echo-two-level" ~radius:1 ~levels:2 ~decide:(fun _ctx ball ->
+      match List.find_opt (fun e -> e.Gather.dist = 0) ball.Gather.entries with
+      | None -> false
+      | Some self -> (
+          match Certificates.split_list ~levels:2 self.Gather.cert with
+          | [ k1; k2 ] -> k1 = k2
+          | _ -> false))
+
+let bit_universes = [ Game.of_choices [ "0"; "1" ]; Game.of_choices [ "0"; "1" ] ]
+
+let robust_universes = [ Candidates.color_universe 2; Candidates.color_universe 2 ]
+
+let all_bit_certs n =
+  List.map Array.of_list (List.of_seq (Combinat.product (List.init n (fun _ -> [ "0"; "1" ]))))
+
+let cegar_suite =
+  ( "engine:cegar",
+    [
+      qcheck ~count:40 "one-level games: cegar agrees with the other engines"
+        (arb_graph ~max_nodes:8 ())
+        (fun g ->
+          let a = v2 () in
+          let ids = global_ids g in
+          let universes = [ Candidates.color_universe 2 ] in
+          let cegar = Game.sigma_accepts ~engine:`Cegar a g ~ids ~universes in
+          cegar = Game.sigma_accepts ~engine:`Sat a g ~ids ~universes
+          && cegar = Game.sigma_accepts ~engine:`Pruned a g ~ids ~universes
+          && Game.pi_accepts ~engine:`Cegar a g ~ids ~universes
+             = Game.pi_accepts ~engine:`Pruned a g ~ids ~universes);
+      qcheck ~count:20 "two-level arbiter: all four engines agree"
+        (arb_graph ~max_nodes:4 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let cegar_s = Game.sigma_accepts ~engine:`Cegar a g ~ids ~universes:bit_universes in
+          let cegar_p = Game.pi_accepts ~engine:`Cegar a g ~ids ~universes:bit_universes in
+          List.for_all
+            (fun e ->
+              cegar_s = Game.sigma_accepts ~engine:e a g ~ids ~universes:bit_universes
+              && cegar_p = Game.pi_accepts ~engine:e a g ~ids ~universes:bit_universes)
+            [ `Exhaustive; `Pruned; `Sat ]);
+      qcheck ~count:25 "robust-2col Σ2 value is exactly 2-COLORABLE"
+        (arb_graph ~max_nodes:5 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+          Game.sigma_accepts ~engine:`Cegar a g ~ids:(global_ids g) ~universes:robust_universes
+          = Properties.two_colorable g);
+      quick "known verdicts survive the cegar engine" (fun () ->
+          List.iter
+            (fun (n, k, expected) ->
+              let g = Generators.cycle n in
+              let a = if k = 2 then v2 () else v3 () in
+              check_bool
+                (Printf.sprintf "C%d %d-colorable" n k)
+                expected
+                (Game.sigma_accepts ~engine:`Cegar a g ~ids:(global_ids g)
+                   ~universes:[ Candidates.color_universe k ]))
+            [ (5, 2, false); (6, 2, true); (5, 3, true) ];
+          List.iter
+            (fun (n, expected) ->
+              let g = Generators.cycle n in
+              let a = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+              check_bool
+                (Printf.sprintf "C%d robust-2col" n)
+                expected
+                (Game.sigma_accepts ~engine:`Cegar a g ~ids:(global_ids g)
+                   ~universes:robust_universes))
+            [ (5, false); (6, true); (11, false); (12, true) ]);
+      quick "cegar winning move on C6 robust-2col survives every challenge" (fun () ->
+          let g = Generators.cycle 6 in
+          let a = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+          let ids = global_ids g in
+          match Game_cegar.instance ~eve_first:true a g ~ids ~universes:robust_universes with
+          | None -> Alcotest.fail "robust game should build"
+          | Some d -> (
+              check_bool "C6 won" true (Game_cegar.value d = Some true);
+              match Game_cegar.winning_move d with
+              | None -> Alcotest.fail "a winning first move should be recorded"
+              | Some w ->
+                  List.iter
+                    (fun (u, v) -> check_bool "claim is a proper colouring" false (w.(u) = w.(v)))
+                    (Graph.edges g);
+                  check_bool "no challenge defeats it" true
+                    (List.for_all
+                       (fun k2 -> a.Arbiter.accepts g ~ids ~certs:[ w; k2 ])
+                       (all_bit_certs 6));
+                  check_bool "proposals counted" true ((Game_cegar.stats d).proposals >= 1)));
+      quick "echo duel takes several refinement rounds and reports them" (fun () ->
+          let g = Generators.path 3 in
+          let a = Arbiter.of_local_algo ~id_radius:1 echo_verifier in
+          let ids = global_ids g in
+          (match Game_cegar.instance ~eve_first:true a g ~ids ~universes:bit_universes with
+          | None -> Alcotest.fail "echo game should build"
+          | Some d ->
+              check_bool "sigma2 echo is false" true (Game_cegar.value d = Some false);
+              let s = Game_cegar.stats d in
+              check_bool "several rounds" true (s.Game_cegar.iterations >= 2);
+              check_bool "cubes learned" true (s.Game_cegar.cubes >= 1);
+              check_bool "every proposal died" true
+                (s.Game_cegar.refutations = s.Game_cegar.proposals);
+              check_bool "no winner recorded" true (Game_cegar.winning_move d = None);
+              check_bool "proposer solver worked" true
+                ((Game_cegar.proposer_stats d).Sat_solver.decisions > 0));
+          check_bool "pi2 echo is true" true
+            (Game.pi_accepts ~engine:`Cegar a g ~ids ~universes:bit_universes));
+      qcheck ~count:10 "blocking cubes only bar defeated proposals"
+        (arb_graph ~max_nodes:3 ())
+        (fun g ->
+          let a = Arbiter.of_local_algo ~id_radius:2 two_level_verifier in
+          let ids = global_ids g in
+          let replies = all_bit_certs (Graph.card g) in
+          List.for_all
+            (fun eve_first ->
+              match Game_cegar.instance ~eve_first a g ~ids ~universes:bit_universes with
+              | None -> false
+              | Some d ->
+                  ignore (Game_cegar.value d);
+                  List.for_all
+                    (fun (level, cube) ->
+                      level <> 0
+                      || List.for_all
+                           (fun k1 ->
+                             List.exists (fun (u, c) -> k1.(u) <> c) cube
+                             ||
+                             (* the cube only bars proposals the opponent
+                                really defeats *)
+                             let accepts k2 = a.Arbiter.accepts g ~ids ~certs:[ k1; k2 ] in
+                             if eve_first then List.exists (fun k2 -> not (accepts k2)) replies
+                             else List.exists accepts replies)
+                           replies)
+                    (Game_cegar.cubes d))
+            [ true; false ]);
+      quick "LPH_CEGAR_MAX_ITERS caps the duel and the engine falls back" (fun () ->
+          with_env "LPH_CEGAR_MAX_ITERS" "1" (fun () ->
+              let g = Generators.path 3 in
+              let a = Arbiter.of_local_algo ~id_radius:1 echo_verifier in
+              let ids = global_ids g in
+              check_bool "duel reports don't know" true
+                (Game_cegar.solve ~eve_first:true a g ~ids ~universes:bit_universes = None);
+              check_bool "engine verdict still correct via fallback" false
+                (Game.sigma_accepts ~engine:`Cegar a g ~ids ~universes:bit_universes));
+          match
+            with_env "LPH_CEGAR_MAX_ITERS" "zero" (fun () ->
+                let g = Generators.path 3 in
+                let a = Arbiter.of_local_algo ~id_radius:1 echo_verifier in
+                Game.sigma_accepts ~engine:`Cegar a g ~ids:(global_ids g)
+                  ~universes:bit_universes)
+          with
+          | _ -> Alcotest.fail "expected Invalid_argument"
+          | exception Invalid_argument _ -> ());
+      quick "over-budget compiles make cegar fall back" (fun () ->
+          with_env "LPH_SAT_BUDGET" "1" (fun () ->
+              let g5 = Generators.cycle 5 and g6 = Generators.cycle 6 in
+              let a = Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier in
+              check_bool "compile refused" true
+                (Game_cegar.solve ~eve_first:true a g5 ~ids:(global_ids g5)
+                   ~universes:robust_universes
+                = None);
+              check_bool "C5 verdict via the fallback ladder" false
+                (Game.sigma_accepts ~engine:`Cegar a g5 ~ids:(global_ids g5)
+                   ~universes:robust_universes);
+              check_bool "C6 verdict via the fallback ladder" true
+                (Game.sigma_accepts ~engine:`Cegar a g6 ~ids:(global_ids g6)
+                   ~universes:robust_universes)));
+      quick "cegar sweeps are deterministic in the job count" (fun () ->
+          let saved = Sys.getenv_opt "LPH_JOBS" in
+          let with_jobs j f =
+            Unix.putenv "LPH_JOBS" j;
+            let y = f () in
+            Unix.putenv "LPH_JOBS" (match saved with Some s -> s | None -> "2");
+            y
+          in
+          let sweep () = Separations.sigma2_game_sweep ~engine:`Cegar [ 3; 5 ] in
+          let r1 = with_jobs "1" sweep in
+          let r4 = with_jobs "4" sweep in
+          check_bool "identical across pool sizes" true (r1 = r4);
+          List.iter
+            (fun (n, outcome) ->
+              check_bool
+                (Printf.sprintf "n=%d separation" n)
+                true
+                (outcome = (false, false, true, true)))
+            r4);
     ] )
 
 let witness_suite =
@@ -409,6 +600,7 @@ let suites =
   [
     engine_equivalence;
     sat_suite;
+    cegar_suite;
     witness_suite;
     neighborhood_suite;
     parallel_suite;
