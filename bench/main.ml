@@ -14,6 +14,8 @@ open Lph_core
 
 let smoke = ref false
 
+let scale_smoke = ref false
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -41,6 +43,12 @@ let engine_entries : engine_entry list ref = ref []
 (* workload, no-plan ms, installed-zero-rate-plan ms, relative overhead *)
 let faults_entries : (string * float * float * float) list ref = ref []
 
+(* family, operation, nodes, wall-clock ms for one run *)
+let scaling_entries : (string * string * int * float) list ref = ref []
+
+(* nodes, ball seed/csr ms, induced seed/csr ms — the seed-core comparison *)
+let seed_cmp : (int * float * float * float * float) option ref = ref None
+
 let timed label f =
   let t0 = Unix.gettimeofday () in
   f ();
@@ -66,7 +74,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-5\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-6\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -96,7 +104,24 @@ let write_bench_json path =
         (json_escape workload) off_ms noop_ms overhead
         (if i = List.length fentries - 1 then "" else ","))
     fentries;
-  out "  ],\n  \"bechamel_ns_per_run\": {\n";
+  out "  ],\n  \"scaling\": [\n";
+  let sentries = List.rev !scaling_entries in
+  List.iteri
+    (fun i (family, op, nodes, ms) ->
+      out "    {\"family\": \"%s\", \"op\": \"%s\", \"nodes\": %d, \"ms\": %.6f}%s\n"
+        (json_escape family) (json_escape op) nodes ms
+        (if i = List.length sentries - 1 then "" else ","))
+    sentries;
+  (match !seed_cmp with
+  | None -> out "  ],\n  \"seed_comparison\": null,\n"
+  | Some (nodes, ball_seed, ball_csr, ind_seed, ind_csr) ->
+      out
+        "  ],\n\
+        \  \"seed_comparison\": {\"nodes\": %d, \"ball_seed_ms\": %.6f, \"ball_csr_ms\": %.6f, \
+         \"ball_speedup\": %.1f, \"induced_seed_ms\": %.6f, \"induced_csr_ms\": %.6f, \
+         \"induced_speedup\": %.1f},\n"
+        nodes ball_seed ball_csr (ball_seed /. ball_csr) ind_seed ind_csr (ind_seed /. ind_csr));
+  out "  \"bechamel_ns_per_run\": {\n";
   let rows = List.sort compare !bechamel_rows in
   List.iteri
     (fun i (name, ns) ->
@@ -189,6 +214,62 @@ let regression_gate baseline_path =
               end)
         baseline;
       if !ok then row "[gate] no shared Bechamel entry regressed > 2x vs %s\n" baseline_path;
+      !ok
+
+(* Same line-based discipline for the [scaling] array: one entry per
+   line, emitted by this harness. Baselines older than schema 6 have no
+   such section; [None] then, and the gate passes vacuously. *)
+let read_baseline_scaling path =
+  try
+    let ic = open_in path in
+    let entries = ref [] in
+    let in_section = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if !in_section then begin
+           if String.length line > 0 && line.[0] = ']' then raise Exit;
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           try
+             Scanf.sscanf line "{\"family\": %S, \"op\": %S, \"nodes\": %d, \"ms\": %f}"
+               (fun family op nodes ms -> entries := ((family, op, nodes), ms) :: !entries)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         end
+         else if line = "\"scaling\": [" then in_section := true
+       done
+     with End_of_file | Exit -> ());
+    close_in ic;
+    if !in_section then Some (List.rev !entries) else None
+  with Sys_error _ -> None
+
+(* Fail if a scaling row shared with the baseline runs more than 2x
+   slower AND more than 25ms slower in absolute terms (sub-ms rows
+   jitter far beyond 2x under CI load). *)
+let scaling_gate baseline_path =
+  match read_baseline_scaling baseline_path with
+  | None ->
+      row "[gate] baseline %s has no scaling section; check activates next rotation\n" baseline_path;
+      true
+  | Some baseline ->
+      let ok = ref true in
+      List.iter
+        (fun ((family, op, nodes) as key, old_ms) ->
+          match
+            List.find_opt (fun (f, o, n, _) -> (f, o, n) = key) !scaling_entries
+          with
+          | None -> ()
+          | Some (_, _, _, new_ms) ->
+              if new_ms > 2.0 *. old_ms && new_ms -. old_ms > 25. then begin
+                ok := false;
+                row "[gate] REGRESSION scaling %s/%s n=%d: %.2f ms vs baseline %.2f ms (> 2x)\n"
+                  family op nodes new_ms old_ms
+              end)
+        baseline;
+      if !ok then row "[gate] no shared scaling row regressed > 2x vs %s\n" baseline_path;
       !ok
 
 let rand_graphs ~count ~max_nodes ~extra seed =
@@ -965,6 +1046,194 @@ let exp_scaling () =
       ignore (Cook_levin.reduce Graph_formulas.all_selected g ~ids))
 
 (* ------------------------------------------------------------------ *)
+(* Large-instance scaling curves: the CSR core at 10^3..10^6 nodes.    *)
+
+(* The seed's list-based graph core, reconstructed for comparison:
+   adjacency lists, a full BFS distance row per ball query, induced
+   subgraphs by filtering the global edge list. The comparison prices
+   what the CSR core and truncated-BFS balls replaced. *)
+module Seed_core = struct
+  type t = { n : int; adj : int list array; edge_list : (int * int) list }
+
+  let of_graph g =
+    let n = Graph.card g in
+    let edge_list = Graph.edges g in
+    let adj = Array.make n [] in
+    List.iter
+      (fun (u, v) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      edge_list;
+    Array.iteri (fun u ns -> adj.(u) <- List.sort compare ns) adj;
+    { n; adj; edge_list }
+
+  let ball t ~radius src =
+    let dist = Array.make t.n (-1) in
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        t.adj.(u)
+    done;
+    List.filter (fun v -> dist.(v) >= 0 && dist.(v) <= radius) (List.init t.n Fun.id)
+
+  let induced t members =
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i u -> Hashtbl.replace index u i) members;
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+        | Some i, Some j -> Some (i, j)
+        | _ -> None)
+      t.edge_list
+end
+
+let record_scaling ~family ~op ~nodes ms =
+  scaling_entries := (family, op, nodes, ms) :: !scaling_entries;
+  row "  %-10s %-28s n=%-9d %12.2f ms\n" family op nodes ms
+
+let avg_ms_over k f =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to k - 1 do
+    f i
+  done;
+  (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int k
+
+let exp_scaling_curves () =
+  section "Scaling curves: 10^3-10^6 nodes (CSR core, O(ball) neighbourhoods)";
+  let sizes = if !smoke then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let v2 = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2) in
+  let u2 = [ Candidates.color_universe 2 ] in
+  let sim = Simulate.through_reduction Eulerian_red.reduction ~inner:Candidates.eulerian_decider () in
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 0xace; n |] in
+      let ex = Generators.expander ~rng ~n ~cycles:2 () in
+      let ids_ex = Identifiers.make_global ex in
+      let cyc = Generators.cycle n in
+      let ids_cyc = Identifiers.make_global cyc in
+      let one family op f = record_scaling ~family ~op ~nodes:n (snd (time_once f)) in
+      one "expander" "gather-r2" (fun () -> Gather.collect ~radius:2 ex ~ids:ids_ex ());
+      one "cycle" "eulerian-through-reduction" (fun () -> Runner.run sim cyc ~ids:ids_cyc ());
+      one "cycle" "sigma1-2col-pruned" (fun () ->
+          Game.sigma_accepts ~engine:`Pruned v2 cyc ~ids:ids_cyc ~universes:u2);
+      (* the SAT engine tabulates choices^|ball| rows per node — 8n
+         entries on 2col cycles, past the LPH_SAT_BUDGET cap at 10^5 *)
+      if n <= (if !smoke then 1_000 else 10_000) then
+        one "cycle" "sigma1-2col-sat" (fun () ->
+            Game.sigma_accepts ~engine:`Sat v2 cyc ~ids:ids_cyc ~universes:u2))
+    sizes;
+  (* core operations up to 10^6 nodes; no identifier assignment needed *)
+  let core_sizes = if !smoke then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 0xbee; n |] in
+      let g, build_ms = time_once (fun () -> Generators.expander ~rng ~n ~cycles:2 ()) in
+      record_scaling ~family:"expander" ~op:"construction" ~nodes:n build_ms;
+      let src = Random.State.make [| 0xcab; n |] in
+      record_scaling ~family:"expander" ~op:"ball-r2" ~nodes:n
+        (avg_ms_over 1_000 (fun _ ->
+             ignore (Neighborhood.ball g ~radius:2 (Random.State.int src n))));
+      record_scaling ~family:"expander" ~op:"induced-ball-r2" ~nodes:n
+        (avg_ms_over 200 (fun _ ->
+             let u = Random.State.int src n in
+             ignore (Neighborhood.induced g (Neighborhood.ball g ~radius:2 u)))))
+    core_sizes;
+  (* seed-core comparison at the largest curve size: the per-query cost
+     the list implementation paid on the same graph *)
+  let n = List.fold_left max 0 sizes in
+  let rng = Random.State.make [| 0xdad; n |] in
+  let g = Generators.expander ~rng ~n ~cycles:2 () in
+  let seed = Seed_core.of_graph g in
+  let queries = 20 in
+  let sources seed_int = Random.State.make [| seed_int; n |] in
+  let s = sources 17 in
+  let ball_seed =
+    avg_ms_over queries (fun _ -> ignore (Seed_core.ball seed ~radius:2 (Random.State.int s n)))
+  in
+  let s = sources 18 in
+  let ball_csr =
+    avg_ms_over queries (fun _ -> ignore (Neighborhood.ball g ~radius:2 (Random.State.int s n)))
+  in
+  let s = sources 19 in
+  let ind_seed =
+    avg_ms_over queries (fun _ ->
+        let u = Random.State.int s n in
+        ignore (Seed_core.induced seed (Seed_core.ball seed ~radius:2 u)))
+  in
+  let s = sources 20 in
+  let ind_csr =
+    avg_ms_over queries (fun _ ->
+        let u = Random.State.int s n in
+        ignore (Neighborhood.induced g (Neighborhood.ball g ~radius:2 u)))
+  in
+  seed_cmp := Some (n, ball_seed, ball_csr, ind_seed, ind_csr);
+  row "seed list core vs CSR at n=%d (avg over %d fresh sources):\n" n queries;
+  row "  ball r2     %10.3f ms -> %10.5f ms   %8.0fx\n" ball_seed ball_csr (ball_seed /. ball_csr);
+  row "  induced r2  %10.3f ms -> %10.5f ms   %8.0fx\n" ind_seed ind_csr (ind_seed /. ind_csr)
+
+(* ------------------------------------------------------------------ *)
+(* --scale-smoke: the CI job's 10^5-node workload under a wall cap.    *)
+
+let scale_smoke_run () =
+  let cap =
+    match Sys.getenv_opt "LPH_SCALE_SMOKE_CAP_S" with
+    | Some s when s <> "" -> float_of_string s
+    | _ -> 180.
+  in
+  section "Scale smoke: 10^5-node workload under a wall-clock cap";
+  let t0 = Unix.gettimeofday () in
+  let n = 100_000 in
+  let rng = Random.State.make [| 0xace; n |] in
+  let g, build_ms = time_once (fun () -> Generators.expander ~rng ~n ~cycles:2 ()) in
+  row "  build expander n=%d: %.1f ms\n" n build_ms;
+  let ids = Identifiers.make_global g in
+  let _, gather_ms = time_once (fun () -> Gather.collect ~radius:2 g ~ids ()) in
+  row "  gather r=2: %.1f ms\n" gather_ms;
+  let src = Random.State.make [| 0xbed |] in
+  let _, balls_ms =
+    time_once (fun () ->
+        for _ = 1 to 20_000 do
+          ignore (Neighborhood.ball g ~radius:2 (Random.State.int src n))
+        done)
+  in
+  row "  20000 ball queries r=2: %.1f ms\n" balls_ms;
+  let _, touched_ms =
+    time_once (fun () ->
+        for _ = 1 to 50 do
+          let changed = List.init 100 (fun _ -> Random.State.int src n) in
+          ignore (Neighborhood.touched g ~radius:2 changed)
+        done)
+  in
+  row "  50 touched sweeps over 100 changed nodes: %.1f ms\n" touched_ms;
+  let cyc = Generators.cycle n in
+  let ids_cyc = Identifiers.make_global cyc in
+  let v2 = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2) in
+  let accepted, game_ms =
+    time_once (fun () ->
+        Game.sigma_accepts ~engine:`Pruned v2 cyc ~ids:ids_cyc
+          ~universes:[ Candidates.color_universe 2 ])
+  in
+  row "  sigma1 2col pruned game on C%d: %b in %.1f ms\n" n accepted game_ms;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if not accepted then begin
+    row "[scale-smoke] FAIL: the 2col game rejected an even cycle\n";
+    exit 1
+  end;
+  if elapsed > cap then begin
+    row "[scale-smoke] FAIL: %.1f s exceeds the %.0f s cap\n" elapsed cap;
+    exit 1
+  end;
+  row "[scale-smoke] OK: %.1f s (cap %.0f s)\n" elapsed cap
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let bechamel_suite () =
@@ -1083,9 +1352,18 @@ let bechamel_suite () =
 
 let () =
   Arg.parse
-    [ ("--smoke", Arg.Set smoke, "small instances and short quotas (CI smoke run)") ]
+    [
+      ("--smoke", Arg.Set smoke, "small instances and short quotas (CI smoke run)");
+      ( "--scale-smoke",
+        Arg.Set scale_smoke,
+        "only the 10^5-node workload under a wall-clock cap (CI scale job)" );
+    ]
     (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
-    "usage: main.exe [--smoke]";
+    "usage: main.exe [--smoke | --scale-smoke]";
+  if !scale_smoke then begin
+    scale_smoke_run ();
+    exit 0
+  end;
   print_endline "A LOCAL View of the Polynomial Hierarchy — experiment harness";
   print_endline "(paper: Reiter, PODC 2024; see DESIGN.md E1-E16 and EXPERIMENTS.md)";
   if !smoke then print_endline "[smoke mode: reduced instance sizes and quotas]";
@@ -1108,10 +1386,15 @@ let () =
   timed "engine-comparison" exp_engine;
   timed "faults-overhead" exp_faults_overhead;
   timed "scaling" exp_scaling;
+  timed "scaling-curves" exp_scaling_curves;
   timed "bechamel" bechamel_suite;
   let baseline = newest_bench () in
   let report = Printf.sprintf "BENCH_%d.json" (baseline + 1) in
   write_bench_json report;
   Printf.printf "\nAll experiments completed; measurements written to %s.\n" report;
-  if !smoke && baseline > 0 && not (regression_gate (Printf.sprintf "BENCH_%d.json" baseline)) then
-    exit 1
+  if !smoke && baseline > 0 then begin
+    let base = Printf.sprintf "BENCH_%d.json" baseline in
+    let bechamel_ok = regression_gate base in
+    let scaling_ok = scaling_gate base in
+    if not (bechamel_ok && scaling_ok) then exit 1
+  end

@@ -166,7 +166,13 @@ let check_sample ~radius (a : Arbiter.t) ~graph_index { graph = g; certs } =
           (fun (v, w) ->
             if !violation = None then begin
               let extended =
-                G.make ~labels:(Array.init n (G.label g)) ~edges:((v, w) :: G.edges g)
+                let m = G.num_edges g in
+                let packed = Array.make (m + 1) (v, w) in
+                let k = ref 0 in
+                G.iter_edges g (fun a b ->
+                    packed.(!k) <- (a, b);
+                    incr k);
+                G.of_edge_array ~labels:(Array.init n (G.label g)) ~edges:packed
               in
               if (f extended ~ids ~certs).(node) <> whole.(node) then
                 record node

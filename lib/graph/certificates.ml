@@ -30,7 +30,8 @@ let max_length_row g ~ids b =
 let max_length g ~ids b u = (max_length_row g ~ids b).(u)
 
 let is_bounded g ~ids b certs =
-  List.for_all (fun u -> String.length certs.(u) <= max_length g ~ids b u) (G.nodes g)
+  let row = max_length_row g ~ids b in
+  G.fold_nodes g ~init:true ~f:(fun acc u -> acc && String.length certs.(u) <= row.(u))
 
 let list_assignment = function
   | [] -> invalid_arg "Certificates.list_assignment: empty list"

@@ -8,73 +8,288 @@ let default_labels n = function
 
 let path ?labels n =
   let labels = default_labels n labels in
-  G.make ~labels ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  G.of_edge_array ~labels ~edges:(Array.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
 
 let cycle ?labels n =
   if n < 3 then raise (G.Invalid "generators: cycle needs at least 3 nodes");
   let labels = default_labels n labels in
-  let edges = (n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)) in
-  G.make ~labels ~edges
+  G.of_edge_array ~labels ~edges:(Array.init n (fun i -> (i, (i + 1) mod n)))
 
 let complete ?labels n =
   let labels = default_labels n labels in
-  let edges = ref [] in
+  let edges = Array.make (n * (n - 1) / 2) (0, 0) in
+  let k = ref 0 in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      edges := (u, v) :: !edges
+      edges.(!k) <- (u, v);
+      incr k
     done
   done;
-  G.make ~labels ~edges:!edges
+  G.of_edge_array ~labels ~edges
 
 let star ?labels n =
   let labels = default_labels n labels in
-  G.make ~labels ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+  G.of_edge_array ~labels ~edges:(Array.init (n - 1) (fun i -> (0, i + 1)))
 
 let grid ?(label = "1") ~rows ~cols () =
   if rows < 1 || cols < 1 then raise (G.Invalid "generators: empty grid");
   let labels = Array.make (rows * cols) label in
   let idx i j = (i * cols) + j in
-  let edges = ref [] in
+  let edges = Array.make ((rows * (cols - 1)) + ((rows - 1) * cols)) (0, 0) in
+  let k = ref 0 in
+  let push e =
+    edges.(!k) <- e;
+    incr k
+  in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      if j + 1 < cols then edges := (idx i j, idx i (j + 1)) :: !edges;
-      if i + 1 < rows then edges := (idx i j, idx (i + 1) j) :: !edges
+      if j + 1 < cols then push (idx i j, idx i (j + 1));
+      if i + 1 < rows then push (idx i j, idx (i + 1) j)
     done
   done;
-  G.make ~labels ~edges:!edges
+  G.of_edge_array ~labels ~edges
+
+let torus ?(label = "1") ~rows ~cols () =
+  (* wraparound in a dimension of size 2 would duplicate the grid edge,
+     and size 1 would be a self-loop: both dimensions need >= 3 *)
+  if rows < 3 || cols < 3 then raise (G.Invalid "generators: torus needs rows, cols >= 3");
+  let labels = Array.make (rows * cols) label in
+  let idx i j = (i * cols) + j in
+  (* every node owns its right and down edge: exactly 2*rows*cols edges,
+     4-regular *)
+  let edges = Array.make (2 * rows * cols) (0, 0) in
+  let k = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      edges.(!k) <- (idx i j, idx i ((j + 1) mod cols));
+      edges.(!k + 1) <- (idx i j, idx ((i + 1) mod rows) j);
+      k := !k + 2
+    done
+  done;
+  G.of_edge_array ~labels ~edges
 
 let balanced_binary_tree ?(label = "1") ~depth () =
   if depth < 0 then raise (G.Invalid "generators: negative depth");
   let n = (1 lsl (depth + 1)) - 1 in
   let labels = Array.make n label in
-  let edges = ref [] in
-  for u = 1 to n - 1 do
-    edges := ((u - 1) / 2, u) :: !edges
-  done;
-  G.make ~labels ~edges:!edges
+  G.of_edge_array ~labels ~edges:(Array.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1)))
 
 let random_bitstring rng bits = String.init bits (fun _ -> if Random.State.bool rng then '1' else '0')
 
+(* A canonical-pair set on a Hashtbl: the duplicate check generators
+   need while accumulating random edges. Keys are packed as u * n + v
+   with u < v, so membership is O(1) — the seed's [List.mem] over the
+   accumulated edge list made every random family O(E^2). *)
+module Edge_set = struct
+  type t = { n : int; tbl : (int, unit) Hashtbl.t; mutable edges : (int * int) list; mutable count : int }
+
+  let create ~n ~hint = { n; tbl = Hashtbl.create hint; edges = []; count = 0 }
+
+  let key t u v = if u < v then (u * t.n) + v else (v * t.n) + u
+
+  (* returns whether the edge was new *)
+  let add t u v =
+    let k = key t u v in
+    if u = v || Hashtbl.mem t.tbl k then false
+    else begin
+      Hashtbl.replace t.tbl k ();
+      t.edges <- (min u v, max u v) :: t.edges;
+      t.count <- t.count + 1;
+      true
+    end
+
+  let to_array t =
+    let arr = Array.make t.count (0, 0) in
+    List.iteri (fun i e -> arr.(i) <- e) t.edges;
+    arr
+end
+
 let random_connected ~rng ~n ~extra_edges ?(label_bits = 1) () =
   if n < 1 then raise (G.Invalid "generators: empty graph");
+  let es = Edge_set.create ~n ~hint:(n + extra_edges) in
   (* random spanning tree: attach each node to a random earlier node *)
-  let edges = ref [] in
   for u = 1 to n - 1 do
-    edges := (Random.State.int rng u, u) :: !edges
+    ignore (Edge_set.add es (Random.State.int rng u) u)
   done;
-  let has (u, v) = List.mem (min u v, max u v) !edges in
   let added = ref 0 in
   let attempts = ref 0 in
   while !added < extra_edges && !attempts < 50 * (extra_edges + 1) do
     incr attempts;
     let u = Random.State.int rng n and v = Random.State.int rng n in
-    if u <> v && not (has (min u v, max u v)) then begin
-      edges := (min u v, max u v) :: !edges;
-      incr added
+    if Edge_set.add es u v then incr added
+  done;
+  let labels = Array.init n (fun _ -> random_bitstring rng label_bits) in
+  G.of_edge_array ~labels ~edges:(Edge_set.to_array es)
+
+(* Erdős–Rényi G(n, p), kept connected by rewiring: edges are sampled
+   with geometric gap-skipping over the lexicographic pair order (O(m)
+   work, never O(n^2)), then every non-root component is stitched to an
+   already-connected node — one bridge per missing component, the
+   standard "connected rewiring" repair that perturbs the degree
+   distribution by at most 1 per component. *)
+let erdos_renyi ~rng ~n ~p ?(label_bits = 1) () =
+  if n < 1 then raise (G.Invalid "generators: empty graph");
+  if not (p >= 0. && p <= 1.) then raise (G.Invalid "generators: p must be in [0, 1]");
+  let total = n * (n - 1) / 2 in
+  let expected = int_of_float (p *. float_of_int total) in
+  let es = Edge_set.create ~n ~hint:(expected + n) in
+  (* pair index k in [0, total) -> (u, v) in lexicographic order; the
+     indices visited are strictly increasing, so the row cursor
+     advances monotonically — O(m + n) for the whole sweep *)
+  if p > 0. then begin
+    let log1mp = log (1. -. p) in
+    let k = ref (-1) in
+    let u = ref 0 in
+    let off = ref 0 in
+    (try
+       while true do
+         let r = Random.State.float rng 1.0 in
+         let skip =
+           if p >= 1. then 1
+           else 1 + int_of_float (floor (log (1. -. r) /. log1mp))
+         in
+         k := !k + skip;
+         if !k >= total then raise Exit;
+         while !off + (n - 1 - !u) <= !k do
+           off := !off + (n - 1 - !u);
+           incr u
+         done;
+         ignore (Edge_set.add es !u (!u + 1 + (!k - !off)))
+       done
+     with Exit -> ())
+  end;
+  (* connected rewiring: BFS from 0 over the sampled adjacency; every
+     node found unreachable is bridged to a uniformly random reached
+     node the moment it is discovered *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    es.Edge_set.edges;
+  let seen = Array.make n false in
+  let reached = Array.make n 0 in
+  let reached_count = ref 0 in
+  let queue = Queue.create () in
+  let visit_from root =
+    seen.(root) <- true;
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      reached.(!reached_count) <- u;
+      incr reached_count;
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done
+  in
+  visit_from 0;
+  for u = 1 to n - 1 do
+    if not seen.(u) then begin
+      let anchor = reached.(Random.State.int rng !reached_count) in
+      ignore (Edge_set.add es anchor u);
+      adj.(u) <- anchor :: adj.(u);
+      visit_from u
     end
   done;
   let labels = Array.init n (fun _ -> random_bitstring rng label_bits) in
-  G.make ~labels ~edges:!edges
+  G.of_edge_array ~labels ~edges:(Edge_set.to_array es)
+
+(* Power-law family by preferential attachment (Barabási–Albert): each
+   new node attaches [attach] distinct edges to existing nodes sampled
+   proportionally to degree, via the repeated-endpoint array (each edge
+   endpoint appears once per incident edge, so a uniform draw from the
+   array is a degree-proportional draw). Connected by construction. *)
+let preferential_attachment ~rng ~n ~attach ?(label_bits = 1) () =
+  if n < 1 then raise (G.Invalid "generators: empty graph");
+  if attach < 1 then raise (G.Invalid "generators: attach must be >= 1");
+  let m0 = min n (attach + 1) in
+  let es = Edge_set.create ~n ~hint:(n * attach) in
+  (* seed: a path on the first m0 nodes (connected, minimal bias) *)
+  for u = 1 to m0 - 1 do
+    ignore (Edge_set.add es (u - 1) u)
+  done;
+  let endpoints = ref (Array.make (max 16 (4 * n * attach / 2)) 0) in
+  let ep_count = ref 0 in
+  let push_endpoint u =
+    if !ep_count >= Array.length !endpoints then begin
+      let bigger = Array.make (2 * Array.length !endpoints) 0 in
+      Array.blit !endpoints 0 bigger 0 !ep_count;
+      endpoints := bigger
+    end;
+    !endpoints.(!ep_count) <- u;
+    incr ep_count
+  in
+  List.iter
+    (fun (u, v) ->
+      push_endpoint u;
+      push_endpoint v)
+    es.Edge_set.edges;
+  for u = m0 to n - 1 do
+    let wanted = min attach u in
+    let got = ref 0 in
+    let guard = ref 0 in
+    while !got < wanted && !guard < 50 * (wanted + 1) do
+      incr guard;
+      let v = !endpoints.(Random.State.int rng !ep_count) in
+      if Edge_set.add es u v then begin
+        push_endpoint u;
+        push_endpoint v;
+        incr got
+      end
+    done;
+    (* pathological rejection streak (tiny graphs): fall back to the
+       lowest-index nodes not yet adjacent *)
+    let v = ref 0 in
+    while !got < wanted && !v < u do
+      if Edge_set.add es u !v then begin
+        push_endpoint u;
+        push_endpoint !v;
+        incr got
+      end;
+      incr v
+    done
+  done;
+  let labels = Array.init n (fun _ -> random_bitstring rng label_bits) in
+  G.of_edge_array ~labels ~edges:(Edge_set.to_array es)
+
+(* Bounded-degree expander: the union of [cycles] independent random
+   Hamiltonian cycles (a random permutation each). Max degree 2*cycles;
+   connectivity is guaranteed by any single cycle; random
+   permutation-cycle unions are expanders with high probability
+   (the standard configuration-style construction). *)
+let expander ~rng ~n ~cycles ?(label_bits = 1) () =
+  if n < 3 then raise (G.Invalid "generators: expander needs at least 3 nodes");
+  if cycles < 1 then raise (G.Invalid "generators: cycles must be >= 1");
+  let es = Edge_set.create ~n ~hint:(n * cycles) in
+  let perm = Array.init n Fun.id in
+  for c = 0 to cycles - 1 do
+    if c = 0 then
+      (* the identity cycle guarantees connectivity deterministically *)
+      for i = 0 to n - 1 do
+        ignore (Edge_set.add es i ((i + 1) mod n))
+      done
+    else begin
+      (* Fisher–Yates, then the cycle through the shuffled order;
+         collisions with earlier cycles are skipped (degree only
+         drops below 2*cycles, never above) *)
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      for i = 0 to n - 1 do
+        ignore (Edge_set.add es perm.(i) perm.((i + 1) mod n))
+      done
+    end
+  done;
+  let labels = Array.init n (fun _ -> random_bitstring rng label_bits) in
+  G.of_edge_array ~labels ~edges:(Edge_set.to_array es)
 
 let random_labels ~rng ~bits g =
   G.map_labels (fun _ _ -> random_bitstring rng bits) g

@@ -16,6 +16,11 @@ val star : ?labels:string array -> int -> Labeled_graph.t
 val grid : ?label:string -> rows:int -> cols:int -> unit -> Labeled_graph.t
 (** [rows × cols] grid; node [(i, j)] has index [i * cols + j]. *)
 
+val torus : ?label:string -> rows:int -> cols:int -> unit -> Labeled_graph.t
+(** The [rows × cols] grid with wraparound in both dimensions: 4-regular,
+    diameter [(rows + cols) / 2]. Requires [rows, cols >= 3] (smaller
+    wraparounds degenerate into duplicate edges or self-loops). *)
+
 val balanced_binary_tree : ?label:string -> depth:int -> unit -> Labeled_graph.t
 
 val random_connected :
@@ -23,6 +28,29 @@ val random_connected :
 (** A random spanning tree plus [extra_edges] random additional edges;
     labels are uniform random bit strings of length [label_bits]
     (default 1). *)
+
+val erdos_renyi :
+  rng:Random.State.t -> n:int -> p:float -> ?label_bits:int -> unit -> Labeled_graph.t
+(** G(n, p) with connected rewiring: each pair is an edge independently
+    with probability [p] (sampled by geometric gap-skipping, O(m) not
+    O(n^2)), then every component left disconnected is bridged to a
+    uniformly random already-reached node — at most one extra edge per
+    component. *)
+
+val preferential_attachment :
+  rng:Random.State.t -> n:int -> attach:int -> ?label_bits:int -> unit -> Labeled_graph.t
+(** Power-law (Barabási–Albert) family: nodes arrive one at a time and
+    attach [attach] distinct edges to existing nodes with probability
+    proportional to degree. Connected by construction; degree
+    distribution has a heavy tail (hubs), exercising the CSR core's
+    non-uniform rows. *)
+
+val expander :
+  rng:Random.State.t -> n:int -> cycles:int -> ?label_bits:int -> unit -> Labeled_graph.t
+(** Bounded-degree expander: the union of [cycles] Hamiltonian cycles
+    (the identity cycle, then [cycles - 1] uniformly random ones). Max
+    degree [2 * cycles]; connected deterministically; an expander with
+    high probability for [cycles >= 2]. Requires [n >= 3]. *)
 
 val random_labels : rng:Random.State.t -> bits:int -> Labeled_graph.t -> Labeled_graph.t
 (** Replace each label with a fresh uniform bit string of the given

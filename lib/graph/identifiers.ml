@@ -14,13 +14,14 @@ let ceil_log2 n =
   end
 
 let conflict_pairs g ~radius =
-  (* nodes within distance 2*radius of each other *)
+  (* nodes within distance 2*radius of each other: each node's
+     2r-ball from truncated BFS, so the sweep is O(sum of |ball|),
+     never O(n^2) full distance rows *)
   let pairs = ref [] in
-  List.iter
-    (fun u ->
-      let dist = Neighborhood.distances g u in
-      List.iter (fun v -> if v > u && dist.(v) <= 2 * radius then pairs := (u, v) :: !pairs) (G.nodes g))
-    (G.nodes g);
+  G.iter_nodes g (fun u ->
+      List.iter
+        (fun (v, _) -> if v > u then pairs := (u, v) :: !pairs)
+        (Neighborhood.ball_distances g ~radius:(2 * radius) u));
   !pairs
 
 let is_locally_unique g ~radius ids =

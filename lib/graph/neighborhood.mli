@@ -4,7 +4,14 @@
 
     Distance rows and balls are memoised per graph (graphs are immutable
     after {!Labeled_graph.make}); the memo is weakly keyed, safe to use
-    from parallel domains, and transparent to callers. *)
+    from parallel domains, and transparent to callers.
+
+    Two regimes, split at [LPH_FULL_ROW_MAX] (default 8192) nodes: small
+    graphs cache one full BFS distance row per source; large graphs
+    never materialise O(n) rows — balls come from truncated BFS that
+    explores only the r-ball (O(sum of ball degrees) per query), cached
+    in shard tables keyed by the source's graph segment, each shard
+    behind its own mutex. *)
 
 val distances : Labeled_graph.t -> int -> int array
 (** BFS distances from a node; unreachable is impossible (graphs are
@@ -17,7 +24,14 @@ val distance : Labeled_graph.t -> int -> int -> int
     target is reached instead of exploring the whole graph. *)
 
 val ball : Labeled_graph.t -> radius:int -> int -> int list
-(** Nodes at distance [<= radius], sorted by node index. *)
+(** Nodes at distance [<= radius], sorted by node index. Costs
+    O(ball) via truncated BFS, never a full-graph sweep. *)
+
+val ball_distances : Labeled_graph.t -> radius:int -> int -> (int * int) list
+(** The ball with each member's distance from the source:
+    [(v, dist(u, v))] sorted by node index. Same truncated-BFS cost as
+    {!ball}; use it when the caller would otherwise re-derive distances
+    from a full row. *)
 
 val touched : Labeled_graph.t -> radius:int -> int list -> int list
 (** [touched g ~radius changed]: the nodes whose radius-[radius] ball

@@ -66,12 +66,12 @@ let node_elements r u =
   u :: List.init len (fun i -> r.bit_offset.(u) + i)
 
 let card g =
-  G.card g + List.fold_left (fun acc u -> acc + String.length (G.label g u)) 0 (G.nodes g)
+  G.fold_nodes g ~init:(G.card g) ~f:(fun acc u -> acc + String.length (G.label g u))
 
 let structural_degree g u = G.degree g u + String.length (G.label g u)
 
 let max_structural_degree g =
-  List.fold_left (fun acc u -> max acc (structural_degree g u)) 0 (G.nodes g)
+  G.fold_nodes g ~init:0 ~f:(fun acc u -> max acc (structural_degree g u))
 
 let in_graph_delta g delta =
-  List.for_all (fun u -> structural_degree g u <= delta) (G.nodes g)
+  G.fold_nodes g ~init:true ~f:(fun acc u -> acc && structural_degree g u <= delta)

@@ -81,8 +81,19 @@ let make_checker ~locality ~verdicts =
               let ind = N.r_neighbourhood g ~radius:eval_radius u in
               let m = G.card ind.N.subgraph in
               let sub_ids = Array.init m (fun i -> ids.(ind.N.of_sub i)) in
-              let drow = N.distances g u in
-              let keep = Array.init m (fun i -> drow.(ind.N.of_sub i) <= r) in
+              (* distances from the truncated BFS, not a full row: the
+                 whole hood must stay O(ball) or solvers iterating it
+                 over every node degrade to O(n^2) *)
+              let dist_tbl = Hashtbl.create 16 in
+              List.iter
+                (fun (v, d) -> Hashtbl.replace dist_tbl v d)
+                (N.ball_distances g ~radius:eval_radius u);
+              let within i =
+                match Hashtbl.find_opt dist_tbl (ind.N.of_sub i) with
+                | Some d -> d <= r
+                | None -> false
+              in
+              let keep = Array.init m within in
               let members = N.ball g ~radius:r u in
               let centre =
                 match ind.N.to_sub u with Some c -> c | None -> assert false

@@ -12,15 +12,16 @@ type t = {
 let node_in_domain t g u =
   G.degree g u <= t.max_degree && String.length (G.label g u) <= t.max_label_len
 
-let in_domain t g = List.for_all (node_in_domain t g) (G.nodes g)
+let in_domain t g = G.fold_nodes g ~init:true ~f:(fun acc u -> acc && node_in_domain t g u)
 
 let holds t g =
   in_domain t g
-  && List.for_all
-       (fun u ->
-         t.allowed ~centre:(G.label g u)
-           ~neighbours:(List.sort compare (List.map (G.label g) (G.neighbours g u))))
-       (G.nodes g)
+  && G.fold_nodes g ~init:true ~f:(fun acc u ->
+         acc
+         && t.allowed ~centre:(G.label g u)
+              ~neighbours:
+                (List.sort compare
+                   (G.fold_neighbours g u ~init:[] ~f:(fun ls v -> G.label g v :: ls))))
 
 let decider t =
   Gather.algo ~name:("lcl-" ^ t.name) ~radius:1 ~levels:0 ~decide:(fun ctx ball ->

@@ -6,9 +6,9 @@ let not_all_selected g = not (all_selected g)
 
 let constant_labelling g =
   let l0 = G.label g 0 in
-  List.for_all (fun u -> G.label g u = l0) (G.nodes g)
+  G.fold_nodes g ~init:true ~f:(fun acc u -> acc && G.label g u = l0)
 
-let eulerian g = List.for_all (fun u -> G.degree g u mod 2 = 0) (G.nodes g)
+let eulerian g = G.fold_nodes g ~init:true ~f:(fun acc u -> acc && G.degree g u mod 2 = 0)
 
 let find_hamiltonian_cycle g =
   let n = G.card g in
@@ -74,22 +74,24 @@ let find_k_coloring k g =
 let k_colorable k g = Option.is_some (find_k_coloring k g)
 
 let two_colorable g =
+  (* flat int-array queue + row iteration: bipartiteness on 10^5+ node
+     instances without per-node list allocation *)
   let n = G.card g in
   let color = Array.make n (-1) in
+  let queue = Array.make n 0 in
   color.(0) <- 0;
-  let queue = Queue.create () in
-  Queue.add 0 queue;
+  let head = ref 0 and tail = ref 1 in
   let ok = ref true in
-  while !ok && not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    List.iter
-      (fun v ->
+  while !ok && !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    G.neighbours_iter g u (fun v ->
         if color.(v) < 0 then begin
           color.(v) <- 1 - color.(u);
-          Queue.add v queue
+          queue.(!tail) <- v;
+          incr tail
         end
         else if color.(v) = color.(u) then ok := false)
-      (G.neighbours g u)
   done;
   !ok
 

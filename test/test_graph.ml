@@ -262,9 +262,264 @@ let isomorphism_tests =
         Isomorphism.isomorphic g g);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* CSR core vs reference list implementation.
+
+   The reference is the seed's list-based design: adjacency as sorted
+   int lists, distances by Queue-BFS over those lists, balls by
+   filtering a full distance row, induced subgraphs by filtering the
+   global edge list. Both cores are built from the SAME raw edge spec
+   (never from each other's accessors), so any disagreement is a CSR
+   bug, not a circular identity. *)
+
+module Ref_core = struct
+  type t = { labels : string array; adj : int list array; edge_list : (int * int) list }
+
+  let build ~labels ~edges =
+    let n = Array.length labels in
+    let canon (u, v) = if u < v then (u, v) else (v, u) in
+    let edge_list = List.sort_uniq compare (List.map canon edges) in
+    let adj = Array.make n [] in
+    List.iter
+      (fun (u, v) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      edge_list;
+    Array.iteri (fun u ns -> adj.(u) <- List.sort compare ns) adj;
+    { labels; adj; edge_list }
+
+  let card t = Array.length t.labels
+  let neighbours t u = t.adj.(u)
+  let degree t u = List.length t.adj.(u)
+  let has_edge t u v = List.mem v t.adj.(u)
+
+  let distances t src =
+    let dist = Array.make (card t) (-1) in
+    dist.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    dist
+
+  let ball t ~radius u =
+    let dist = distances t u in
+    List.filter (fun v -> dist.(v) >= 0 && dist.(v) <= radius) (List.init (card t) Fun.id)
+
+  (* the seed's induced construction: filter the global edge list *)
+  let induced t nodes =
+    let nodes = List.sort_uniq compare nodes in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i u -> Hashtbl.replace index u i) nodes;
+    let labels = Array.of_list (List.map (fun u -> t.labels.(u)) nodes) in
+    let edges =
+      List.filter_map
+        (fun (u, v) ->
+          match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+          | Some i, Some j -> Some (i, j)
+          | _ -> None)
+        t.edge_list
+    in
+    Graph.make ~labels ~edges
+end
+
+(* a raw connected edge spec: spanning tree + random extras, built with
+   plain code so neither core is derived from the other *)
+let gen_spec ?(max_nodes = 24) () =
+  QCheck.Gen.(
+    int_range 1 max_nodes >>= fun n ->
+    int_range 0 n >>= fun extra ->
+    int_bound 1_000_000 >>= fun seed ->
+    let rng = Random.State.make [| seed; 7 |] in
+    let seen = Hashtbl.create 16 in
+    let edges = ref [] in
+    let add u v =
+      let k = (min u v * n) + max u v in
+      if u <> v && not (Hashtbl.mem seen k) then begin
+        Hashtbl.replace seen k ();
+        edges := (u, v) :: !edges
+      end
+    in
+    for u = 1 to n - 1 do
+      add (Random.State.int rng u) u
+    done;
+    for _ = 1 to extra do
+      add (Random.State.int rng n) (Random.State.int rng n)
+    done;
+    let labels = Array.init n (fun _ -> if Random.State.bool rng then "1" else "0") in
+    return (labels, !edges))
+
+let arb_spec ?max_nodes () =
+  QCheck.make
+    ~print:(fun (labels, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" (Array.length labels)
+        (String.concat "; " (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    (gen_spec ?max_nodes ())
+
+let both_cores (labels, edges) =
+  (Graph.make ~labels ~edges, Ref_core.build ~labels ~edges)
+
+let equivalence_tests =
+  [
+    qcheck "neighbours, degree agree" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        List.for_all
+          (fun u ->
+            Graph.neighbours g u = Ref_core.neighbours r u
+            && Graph.degree g u = Ref_core.degree r u)
+          (Graph.nodes g));
+    qcheck "has_edge agrees on all pairs" (arb_spec ~max_nodes:12 ()) (fun spec ->
+        let g, r = both_cores spec in
+        let n = Graph.card g in
+        List.for_all
+          (fun u ->
+            List.for_all (fun v -> Graph.has_edge g u v = Ref_core.has_edge r u v) (List.init n Fun.id))
+          (List.init n Fun.id));
+    qcheck "edge list is canonical and identical" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        Graph.edges g = r.Ref_core.edge_list
+        && Graph.num_edges g = List.length r.Ref_core.edge_list);
+    qcheck "iter_edges enumerates exactly the edge list" (arb_spec ()) (fun spec ->
+        let g, _ = both_cores spec in
+        let acc = ref [] in
+        Graph.iter_edges g (fun u v -> acc := (u, v) :: !acc);
+        List.rev !acc = Graph.edges g);
+    qcheck "distance rows agree" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        List.for_all
+          (fun u -> Neighborhood.distances g u = Ref_core.distances r u)
+          (Graph.nodes g));
+    qcheck "balls agree at radii 0-3" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        List.for_all
+          (fun radius ->
+            List.for_all
+              (fun u -> Neighborhood.ball g ~radius u = Ref_core.ball r ~radius u)
+              (Graph.nodes g))
+          [ 0; 1; 2; 3 ]);
+    qcheck "ball_distances carry the true distances" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        List.for_all
+          (fun u ->
+            let row = Ref_core.distances r u in
+            List.for_all
+              (fun (v, d) -> row.(v) = d)
+              (Neighborhood.ball_distances g ~radius:2 u))
+          (Graph.nodes g));
+    qcheck "induced ball subgraphs equal the reference construction" (arb_spec ()) (fun spec ->
+        let g, r = both_cores spec in
+        List.for_all
+          (fun u ->
+            let members = Neighborhood.ball g ~radius:1 u in
+            let ind = (Neighborhood.induced g members).Neighborhood.subgraph in
+            let ref_ind = Ref_core.induced r members in
+            (* both order members by ascending node index, so the graphs
+               must be structurally identical — stronger than isomorphic *)
+            Graph.equal ind ref_ind && Isomorphism.isomorphic ind ref_ind)
+          (Graph.nodes g));
+    qcheck "touched = nodes whose ball meets the change set" (arb_spec ~max_nodes:12 ())
+      (fun spec ->
+        let g, r = both_cores spec in
+        let n = Graph.card g in
+        List.for_all
+          (fun radius ->
+            let changed = List.filteri (fun i _ -> i mod 3 = 0) (List.init n Fun.id) in
+            Neighborhood.touched g ~radius changed
+            = List.filter
+                (fun u -> List.exists (fun v -> List.mem v (Ref_core.ball r ~radius u)) changed)
+                (List.init n Fun.id))
+          [ 0; 1; 2 ]);
+    quick "large regime: sharded ball cache above the full-row threshold" (fun () ->
+        (* 10^4 nodes > the 8192 default LPH_FULL_ROW_MAX: balls come
+           from truncated BFS through the shard tables, distances from
+           the bounded row memo / pair BFS *)
+        let n = 10_000 in
+        let g = Generators.cycle n in
+        Alcotest.(check (list int)) "ball r2 @ 0" [ 0; 1; 2; n - 2; n - 1 ]
+          (Neighborhood.ball g ~radius:2 0);
+        Alcotest.(check (list int)) "ball r1 @ 5000" [ 4999; 5000; 5001 ]
+          (Neighborhood.ball g ~radius:1 5000);
+        check_int "distance across" (n / 2) (Neighborhood.distance g 0 (n / 2));
+        check_int "distance near" 3 (Neighborhood.distance g 17 20);
+        Alcotest.(check (list int)) "touched r1" [ 0; 1; 4999; 5000; 5001; n - 1 ]
+          (Neighborhood.touched g ~radius:1 [ 0; 5000 ]);
+        let ind = Neighborhood.r_neighbourhood g ~radius:2 42 in
+        check_int "induced ball card" 5 (Graph.card ind.Neighborhood.subgraph);
+        check_int "induced ball edges" 4 (Graph.num_edges ind.Neighborhood.subgraph));
+  ]
+
+let family_tests =
+  [
+    quick "torus is 4-regular" (fun () ->
+        let g = Generators.torus ~rows:4 ~cols:5 () in
+        check_int "card" 20 (Graph.card g);
+        check_int "edges" 40 (Graph.num_edges g);
+        check_bool "regular" true
+          (Graph.fold_nodes g ~init:true ~f:(fun acc u -> acc && Graph.degree g u = 4));
+        Alcotest.check_raises "rows >= 3"
+          (Graph.Invalid "generators: torus needs rows, cols >= 3") (fun () ->
+            ignore (Generators.torus ~rows:2 ~cols:5 ())));
+    qcheck "erdos_renyi is connected at every p" QCheck.(pair (int_range 1 40) (int_bound 100))
+      (fun (n, pct) ->
+        let rng = Random.State.make [| n; pct |] in
+        let g = Generators.erdos_renyi ~rng ~n ~p:(float_of_int pct /. 100.) () in
+        (* construction enforces connectivity; check size and a BFS *)
+        Graph.card g = n && Neighborhood.eccentricity g 0 < n);
+    quick "erdos_renyi edge counts at the extremes" (fun () ->
+        let rng = Random.State.make [| 11 |] in
+        let tree = Generators.erdos_renyi ~rng ~n:50 ~p:0.0 () in
+        (* p = 0: nothing sampled, rewiring bridges every node — a tree *)
+        check_int "p=0 tree" 49 (Graph.num_edges tree);
+        let full = Generators.erdos_renyi ~rng ~n:20 ~p:1.0 () in
+        check_int "p=1 complete" 190 (Graph.num_edges full));
+    qcheck "preferential attachment: connected, hub-heavy, right edge count"
+      QCheck.(pair (int_range 2 40) (int_range 1 3))
+      (fun (n, attach) ->
+        let rng = Random.State.make [| n; attach; 3 |] in
+        let g = Generators.preferential_attachment ~rng ~n ~attach () in
+        let m0 = min n (attach + 1) in
+        let expected =
+          ref (m0 - 1)
+        in
+        for u = m0 to n - 1 do
+          expected := !expected + min attach u
+        done;
+        Graph.card g = n && Graph.num_edges g = !expected);
+    qcheck "expander: bounded degree, connected" QCheck.(pair (int_range 3 60) (int_range 1 3))
+      (fun (n, cycles) ->
+        let rng = Random.State.make [| n; cycles; 5 |] in
+        let g = Generators.expander ~rng ~n ~cycles () in
+        Graph.card g = n
+        && Graph.max_degree g <= 2 * cycles
+        && Neighborhood.eccentricity g 0 < n);
+    quick "expander diameter beats the cycle" (fun () ->
+        (* two random cycles on 256 nodes: diameter collapses from n/2
+           to O(log n) levels — the expansion the family is for *)
+        let rng = Random.State.make [| 42 |] in
+        let g = Generators.expander ~rng ~n:256 ~cycles:2 () in
+        check_bool "diameter < 32" true (Neighborhood.eccentricity g 0 < 32));
+    qcheck "random_connected edge budget honoured" QCheck.(pair (int_range 1 30) (int_range 0 20))
+      (fun (n, extra) ->
+        let rng = Random.State.make [| n; extra; 9 |] in
+        let g = Generators.random_connected ~rng ~n ~extra_edges:extra () in
+        let max_possible = n * (n - 1) / 2 in
+        Graph.num_edges g >= min (n - 1) max_possible
+        && Graph.num_edges g <= min (n - 1 + extra) max_possible);
+  ]
+
 let suites =
   [
     ("graph:core", graph_tests);
+    ("graph:equivalence", equivalence_tests);
+    ("graph:families", family_tests);
     ("graph:generators", generator_tests);
     ("graph:neighborhood", neighborhood_tests);
     ("graph:identifiers", identifier_tests);
