@@ -16,6 +16,8 @@ let smoke = ref false
 
 let scale_smoke = ref false
 
+let serve_smoke = ref false
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -49,6 +51,20 @@ let scaling_entries : (string * string * int * float) list ref = ref []
 (* nodes, ball seed/csr ms, induced seed/csr ms — the seed-core comparison *)
 let seed_cmp : (int * float * float * float * float) option ref = ref None
 
+type serving_entry = {
+  s_workload : string;
+  s_wire : string;  (** "packed", "bits" or "mixed" (per-frame alternation) *)
+  s_requests : int;  (** warm requests behind the percentiles *)
+  s_cold_ms : float;  (** first round-trip on a fresh daemon: compile + memo fill *)
+  s_warm_p50_ms : float;
+  s_warm_p99_ms : float;
+  s_qps : float;
+  s_speedup : float;  (** cold_ms / warm_p50_ms — what the shared caches buy *)
+  s_match : bool;  (** every answer equals the single-process Game computation *)
+}
+
+let serving_entries : serving_entry list ref = ref []
+
 let timed label f =
   let t0 = Unix.gettimeofday () in
   f ();
@@ -74,7 +90,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-6\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-7\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -121,7 +137,19 @@ let write_bench_json path =
          \"ball_speedup\": %.1f, \"induced_seed_ms\": %.6f, \"induced_csr_ms\": %.6f, \
          \"induced_speedup\": %.1f},\n"
         nodes ball_seed ball_csr (ball_seed /. ball_csr) ind_seed ind_csr (ind_seed /. ind_csr));
-  out "  \"bechamel_ns_per_run\": {\n";
+  out "  \"serving\": [\n";
+  let sv = List.rev !serving_entries in
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"workload\": \"%s\", \"wire\": \"%s\", \"requests\": %d, \"cold_ms\": %.6f, \
+         \"warm_p50_ms\": %.6f, \"warm_p99_ms\": %.6f, \"qps\": %.1f, \"speedup\": %.1f, \
+         \"match\": %b}%s\n"
+        (json_escape e.s_workload) (json_escape e.s_wire) e.s_requests e.s_cold_ms e.s_warm_p50_ms
+        e.s_warm_p99_ms e.s_qps e.s_speedup e.s_match
+        (if i = List.length sv - 1 then "" else ","))
+    sv;
+  out "  ],\n  \"bechamel_ns_per_run\": {\n";
   let rows = List.sort compare !bechamel_rows in
   List.iteri
     (fun i (name, ns) ->
@@ -270,6 +298,68 @@ let scaling_gate baseline_path =
               end)
         baseline;
       if !ok then row "[gate] no shared scaling row regressed > 2x vs %s\n" baseline_path;
+      !ok
+
+(* The [serving] array, same one-entry-per-line discipline. Baselines
+   older than schema 7 have no such section; the gate passes vacuously
+   and activates on the next rotation. *)
+let read_baseline_serving path =
+  try
+    let ic = open_in path in
+    let entries = ref [] in
+    let in_section = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if !in_section then begin
+           if String.length line > 0 && line.[0] = ']' then raise Exit;
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           try
+             Scanf.sscanf line
+               "{\"workload\": %S, \"wire\": %S, \"requests\": %d, \"cold_ms\": %f, \
+                \"warm_p50_ms\": %f, \"warm_p99_ms\": %f, \"qps\": %f, \"speedup\": %f, \
+                \"match\": %B}"
+               (fun workload wire _req _cold p50 _p99 _qps _speedup _match ->
+                 entries := ((workload, wire), p50) :: !entries)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         end
+         else if line = "\"serving\": [" then in_section := true
+       done
+     with End_of_file | Exit -> ());
+    close_in ic;
+    if !in_section then Some (List.rev !entries) else None
+  with Sys_error _ -> None
+
+(* Fail if a serving row shared with the baseline (same workload and
+   wire) has a warm p50 more than 2x slower AND more than 5ms slower —
+   socket round-trips are sub-ms warm, so the absolute band absorbs
+   scheduler jitter while still catching a lost cache. *)
+let serving_gate baseline_path =
+  match read_baseline_serving baseline_path with
+  | None ->
+      row "[gate] baseline %s has no serving section; check activates next rotation\n" baseline_path;
+      true
+  | Some baseline ->
+      let ok = ref true in
+      List.iter
+        (fun ((workload, wire) as key, old_p50) ->
+          match
+            List.find_opt (fun e -> (e.s_workload, e.s_wire) = key) !serving_entries
+          with
+          | None -> ()
+          | Some e ->
+              if e.s_warm_p50_ms > 2.0 *. old_p50 && e.s_warm_p50_ms -. old_p50 > 5. then begin
+                ok := false;
+                row
+                  "[gate] REGRESSION serving %s/%s: warm p50 %.3f ms vs baseline %.3f ms (> 2x)\n"
+                  workload wire e.s_warm_p50_ms old_p50
+              end)
+        baseline;
+      if !ok then row "[gate] no shared serving row regressed > 2x vs %s\n" baseline_path;
       !ok
 
 let rand_graphs ~count ~max_nodes ~extra seed =
@@ -858,9 +948,16 @@ let exp_engine () =
   let game_case game g ~arbiter ~universes ~exhaustive =
     let ids = Identifiers.make_global g in
     let engine e () = Game.sigma_accepts ~engine:e arbiter g ~ids ~universes in
+    (* ℓ=1 duels route through the mode-pinned proposer too, so their
+       refinement counts are recorded like the Σ2 rows' *)
+    let cegar_iters () =
+      Option.map
+        (fun d -> (Game_cegar.stats d).Game_cegar.iterations)
+        (Game_cegar.instance ~eve_first:true arbiter g ~ids ~universes)
+    in
     bench_case game ~nodes:(Graph.card g)
       ?exhaustive:(if exhaustive then Some (engine `Exhaustive) else None)
-      ~pruned:(engine `Pruned) ~sat:(engine `Sat) ~cegar:(engine `Cegar) ()
+      ~pruned:(engine `Pruned) ~sat:(engine `Sat) ~cegar:(engine `Cegar) ~cegar_iters ()
   in
   (* a Σ1 game whose arbiter and universes come out of the Fagin
      compiler rather than a hand-written verifier *)
@@ -1180,6 +1277,178 @@ let exp_scaling_curves () =
   row "  induced r2  %10.3f ms -> %10.5f ms   %8.0fx\n" ind_seed ind_csr (ind_seed /. ind_csr)
 
 (* ------------------------------------------------------------------ *)
+(* Serving: the daemon's cold-vs-warm story (shared solver caches).    *)
+
+let serving_percentile sorted p =
+  if Array.length sorted = 0 then 0.
+  else
+    let i = int_of_float (ceil (p /. 100. *. float (Array.length sorted))) - 1 in
+    sorted.(max 0 (min (Array.length sorted - 1) i))
+
+(* One answer per template, computed exactly as single-process batch
+   mode would — the oracle every served response is checked against. *)
+let serving_local_answer (engine, property, graph, query) =
+  let g = Serve_protocol.build_graph graph in
+  let a = Serve_protocol.arbiter property in
+  let ids = Identifiers.make_global g in
+  match query with
+  | Serve_protocol.Accepts player ->
+      let universes = Serve_protocol.universes property in
+      (match player with
+      | Game.Eve -> Game.sigma_accepts ~engine a g ~ids ~universes
+      | Game.Adam -> Game.pi_accepts ~engine a g ~ids ~universes)
+  | Serve_protocol.Check certs -> a.Arbiter.accepts g ~ids ~certs
+
+let record_serving e =
+  serving_entries := e :: !serving_entries;
+  row "  %-22s %-7s cold %9.3f ms   warm p50 %8.3f ms  p99 %8.3f ms  %8.1f req/s %7.1fx  %s\n"
+    e.s_workload e.s_wire e.s_cold_ms e.s_warm_p50_ms e.s_warm_p99_ms e.s_qps e.s_speedup
+    (if e.s_match then "match" else "MISMATCH")
+
+(* Solver-backed workloads where the first request pays arbiter
+   compilation (SAT tabulation resp. duel setup) and every later
+   request rides the shared per-(property, graph) caches. *)
+let serving_workloads =
+  [
+    ( "3col-C12-sat", `Sat, Serve_protocol.Coloring 3, Serve_protocol.Cycle 12,
+      Serve_protocol.Accepts Game.Eve );
+    ( "sigma2-2col-C9-cegar", `Cegar, Serve_protocol.Robust_two_col, Serve_protocol.Cycle 9,
+      Serve_protocol.Accepts Game.Eve );
+    ( "2col-C17-pruned", `Pruned, Serve_protocol.Coloring 2, Serve_protocol.Cycle 17,
+      Serve_protocol.Accepts Game.Eve );
+  ]
+
+let exp_serving () =
+  section "Serving: daemon cold vs warm round-trips (shared compiled instances)";
+  let warm_n = if !smoke then 40 else 200 in
+  let sock name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lph-bench-%d-%s.sock" (Unix.getpid ()) name)
+  in
+  (* Each workload gets a fresh daemon: graphs are materialised per
+     scheduler entry, so a fresh server means genuinely cold engine
+     caches even when an earlier workload named the same spec. *)
+  let run_one (name, engine, property, graph, query) =
+    let socket = sock name in
+    let server = Serve_server.start ~socket () in
+    Fun.protect ~finally:(fun () -> Serve_server.stop server) @@ fun () ->
+    let client = Serve_client.connect ~wire:Codec.Packed ~socket () in
+    Fun.protect ~finally:(fun () -> Serve_client.close client) @@ fun () ->
+    let expected = serving_local_answer (engine, property, graph, query) in
+    let ok = ref true in
+    let roundtrip i =
+      let req = { Serve_protocol.id = i; engine; property; graph; query } in
+      let t0 = Unix.gettimeofday () in
+      let resp = Serve_client.request client req in
+      (match resp.Serve_protocol.outcome with
+      | Ok b when b = expected && resp.Serve_protocol.id = i -> ()
+      | _ -> ok := false);
+      (Unix.gettimeofday () -. t0) *. 1000.
+    in
+    let cold_ms = roundtrip 0 in
+    let t0 = Unix.gettimeofday () in
+    let lat = Array.init warm_n (fun i -> roundtrip (i + 1)) in
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    let p50 = serving_percentile lat 50. in
+    record_serving
+      {
+        s_workload = name;
+        s_wire = "packed";
+        s_requests = warm_n;
+        s_cold_ms = cold_ms;
+        s_warm_p50_ms = p50;
+        s_warm_p99_ms = serving_percentile lat 99.;
+        s_qps = float_of_int warm_n /. (if wall > 0. then wall else 1e-9);
+        s_speedup = (if p50 > 0. then cold_ms /. p50 else 0.);
+        s_match = !ok;
+      }
+  in
+  List.iter run_one serving_workloads;
+  (* The mixed row: one daemon, both wire modes alternating per frame,
+     templates interleaved — the loadgen scenario in miniature. *)
+  let socket = sock "mixed" in
+  let server = Serve_server.start ~socket () in
+  Fun.protect ~finally:(fun () -> Serve_server.stop server) @@ fun () ->
+  let packed = Serve_client.connect ~wire:Codec.Packed ~socket () in
+  let bits = Serve_client.connect ~wire:Codec.Bits ~socket () in
+  Fun.protect ~finally:(fun () ->
+      Serve_client.close packed;
+      Serve_client.close bits)
+  @@ fun () ->
+  let templates =
+    serving_workloads
+    @ [
+        ( "check-2col-C10", `Auto, Serve_protocol.Coloring 2, Serve_protocol.Cycle 10,
+          Serve_protocol.Check [ Array.init 10 (fun v -> if v mod 2 = 0 then "0" else "1") ] );
+      ]
+  in
+  let expected = List.map (fun (_, e, p, g, q) -> serving_local_answer (e, p, g, q)) templates in
+  let ok = ref true in
+  let roundtrip i =
+    let k = i mod List.length templates in
+    let _, engine, property, graph, query = List.nth templates k in
+    let req = { Serve_protocol.id = i; engine; property; graph; query } in
+    let client = if i land 1 = 0 then packed else bits in
+    let t0 = Unix.gettimeofday () in
+    let resp = Serve_client.request client req in
+    (match resp.Serve_protocol.outcome with
+    | Ok b when b = List.nth expected k && resp.Serve_protocol.id = i -> ()
+    | _ -> ok := false);
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let cold_ms = roundtrip 0 in
+  let t0 = Unix.gettimeofday () in
+  let lat = Array.init warm_n (fun i -> roundtrip (i + 1)) in
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat;
+  let p50 = serving_percentile lat 50. in
+  record_serving
+    {
+      s_workload = "mixed-stream";
+      s_wire = "mixed";
+      s_requests = warm_n;
+      s_cold_ms = cold_ms;
+      s_warm_p50_ms = p50;
+      s_warm_p99_ms = serving_percentile lat 99.;
+      s_qps = float_of_int warm_n /. (if wall > 0. then wall else 1e-9);
+      s_speedup = (if p50 > 0. then cold_ms /. p50 else 0.);
+      s_match = !ok;
+    };
+  row "  first request pays compilation and memo fill; the rest ride the shared caches.\n"
+
+(* --serve-smoke: the CI job's oracle — answers must match batch mode,
+   a solver-backed workload must show the >= 10x warm win, and no
+   shared serving row may regress vs the committed baseline. *)
+let serve_smoke_run () =
+  exp_serving ();
+  let entries = List.rev !serving_entries in
+  let all_match = List.for_all (fun e -> e.s_match) entries in
+  let solver_speedup =
+    List.fold_left
+      (fun acc e ->
+        if e.s_workload = "3col-C12-sat" || e.s_workload = "sigma2-2col-C9-cegar" then
+          Float.max acc e.s_speedup
+        else acc)
+      0. entries
+  in
+  let baseline = newest_bench () in
+  let gate_ok =
+    if baseline > 0 then serving_gate (Printf.sprintf "BENCH_%d.json" baseline) else true
+  in
+  if not all_match then begin
+    row "[serve-smoke] FAIL: a served answer diverged from the single-process computation\n";
+    exit 1
+  end;
+  if solver_speedup < 10. then begin
+    row "[serve-smoke] FAIL: best SAT/CEGAR warm speedup %.1fx < 10x\n" solver_speedup;
+    exit 1
+  end;
+  if not gate_ok then exit 1;
+  row "[serve-smoke] OK: answers match batch mode, best solver-backed speedup %.1fx\n"
+    solver_speedup
+
+(* ------------------------------------------------------------------ *)
 (* --scale-smoke: the CI job's 10^5-node workload under a wall cap.    *)
 
 let scale_smoke_run () =
@@ -1357,11 +1626,19 @@ let () =
       ( "--scale-smoke",
         Arg.Set scale_smoke,
         "only the 10^5-node workload under a wall-clock cap (CI scale job)" );
+      ( "--serve-smoke",
+        Arg.Set serve_smoke,
+        "only the serving section, gated on answer match and the 10x warm win (CI serve job)" );
     ]
     (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
-    "usage: main.exe [--smoke | --scale-smoke]";
+    "usage: main.exe [--smoke | --scale-smoke | --serve-smoke]";
   if !scale_smoke then begin
     scale_smoke_run ();
+    exit 0
+  end;
+  if !serve_smoke then begin
+    smoke := true;
+    serve_smoke_run ();
     exit 0
   end;
   print_endline "A LOCAL View of the Polynomial Hierarchy — experiment harness";
@@ -1387,6 +1664,7 @@ let () =
   timed "faults-overhead" exp_faults_overhead;
   timed "scaling" exp_scaling;
   timed "scaling-curves" exp_scaling_curves;
+  timed "serving" exp_serving;
   timed "bechamel" bechamel_suite;
   let baseline = newest_bench () in
   let report = Printf.sprintf "BENCH_%d.json" (baseline + 1) in
@@ -1396,5 +1674,6 @@ let () =
     let base = Printf.sprintf "BENCH_%d.json" baseline in
     let bechamel_ok = regression_gate base in
     let scaling_ok = scaling_gate base in
-    if not (bechamel_ok && scaling_ok) then exit 1
+    let serving_ok = serving_gate base in
+    if not (bechamel_ok && scaling_ok && serving_ok) then exit 1
   end

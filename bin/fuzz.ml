@@ -17,6 +17,11 @@
      must be identical to the fault-free run) or [Faulted] (then the
      report must explain itself); a zero-rate twin plan must be a
      provable no-op.
+   - server: the certificate attacks again, but delivered as [Check]
+     wire requests through a live daemon (lib/serve), alternating wire
+     modes. No tampering may flip a reject to an accept across the
+     protocol boundary, and tampered raw frames must draw well-formed
+     responses or a clean close — never garbled output.
 
    Usage: fuzz.exe [scenarios] (default 600, split across campaigns).
    [LPH_FAULTS] seeds the base plan (default "all@0.3:1"); every
@@ -225,21 +230,151 @@ let runner_campaign n =
   (!fired, !faulted)
 
 (* ------------------------------------------------------------------ *)
+(* Server campaign *)
+
+(* The certificate fixtures that name catalog entries, as (name,
+   property, graph spec, base certs). sat-graph-x-notx carries its own
+   Boolean payload, which the closed wire catalog cannot express, so
+   the in-process certificate campaign keeps sole custody of it. *)
+let server_fixtures =
+  [
+    ( "3col-K4",
+      Serve_protocol.Coloring 3,
+      Serve_protocol.Complete 4,
+      [ Array.init 4 (fun u -> Bitstring.of_int (u mod 3)) ] );
+    ( "2col-C5",
+      Serve_protocol.Coloring 2,
+      Serve_protocol.Cycle 5,
+      [ Array.init 5 (fun u -> Bitstring.of_int (u mod 2)) ] );
+    ( "sigma2-2col-C5",
+      Serve_protocol.Robust_two_col,
+      Serve_protocol.Cycle 5,
+      [
+        Array.init 5 (fun u -> Bitstring.of_int (u mod 2));
+        Array.init 5 (fun u -> Bitstring.of_int (u mod 2));
+      ] );
+  ]
+
+(* Every response frame the server sends before closing; raises the
+   typed [Decode_error] if the server itself emits a garbled frame. *)
+let read_all_frames fd =
+  let rec loop acc =
+    match Serve_protocol.read_frame fd with
+    | None -> List.rev acc
+    | Some (wire, payload) ->
+        loop (Serve_protocol.parse ~wire Serve_protocol.response_codec payload :: acc)
+  in
+  loop []
+
+let server_campaign n =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lph-fuzz-%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve_server.start ~socket () in
+  Fun.protect ~finally:(fun () -> Serve_server.stop server) @@ fun () ->
+  let clients =
+    [|
+      Serve_client.connect ~wire:Codec.Packed ~socket ();
+      Serve_client.connect ~wire:Codec.Bits ~socket ();
+    |]
+  in
+  Fun.protect ~finally:(fun () -> Array.iter Serve_client.close clients) @@ fun () ->
+  let fired = ref 0 and frames = ref 0 in
+  for i = 0 to n - 1 do
+    let name, property, spec, basec =
+      List.nth server_fixtures (i mod List.length server_fixtures)
+    in
+    let plan =
+      Fault_plan.make ~rate:0.9
+        ~kinds:[ Fault_plan.Cert_flip; Fault_plan.Cert_forge ]
+        (scenario_seed (3_000_000 + i))
+    in
+    let certs =
+      List.map
+        (Array.mapi (fun u c ->
+             let c', f = Fault_plan.tamper_cert plan ~node:u c in
+             if f <> None then incr fired;
+             c'))
+        basec
+    in
+    let req =
+      { Serve_protocol.id = i; engine = `Auto; property; graph = spec; query = Serve_protocol.Check certs }
+    in
+    (match Serve_client.request clients.(i mod 2) req with
+    | { Serve_protocol.outcome = Ok true; _ } ->
+        complain "accept-flip across the protocol boundary on %s under %s" name
+          (Fault_plan.to_spec plan)
+    | { Serve_protocol.outcome = Ok false; _ } -> ()
+    | { Serve_protocol.outcome = Error e; _ } ->
+        (* cert tampering preserves the certificate shape, so the
+           daemon owes a verdict, not a refusal *)
+        complain "typed refusal instead of a verdict on %s under %s: %s" name
+          (Fault_plan.to_spec plan) (Error.to_string e)
+    | exception e ->
+        complain "escape across the protocol boundary on %s under %s: %s" name
+          (Fault_plan.to_spec plan) (Printexc.to_string e));
+    (* every few scenarios attack the frame itself on a throwaway
+       connection: whatever the corruption, the daemon must answer with
+       well-formed frames or close cleanly — never garbled output *)
+    if i mod 5 = 0 then begin
+      let wire = if i land 1 = 0 then Codec.Packed else Codec.Bits in
+      let raw = Serve_protocol.frame ~wire Serve_protocol.request_codec req in
+      let wire_plan =
+        Fault_plan.make ~rate:1.0
+          ~kinds:[ (if i mod 10 = 0 then Fault_plan.Corrupt else Fault_plan.Truncate) ]
+          (scenario_seed (4_000_000 + i))
+      in
+      match Fault_plan.tamper_wire wire_plan ~round:1 ~src:0 ~dst:1 raw with
+      | None, _ -> ()
+      | Some raw', _ -> (
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let len = String.length raw' in
+          let written = ref 0 in
+          while !written < len do
+            written := !written + Unix.write_substring fd raw' !written (len - !written)
+          done;
+          (* our EOF ends any partial frame, so the server either
+             answers what it could decode or closes the connection *)
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          match read_all_frames fd with
+          | rs -> frames := !frames + List.length rs
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              (* the daemon closed with our bytes still unread — a
+                 reset, but a deliberate close, not garbled output *)
+              ()
+          | exception Error.Error (Error.Decode_error _) ->
+              complain "daemon emitted a garbled frame under %s" (Fault_plan.to_spec wire_plan)
+          | exception e ->
+              complain "untyped escape reading tampered-frame responses under %s: %s"
+                (Fault_plan.to_spec wire_plan) (Printexc.to_string e))
+    end
+  done;
+  (!fired, !frames)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let na = scenarios / 3 in
-  let nb = scenarios / 3 in
-  let nc = scenarios - na - nb in
+  let na = scenarios / 4 in
+  let nb = scenarios / 4 in
+  let nc = scenarios / 4 in
+  let nd = scenarios - na - nb - nc in
   Printf.printf "lph-fuzz: %d scenarios, base plan %s\n%!" scenarios (Fault_plan.to_spec base);
   check_no_instances ();
   let cert_fired = cert_campaign na in
   let wire_fired, wire_typed = wire_campaign nb in
   let run_fired, run_faulted = runner_campaign nc in
+  let srv_fired, srv_frames = server_campaign nd in
   Printf.printf "  certificate: %4d scenarios, %4d tampers, 0 accept-flips allowed\n" na cert_fired;
   Printf.printf "  wire:        %4d scenarios, %4d tampers, %4d typed rejections\n" nb wire_fired
     wire_typed;
   Printf.printf "  runner:      %4d scenarios, %4d faults fired, %4d Faulted outcomes\n" nc
     run_fired run_faulted;
+  Printf.printf "  server:      %4d scenarios, %4d tampers, %4d tampered-frame responses\n" nd
+    srv_fired srv_frames;
   if !violations = 0 then Printf.printf "OK: no accept-flips, no untyped escapes\n"
   else begin
     Printf.printf "FAILED: %d violation(s)\n" !violations;

@@ -57,6 +57,13 @@ module Properties = Lph_hierarchy.Properties
 module Candidates = Lph_hierarchy.Candidates
 module Separations = Lph_hierarchy.Separations
 
+(** {1 Hierarchy as a service} *)
+
+module Serve_protocol = Lph_serve.Protocol
+module Serve_scheduler = Lph_serve.Scheduler
+module Serve_server = Lph_serve.Server
+module Serve_client = Lph_serve.Client
+
 (** {1 Boolean substrate and SAT-GRAPH (Section 8)} *)
 
 module Bool_formula = Lph_boolean.Bool_formula

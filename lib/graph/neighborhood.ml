@@ -83,6 +83,11 @@ let cache_of g =
           Cache_table.replace caches g c;
           c)
 
+(* The table is weakly keyed, so dropping every reference to a graph
+   already reclaims its memos at the next GC; eager eviction is for
+   cache-bounded servers that want the space back deterministically. *)
+let evict g = Mutex.protect lock (fun () -> Cache_table.remove caches g)
+
 (* shards are keyed by graph segment: shard s owns the sources with
    index in [s*n/16, (s+1)*n/16) *)
 let shard_of c g u =

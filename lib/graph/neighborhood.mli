@@ -39,6 +39,13 @@ val touched : Labeled_graph.t -> radius:int -> int list -> int list
     arbiter must re-run after the certificates of [changed] mutate
     (the incremental-evaluation dirty set). Sorted by node index. *)
 
+val evict : Labeled_graph.t -> unit
+(** Drop the graph's memoised rows and ball shards now instead of
+    waiting for the weakly-keyed table to notice the graph died — the
+    eviction hook of cache-bounded long-lived processes
+    ({!Lph_serve.Scheduler}). Safe concurrently with queries: an
+    in-flight query at worst re-memoises into a fresh cache. *)
+
 val eccentricity : Labeled_graph.t -> int -> int
 val diameter : Labeled_graph.t -> int
 

@@ -131,7 +131,11 @@ let rec wins d ~proposer ~eve ~level ~prefix ~iters =
         d.s_proposals <- d.s_proposals + 1;
         let k = Game_sat.model_level d.inst model ~level in
         let defeated =
-          if remaining = 2 then leaf_refute d ~proposer ~eve ~level ~prefix k
+          (* at the innermost level the proposal IS the completion: the
+             mode-pinned proposer only models assignments its player
+             already wins with, so a SAT proposal stands unrefuted *)
+          if remaining <= 1 then false
+          else if remaining = 2 then leaf_refute d ~proposer ~eve ~level ~prefix k
           else nested_refute d ~proposer ~eve ~level ~prefix ~iters k
         in
         if defeated then begin
@@ -232,6 +236,21 @@ let instance ~eve_first (a : Arbiter.t) g ~ids ~universes =
           entry.built <- Some inst;
           inst)
 
+let cached_instances () = Mutex.protect cache_lock (fun () -> Hashtbl.length cache)
+
+let evict_graph ~uid =
+  Mutex.protect cache_lock (fun () ->
+      let removed = ref 0 in
+      Hashtbl.filter_map_inplace
+        (fun (_, guid, _, _, _) e ->
+          if guid = uid then begin
+            incr removed;
+            None
+          end
+          else Some e)
+        cache;
+      !removed)
+
 (* ---- solving ------------------------------------------------------- *)
 
 (* The duel decides whether the FIRST player wins; the engine contract
@@ -249,14 +268,22 @@ let solve ~eve_first (a : Arbiter.t) g ~ids ~universes =
   match universes with
   | [] -> None
   | [ _ ] -> (
-      (* one block: the game IS the leaf; answer it on the shared
-         instance exactly like the [`Sat] engine *)
-      match Game_sat.compile a g ~ids ~universes with
-      | None -> None
-      | Some inst ->
-          Some
-            (if eve_first then Option.is_some (Game_sat.eve_leaf inst ~prefix:[])
-             else not (Game_sat.adam_rejects inst ~prefix:[])))
+      (* one block: the duel degenerates to a single proposal — one
+         solve on the mode-pinned proposer — but running it through
+         [instance] keeps the refinement counters live (so ℓ=1 rows
+         report iterations like everyone else) and the warm instance
+         shared. An empty candidate slot refuses [instance] while
+         {!Game_sat} still compiles: answer those directly on the
+         shared instance, exactly like the [`Sat] engine. *)
+      match instance ~eve_first a g ~ids ~universes with
+      | Some d -> value d
+      | None -> (
+          match Game_sat.compile a g ~ids ~universes with
+          | None -> None
+          | Some inst ->
+              Some
+                (if eve_first then Option.is_some (Game_sat.eve_leaf inst ~prefix:[])
+                 else not (Game_sat.adam_rejects inst ~prefix:[]))))
   | _ -> (
       match instance ~eve_first a g ~ids ~universes with
       | None -> None

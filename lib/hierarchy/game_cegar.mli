@@ -37,8 +37,12 @@ val solve :
     [LPH_SAT_BUDGET] compile budget, some (level, node) slot has an
     empty candidate list (enumeration semantics decide such games
     before the arbiter runs), the universe list is empty, or the
-    refinement loop overran [LPH_CEGAR_MAX_ITERS]. One-level games are
-    answered directly on the shared {!Game_sat} instance. *)
+    refinement loop overran [LPH_CEGAR_MAX_ITERS]. One-level games run
+    the degenerate duel — a single unrefutable proposal on the
+    mode-pinned proposer — so their refinement counters ({!stats},
+    [iterations] in particular) are recorded like every deeper game's;
+    only the empty-slot case falls back to a direct answer on the
+    shared {!Game_sat} instance. *)
 
 val instance :
   eve_first:bool ->
@@ -47,7 +51,7 @@ val instance :
   ids:Lph_graph.Identifiers.t ->
   universes:(int -> string list) list ->
   t option
-(** The cached duel instance for a (≥ 2)-level game, building it on
+(** The cached duel instance for a (≥ 1)-level game, building it on
     first use; [None] under the same conditions as {!solve} (except the
     iteration cap, which only strikes during {!value}). *)
 
@@ -91,3 +95,13 @@ val shared_stats : t -> Lph_boolean.Solver.stats
 
 val table_entries : t -> int
 (** Tabulated ball configurations of the underlying compiled CNF. *)
+
+val cached_instances : unit -> int
+(** Number of duel instances currently cached (see
+    {!Game_sat.cached_instances}; this cache is keyed the same way plus
+    the first player). *)
+
+val evict_graph : uid:int -> int
+(** Drop every cached duel for the graph with this
+    {!Lph_graph.Labeled_graph.uid}; returns how many entries went. The
+    scheduler's eviction hook, paired with {!Game_sat.evict_graph}. *)

@@ -211,6 +211,34 @@ let compile_explain (a : Arbiter.t) g ~ids ~universes =
 
 let compile a g ~ids ~universes = Result.to_option (compile_explain a g ~ids ~universes)
 
+let cached_instances () = Mutex.protect cache_lock (fun () -> Hashtbl.length cache)
+
+let evict_graph ~uid =
+  Mutex.protect cache_lock (fun () ->
+      let removed = ref 0 in
+      Hashtbl.filter_map_inplace
+        (fun (_, guid, _, _) e ->
+          if guid = uid then begin
+            incr removed;
+            None
+          end
+          else Some e)
+        cache;
+      !removed)
+
+(* [e.compiled] is read without the entry lock: once set it is never
+   mutated again, and a stale [None] only under-reports a compile still
+   in flight — fine for an accounting estimate, and it keeps a slow
+   compile from stalling everyone behind [cache_lock]. *)
+let graph_table_entries ~uid =
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.fold
+        (fun (_, guid, _, _) e acc ->
+          match e.compiled with
+          | Some (Result.Ok t) when guid = uid -> acc + t.table_entries
+          | _ -> acc)
+        cache 0)
+
 let find_index x xs =
   let rec go i = function
     | [] -> None

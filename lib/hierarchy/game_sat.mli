@@ -60,6 +60,28 @@ val table_entries : t -> int
 (** Total number of tabulated ball configurations (the one-off compile
     cost, in verifier runs). *)
 
+(** {1 Cache handles}
+
+    The compile cache normally manages itself (reset past 64 entries);
+    these hooks exist for cache-bounded long-lived processes
+    ({!Lph_serve.Scheduler}) that evict by graph when their own LRU
+    budget says so. *)
+
+val cached_instances : unit -> int
+(** Number of (arbiter, graph, ids, universes) entries currently in the
+    compile cache, including entries whose compilation failed or is
+    still in flight. *)
+
+val evict_graph : uid:int -> int
+(** Drop every cached compile for the graph with this
+    {!Lph_graph.Labeled_graph.uid}; returns how many entries went.
+    In-flight solves on an evicted instance finish normally — they hold
+    their own reference — but later compiles start cold. *)
+
+val graph_table_entries : uid:int -> int
+(** Sum of {!table_entries} over the successfully compiled cache
+    entries of one graph: the scheduler's per-graph cost estimate. *)
+
 (** {1 CEGAR access}
 
     The [`Cegar] engine ({!Game_cegar}) drives the same compiled CNF

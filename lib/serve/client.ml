@@ -1,0 +1,36 @@
+(* Blocking client over the Unix-domain socket: one frame out, one
+   frame in. Pipelining is [send]*n then [recv]*n on one connection —
+   responses come back in completion order, matched on [id]; for
+   strictly synchronous use, [request] does one round trip. *)
+
+module P = Protocol
+module Codec = Lph_util.Codec
+module Error = Lph_util.Error
+
+type t = { fd : Unix.file_descr; wire : Codec.wire }
+
+let what = "Serve_client"
+
+let connect ?wire ~socket () =
+  let wire = match wire with Some w -> w | None -> Codec.wire_mode () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; wire }
+
+let wire t = t.wire
+
+let send t req = P.write_frame t.fd ~wire:t.wire P.request_codec req
+
+let recv t =
+  match P.read_frame t.fd with
+  | None -> Error.protocol_error ~what "server closed the connection"
+  | Some (wire, payload) -> P.parse ~wire P.response_codec payload
+
+let request t req =
+  send t req;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

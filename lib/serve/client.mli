@@ -1,0 +1,29 @@
+(** Blocking client for the serve daemon: connect to its Unix-domain
+    socket, frame requests in a chosen wire mode, read responses.
+    Pipelining is [send] n times then [recv] n times on one connection
+    (responses arrive in completion order — match on
+    {!Protocol.response.id}); {!request} is the synchronous round
+    trip. Not thread-safe: one [t] per thread. *)
+
+type t
+
+val connect : ?wire:Lph_util.Codec.wire -> socket:string -> unit -> t
+(** Connect to a daemon. [wire] (default: the process's
+    {!Lph_util.Codec.wire_mode}) picks the frame representation; the
+    server answers each frame in the mode it arrived in, so clients in
+    different modes can share a daemon. Raises [Unix.Unix_error] when
+    nothing listens on [socket]. *)
+
+val wire : t -> Lph_util.Codec.wire
+
+val send : t -> Protocol.request -> unit
+
+val recv : t -> Protocol.response
+(** Next response off the wire. Raises [Error.Error (Protocol_error _)]
+    on clean server EOF, [Error.Error (Decode_error _)] on a garbled
+    stream. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** [send] then [recv]: the synchronous round trip. *)
+
+val close : t -> unit

@@ -1,0 +1,319 @@
+(* The batching scheduler: the part of the daemon that turns a stream
+   of independent queries into cache-friendly work.
+
+   Requests are collected into a queue by connection threads and
+   drained by ONE dispatcher thread, which groups the drained batch by
+   {!Protocol.key} — same property, same graph spec — and dispatches
+   the groups over the shared {!Lph_util.Parallel} pool. Grouping is
+   what makes the caches pay: every request in a group runs against the
+   same materialised graph, identifier assignment and arbiter, so the
+   per-(arbiter, graph) {!Game_sat}/{!Game_cegar} compile caches and
+   the {!Neighborhood} memos are hit by construction, across requests
+   and across connections. Requests within a group run sequentially
+   (the compiled instance's solver serialises them anyway); distinct
+   groups run in parallel.
+
+   The entry cache is LRU-BOUNDED by an estimated byte cost
+   ([LPH_SERVE_CACHE_MB], default 256): after each batch, entries are
+   re-costed from their graph size plus the compiled ball tables
+   ({!Game_sat.graph_table_entries}), and least-recently-used entries
+   are evicted — dropping the graph reference (which lets the weakly
+   keyed {!Neighborhood} memos die) and calling the typed eviction
+   hooks on both engine caches — until the estimate is back under the
+   bound. A long-lived daemon therefore converges on the working set
+   the traffic actually names. *)
+
+module P = Protocol
+module Error = Lph_util.Error
+module Parallel = Lph_util.Parallel
+module G = Lph_graph.Labeled_graph
+module N = Lph_graph.Neighborhood
+module Identifiers = Lph_graph.Identifiers
+module Game = Lph_hierarchy.Game
+module Game_sat = Lph_hierarchy.Game_sat
+module Game_cegar = Lph_hierarchy.Game_cegar
+module Arbiter = Lph_hierarchy.Arbiter
+
+let what = "Serve_scheduler"
+
+type entry = {
+  graph : G.t;
+  ids : Identifiers.t;
+  arbiter : Arbiter.t;
+  universes : Game.universe list;
+  mutable last_used : int;  (** batch tick of the last request served *)
+  mutable cost : int;  (** estimated resident bytes, re-costed per batch *)
+}
+
+type job = { req : P.request; reply : P.response -> unit }
+
+type stats = {
+  requests : int;
+  batches : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  entries : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable queue : job list;  (** reversed arrival order *)
+  mutable stop : bool;
+  cache : (string, entry) Hashtbl.t;
+  cap_bytes : int;
+  mutable tick : int;
+  mutable s_requests : int;
+  mutable s_batches : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable dispatcher : Thread.t option;
+}
+
+let default_cache_mb = 256
+
+let cache_mb_env () =
+  match Sys.getenv_opt "LPH_SERVE_CACHE_MB" with
+  | None | Some "" -> default_cache_mb
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some m when m >= 1 -> m
+      | _ -> invalid_arg "Scheduler: LPH_SERVE_CACHE_MB must be a positive integer")
+
+(* ---- cost model ----------------------------------------------------
+
+   An estimate, not an audit: CSR rows and id strings for the graph,
+   plus the compiled ball tables on both engine caches at ~128 bytes
+   per tabulated configuration (clause + selector footprint). Wrong by
+   a constant factor at worst, monotone in reality — which is all an
+   LRU bound needs. *)
+
+let graph_bytes g =
+  let ids_overhead = 32 * G.card g in
+  (16 * G.card g) + (16 * G.num_edges g) + ids_overhead
+
+let entry_cost e =
+  graph_bytes e.graph + (128 * Game_sat.graph_table_entries ~uid:(G.uid e.graph))
+
+let evict_entry t key e =
+  let uid = G.uid e.graph in
+  ignore (Game_sat.evict_graph ~uid);
+  ignore (Game_cegar.evict_graph ~uid);
+  N.evict e.graph;
+  Hashtbl.remove t.cache key;
+  t.s_evictions <- t.s_evictions + 1
+
+(* Called with [t.mutex] held, after a batch re-costed its entries.
+   Evicts in last-used order until under the bound; entries touched by
+   the current tick go last but are not exempt — the bound is a bound. *)
+let enforce_cap t =
+  let total () = Hashtbl.fold (fun _ e acc -> acc + e.cost) t.cache 0 in
+  while total () > t.cap_bytes && Hashtbl.length t.cache > 1 do
+    let oldest =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, prev) when prev.last_used <= e.last_used -> acc
+          | _ -> Some (key, e))
+        t.cache None
+    in
+    match oldest with Some (key, e) -> evict_entry t key e | None -> ()
+  done
+
+(* ---- answering ------------------------------------------------------ *)
+
+let resolve_entry t (req : P.request) =
+  let key = P.key req in
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.cache key with
+  | Some e ->
+      e.last_used <- t.tick;
+      t.s_hits <- t.s_hits + 1;
+      Mutex.unlock t.mutex;
+      Result.Ok (e, true)
+  | None -> (
+      t.s_misses <- t.s_misses + 1;
+      Mutex.unlock t.mutex;
+      (* materialise outside the lock: graph construction is real work *)
+      match
+        let graph = P.build_graph req.graph in
+        let arbiter = P.arbiter req.property in
+        { graph; ids = Identifiers.make_global graph; arbiter;
+          universes = P.universes req.property; last_used = 0; cost = 0 }
+      with
+      | e ->
+          e.cost <- graph_bytes e.graph;
+          Mutex.lock t.mutex;
+          e.last_used <- t.tick;
+          (* a racing dispatcher cannot exist (there is one), but be
+             idempotent anyway *)
+          let e = match Hashtbl.find_opt t.cache key with Some e' -> e' | None -> Hashtbl.replace t.cache key e; e in
+          Mutex.unlock t.mutex;
+          Result.Ok (e, false)
+      | exception Error.Error err -> Result.Error err)
+
+let answer entry (req : P.request) =
+  match req.P.query with
+  | P.Accepts player ->
+      let value =
+        match player with
+        | Game.Eve ->
+            Game.sigma_accepts ~engine:req.engine entry.arbiter entry.graph ~ids:entry.ids
+              ~universes:entry.universes
+        | Game.Adam ->
+            Game.pi_accepts ~engine:req.engine entry.arbiter entry.graph ~ids:entry.ids
+              ~universes:entry.universes
+      in
+      Result.Ok value
+  | P.Check certs ->
+      let n = G.card entry.graph in
+      let levels = entry.arbiter.Arbiter.levels in
+      if List.length certs <> levels then
+        Error.protocol_error ~what "check carries %d certificate levels, arbiter %s expects %d"
+          (List.length certs) entry.arbiter.Arbiter.name levels;
+      List.iteri
+        (fun l k ->
+          if Array.length k <> n then
+            Error.protocol_error ~what
+              "level %d certificate assignment covers %d nodes, graph has %d" l (Array.length k) n)
+        certs;
+      Result.Ok (entry.arbiter.Arbiter.accepts entry.graph ~ids:entry.ids ~certs)
+
+let run_job entry hit { req; reply } =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match answer entry req with
+    | r -> r
+    | exception Error.Error e -> Result.Error e
+    | exception e ->
+        Result.Error
+          (Error.Protocol_error
+             { what; detail = "engine failure: " ^ Printexc.to_string e; round = None; node = None })
+  in
+  let micros = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  reply { P.id = req.P.id; outcome; cache_hit = hit; micros = max 0 micros }
+
+let fail_job err { req; reply } =
+  reply { P.id = req.P.id; outcome = Result.Error err; cache_hit = false; micros = 0 }
+
+(* One drained batch: group by key (arrival order kept inside groups),
+   resolve each group's entry, fan the groups out over the domain pool. *)
+let process t batch =
+  let order = ref [] in
+  let groups : (string, job list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun job ->
+      let key = P.key job.req in
+      match Hashtbl.find_opt groups key with
+      | Some jobs -> jobs := job :: !jobs
+      | None ->
+          Hashtbl.add groups key (ref [ job ]);
+          order := key :: !order)
+    batch;
+  let grouped =
+    List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+  in
+  ignore
+    (Parallel.map
+       (fun jobs ->
+         match jobs with
+         | [] -> ()
+         | first :: _ -> (
+             match resolve_entry t first.req with
+             | Result.Ok (entry, hit) ->
+                 List.iteri (fun i job -> run_job entry (hit || i > 0) job) jobs
+             | Result.Error err -> List.iter (fail_job err) jobs))
+       grouped);
+  (* re-cost what this batch touched, then enforce the bound *)
+  Mutex.lock t.mutex;
+  Hashtbl.iter (fun _ e -> if e.last_used = t.tick then e.cost <- entry_cost e) t.cache;
+  enforce_cap t;
+  Mutex.unlock t.mutex
+
+let dispatch_loop t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.queue = [] && not t.stop do
+      Condition.wait t.wake t.mutex
+    done;
+    if t.queue = [] then Mutex.unlock t.mutex (* stopped and drained *)
+    else begin
+      let batch = List.rev t.queue in
+      t.queue <- [];
+      t.tick <- t.tick + 1;
+      t.s_batches <- t.s_batches + 1;
+      t.s_requests <- t.s_requests + List.length batch;
+      Mutex.unlock t.mutex;
+      process t batch;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?cache_mb () =
+  let mb = match cache_mb with Some m -> m | None -> cache_mb_env () in
+  if mb < 1 then invalid_arg "Scheduler.create: cache_mb must be positive";
+  Parallel.prewarm ();
+  let t =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = [];
+      stop = false;
+      cache = Hashtbl.create 16;
+      cap_bytes = mb * 1024 * 1024;
+      tick = 0;
+      s_requests = 0;
+      s_batches = 0;
+      s_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Thread.create (dispatch_loop t) ());
+  t
+
+let submit t req ~reply =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    fail_job
+      (Error.Protocol_error { what; detail = "scheduler is shut down"; round = None; node = None })
+      { req; reply }
+  end
+  else begin
+    t.queue <- { req; reply } :: t.queue;
+    Condition.signal t.wake;
+    Mutex.unlock t.mutex
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  match t.dispatcher with
+  | Some th ->
+      t.dispatcher <- None;
+      Thread.join th
+  | None -> ()
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      requests = t.s_requests;
+      batches = t.s_batches;
+      cache_hits = t.s_hits;
+      cache_misses = t.s_misses;
+      evictions = t.s_evictions;
+      entries = Hashtbl.length t.cache;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let cap_bytes t = t.cap_bytes

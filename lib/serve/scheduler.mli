@@ -1,0 +1,52 @@
+(** The daemon's batching scheduler. Connection threads {!submit}
+    requests; one dispatcher thread drains them in batches, groups each
+    batch by {!Protocol.key} (same property, same graph spec) and runs
+    the groups in parallel over the shared {!Lph_util.Parallel} domain
+    pool — requests within a group sequentially, against one
+    materialised (graph, identifiers, arbiter) entry, so the
+    per-(arbiter, graph) {!Lph_hierarchy.Game_sat} /
+    {!Lph_hierarchy.Game_cegar} compile caches and the
+    {!Lph_graph.Neighborhood} memos are shared across requests and
+    connections by construction.
+
+    Entries are LRU-bounded by estimated resident bytes
+    ([LPH_SERVE_CACHE_MB], default 256): after every batch the touched
+    entries are re-costed (graph size plus compiled ball tables) and
+    least-recently-used entries are evicted — through
+    {!Lph_hierarchy.Game_sat.evict_graph},
+    {!Lph_hierarchy.Game_cegar.evict_graph} and
+    {!Lph_graph.Neighborhood.evict}, and by dropping the graph
+    reference — until the estimate is back under the bound (the
+    most-recent entry is always kept, so a single oversized instance
+    cannot thrash). *)
+
+type t
+
+val create : ?cache_mb:int -> unit -> t
+(** Start a scheduler (spawns the dispatcher thread, prewarms the
+    shared domain pool). [cache_mb] overrides [LPH_SERVE_CACHE_MB];
+    raises [Invalid_argument] when either is non-positive. *)
+
+val submit : t -> Protocol.request -> reply:(Protocol.response -> unit) -> unit
+(** Enqueue a request. [reply] is invoked exactly once, from a
+    dispatcher-pool thread; it must not block for long and must not
+    raise. After {!shutdown}, replies immediately with a
+    [Protocol_error] outcome. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, finish the batches already queued (every
+    submitted request is still answered), and join the dispatcher. *)
+
+type stats = {
+  requests : int;
+  batches : int;
+  cache_hits : int;  (** requests served from a warm (property, graph) entry *)
+  cache_misses : int;  (** requests that had to materialise their entry *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  entries : int;  (** entries currently resident *)
+}
+
+val stats : t -> stats
+
+val cap_bytes : t -> int
+(** The configured LRU bound, in bytes. *)

@@ -1,0 +1,142 @@
+(* The accept loop: a Unix-domain-socket front end over {!Scheduler}.
+
+   One listener thread accepts; each connection gets a reader thread
+   that parses frames and submits requests, replies are written back by
+   whichever scheduler worker finished the job (a per-connection write
+   mutex keeps frames whole). A connection's requests are answered in
+   completion order, not arrival order — clients match on [id].
+
+   Failure discipline: a payload that does not decode gets a typed
+   error RESPONSE (the frame boundary is intact, the connection keeps
+   going); a broken frame — bad mode byte, over-cap length, truncation
+   — gets a best-effort error response and the connection is closed,
+   because stream synchronisation is gone. Nothing a client sends
+   reaches an exception the daemon does not catch. *)
+
+module P = Protocol
+module Codec = Lph_util.Codec
+module Error = Lph_util.Error
+
+type conn = { fd : Unix.file_descr; write_mutex : Mutex.t; mutable thread : Thread.t option }
+
+type t = {
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  path : string;
+  conns : (int, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable next_conn : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let send conn ~wire resp =
+  Mutex.lock conn.write_mutex;
+  (try P.write_frame conn.fd ~wire P.response_codec resp
+   with Unix.Unix_error _ | Error.Error _ -> () (* peer gone; reply dropped *));
+  Mutex.unlock conn.write_mutex
+
+let conn_loop t id conn () =
+  let rec loop () =
+    match P.read_frame conn.fd with
+    | None -> () (* clean EOF *)
+    | Some (wire, payload) ->
+        (match P.parse ~wire P.request_codec payload with
+        | req -> Scheduler.submit t.sched req ~reply:(fun resp -> send conn ~wire resp)
+        | exception Error.Error err ->
+            send conn ~wire
+              { P.id = 0; outcome = Result.Error err; cache_hit = false; micros = 0 });
+        loop ()
+    | exception Error.Error err ->
+        (* framing broken: answer once, then drop the connection *)
+        send conn ~wire:Codec.Packed
+          { P.id = 0; outcome = Result.Error err; cache_hit = false; micros = 0 }
+    | exception Unix.Unix_error _ -> () (* connection torn down *)
+  in
+  loop ();
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.conns_mutex
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        let conn = { fd; write_mutex = Mutex.create (); thread = None } in
+        Mutex.lock t.conns_mutex;
+        let id = t.next_conn in
+        t.next_conn <- id + 1;
+        if t.stopping then begin
+          Mutex.unlock t.conns_mutex;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Hashtbl.replace t.conns id conn;
+          conn.thread <- Some (Thread.create (conn_loop t id conn) ());
+          Mutex.unlock t.conns_mutex
+        end;
+        loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed: stop *)
+  in
+  loop ()
+
+let start ?cache_mb ~socket () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists socket then Unix.unlink socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      sched = Scheduler.create ?cache_mb ();
+      listen_fd;
+      path = socket;
+      conns = Hashtbl.create 8;
+      conns_mutex = Mutex.create ();
+      next_conn = 0;
+      stopping = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let socket_path t = t.path
+
+let stats t = Scheduler.stats t.sched
+
+let scheduler t = t.sched
+
+(* shutdown-then-close wakes threads blocked in read/accept (close
+   alone does not interrupt a blocked read on Linux) *)
+let nudge fd =
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    nudge t.listen_fd;
+    (match t.accept_thread with
+    | Some th ->
+        t.accept_thread <- None;
+        Thread.join th
+    | None -> ());
+    let threads =
+      Mutex.protect t.conns_mutex (fun () ->
+          Hashtbl.fold
+            (fun _ conn acc ->
+              (try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+              match conn.thread with Some th -> th :: acc | None -> acc)
+            t.conns [])
+    in
+    (* readers see EOF, drain their in-flight replies, close, exit *)
+    List.iter Thread.join threads;
+    Scheduler.shutdown t.sched;
+    if Sys.file_exists t.path then try Unix.unlink t.path with Unix.Unix_error _ | Sys_error _ -> ()
+  end

@@ -1,0 +1,35 @@
+(** The daemon front end: a Unix-domain-socket accept loop over
+    {!Scheduler}. One listener thread; one reader thread per
+    connection; replies written by scheduler workers under a
+    per-connection write mutex, in completion order (clients match on
+    {!Protocol.response.id}).
+
+    Client-proof by construction: an undecodable payload is answered
+    with a typed error response (id 0) and the connection continues; a
+    broken frame (bad mode byte, over-cap length, truncation) is
+    answered best-effort and the connection dropped — stream
+    synchronisation is gone. No client bytes can raise an exception the
+    daemon does not catch. *)
+
+type t
+
+val start : ?cache_mb:int -> socket:string -> unit -> t
+(** Bind and listen on a Unix-domain socket path (an existing file at
+    that path is unlinked first), start the scheduler and the accept
+    thread, and return immediately. [cache_mb] as in
+    {!Scheduler.create}. SIGPIPE is set to ignore — writes to dead
+    peers must surface as catchable [EPIPE], not kill the daemon. *)
+
+val stop : t -> unit
+(** Stop accepting, wake and join every connection reader, drain the
+    scheduler (queued requests are still answered, though replies to
+    already-closed connections are dropped), and remove the socket
+    file. Idempotent. *)
+
+val socket_path : t -> string
+
+val stats : t -> Scheduler.stats
+
+val scheduler : t -> Scheduler.t
+(** The underlying scheduler — for in-process callers that want to
+    bypass the socket (the bench harness's serve smoke). *)

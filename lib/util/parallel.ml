@@ -9,7 +9,16 @@
 
    Nested calls (a parallel sweep whose tasks themselves call a parallel
    solver) run sequentially in the inner layer instead of spawning
-   domains quadratically. *)
+   domains quadratically.
+
+   Helper domains are PERSISTENT: the first parallel call spawns a
+   shared worker team which later calls (combinators and [with_team]
+   alike) re-dispatch onto through a condition-variable barrier, so a
+   long-lived process — the serve daemon dispatching thousands of
+   batches — pays the domain-spawn cost once, not per call. The shared
+   team is leased with a try-lock: a second thread arriving while the
+   team is busy falls back to spawning its own throwaway workers
+   ([drive]), preserving the determinism contract under concurrency. *)
 
 let default_cap = 4
 
@@ -23,9 +32,21 @@ let jobs () =
 
 let inside_pool = Domain.DLS.new_key (fun () -> false)
 
+(* Every domain spawn in this module goes through [spawn] so tests can
+   assert reuse: a warmed pool serves any number of calls without the
+   counter moving. *)
+let total_spawned = Atomic.make 0
+
+let spawn f =
+  Atomic.incr total_spawned;
+  Domain.spawn f
+
+let domains_spawned () = Atomic.get total_spawned
+
 (* Run [task i] for every index, at most [jobs] at a time. [task] must
    itself decide what to record; [should_stop ()] lets it end the run
-   early. Exceptions from any worker are re-raised in the caller. *)
+   early. Exceptions from any worker are re-raised in the caller. The
+   throwaway-domain path, used only when the shared team is busy. *)
 let drive ~jobs:j ~n ~stop task =
   let next = Atomic.make 0 in
   let failure = Atomic.make None in
@@ -46,7 +67,7 @@ let drive ~jobs:j ~n ~stop task =
     in
     loop ()
   in
-  let helpers = List.init (min (j - 1) (max 0 (n - 1))) (fun _ -> Domain.spawn worker) in
+  let helpers = List.init (min (j - 1) (max 0 (n - 1))) (fun _ -> spawn worker) in
   worker ();
   List.iter Domain.join helpers;
   Domain.DLS.set inside_pool false;
@@ -57,66 +78,10 @@ let drive ~jobs:j ~n ~stop task =
 let effective_jobs j =
   if Domain.DLS.get inside_pool then 1 else match j with Some j -> j | None -> jobs ()
 
-let map ?jobs:j f xs =
-  let j = effective_jobs j in
-  if j <= 1 then List.map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let out = Array.make n None in
-    drive ~jobs:j ~n ~stop:(Atomic.make false) (fun i -> out.(i) <- Some (f arr.(i)));
-    List.init n (fun i -> match out.(i) with Some y -> y | None -> assert false)
-  end
-
-let find_map_first ?jobs:j f xs =
-  let j = effective_jobs j in
-  if j <= 1 then List.find_map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let out = Array.make n None in
-    let best = Atomic.make max_int in
-    let stop = Atomic.make false in
-    drive ~jobs:j ~n ~stop (fun i ->
-        (* indices beyond an already-found witness cannot win; earlier
-           ones are still pulled in order, so the minimum is exact *)
-        if i <= Atomic.get best then
-          match f arr.(i) with
-          | Some _ as hit ->
-              out.(i) <- hit;
-              let rec lower () =
-                let b = Atomic.get best in
-                if i < b && not (Atomic.compare_and_set best b i) then lower ()
-              in
-              lower ();
-              if Atomic.get best = 0 then Atomic.set stop true
-          | None -> ());
-    let rec first i = if i >= n then None else match out.(i) with Some _ as r -> r | None -> first (i + 1) in
-    first 0
-  end
-
-let exists ?jobs:j p xs =
-  let j = effective_jobs j in
-  if j <= 1 then List.exists p xs
-  else begin
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let stop = Atomic.make false in
-    let found = Atomic.make false in
-    drive ~jobs:j ~n ~stop (fun i ->
-        if p arr.(i) then begin
-          Atomic.set found true;
-          Atomic.set stop true
-        end);
-    Atomic.get found
-  end
-
-let for_all ?jobs p xs = not (exists ?jobs (fun x -> not (p x)) xs)
-
-(* A persistent worker team for round-structured workloads (the
-   synchronous runner): domains are spawned once and re-dispatched every
-   round through a condition-variable barrier, so the per-round cost is
-   two broadcasts instead of [jobs - 1] domain spawns. *)
+(* A persistent worker team for batch-structured workloads: domains are
+   spawned once and re-dispatched every batch through a
+   condition-variable barrier, so a batch costs two broadcasts instead
+   of [jobs - 1] domain spawns. *)
 
 type team = {
   jobs : int;
@@ -130,9 +95,26 @@ type team = {
   next : int Atomic.t;
   mutable active : int; (* helpers still working on the current epoch *)
   mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable helpers : unit Domain.t list;
 }
 
 let team_jobs t = t.jobs
+
+let make_team j =
+  {
+    jobs = j;
+    mutex = Mutex.create ();
+    start = Condition.create ();
+    finished = Condition.create ();
+    epoch = 0;
+    shutdown = false;
+    n = 0;
+    task = ignore;
+    next = Atomic.make 0;
+    active = 0;
+    failure = None;
+    helpers = [];
+  }
 
 (* Pull indices until exhausted; the first failure is recorded and ends
    the batch early (the counter is pushed past [n]). *)
@@ -173,6 +155,16 @@ let team_helper t () =
   loop ();
   Mutex.unlock t.mutex
 
+let spawn_helpers t = t.helpers <- List.init (t.jobs - 1) (fun _ -> spawn (team_helper t))
+
+let teardown t =
+  Mutex.lock t.mutex;
+  t.shutdown <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.helpers;
+  t.helpers <- []
+
 let team_iter t n task =
   if t.jobs <= 1 then
     for i = 0 to n - 1 do
@@ -205,32 +197,135 @@ let team_iter t n task =
     | None -> ()
   end
 
+(* ---- the shared team ------------------------------------------------
+
+   [shared_busy] is the lease: held from [acquire] to [release], so at
+   most one caller dispatches on the shared helpers at a time.
+   [shared_state] only guards the ref itself. A caller that cannot get
+   the lease (another thread is mid-batch) gets [None] and uses
+   throwaway domains instead — never blocks, never deadlocks, same
+   results. Changing [LPH_JOBS] between calls retires the old team
+   (helpers are joined under the lease, when no batch is in flight) and
+   spawns a fresh one at the new width. *)
+
+let shared_busy = Mutex.create ()
+
+let shared_state = Mutex.create ()
+
+let shared : team option ref = ref None
+
+let shutdown_registered = ref false
+
+(* Joined at exit so helper domains never outlive main. If some thread
+   still holds the lease at exit, skip: the runtime tears the process
+   down regardless, and joining would hang. *)
+let shutdown_shared () =
+  if Mutex.try_lock shared_busy then begin
+    Mutex.lock shared_state;
+    (match !shared with Some t -> teardown t | None -> ());
+    shared := None;
+    Mutex.unlock shared_state;
+    Mutex.unlock shared_busy
+  end
+
+let acquire j =
+  if j <= 1 then None
+  else if Mutex.try_lock shared_busy then
+    let t =
+      Mutex.protect shared_state (fun () ->
+          match !shared with
+          | Some t when t.jobs = j -> t
+          | prev ->
+              (match prev with Some t -> teardown t | None -> ());
+              let t = make_team j in
+              spawn_helpers t;
+              shared := Some t;
+              if not !shutdown_registered then begin
+                shutdown_registered := true;
+                at_exit shutdown_shared
+              end;
+              t)
+    in
+    Some t
+  else None
+
+let release () = Mutex.unlock shared_busy
+
+let prewarm ?jobs:j () =
+  match acquire (effective_jobs j) with Some _ -> release () | None -> ()
+
+(* Dispatch one batch: on the shared team when the lease is free, on
+   throwaway domains otherwise. *)
+let run_batch ~jobs:j ~n ~stop task =
+  match acquire j with
+  | Some t ->
+      Fun.protect ~finally:release (fun () ->
+          team_iter t n (fun i -> if not (Atomic.get stop) then task i))
+  | None -> drive ~jobs:j ~n ~stop task
+
+let map ?jobs:j f xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    run_batch ~jobs:j ~n ~stop:(Atomic.make false) (fun i -> out.(i) <- Some (f arr.(i)));
+    List.init n (fun i -> match out.(i) with Some y -> y | None -> assert false)
+  end
+
+let find_map_first ?jobs:j f xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.find_map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n None in
+    let best = Atomic.make max_int in
+    let stop = Atomic.make false in
+    run_batch ~jobs:j ~n ~stop (fun i ->
+        (* indices beyond an already-found witness cannot win; earlier
+           ones are still pulled in order, so the minimum is exact *)
+        if i <= Atomic.get best then
+          match f arr.(i) with
+          | Some _ as hit ->
+              out.(i) <- hit;
+              let rec lower () =
+                let b = Atomic.get best in
+                if i < b && not (Atomic.compare_and_set best b i) then lower ()
+              in
+              lower ();
+              if Atomic.get best = 0 then Atomic.set stop true
+          | None -> ());
+    let rec first i = if i >= n then None else match out.(i) with Some _ as r -> r | None -> first (i + 1) in
+    first 0
+  end
+
+let exists ?jobs:j p xs =
+  let j = effective_jobs j in
+  if j <= 1 then List.exists p xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let stop = Atomic.make false in
+    let found = Atomic.make false in
+    run_batch ~jobs:j ~n ~stop (fun i ->
+        if p arr.(i) then begin
+          Atomic.set found true;
+          Atomic.set stop true
+        end);
+    Atomic.get found
+  end
+
+let for_all ?jobs p xs = not (exists ?jobs (fun x -> not (p x)) xs)
+
 let with_team ?jobs:j f =
   let j = effective_jobs j in
-  let t =
-    {
-      jobs = j;
-      mutex = Mutex.create ();
-      start = Condition.create ();
-      finished = Condition.create ();
-      epoch = 0;
-      shutdown = false;
-      n = 0;
-      task = ignore;
-      next = Atomic.make 0;
-      active = 0;
-      failure = None;
-    }
-  in
-  if j <= 1 then f t
-  else begin
-    let helpers = List.init (j - 1) (fun _ -> Domain.spawn (team_helper t)) in
-    Fun.protect
-      ~finally:(fun () ->
-        Mutex.lock t.mutex;
-        t.shutdown <- true;
-        Condition.broadcast t.start;
-        Mutex.unlock t.mutex;
-        List.iter Domain.join helpers)
-      (fun () -> f t)
-  end
+  if j <= 1 then f (make_team j)
+  else
+    match acquire j with
+    | Some t -> Fun.protect ~finally:release (fun () -> f t)
+    | None ->
+        let t = make_team j in
+        spawn_helpers t;
+        Fun.protect ~finally:(fun () -> teardown t) (fun () -> f t)
