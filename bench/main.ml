@@ -65,6 +65,19 @@ type serving_entry = {
 
 let serving_entries : serving_entry list ref = ref []
 
+type fault_axis_entry = {
+  fa_workload : string;
+  fa_model : string;
+  fa_verdict : string;  (** "survive" / "flip" / "diverge" *)
+  fa_flip_budget : int option;  (** events in the cheapest flipping schedule *)
+  fa_degraded : bool;  (** survived through certified quorum degradation *)
+  fa_round_overhead : int;
+  fa_evals : int;
+  fa_spec : string option;  (** replay spec of the most damaging schedule *)
+}
+
+let fault_axis_entries : fault_axis_entry list ref = ref []
+
 let timed label f =
   let t0 = Unix.gettimeofday () in
   f ();
@@ -90,7 +103,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-7\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-8\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -120,6 +133,21 @@ let write_bench_json path =
         (json_escape workload) off_ms noop_ms overhead
         (if i = List.length fentries - 1 then "" else ","))
     fentries;
+  out "  ],\n  \"fault_axis\": [\n";
+  let fa = List.rev !fault_axis_entries in
+  List.iteri
+    (fun i e ->
+      let flip = match e.fa_flip_budget with Some b -> string_of_int b | None -> "null" in
+      let spec =
+        match e.fa_spec with Some s -> Printf.sprintf "\"%s\"" (json_escape s) | None -> "null"
+      in
+      out
+        "    {\"workload\": \"%s\", \"model\": \"%s\", \"verdict\": \"%s\", \"flip_budget\": %s, \
+         \"degraded\": %b, \"round_overhead\": %d, \"evals\": %d, \"spec\": %s}%s\n"
+        (json_escape e.fa_workload) (json_escape e.fa_model) (json_escape e.fa_verdict) flip
+        e.fa_degraded e.fa_round_overhead e.fa_evals spec
+        (if i = List.length fa - 1 then "" else ","))
+    fa;
   out "  ],\n  \"scaling\": [\n";
   let sentries = List.rev !scaling_entries in
   List.iteri
@@ -360,6 +388,58 @@ let serving_gate baseline_path =
               end)
         baseline;
       if !ok then row "[gate] no shared serving row regressed > 2x vs %s\n" baseline_path;
+      !ok
+
+(* The [fault_axis] array, same one-entry-per-line discipline. Only the
+   verdict matters to the gate: the axis is deterministic in (workload,
+   model, seed), so a changed verdict on a shared row is a semantic
+   regression — degraded robustness or lost soundness — not noise.
+   Baselines older than schema 8 have no such section; the gate passes
+   vacuously and activates on the next rotation. *)
+let read_baseline_fault_axis path =
+  try
+    let ic = open_in path in
+    let entries = ref [] in
+    let in_section = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if !in_section then begin
+           if String.length line > 0 && line.[0] = ']' then raise Exit;
+           try
+             Scanf.sscanf line "{\"workload\": %S, \"model\": %S, \"verdict\": %S"
+               (fun workload model verdict -> entries := ((workload, model), verdict) :: !entries)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         end
+         else if line = "\"fault_axis\": [" then in_section := true
+       done
+     with End_of_file | Exit -> ());
+    close_in ic;
+    if !in_section then Some (List.rev !entries) else None
+  with Sys_error _ -> None
+
+let fault_axis_gate baseline_path =
+  match read_baseline_fault_axis baseline_path with
+  | None ->
+      row "[gate] baseline %s has no fault_axis section; check activates next rotation\n"
+        baseline_path;
+      true
+  | Some baseline ->
+      let ok = ref true in
+      List.iter
+        (fun ((workload, model) as key, old_verdict) ->
+          match
+            List.find_opt (fun e -> (e.fa_workload, e.fa_model) = key) !fault_axis_entries
+          with
+          | None -> ()
+          | Some e ->
+              if e.fa_verdict <> old_verdict then begin
+                ok := false;
+                row "[gate] REGRESSION fault axis %s under %s: verdict %s vs baseline %s\n"
+                  workload model e.fa_verdict old_verdict
+              end)
+        baseline;
+      if !ok then row "[gate] no shared fault-axis verdict changed vs %s\n" baseline_path;
       !ok
 
 let rand_graphs ~count ~max_nodes ~extra seed =
@@ -1105,6 +1185,47 @@ let exp_faults_overhead () =
      on the plan-free path (Fault_plan.wire_active), so both rows should be within noise.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault axis: every shipped workload under every named fault model.   *)
+
+let exp_fault_axis () =
+  section "Fault axis: adversarial schedules per (workload, model) at budget f=1";
+  Fault_search.clear_cache ();
+  let workloads = Fault_workloads.shipped () in
+  let models = Fault_workloads.models ~f:1 in
+  row "%-22s %-18s %-9s %6s %6s %9s\n" "workload" "model" "verdict" "flip@" "evals" "overhead";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun model ->
+          let r = Fault_search.search ~seed:1 ~model w in
+          let verdict = Fault_search.verdict_string r.Fault_search.r_verdict in
+          let flip =
+            match r.Fault_search.r_flip_budget with Some b -> string_of_int b | None -> "-"
+          in
+          row "%-22s %-18s %-9s %6s %6d %9d\n" r.Fault_search.r_workload
+            r.Fault_search.r_model
+            (verdict ^ if r.Fault_search.r_degraded then "*" else "")
+            flip r.Fault_search.r_evals r.Fault_search.r_round_overhead;
+          fault_axis_entries :=
+            {
+              fa_workload = r.Fault_search.r_workload;
+              fa_model = r.Fault_search.r_model;
+              fa_verdict = verdict;
+              fa_flip_budget = r.Fault_search.r_flip_budget;
+              fa_degraded = r.Fault_search.r_degraded;
+              fa_round_overhead = r.Fault_search.r_round_overhead;
+              fa_evals = r.Fault_search.r_evals;
+              fa_spec = r.Fault_search.r_spec;
+            }
+            :: !fault_axis_entries)
+        models)
+    workloads;
+  row
+    "* = the crash survivors re-derived the fault-free verdict under quorum (graceful\n\
+     degradation). flip@ is the smallest event budget the greedy search needed to turn\n\
+     the global verdict; '-' means no flipping schedule was found within the eval budget.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Scaling series: wall-clock per instance size (the engine results).  *)
 
 let time_ms f =
@@ -1662,6 +1783,7 @@ let () =
   timed "step-time" exp_step_time;
   timed "engine-comparison" exp_engine;
   timed "faults-overhead" exp_faults_overhead;
+  timed "fault-axis" exp_fault_axis;
   timed "scaling" exp_scaling;
   timed "scaling-curves" exp_scaling_curves;
   timed "serving" exp_serving;
@@ -1675,5 +1797,6 @@ let () =
     let bechamel_ok = regression_gate base in
     let scaling_ok = scaling_gate base in
     let serving_ok = serving_gate base in
-    if not (bechamel_ok && scaling_ok && serving_ok) then exit 1
+    let fault_axis_ok = fault_axis_gate base in
+    if not (bechamel_ok && scaling_ok && serving_ok && fault_axis_ok) then exit 1
   end

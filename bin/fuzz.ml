@@ -214,6 +214,8 @@ let runner_campaign n =
         fired := !fired + List.length rep.Runner.faults;
         if rep.Runner.faults = [] && rep.Runner.error = None && rep.Runner.diverged = None then
           complain "empty fault report under %s" (Fault_plan.to_spec plan)
+    | Runner.Degraded _ ->
+        complain "Degraded outcome without quorum mode under %s" (Fault_plan.to_spec plan)
     | exception e ->
         complain "untyped escape from run_outcome under %s: %s" (Fault_plan.to_spec plan)
           (Printexc.to_string e));
@@ -224,7 +226,7 @@ let runner_campaign n =
     | Runner.Completed r ->
         if run_repr r <> run_repr base_run then
           complain "zero-rate plan changed the run under %s" (Fault_plan.to_spec noop)
-    | Runner.Faulted _ ->
+    | Runner.Faulted _ | Runner.Degraded _ ->
         complain "zero-rate plan reported faults under %s" (Fault_plan.to_spec noop)
   done;
   (!fired, !faulted)
@@ -356,18 +358,103 @@ let server_campaign n =
   (!fired, !frames)
 
 (* ------------------------------------------------------------------ *)
+(* Crash-stop campaign through the live daemon *)
+
+(* Crash-stop scenarios under quorum mode, interleaved with live daemon
+   traffic. Each scenario crash-stops up to f nodes of a random run
+   ([Runner.run_outcome ~quorum:f] with a compiled [Crash_stop] model
+   plan): the outcome must be typed, and a [Degraded] answer's promise
+   is re-audited against the fault-free twin. Between the faulted runs
+   the same process drives [Check] requests through a live daemon with
+   client retry enabled — degradation in the compute fabric must never
+   bleed into the serve path: the daemon owes the fault-free verdict,
+   every time, with no refusals and no garbled frames. *)
+let crash_campaign n =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lph-fuzz-crash-%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve_server.start ~socket () in
+  Fun.protect ~finally:(fun () -> Serve_server.stop server) @@ fun () ->
+  let client = Serve_client.connect ~wire:Codec.Packed ~retries:2 ~seed:1 ~socket () in
+  Fun.protect ~finally:(fun () -> Serve_client.close client) @@ fun () ->
+  let degraded = ref 0 and faulted = ref 0 in
+  for i = 0 to n - 1 do
+    let seed = scenario_seed (5_000_000 + i) in
+    let rng = Random.State.make [| seed |] in
+    let g =
+      Generators.random_connected ~rng
+        ~n:(3 + Random.State.int rng 5)
+        ~extra_edges:(Random.State.int rng 3) ~label_bits:1 ()
+    in
+    let ids = Identifiers.make_global g in
+    let algo =
+      if i mod 2 = 0 then Candidates.eulerian_decider else Candidates.constant_label_decider
+    in
+    let f = 1 + (i mod 2) in
+    let model = Fault_model.make ~rate:0.8 ~f Fault_model.Crash_stop in
+    let plan = Fault_model.compile model ~n:(Graph.card g) ~seed in
+    (match Runner.run_outcome ~round_limit:100 ~faults:plan ~quorum:f algo g ~ids () with
+    | Runner.Completed _ -> ()
+    | Runner.Degraded d ->
+        incr degraded;
+        if List.length d.Runner.crashed > f then
+          complain "Degraded with %d crashes over quorum %d under %s"
+            (List.length d.Runner.crashed) f (Fault_plan.to_spec plan);
+        let free = Runner.run algo g ~ids () in
+        List.iter
+          (fun u ->
+            if
+              (not (List.mem u d.Runner.crashed))
+              && Graph.label free.Runner.output u
+                 <> Graph.label d.Runner.deg_result.Runner.output u
+            then
+              complain "Degraded survivor %d diverges from the fault-free twin under %s" u
+                (Fault_plan.to_spec plan))
+          (Graph.nodes g)
+    | Runner.Faulted rep ->
+        incr faulted;
+        if rep.Runner.faults = [] && rep.Runner.error = None && rep.Runner.diverged = None then
+          complain "empty crash fault report under %s" (Fault_plan.to_spec plan)
+    | exception e ->
+        complain "untyped escape from a crash-stop run under %s: %s" (Fault_plan.to_spec plan)
+          (Printexc.to_string e));
+    (* the serve path, same process, same instant: crash degradation in
+       the runner must not perturb daemon answers *)
+    let name, property, spec, certs =
+      List.nth server_fixtures (i mod List.length server_fixtures)
+    in
+    let req =
+      { Serve_protocol.id = i; engine = `Auto; property; graph = spec;
+        query = Serve_protocol.Check certs }
+    in
+    match Serve_client.request ~retries:2 ~seed:i client req with
+    | { Serve_protocol.outcome = Ok false; _ } -> ()
+    | { Serve_protocol.outcome = Ok true; _ } ->
+        complain "daemon flipped the %s verdict during the crash campaign" name
+    | { Serve_protocol.outcome = Error e; _ } ->
+        complain "daemon refused %s during the crash campaign: %s" name (Error.to_string e)
+    | exception e ->
+        complain "escape across the protocol boundary on %s during the crash campaign: %s" name
+          (Printexc.to_string e)
+  done;
+  (!degraded, !faulted)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let na = scenarios / 4 in
-  let nb = scenarios / 4 in
-  let nc = scenarios / 4 in
-  let nd = scenarios - na - nb - nc in
+  let na = scenarios / 5 in
+  let nb = scenarios / 5 in
+  let nc = scenarios / 5 in
+  let nd = scenarios / 5 in
+  let ne = scenarios - na - nb - nc - nd in
   Printf.printf "lph-fuzz: %d scenarios, base plan %s\n%!" scenarios (Fault_plan.to_spec base);
   check_no_instances ();
   let cert_fired = cert_campaign na in
   let wire_fired, wire_typed = wire_campaign nb in
   let run_fired, run_faulted = runner_campaign nc in
   let srv_fired, srv_frames = server_campaign nd in
+  let crash_degraded, crash_faulted = crash_campaign ne in
   Printf.printf "  certificate: %4d scenarios, %4d tampers, 0 accept-flips allowed\n" na cert_fired;
   Printf.printf "  wire:        %4d scenarios, %4d tampers, %4d typed rejections\n" nb wire_fired
     wire_typed;
@@ -375,6 +462,8 @@ let () =
     run_fired run_faulted;
   Printf.printf "  server:      %4d scenarios, %4d tampers, %4d tampered-frame responses\n" nd
     srv_fired srv_frames;
+  Printf.printf "  crash-stop:  %4d scenarios, %4d Degraded, %4d Faulted, daemon answers checked\n"
+    ne crash_degraded crash_faulted;
   if !violations = 0 then Printf.printf "OK: no accept-flips, no untyped escapes\n"
   else begin
     Printf.printf "FAILED: %d violation(s)\n" !violations;

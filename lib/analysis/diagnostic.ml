@@ -14,6 +14,7 @@ type rule =
   | Cost_accounting
   | Cluster_radius
   | Output_poly
+  | Fault_spec
 
 let all_rules =
   [
@@ -28,6 +29,7 @@ let all_rules =
     Cost_accounting;
     Cluster_radius;
     Output_poly;
+    Fault_spec;
   ]
 
 let rule_id = function
@@ -42,6 +44,7 @@ let rule_id = function
   | Cost_accounting -> "codec/cost-accounting"
   | Cluster_radius -> "reduction/cluster-radius"
   | Output_poly -> "reduction/output-poly"
+  | Fault_spec -> "faults/spec-parse"
 
 let rule_of_id id = List.find_opt (fun r -> rule_id r = id) all_rules
 
@@ -91,6 +94,11 @@ let rule_doc = function
       ( "each node's encoded cluster output must fit the declared polynomial of its \
          gather-radius ball information",
         "Theorems 19/20 (Props 15-17)" )
+  | Fault_spec ->
+      ( "every registered fault fixture — plan spec or model spec — must parse under the \
+         typed grammar and survive a spec round-trip: replayability of faulted campaigns \
+         (CI matrices, faultlab replay lines) depends on these strings staying valid",
+        "fault-axis experiments (CC-PH robustness)" )
 
 type t = { spec : string; rule : rule; severity : severity; message : string }
 

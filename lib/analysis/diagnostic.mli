@@ -25,6 +25,7 @@ type rule =
   | Cost_accounting  (** encoded_length/bits_length agree with encode *)
   | Cluster_radius  (** reduction id_radius covers its gather radius *)
   | Output_poly  (** per-node reduction output fits the declared poly *)
+  | Fault_spec  (** registered fault fixtures parse and round-trip *)
 
 val rule_id : rule -> string
 (** Stable string form, e.g. ["arbiter/radius-sound"]. *)

@@ -84,6 +84,15 @@ let violations () =
         };
       ];
     codecs = [];
+    faults =
+      [
+        (* unknown kind, rate out of [0,1], missing seed, unknown model
+           name: one fixture per failure shape of the typed parsers *)
+        { Registry.fx_name = "fixture:unknown-kind"; fx_lang = Registry.Plan_spec; fx_spec = "warp:1" };
+        { Registry.fx_name = "fixture:rate-out-of-range"; fx_lang = Registry.Plan_spec; fx_spec = "all@1.5:1" };
+        { Registry.fx_name = "fixture:missing-seed"; fx_lang = Registry.Plan_spec; fx_spec = "all@0.3" };
+        { Registry.fx_name = "fixture:unknown-model"; fx_lang = Registry.Model_spec; fx_spec = "heisenberg/f1" };
+      ];
   }
 
 let expectations =
@@ -95,4 +104,8 @@ let expectations =
     ("fixture:unbounded-formula", Diagnostic.Bounded_quantifiers, Diagnostic.Error);
     ("fixture:misdeclared-sigma2", Diagnostic.Stratification, Diagnostic.Error);
     ("fixture:bad-reduction", Diagnostic.Cluster_radius, Diagnostic.Error);
+    ("fixture:unknown-kind", Diagnostic.Fault_spec, Diagnostic.Error);
+    ("fixture:rate-out-of-range", Diagnostic.Fault_spec, Diagnostic.Error);
+    ("fixture:missing-seed", Diagnostic.Fault_spec, Diagnostic.Error);
+    ("fixture:unknown-model", Diagnostic.Fault_spec, Diagnostic.Error);
   ]

@@ -16,6 +16,7 @@ type report = {
   formulas : int;
   reductions : int;
   codecs : int;
+  faults : int;
   diagnostics : D.t list;
 }
 
@@ -297,6 +298,50 @@ let analyze_codec (Registry.Codec_spec { c_name; codec; values }) =
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
+(* fault fixtures: the spec strings recorded campaigns replay through
+   must parse under the typed grammar and survive a spec round-trip *)
+
+let analyze_fault (fx : Registry.fault_fixture) =
+  let diags, add = collector fx.Registry.fx_name in
+  let lang_name =
+    match fx.Registry.fx_lang with
+    | Registry.Plan_spec -> "fault-plan"
+    | Registry.Model_spec -> "fault-model"
+  in
+  (match fx.Registry.fx_lang with
+  | Registry.Plan_spec -> (
+      match Lph_faults.Fault_plan.parse fx.Registry.fx_spec with
+      | plan -> (
+          let spec' = Lph_faults.Fault_plan.to_spec plan in
+          match Lph_faults.Fault_plan.parse spec' with
+          | _ -> ()
+          | exception Lph_util.Error.Error e ->
+              addf add D.Fault_spec D.Error
+                "plan spec %S round-trips to %S, which no longer parses: %s" fx.Registry.fx_spec
+                spec'
+                (Format.asprintf "%a" Lph_util.Error.pp e))
+      | exception Lph_util.Error.Error e ->
+          addf add D.Fault_spec D.Error "%s spec %S does not parse: %s" lang_name
+            fx.Registry.fx_spec
+            (Format.asprintf "%a" Lph_util.Error.pp e))
+  | Registry.Model_spec -> (
+      match Lph_faults.Fault_model.of_string fx.Registry.fx_spec with
+      | model -> (
+          let spec' = Lph_faults.Fault_model.to_string model in
+          match Lph_faults.Fault_model.of_string spec' with
+          | _ -> ()
+          | exception Lph_util.Error.Error e ->
+              addf add D.Fault_spec D.Error
+                "model spec %S round-trips to %S, which no longer parses: %s"
+                fx.Registry.fx_spec spec'
+                (Format.asprintf "%a" Lph_util.Error.pp e))
+      | exception Lph_util.Error.Error e ->
+          addf add D.Fault_spec D.Error "%s spec %S does not parse: %s" lang_name
+            fx.Registry.fx_spec
+            (Format.asprintf "%a" Lph_util.Error.pp e)));
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
 
 let run (registry : Registry.t) =
   let diagnostics =
@@ -304,12 +349,14 @@ let run (registry : Registry.t) =
     @ List.concat_map analyze_formula registry.Registry.formulas
     @ List.concat_map analyze_reduction registry.Registry.reductions
     @ List.concat_map analyze_codec registry.Registry.codecs
+    @ List.concat_map analyze_fault registry.Registry.faults
   in
   {
     arbiters = List.length registry.Registry.arbiters;
     formulas = List.length registry.Registry.formulas;
     reductions = List.length registry.Registry.reductions;
     codecs = List.length registry.Registry.codecs;
+    faults = List.length registry.Registry.faults;
     diagnostics;
   }
 
@@ -328,6 +375,7 @@ let report_to_json r =
             ("formulas", Json.Int r.formulas);
             ("reductions", Json.Int r.reductions);
             ("codecs", Json.Int r.codecs);
+            ("faults", Json.Int r.faults);
           ] );
       ("errors", Json.Int (List.length (errors r)));
       ("warnings", Json.Int (List.length (warnings r)));
@@ -337,8 +385,8 @@ let report_to_json r =
 let pp_report fmt r =
   List.iter (fun d -> Format.fprintf fmt "%a@." D.pp d) r.diagnostics;
   Format.fprintf fmt "%d spec(s) analysed (%d arbiters, %d formulas, %d reductions, %d \
-                      codecs): %d error(s), %d warning(s)@."
-    (r.arbiters + r.formulas + r.reductions + r.codecs)
-    r.arbiters r.formulas r.reductions r.codecs
+                      codecs, %d fault fixtures): %d error(s), %d warning(s)@."
+    (r.arbiters + r.formulas + r.reductions + r.codecs + r.faults)
+    r.arbiters r.formulas r.reductions r.codecs r.faults
     (List.length (errors r))
     (List.length (warnings r))

@@ -15,7 +15,11 @@
       accounting agrees with materialised encodings;
     - reduction rules (Theorems 19/20): constant cluster radius with
       the gather layer's identifier precondition, and per-node output
-      polynomial in the gathered ball.
+      polynomial in the gathered ball;
+    - fault-fixture rules (the fault axis): every registered fault
+      spec string — plan or model grammar — parses under the typed
+      parsers and survives a spec round-trip, so recorded campaigns
+      (CI matrices, faultlab replay lines) stay replayable.
 
     The analyzer is empirical where it must be (probing opaque code)
     and symbolic where it can be (quantifier structure, codec
@@ -25,7 +29,8 @@ type report = {
   arbiters : int;
   formulas : int;
   reductions : int;
-  codecs : int;  (** how many specs of each kind were analysed *)
+  codecs : int;
+  faults : int;  (** how many specs of each kind were analysed *)
   diagnostics : Diagnostic.t list;  (** in registry order *)
 }
 
@@ -33,6 +38,7 @@ val analyze_arbiter : Registry.arbiter_spec -> Diagnostic.t list
 val analyze_formula : Registry.formula_spec -> Diagnostic.t list
 val analyze_reduction : Registry.reduction_spec -> Diagnostic.t list
 val analyze_codec : Registry.codec_spec -> Diagnostic.t list
+val analyze_fault : Registry.fault_fixture -> Diagnostic.t list
 
 val run : Registry.t -> report
 

@@ -71,11 +71,16 @@ type reduction_spec = {
 type codec_spec =
   | Codec_spec : { c_name : string; codec : 'a C.t; values : 'a list } -> codec_spec
 
+type fault_lang = Plan_spec | Model_spec
+
+type fault_fixture = { fx_name : string; fx_lang : fault_lang; fx_spec : string }
+
 type t = {
   arbiters : arbiter_spec list;
   formulas : formula_spec list;
   reductions : reduction_spec list;
   codecs : codec_spec list;
+  faults : fault_fixture list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -271,10 +276,33 @@ let builtin_codecs () =
       };
   ]
 
+(* The fault spec strings the project depends on staying parseable:
+   the CI fuzz matrix cells, the documented grammar examples, the
+   replay-line shapes faultlab prints, and one model spec per named
+   fault model. A grammar change that silently invalidates any of
+   these breaks replayability of recorded campaigns. *)
+let builtin_faults () =
+  let plan name spec = { fx_name = name; fx_lang = Plan_spec; fx_spec = spec } in
+  let model name spec = { fx_name = name; fx_lang = Model_spec; fx_spec = spec } in
+  [
+    plan "ci:fuzz-all-0.3" "all@0.3:1";
+    plan "ci:fuzz-all-0.5" "all@0.5:77";
+    plan "ci:fuzz-cert-attacks" "cert-flip,cert-forge@0.9:13";
+    plan "doc:targets-budget" "corrupt,drop@0.5!0,3^2:9";
+    plan "replay:crash-event" "crash=crash/2/0:7";
+    plan "replay:pre-round-cert" "cert-flip=cert-flip/-1/0:1";
+    plan "replay:multi-event" "corrupt,drop=corrupt/1/0+drop/3/1:42";
+    model "model:crash-stop" "crash-stop/f1";
+    model "model:omission" "omission/f2@0.25";
+    model "model:byzantine-corrupt" "byzantine-corrupt/f1@0.9^2";
+    model "model:byzantine-forge" "byzantine-forge/f3";
+  ]
+
 let builtin () =
   {
     arbiters = builtin_arbiters ();
     formulas = builtin_formulas ();
     reductions = builtin_reductions ();
     codecs = builtin_codecs ();
+    faults = builtin_faults ();
   }

@@ -106,11 +106,25 @@ type codec_spec =
       -> codec_spec
       (** a codec and representative values for cost-accounting checks *)
 
+(** Which grammar a fault fixture must satisfy: the plan spec grammar
+    ({!Lph_faults.Fault_plan.parse}) or the model spec grammar
+    ({!Lph_faults.Fault_model.of_string}). *)
+type fault_lang = Plan_spec | Model_spec
+
+type fault_fixture = {
+  fx_name : string;
+  fx_lang : fault_lang;
+  fx_spec : string;
+      (** a spec string the project depends on staying parseable (CI
+          fuzz matrix cells, documented examples, replay-line shapes) *)
+}
+
 type t = {
   arbiters : arbiter_spec list;
   formulas : formula_spec list;
   reductions : reduction_spec list;
   codecs : codec_spec list;
+  faults : fault_fixture list;
 }
 
 val builtin : unit -> t

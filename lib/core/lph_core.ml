@@ -37,6 +37,9 @@ module Relation = Lph_logic.Relation
 (** {1 Machines (Section 4)} *)
 
 module Fault_plan = Lph_faults.Fault_plan
+module Fault_model = Lph_faults.Fault_model
+module Fault_search = Lph_faultlab.Fault_search
+module Fault_workloads = Lph_faultlab.Workloads
 module Turing = Lph_machine.Turing
 module Machines = Lph_machine.Machines
 module Local_algo = Lph_machine.Local_algo

@@ -1,0 +1,108 @@
+(* The shipped fault-axis workloads: the same instances the benchmark
+   and the paper's experiments exercise, packaged as {!Fault_search}
+   workloads with honest certificates. Yes-instances probe verdict
+   flips and graceful degradation; the no-instance fixtures probe
+   soundness (no in-budget adversary may manufacture an accept). *)
+
+module G = Lph_graph.Labeled_graph
+module Generators = Lph_graph.Generators
+module Identifiers = Lph_graph.Identifiers
+module B = Lph_util.Bitstring
+module Arbiter = Lph_hierarchy.Arbiter
+module Candidates = Lph_hierarchy.Candidates
+module Simulate = Lph_reductions.Simulate
+module Eulerian_red = Lph_reductions.Eulerian_red
+module Fagin = Lph_fagin.Compile
+module Graph_formulas = Lph_logic.Graph_formulas
+
+let colour_certs colours = Array.map B.of_int colours
+
+let shipped () =
+  let two_col =
+    (* C4 with the honest 2-colouring 0101: the smallest yes-instance
+       on which every fault kind has a wire to bite. *)
+    let g = Generators.cycle 4 in
+    let ids = Identifiers.make_global g in
+    Fault_search.workload ~name:"2col-game"
+      ~algo:(Candidates.color_verifier 2)
+      ~cert_list:(colour_certs [| 0; 1; 0; 1 |])
+      ~arbiter:(Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2))
+      ~universes:[ Candidates.color_universe 2 ]
+      ~ids g
+  in
+  let three_col =
+    (* C5 is 3-chromatic; honest colouring 0,1,0,1,2. *)
+    let g = Generators.cycle 5 in
+    let ids = Identifiers.make_global g in
+    Fault_search.workload ~name:"3col-game"
+      ~algo:(Candidates.color_verifier 3)
+      ~cert_list:(colour_certs [| 0; 1; 0; 1; 2 |])
+      ~arbiter:(Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3))
+      ~universes:[ Candidates.color_universe 3 ]
+      ~ids g
+  in
+  let eulerian =
+    (* EULERIAN through the cluster reduction: the simulating machine
+       hosts the inner decider, so wire faults hit the forwarded
+       inter-cluster traffic. C6 is Eulerian. *)
+    let g = Generators.cycle 6 in
+    let ids = Identifiers.make_global g in
+    Fault_search.workload ~name:"eulerian-reduction"
+      ~algo:(Simulate.through_reduction Eulerian_red.reduction ~inner:Candidates.eulerian_decider ())
+      ~ids g
+  in
+  let fagin =
+    (* 2-COLORABLE compiled from its LFO sentence (Theorem 12): the
+       adversary attacks the relation-fragment certificates of the
+       honest Fagin witness. *)
+    let g = Generators.path 3 in
+    let ids = Identifiers.make_global g in
+    let compiled = Fagin.compile Graph_formulas.two_colorable in
+    Fault_search.workload ~name:"fagin-2col" ~arbiter:compiled.Fagin.arbiter
+      ~universes:(Fagin.fragment_universes compiled g ~ids)
+      ~ids g
+  in
+  let sigma2 =
+    (* The Σ2 robust-2col verifier on C4: Eve's colouring joined with
+       Adam's flipped challenge is the honest two-level certificate. *)
+    let g = Generators.cycle 4 in
+    let ids = Identifiers.make_global g in
+    let certs = Array.init 4 (fun u -> Printf.sprintf "%d#%d" (u mod 2) (1 - (u mod 2))) in
+    Fault_search.workload ~name:"sigma2-robust-2col" ~algo:Candidates.robust_two_col_verifier
+      ~cert_list:certs ~ids g
+  in
+  [ two_col; three_col; eulerian; fagin; sigma2 ]
+
+type fixture = {
+  f_name : string;
+  f_arbiter : Arbiter.t;
+  f_graph : G.t;
+  f_ids : Identifiers.t;
+  f_universes : Lph_hierarchy.Game.universe list;
+}
+
+let soundness_fixtures () =
+  let odd_cycle =
+    let g = Generators.cycle 5 in
+    {
+      f_name = "2col-on-C5";
+      f_arbiter = Arbiter.of_local_algo ~id_radius:1 (Candidates.color_verifier 2);
+      f_graph = g;
+      f_ids = Identifiers.make_global g;
+      f_universes = [ Candidates.color_universe 2 ];
+    }
+  in
+  let k4 =
+    let g = Generators.complete 4 in
+    {
+      f_name = "3col-on-K4";
+      f_arbiter = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 3);
+      f_graph = g;
+      f_ids = Identifiers.make_global g;
+      f_universes = [ Candidates.color_universe 3 ];
+    }
+  in
+  [ odd_cycle; k4 ]
+
+let models ~f =
+  List.map (fun name -> Lph_faults.Fault_model.make ~f name) Lph_faults.Fault_model.all_names

@@ -1,0 +1,25 @@
+(** The shipped fault-axis workloads and soundness fixtures: the same
+    instances the benchmark and the paper's experiments exercise,
+    packaged for {!Fault_search}. *)
+
+val shipped : unit -> Fault_search.workload list
+(** The five yes-instance workloads the fault axis reruns under every
+    model: the 2-COL and 3-COL certificate games, EULERIAN through the
+    cluster reduction, 2-COLORABLE compiled via Fagin, and the Σ2
+    robust-2col verifier. *)
+
+type fixture = {
+  f_name : string;
+  f_arbiter : Lph_hierarchy.Arbiter.t;
+  f_graph : Lph_graph.Labeled_graph.t;
+  f_ids : Lph_graph.Identifiers.t;
+  f_universes : Lph_hierarchy.Game.universe list;
+}
+
+val soundness_fixtures : unit -> fixture list
+(** No-instances for {!Fault_search.cert_soundness}: an odd cycle
+    against the 2-colouring game and K4 against the 3-colouring game. *)
+
+val models : f:int -> Lph_faults.Fault_model.t list
+(** One model per {!Lph_faults.Fault_model.name}, all with node budget
+    [f] and default rate. *)

@@ -1,0 +1,146 @@
+(* Named fault models: the experimental axis the paper's robustness
+   question runs over. A model is a point in the lattice
+
+       Crash_stop  <  Omission  <  Byzantine_corrupt  <  Byzantine_forge
+
+   (each later model can simulate the earlier ones' damage), plus a
+   budget: at most [f] faulty nodes and, for message-level models, a
+   per-round cap on tampered messages per node. [compile] lowers a
+   model to a {!Fault_plan}: the f faulty nodes are chosen by the same
+   seeded coordinate hash the plan layer uses, so a (model, n, seed)
+   triple names one reproducible adversary. *)
+
+module Error = Lph_util.Error
+
+type name = Crash_stop | Omission | Byzantine_corrupt | Byzantine_forge
+
+let all_names = [ Crash_stop; Omission; Byzantine_corrupt; Byzantine_forge ]
+
+let name_string = function
+  | Crash_stop -> "crash-stop"
+  | Omission -> "omission"
+  | Byzantine_corrupt -> "byzantine-corrupt"
+  | Byzantine_forge -> "byzantine-forge"
+
+let name_of_string_opt = function
+  | "crash-stop" -> Some Crash_stop
+  | "omission" -> Some Omission
+  | "byzantine-corrupt" -> Some Byzantine_corrupt
+  | "byzantine-forge" -> Some Byzantine_forge
+  | _ -> None
+
+(* Which plan kinds a model's faulty nodes may exercise. Crash-stop
+   nodes fall silent; omission nodes lose messages; Byzantine-corrupt
+   nodes garble what they send and claim (certificates included);
+   Byzantine-forge nodes additionally fabricate certificates and
+   identities from whole cloth. *)
+let kinds_of = function
+  | Crash_stop -> [ Fault_plan.Crash ]
+  | Omission -> [ Fault_plan.Drop ]
+  | Byzantine_corrupt -> [ Fault_plan.Corrupt; Fault_plan.Truncate; Fault_plan.Cert_flip ]
+  | Byzantine_forge ->
+      [ Fault_plan.Corrupt; Fault_plan.Cert_flip; Fault_plan.Cert_forge; Fault_plan.Dup_id ]
+
+type t = { name : name; f : int; rate : float; wire_budget : int option }
+
+let what = "Fault_model"
+
+let make ?(rate = 0.5) ?wire_budget ~f name =
+  if f < 0 then Error.protocol_error ~what "faulty-node budget f=%d is negative" f;
+  if not (rate >= 0.0 && rate <= 1.0) then
+    Error.protocol_error ~what "rate %g is out of [0,1]" rate;
+  (match wire_budget with
+  | Some b when b < 0 -> Error.protocol_error ~what "wire budget %d is negative" b
+  | _ -> ());
+  { name; f; rate; wire_budget }
+
+let name t = t.name
+
+let f t = t.f
+
+let rate t = t.rate
+
+let wire_budget t = t.wire_budget
+
+let to_string t =
+  Printf.sprintf "%s/f%d%s%s" (name_string t.name) t.f
+    (if t.rate = 0.5 then "" else Printf.sprintf "@%g" t.rate)
+    (match t.wire_budget with None -> "" | Some b -> Printf.sprintf "^%d" b)
+
+let of_string spec =
+  let fail fmt = Error.protocol_error ~what fmt in
+  let head, budget =
+    match String.index_opt spec '^' with
+    | None -> (spec, None)
+    | Some i -> (
+        let b = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt (String.trim b) with
+        | Some v when v >= 0 -> (String.sub spec 0 i, Some v)
+        | _ -> fail "model spec %S: budget token %S is not a non-negative integer" spec b)
+  in
+  let head, rate =
+    match String.index_opt head '@' with
+    | None -> (head, 0.5)
+    | Some i -> (
+        let r = String.sub head (i + 1) (String.length head - i - 1) in
+        match float_of_string_opt (String.trim r) with
+        | Some v when v >= 0.0 && v <= 1.0 -> (String.sub head 0 i, v)
+        | _ -> fail "model spec %S: rate token %S is not a probability" spec r)
+  in
+  match String.index_opt head '/' with
+  | None -> fail "model spec %S has no /f<budget> segment" spec
+  | Some i -> (
+      let mname = String.sub head 0 i in
+      let ftok = String.sub head (i + 1) (String.length head - i - 1) in
+      match name_of_string_opt (String.trim mname) with
+      | None -> fail "model spec %S: unknown model %S" spec mname
+      | Some nm ->
+          if String.length ftok < 2 || ftok.[0] <> 'f' then
+            fail "model spec %S: budget token %S is not f<n>" spec ftok;
+          (match int_of_string_opt (String.sub ftok 1 (String.length ftok - 1)) with
+          | Some fv when fv >= 0 -> make ~rate ?wire_budget:budget ~f:fv nm
+          | _ -> fail "model spec %S: budget token %S is not f<n>" spec ftok))
+
+(* The f faulty nodes for an n-node instance: rank every node by the
+   seeded hash and take the f smallest ranks. Deterministic in (model,
+   n, seed), independent of everything else. *)
+let faulty_nodes t ~n ~seed =
+  if t.f = 0 || n = 0 then []
+  else if t.f >= n then List.init n Fun.id
+  else begin
+    let ranked =
+      List.init n (fun u -> (Fault_plan.hash_seeded ~seed (240 + t.f) [ n; u ], u))
+    in
+    let sorted = List.sort compare ranked in
+    let rec take k = function
+      | (_, u) :: rest when k > 0 -> u :: take (k - 1) rest
+      | _ -> []
+    in
+    List.sort compare (take t.f sorted)
+  end
+
+let compile t ~n ~seed =
+  let targets = faulty_nodes t ~n ~seed in
+  match targets with
+  | [] ->
+      (* an empty target set must never fire: the zero-rate plan is the
+         plan layer's canonical always-inert plan *)
+      Fault_plan.make ~rate:0.0 ~kinds:(kinds_of t.name) seed
+  | _ ->
+      Fault_plan.make ~rate:t.rate ~targets ?wire_budget:t.wire_budget ~kinds:(kinds_of t.name)
+        seed
+
+let schedule t ~n ~seed events =
+  let allowed = kinds_of t.name in
+  let targets = List.sort_uniq compare (List.map (fun (_, _, u) -> u) events) in
+  List.iter
+    (fun (k, _, _) ->
+      if not (List.mem k allowed) then
+        Error.protocol_error ~what "event kind %s is outside model %s" (Fault_plan.kind_name k)
+          (name_string t.name))
+    events;
+  if List.length targets > t.f then
+    Error.protocol_error ~what "schedule touches %d nodes, model budget is f=%d"
+      (List.length targets) t.f;
+  ignore n;
+  Fault_plan.make ?wire_budget:t.wire_budget ~events ~kinds:allowed seed

@@ -1,0 +1,75 @@
+(** Named fault models with budgets: the experimental axis.
+
+    A model is a point in the damage lattice
+
+    {v Crash_stop < Omission < Byzantine_corrupt < Byzantine_forge v}
+
+    together with a budget — at most [f] faulty nodes, and for the
+    message-level models an optional per-round cap on tampered outgoing
+    messages per node. {!compile} lowers a model to a deterministic
+    {!Fault_plan}: the f faulty nodes are chosen by the plan layer's own
+    seeded hash, so a (model, n, seed) triple names one reproducible
+    adversary and all the PR 4 machinery (zero-rate fast path, spec
+    round-tripping, typed errors) applies unchanged. {!schedule} builds
+    the explicit-event plan the adversarial search ({!Fault_search})
+    optimises, validating the schedule against the model's kind set and
+    node budget. *)
+
+type name =
+  | Crash_stop  (** faulty nodes fall silent at a seeded round *)
+  | Omission  (** faulty nodes lose outgoing messages *)
+  | Byzantine_corrupt
+      (** faulty nodes garble what they send and claim: corrupted or
+          truncated wires, flipped certificate bits *)
+  | Byzantine_forge
+      (** additionally fabricates certificates and identities from
+          whole cloth *)
+
+type t
+
+val all_names : name list
+
+val name_string : name -> string
+
+val name_of_string_opt : string -> name option
+
+val kinds_of : name -> Fault_plan.kind list
+(** The plan kinds a model's faulty nodes may exercise. *)
+
+val make : ?rate:float -> ?wire_budget:int -> f:int -> name -> t
+(** [make ~f name] is the model with at most [f] faulty nodes. [rate]
+    (default 0.5) is the per-event firing probability of compiled rate
+    plans; [wire_budget] caps tampered messages per (round, node).
+    Invalid budgets raise the typed [Error.Error (Protocol_error _)]. *)
+
+val name : t -> name
+
+val f : t -> int
+
+val rate : t -> float
+
+val wire_budget : t -> int option
+
+val to_string : t -> string
+(** [<name>/f<f>[@rate][^budget]], e.g. ["crash-stop/f2"],
+    ["byzantine-corrupt/f1@0.9^2"]. Round-trips through
+    {!of_string}. *)
+
+val of_string : string -> t
+(** Parse {!to_string}'s format; malformed specs raise the typed
+    [Error.Error (Protocol_error _)] naming the offending token. *)
+
+val faulty_nodes : t -> n:int -> seed:int -> int list
+(** The model's faulty-node set for an [n]-node instance under [seed]:
+    [min f n] distinct nodes, sorted, chosen by seeded hash ranking. *)
+
+val compile : t -> n:int -> seed:int -> Fault_plan.t
+(** The deterministic rate plan realising this model on an [n]-node
+    instance: kinds from {!kinds_of}, targets from {!faulty_nodes},
+    the model's rate and wire budget. [f = 0] compiles to the
+    zero-rate plan (provably inert). *)
+
+val schedule : t -> n:int -> seed:int -> Fault_plan.event list -> Fault_plan.t
+(** An explicit-event plan under this model's budget. Raises the typed
+    [Error.Error (Protocol_error _)] if an event's kind is outside the
+    model or the schedule touches more than [f] distinct nodes. *)

@@ -3,7 +3,20 @@
    the same spec and seed always produce the same faults, regardless of
    evaluation order, so every failure a fuzz campaign finds is
    reproducible from its spec string alone. No mutable state, no RNG
-   stream — each decision hashes (seed, kind, coordinates). *)
+   stream — each decision hashes (seed, kind, coordinates).
+
+   Two refinements sit on top of the seeded core, both still pure:
+
+   - budgets: an optional TARGET set restricts which nodes can be
+     faulty at all (the fault-model "at most f Byzantine nodes"
+     side condition) and an optional WIRE BUDGET caps how many of a
+     node's outgoing messages can be tampered per round;
+   - explicit EVENTS: a plan may carry a literal (kind, round, node)
+     schedule instead of hash decisions — the representation the
+     adversarial fault search (Fault_search) optimises over. Where a
+     fault lands within its target (which byte, which bit, which
+     round a crash picks) still comes from the seeded hashes, so an
+     event plan is exactly as reproducible as a rate plan. *)
 
 module Error = Lph_util.Error
 
@@ -21,16 +34,16 @@ let kind_name = function
   | Crash -> "crash"
   | Overcharge -> "overcharge"
 
-let kind_of_name = function
-  | "corrupt" -> Corrupt
-  | "truncate" -> Truncate
-  | "drop" -> Drop
-  | "cert-flip" -> Cert_flip
-  | "cert-forge" -> Cert_forge
-  | "dup-id" -> Dup_id
-  | "crash" -> Crash
-  | "overcharge" -> Overcharge
-  | s -> invalid_arg ("Fault_plan: unknown fault kind " ^ s)
+let kind_of_name_opt = function
+  | "corrupt" -> Some Corrupt
+  | "truncate" -> Some Truncate
+  | "drop" -> Some Drop
+  | "cert-flip" -> Some Cert_flip
+  | "cert-forge" -> Some Cert_forge
+  | "dup-id" -> Some Dup_id
+  | "crash" -> Some Crash
+  | "overcharge" -> Some Overcharge
+  | _ -> None
 
 let kind_index = function
   | Corrupt -> 0
@@ -42,12 +55,17 @@ let kind_index = function
   | Crash -> 6
   | Overcharge -> 7
 
+type event = kind * int * int
+
 type t = {
   seed : int;
   rate : float;
   threshold : int; (* [rate] scaled to the 30-bit hash range *)
   kinds : kind list;
   have : bool array; (* indexed by kind_index *)
+  targets : int array option; (* sorted distinct node indices; [None] = any node *)
+  wire_budget : int option; (* per-(round, src) cap on tampered outgoing messages *)
+  events : event list; (* explicit schedule; [] = hash-driven decisions *)
 }
 
 let seed t = t.seed
@@ -58,48 +76,155 @@ let kinds t = t.kinds
 
 let has t k = t.have.(kind_index k)
 
-let make ?(rate = 0.05) ~kinds seed =
+let targets t = t.targets
+
+let wire_budget t = t.wire_budget
+
+let events t = t.events
+
+let make ?(rate = 0.05) ?targets ?wire_budget ?(events = []) ~kinds seed =
   if not (rate >= 0.0 && rate <= 1.0) then invalid_arg "Fault_plan.make: rate must be in [0,1]";
+  (match wire_budget with
+  | Some b when b < 0 -> invalid_arg "Fault_plan.make: wire budget must be non-negative"
+  | _ -> ());
+  let targets =
+    match targets with
+    | None -> None
+    | Some l ->
+        List.iter
+          (fun u -> if u < 0 then invalid_arg "Fault_plan.make: target nodes must be non-negative")
+          l;
+        Some (Array.of_list (List.sort_uniq compare l))
+  in
+  let kinds =
+    if events = [] then kinds
+    else
+      (* an event plan's kind set is exactly the kinds its events name *)
+      List.filter (fun k -> List.exists (fun (k', _, _) -> k' = k) events) all_kinds
+  in
   let have = Array.make 8 false in
   List.iter (fun k -> have.(kind_index k) <- true) kinds;
-  { seed; rate; threshold = int_of_float (rate *. 1073741824.0); kinds; have }
+  { seed; rate; threshold = int_of_float (rate *. 1073741824.0); kinds; have; targets;
+    wire_budget; events }
+
+(* ---- spec grammar ---------------------------------------------------
+
+   <kinds>[@<rate>][!<targets>][^<budget>][=<events>]:<seed>
+
+   e.g. "all:7", "corrupt,drop@0.25:42", "crash!0,3@1:9" is rejected
+   (segments are ordered), "crash@1!0,3:9", "drop^2:5",
+   "=crash/2/0+drop/3/1:7". *)
 
 let to_spec t =
   let names =
     if List.length t.kinds = List.length all_kinds then "all"
     else String.concat "," (List.map kind_name t.kinds)
   in
-  if t.rate = 0.05 then Printf.sprintf "%s:%d" names t.seed
-  else Printf.sprintf "%s@%g:%d" names t.rate t.seed
+  let rate = if t.rate = 0.05 then "" else Printf.sprintf "@%g" t.rate in
+  let targets =
+    match t.targets with
+    | None -> ""
+    | Some a -> "!" ^ String.concat "," (List.map string_of_int (Array.to_list a))
+  in
+  let budget = match t.wire_budget with None -> "" | Some b -> Printf.sprintf "^%d" b in
+  let events =
+    match t.events with
+    | [] -> ""
+    | evs ->
+        "="
+        ^ String.concat "+"
+            (List.map (fun (k, r, u) -> Printf.sprintf "%s/%d/%d" (kind_name k) r u) evs)
+  in
+  Printf.sprintf "%s%s%s%s%s:%d" names rate targets budget events t.seed
+
+let what = "Fault_plan.parse"
 
 let parse spec =
-  let bad () =
-    invalid_arg
-      (Printf.sprintf "Fault_plan.parse: %S, expected <kinds>[@<rate>]:<seed> (e.g. \"all:7\")" spec)
+  let fail fmt = Error.protocol_error ~what fmt in
+  let split_at c s =
+    match String.index_opt s c with
+    | None -> (s, None)
+    | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
   in
   match String.rindex_opt spec ':' with
-  | None -> bad ()
-  | Some i -> (
+  | None -> fail "spec %S has no seed: expected <kinds>[@rate][!targets][^budget][=events]:<seed>" spec
+  | Some i ->
       let head = String.sub spec 0 i in
       let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
-      match int_of_string_opt (String.trim tail) with
-      | None -> bad ()
-      | Some seed ->
-          let head, rate =
-            match String.index_opt head '@' with
-            | None -> (head, 0.05)
-            | Some j -> (
-                let r = String.sub head (j + 1) (String.length head - j - 1) in
-                match float_of_string_opt (String.trim r) with
-                | Some r when r >= 0.0 && r <= 1.0 -> (String.sub head 0 j, r)
-                | _ -> bad ())
-          in
-          let kinds =
-            match String.trim head with
-            | "all" | "" -> all_kinds
-            | names -> List.map (fun n -> kind_of_name (String.trim n)) (String.split_on_char ',' names)
-          in
-          make ~rate ~kinds seed)
+      let seed =
+        match int_of_string_opt (String.trim tail) with
+        | Some s -> s
+        | None -> fail "spec %S: seed token %S is not an integer" spec tail
+      in
+      let head, events_s = split_at '=' head in
+      let head, budget_s = split_at '^' head in
+      let head, targets_s = split_at '!' head in
+      let head, rate_s = split_at '@' head in
+      let rate =
+        match rate_s with
+        | None -> 0.05
+        | Some r -> (
+            match float_of_string_opt (String.trim r) with
+            | Some v when v >= 0.0 && v <= 1.0 -> v
+            | Some _ -> fail "spec %S: rate token %S is out of [0,1]" spec r
+            | None -> fail "spec %S: rate token %S is not a number" spec r)
+      in
+      let targets =
+        match targets_s with
+        | None -> None
+        | Some "" -> fail "spec %S: empty target list after '!'" spec
+        | Some ts ->
+            Some
+              (List.map
+                 (fun tok ->
+                   match int_of_string_opt (String.trim tok) with
+                   | Some u when u >= 0 -> u
+                   | _ -> fail "spec %S: target token %S is not a node index" spec tok)
+                 (String.split_on_char ',' ts))
+      in
+      let wire_budget =
+        match budget_s with
+        | None -> None
+        | Some b -> (
+            match int_of_string_opt (String.trim b) with
+            | Some v when v >= 0 -> Some v
+            | _ -> fail "spec %S: budget token %S is not a non-negative integer" spec b)
+      in
+      let events =
+        match events_s with
+        | None -> []
+        | Some "" -> fail "spec %S: empty event list after '='" spec
+        | Some es ->
+            List.map
+              (fun tok ->
+                match String.split_on_char '/' tok with
+                | [ kn; rn; un ] -> (
+                    match
+                      ( kind_of_name_opt (String.trim kn),
+                        int_of_string_opt (String.trim rn),
+                        int_of_string_opt (String.trim un) )
+                    with
+                    | Some k, Some r, Some u when u >= 0 -> (k, r, u)
+                    | None, _, _ -> fail "spec %S: unknown fault kind %S in event %S" spec kn tok
+                    | _ -> fail "spec %S: event token %S is not <kind>/<round>/<node>" spec tok)
+                | _ -> fail "spec %S: event token %S is not <kind>/<round>/<node>" spec tok)
+              (String.split_on_char '+' es)
+      in
+      let kinds =
+        match String.trim head with
+        | "all" -> all_kinds
+        | "" when events <> [] -> [] (* event plans may omit the kind list *)
+        | "" -> fail "spec %S has no fault kinds before ':'" spec
+        | names ->
+            List.map
+              (fun n ->
+                let n = String.trim n in
+                match kind_of_name_opt n with
+                | Some k -> k
+                | None -> fail "spec %S: unknown fault kind %S" spec n)
+              (String.split_on_char ',' names)
+      in
+      make ~rate ?targets ?wire_budget ~events ~kinds seed
 
 let of_env () =
   match Sys.getenv_opt "LPH_FAULTS" with
@@ -118,19 +243,45 @@ let finish h =
   let h = h * 0x2545F491 land max_int in
   (h lxor (h lsr 31)) land 0x3FFFFFFF
 
-let hash30 t tag xs = finish (List.fold_left mix (mix (mix 0x6c7068 t.seed) tag) xs)
+let hash_seeded ~seed tag xs = finish (List.fold_left mix (mix (mix 0x6c7068 seed) tag) xs)
+
+let hash30 t tag xs = hash_seeded ~seed:t.seed tag xs
+
+let targeted t node =
+  match t.targets with
+  | None -> true
+  | Some a ->
+      (* sorted, tiny in practice: binary search *)
+      let rec go lo hi =
+        lo < hi
+        &&
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = node then true else if a.(mid) < node then go (mid + 1) hi else go lo mid
+      in
+      go 0 (Array.length a)
+
+let scheduled t k ~round ~node =
+  List.exists (fun (k', r, u) -> k' = k && r = round && u = node) t.events
 
 (* [threshold = 0] (a zero-rate plan, the overhead probe) decides
-   without hashing — the decision is constant *)
-let fires t k xs =
-  t.have.(kind_index k) && t.threshold > 0 && hash30 t (kind_index k) xs < t.threshold
+   without hashing — the decision is constant. [round]/[node] are the
+   event coordinates (the faulty node, and -1 for pre-round faults);
+   [xs] feeds the hash, which may use finer coordinates. *)
+let fires t k ~round ~node xs =
+  if t.events <> [] then scheduled t k ~round ~node
+  else
+    t.have.(kind_index k) && t.threshold > 0 && targeted t node
+    && hash30 t (kind_index k) xs < t.threshold
 
 (* wire faults share one guard the runner can hoist out of its
    per-message delivery loop: when no transport kind can ever fire the
    plan-installed path collapses to the plan-free one *)
 let wire_active t =
-  t.threshold > 0
-  && (t.have.(kind_index Drop) || t.have.(kind_index Truncate) || t.have.(kind_index Corrupt))
+  let wire_kind k = k = Drop || k = Truncate || k = Corrupt in
+  if t.events <> [] then List.exists (fun (k, _, _) -> wire_kind k) t.events
+  else
+    t.threshold > 0
+    && (t.have.(kind_index Drop) || t.have.(kind_index Truncate) || t.have.(kind_index Corrupt))
 
 (* positional choices use a disjoint tag space so "whether" and "where"
    are independent *)
@@ -138,24 +289,39 @@ let pick t k xs bound = hash30 t (64 + kind_index k) xs mod bound
 
 let pick2 t k xs bound = hash30 t (128 + kind_index k) xs mod bound
 
+(* the per-(round, src) wire budget: message slot [i] of [degree] is
+   tamperable iff one of the budget's seeded slot choices lands on it —
+   at most [budget] slots per (round, src), decided statelessly *)
+let budget_allows t ~round ~src ~slot ~degree =
+  match (t.wire_budget, slot, degree) with
+  | None, _, _ -> true
+  | Some b, Some i, Some d when d > 0 ->
+      let b = min b d in
+      let rec go j = j < b && (hash30 t 192 [ round; src; j ] mod d = i || go (j + 1))
+      in
+      go 0
+  | Some b, _, _ -> b > 0 (* no slot information: only a zero budget can refuse *)
+
 let fault t k ~round ~node detail =
   { Error.fault_kind = kind_name k; seed = t.seed; round; node; detail }
 
-let tamper_wire t ~round ~src ~dst wire =
+let tamper_wire ?slot ?degree t ~round ~src ~dst wire =
   let len = String.length wire in
   if len = 0 then (Some wire, None)
+  else if not (budget_allows t ~round ~src ~slot ~degree) then (Some wire, None)
   else
     let xs = [ round; src; dst ] in
-    if fires t Drop xs then
+    let fires k = fires t k ~round ~node:src xs in
+    if fires Drop then
       (None, Some (fault t Drop ~round ~node:src (Printf.sprintf "message to node %d dropped" dst)))
-    else if fires t Truncate xs then begin
+    else if fires Truncate then begin
       let keep = pick t Truncate xs len in
       ( Some (String.sub wire 0 keep),
         Some
           (fault t Truncate ~round ~node:src
              (Printf.sprintf "message to node %d truncated %d -> %d bytes" dst len keep)) )
     end
-    else if fires t Corrupt xs then begin
+    else if fires Corrupt then begin
       let i = pick t Corrupt xs len in
       let c =
         match wire.[i] with
@@ -173,12 +339,12 @@ let tamper_wire t ~round ~src ~dst wire =
     else (Some wire, None)
 
 let tamper_cert t ~node cert =
-  if fires t Cert_forge [ node ] then begin
+  if fires t Cert_forge ~round:(-1) ~node [ node ] then begin
     let len = 1 + pick t Cert_forge [ node ] (max 8 (String.length cert)) in
     let forged = String.init len (fun i -> if hash30 t 200 [ node; i ] land 1 = 1 then '1' else '0') in
     (forged, Some (fault t Cert_forge ~round:(-1) ~node (Printf.sprintf "forged %d-bit certificate" len)))
   end
-  else if String.length cert > 0 && fires t Cert_flip [ node ] then begin
+  else if String.length cert > 0 && fires t Cert_flip ~round:(-1) ~node [ node ] then begin
     let i = pick t Cert_flip [ node ] (String.length cert) in
     let c = match cert.[i] with '0' -> '1' | '1' -> '0' | _ -> '0' in
     let b = Bytes.of_string cert in
@@ -188,27 +354,52 @@ let tamper_cert t ~node cert =
   end
   else (cert, None)
 
+let dup_onto t ids a b =
+  let ids' = Array.copy ids in
+  ids'.(b) <- ids.(a);
+  ( ids',
+    Some
+      (fault t Dup_id ~round:(-1) ~node:b
+         (Printf.sprintf "identifier of node %d duplicated onto node %d" a b)) )
+
 let tamper_ids t ids =
   let n = Array.length ids in
-  if n >= 2 && fires t Dup_id [ n ] then begin
+  if n < 2 then (ids, None)
+  else if t.events <> [] then
+    (* the event names the node whose identifier is overwritten *)
+    match
+      List.find_opt (fun (k, r, u) -> k = Dup_id && r = -1 && u >= 0 && u < n) t.events
+    with
+    | Some (_, _, b) ->
+        let a = pick t Dup_id [ 0; n; b ] (n - 1) in
+        let a = if a >= b then a + 1 else a in
+        dup_onto t ids a b
+    | None -> (ids, None)
+  else if t.have.(kind_index Dup_id) && t.threshold > 0 && hash30 t (kind_index Dup_id) [ n ] < t.threshold
+  then begin
     let a = pick t Dup_id [ 0; n ] n in
     let b = pick t Dup_id [ 1; n ] (n - 1) in
     let b = if b >= a then b + 1 else b in
-    let ids' = Array.copy ids in
-    ids'.(b) <- ids.(a);
-    ( ids',
-      Some
-        (fault t Dup_id ~round:(-1) ~node:b
-           (Printf.sprintf "identifier of node %d duplicated onto node %d" a b)) )
+    (* the faulty node is the one claiming a duplicated identifier *)
+    if targeted t b then dup_onto t ids a b else (ids, None)
   end
   else (ids, None)
 
-let crash_round t ~node = if fires t Crash [ node ] then Some (1 + pick t Crash [ node ] 8) else None
+let crash_round t ~node =
+  if t.events <> [] then
+    List.fold_left
+      (fun acc (k, r, u) ->
+        if k = Crash && u = node && r >= 1 then
+          match acc with Some r' when r' <= r -> acc | _ -> Some r
+        else acc)
+      None t.events
+  else if fires t Crash ~round:(-1) ~node [ node ] then Some (1 + pick t Crash [ node ] 8)
+  else None
 
 let crash_fault t ~round ~node = fault t Crash ~round ~node "crash-stop"
 
 let overcharge t ~round ~node =
-  if fires t Overcharge [ round; node ] then
+  if fires t Overcharge ~round ~node [ round; node ] then
     let k = 1 + pick t Overcharge [ round; node ] 1024 in
     Some (k, fault t Overcharge ~round ~node (Printf.sprintf "+%d bits charged" k))
   else None

@@ -11,11 +11,28 @@
     [LPH_FAULTS] environment variable. With no plan installed the hook
     is a single match on [None] — zero overhead.
 
-    Spec grammar: [<kinds>[@<rate>]:<seed>] where [<kinds>] is [all] or
-    a comma-separated subset of [corrupt], [truncate], [drop],
-    [cert-flip], [cert-forge], [dup-id], [crash], [overcharge]; [<rate>]
-    is a per-event firing probability in [0,1] (default 0.05). Examples:
-    ["all:7"], ["corrupt,drop:42"], ["cert-forge@0.5:3"]. *)
+    On top of the seeded rate core a plan can carry budgets and explicit
+    schedules, still pure:
+
+    - a {e target set} ([!0,3] in the grammar) restricts which nodes can
+      be faulty at all — the fault-model "at most f faulty nodes" side
+      condition ({!Fault_model});
+    - a {e wire budget} ([^2]) caps how many of a node's outgoing
+      messages can be tampered per round, decided by seeded slot
+      choices;
+    - an {e event list} ([=crash/2/0+drop/3/1]) replaces the hash-based
+      "whether" decisions with a literal (kind, round, node) schedule —
+      the representation the adversarial fault search optimises over.
+      Pre-round faults (certificates, identifiers) use round [-1].
+      Positional choices (which byte, which bit) still come from the
+      seeded hashes.
+
+    Spec grammar: [<kinds>[@<rate>][!<targets>][^<budget>][=<events>]:<seed>]
+    where [<kinds>] is [all] or a comma-separated subset of [corrupt],
+    [truncate], [drop], [cert-flip], [cert-forge], [dup-id], [crash],
+    [overcharge]; [<rate>] is a per-event firing probability in [0,1]
+    (default 0.05). Examples: ["all:7"], ["corrupt,drop:42"],
+    ["cert-forge@0.5:3"], ["crash@1!0,3:9"], ["=crash/2/0:7"]. *)
 
 type kind =
   | Corrupt  (** flip one byte (or one bit character) of a message *)
@@ -27,22 +44,43 @@ type kind =
   | Crash  (** crash-stop a node at a seeded round *)
   | Overcharge  (** inflate a node's per-round charge *)
 
+type event = kind * int * int
+(** One scheduled fault: (kind, round, node). Round [-1] means the
+    pre-round phase (certificate and identifier tampering); wire events
+    name the {e sending} node and fire for each of its messages that
+    round (the wire budget still applies). *)
+
 type t
 
 val all_kinds : kind list
 
 val kind_name : kind -> string
 
-val make : ?rate:float -> kinds:kind list -> int -> t
+val kind_of_name_opt : string -> kind option
+
+val make :
+  ?rate:float ->
+  ?targets:int list ->
+  ?wire_budget:int ->
+  ?events:event list ->
+  kinds:kind list ->
+  int ->
+  t
 (** [make ~kinds seed] builds a plan. [rate] is the per-event firing
     probability (default 0.05); raises [Invalid_argument] outside
     [0,1]. [rate = 0.0] is a valid plan that never fires — used to
-    measure hook overhead. *)
+    measure hook overhead. [targets] restricts faults to the listed
+    nodes (deduplicated, sorted); [wire_budget] caps tampered outgoing
+    messages per (round, node). A non-empty [events] list makes the
+    plan an explicit schedule: only the listed (kind, round, node)
+    events fire, and the plan's kind set becomes exactly the kinds the
+    events name. *)
 
 val parse : string -> t
-(** Parse a spec string (grammar above); raises [Invalid_argument] on
-    malformed specs — this is configuration validation, not a
-    wire-reachable path. *)
+(** Parse a spec string (grammar above). Malformed specs raise the
+    typed [Error.Error (Protocol_error _)] naming the offending token —
+    configuration from [LPH_FAULTS] is untrusted input like any other
+    wire. *)
 
 val of_env : unit -> t option
 (** The plan requested by [LPH_FAULTS], if any. Unset, [""] and ["off"]
@@ -60,6 +98,19 @@ val kinds : t -> kind list
 
 val has : t -> kind -> bool
 
+val targets : t -> int array option
+(** The sorted target set, if the plan is node-budgeted. *)
+
+val wire_budget : t -> int option
+
+val events : t -> event list
+(** The explicit schedule; [[]] for hash-driven plans. *)
+
+val hash_seeded : seed:int -> int -> int list -> int
+(** The plan layer's 30-bit coordinate hash, exposed so fault models
+    can make the same style of deterministic seeded choices (e.g.
+    picking which f nodes are faulty) without a second hash family. *)
+
 val wire_active : t -> bool
 (** Whether any transport fault ({!Corrupt}, {!Truncate}, {!Drop}) can
     ever fire under this plan. The runner hoists this check out of its
@@ -75,17 +126,29 @@ val wire_active : t -> bool
     "no fault metadata" and "no behavioural difference" coincide. *)
 
 val tamper_wire :
-  t -> round:int -> src:int -> dst:int -> string -> string option * Lph_util.Error.fault option
+  ?slot:int ->
+  ?degree:int ->
+  t ->
+  round:int ->
+  src:int ->
+  dst:int ->
+  string ->
+  string option * Lph_util.Error.fault option
 (** Transport hook for one message. Returns [None] for a dropped
     message, [Some wire] otherwise. Empty wires are never tampered
-    (dropping or corrupting nothing is a no-op). *)
+    (dropping or corrupting nothing is a no-op). [slot]/[degree] locate
+    the message among the sender's outgoing edges; the wire budget is
+    enforced against them (callers that omit them bypass the budget
+    unless it is zero). *)
 
 val tamper_cert : t -> node:int -> string -> string * Lph_util.Error.fault option
 (** Certificate-list hook: bit flips and wholesale forgeries. *)
 
 val tamper_ids : t -> string array -> string array * Lph_util.Error.fault option
 (** Identifier-assignment hook: may duplicate one identifier onto
-    another node (the input array is not mutated). *)
+    another node (the input array is not mutated). Under a target set
+    the overwritten node must be a target; under an event schedule the
+    [Dup_id] event names it. *)
 
 val crash_round : t -> node:int -> int option
 (** [Some r] if the plan crash-stops [node] at round [r] (1-based). *)

@@ -29,7 +29,14 @@ type fault_report = {
   partial : result option;
 }
 
-type outcome = Completed of result | Faulted of fault_report
+type degraded_report = {
+  survivors : int;
+  crashed : int list;
+  deg_result : result;
+  deg_faults : Error.fault list;
+}
+
+type outcome = Completed of result | Degraded of degraded_report | Faulted of fault_report
 
 (* The ambient plan is read from LPH_FAULTS once at start-up; with no
    plan installed the fault hook below is a single [match] on [None]
@@ -210,7 +217,10 @@ let run_core ?(round_limit = 1000) ~plan ~record (Local_algo.Packed algo) g ~ids
                 match wire_plan with
                 | None -> m
                 | Some p -> (
-                    match Fault_plan.tamper_wire p ~round:!round ~src:u ~dst:v m.Local_algo.wire with
+                    match
+                      Fault_plan.tamper_wire ~slot:i ~degree:(Array.length ne.neighbours) p
+                        ~round:!round ~src:u ~dst:v m.Local_algo.wire
+                    with
                     | Some _, None -> m
                     | Some w, Some f ->
                         record f;
@@ -258,7 +268,39 @@ let run ?round_limit ?faults algo g ~ids ?cert_list () =
   let plan = match faults with Some _ as p -> p | None -> !ambient_plan in
   run_core ?round_limit ~plan ~record:ignore_fault algo g ~ids ?cert_list ()
 
-let run_outcome ?round_limit ?faults algo g ~ids ?cert_list () =
+(* Quorum mode: a faulted run whose only fired faults are crash-stops
+   of at most [quorum] nodes, and whose surviving nodes still computed
+   exactly the labels of the fault-free twin run, degrades to
+   [Degraded] — the survivors' verdict is sound. Costs one extra
+   fault-free run, paid only when the crash pattern qualifies. *)
+let degrade ?round_limit ~quorum algo g ~ids ?cert_list faults result =
+  let crashed =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (f : Error.fault) -> if f.Error.fault_kind = "crash" then Some f.Error.node else None)
+         faults)
+  in
+  if crashed = [] || List.length crashed > quorum then None
+  else if List.exists (fun (f : Error.fault) -> f.Error.fault_kind <> "crash") faults then None
+  else
+    let clean = run_core ?round_limit ~plan:None ~record:ignore_fault algo g ~ids ?cert_list () in
+    let n = G.card result.output in
+    let survives u = not (List.mem u crashed) in
+    let agree = ref true in
+    for u = 0 to n - 1 do
+      if survives u && G.label result.output u <> G.label clean.output u then agree := false
+    done;
+    if !agree then
+      Some
+        {
+          survivors = n - List.length crashed;
+          crashed;
+          deg_result = result;
+          deg_faults = faults;
+        }
+    else None
+
+let run_outcome ?round_limit ?faults ?quorum algo g ~ids ?cert_list () =
   let plan = match faults with Some _ as p -> p | None -> !ambient_plan in
   match plan with
   | None -> Completed (run_core ?round_limit ~plan:None ~record:ignore_fault algo g ~ids ?cert_list ())
@@ -266,9 +308,16 @@ let run_outcome ?round_limit ?faults algo g ~ids ?cert_list () =
       let log = ref [] in
       let record f = log := f :: !log in
       match run_core ?round_limit ~plan ~record algo g ~ids ?cert_list () with
-      | result ->
+      | result -> (
           if !log = [] then Completed result
-          else Faulted { faults = List.rev !log; error = None; diverged = None; partial = Some result }
+          else
+            let faults = List.rev !log in
+            match quorum with
+            | Some q when q > 0 -> (
+                match degrade ?round_limit ~quorum:q algo g ~ids ?cert_list faults result with
+                | Some d -> Degraded d
+                | None -> Faulted { faults; error = None; diverged = None; partial = Some result })
+            | _ -> Faulted { faults; error = None; diverged = None; partial = Some result })
       | exception Error.Error e ->
           Faulted { faults = List.rev !log; error = Some e; diverged = None; partial = None }
       | exception Diverged d ->

@@ -55,10 +55,22 @@ type fault_report = {
       (** the tainted result, when the run still ran to completion *)
 }
 
+type degraded_report = {
+  survivors : int;  (** nodes that did not crash *)
+  crashed : int list;  (** crash-stopped nodes, sorted *)
+  deg_result : result;  (** the degraded run; survivor labels are sound *)
+  deg_faults : Lph_util.Error.fault list;  (** the crash faults that fired *)
+}
+
 type outcome =
   | Completed of result
       (** No injected fault fired: the result is bit-identical to the
           fault-free run. *)
+  | Degraded of degraded_report
+      (** Quorum mode only: every fired fault was a crash-stop, at most
+          [quorum] nodes crashed, and every surviving node's output
+          label equals the fault-free run's — the survivors' verdict is
+          sound even though the run was faulted. *)
   | Faulted of fault_report
       (** At least one fault fired (or the faulted run raised a typed
           error / diverged): never trust [partial] as a verdict. *)
@@ -93,6 +105,7 @@ val run :
 val run_outcome :
   ?round_limit:int ->
   ?faults:Lph_faults.Fault_plan.t ->
+  ?quorum:int ->
   Local_algo.packed ->
   Lph_graph.Labeled_graph.t ->
   ids:Lph_graph.Identifiers.t ->
@@ -105,7 +118,15 @@ val run_outcome :
     together with every fault that fired. [Completed r] is a guarantee
     that no injected fault fired, so [r] equals the fault-free run's
     result. Without an active plan this is exactly [run] (errors
-    propagate as exceptions). *)
+    propagate as exceptions).
+
+    [quorum] opts into graceful degradation for crash-stop faults: when
+    the only faults that fired are crash-stops of at most [quorum]
+    nodes and every survivor's output label matches the fault-free twin
+    run (verified by actually running it), the outcome is {!Degraded}
+    instead of {!Faulted} — the surviving verdict is certified sound.
+    Any non-crash fault, or more than [quorum] crashed nodes, or a
+    survivor label divergence falls back to {!Faulted}. *)
 
 val accepts : result -> bool
 val verdict : result -> int -> string

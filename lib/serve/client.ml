@@ -1,7 +1,13 @@
 (* Blocking client over the Unix-domain socket: one frame out, one
    frame in. Pipelining is [send]*n then [recv]*n on one connection —
    responses come back in completion order, matched on [id]; for
-   strictly synchronous use, [request] does one round trip. *)
+   strictly synchronous use, [request] does one round trip.
+
+   Resilience: [connect] retries refused sockets and [request] retries
+   typed [Overloaded] responses, both with capped exponential backoff
+   plus deterministic seeded jitter — retry storms from a fleet of
+   clients decorrelate, yet a given (seed, attempt) always waits the
+   same time, which is what the backoff tests pin down. *)
 
 module P = Protocol
 module Codec = Lph_util.Codec
@@ -11,14 +17,53 @@ type t = { fd : Unix.file_descr; wire : Codec.wire }
 
 let what = "Serve_client"
 
-let connect ?wire ~socket () =
+(* ---- seeded backoff -------------------------------------------------
+
+   delay(attempt) = min(cap, base * 2^attempt) * (1 + jitter/2) with
+   jitter in [0,1) from a splitmix-style hash of (seed, attempt): pure,
+   so schedules are reproducible and testable without sleeping. *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let jitter ~seed attempt =
+  let h = mix64 (Int64.add (Int64.mul (Int64.of_int seed) 0x9e3779b97f4a7c15L) (Int64.of_int attempt)) in
+  float_of_int (Int64.to_int (Int64.logand h 0xfffffL)) /. float_of_int 0x100000
+
+let default_base_ms = 5
+
+let default_cap_ms = 1000
+
+let backoff_ms ?(base_ms = default_base_ms) ?(cap_ms = default_cap_ms) ~seed attempt =
+  if base_ms < 1 || cap_ms < base_ms then invalid_arg "Client.backoff_ms: bad base/cap";
+  let attempt = max 0 attempt in
+  let raw =
+    if attempt >= 30 then cap_ms
+    else min cap_ms (base_ms * (1 lsl attempt))
+  in
+  let ms = float_of_int raw *. (1. +. (jitter ~seed attempt /. 2.)) in
+  int_of_float (Float.round ms)
+
+let sleep_ms ms = if ms > 0 then Thread.delay (float_of_int ms /. 1000.)
+
+let connect ?wire ?(retries = 0) ?(seed = 0) ~socket () =
   let wire = match wire with Some w -> w | None -> Codec.wire_mode () in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  { fd; wire }
+  let rec attempt k =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> { fd; wire }
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (match e with
+        | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+          when k < retries ->
+            sleep_ms (backoff_ms ~seed k);
+            attempt (k + 1)
+        | e -> raise e)
+  in
+  attempt 0
 
 let wire t = t.wire
 
@@ -29,8 +74,16 @@ let recv t =
   | None -> Error.protocol_error ~what "server closed the connection"
   | Some (wire, payload) -> P.parse ~wire P.response_codec payload
 
-let request t req =
-  send t req;
-  recv t
+let request ?(retries = 0) ?(seed = 0) t req =
+  let rec attempt k =
+    send t req;
+    let resp = recv t in
+    match resp.P.outcome with
+    | Result.Error (Error.Overloaded _) when k < retries ->
+        sleep_ms (backoff_ms ~seed k);
+        attempt (k + 1)
+    | _ -> resp
+  in
+  attempt 0
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -7,12 +7,14 @@
 
 type t
 
-val connect : ?wire:Lph_util.Codec.wire -> socket:string -> unit -> t
+val connect : ?wire:Lph_util.Codec.wire -> ?retries:int -> ?seed:int -> socket:string -> unit -> t
 (** Connect to a daemon. [wire] (default: the process's
     {!Lph_util.Codec.wire_mode}) picks the frame representation; the
     server answers each frame in the mode it arrived in, so clients in
-    different modes can share a daemon. Raises [Unix.Unix_error] when
-    nothing listens on [socket]. *)
+    different modes can share a daemon. A refused or absent socket is
+    retried up to [retries] times (default 0) with {!backoff_ms}
+    delays under [seed]; raises [Unix.Unix_error] when the attempts
+    are exhausted. *)
 
 val wire : t -> Lph_util.Codec.wire
 
@@ -23,7 +25,21 @@ val recv : t -> Protocol.response
     on clean server EOF, [Error.Error (Decode_error _)] on a garbled
     stream. *)
 
-val request : t -> Protocol.request -> Protocol.response
-(** [send] then [recv]: the synchronous round trip. *)
+val request : ?retries:int -> ?seed:int -> t -> Protocol.request -> Protocol.response
+(** [send] then [recv]: the synchronous round trip. A typed
+    [Overloaded] outcome is retried up to [retries] times (default 0)
+    with {!backoff_ms} delays under [seed] before being returned;
+    every other outcome — including other errors — comes back on the
+    first attempt. *)
+
+val backoff_ms : ?base_ms:int -> ?cap_ms:int -> seed:int -> int -> int
+(** [backoff_ms ~seed attempt] is the capped exponential backoff delay
+    with deterministic seeded jitter:
+    [min cap_ms (base_ms * 2^attempt)] (base 5 ms, cap 1000 ms)
+    stretched by up to 50% from a pure hash of (seed, attempt). Equal
+    inputs give equal delays — retry schedules are reproducible — and
+    different seeds decorrelate, so a fleet of retrying clients does
+    not stampede. Raises [Invalid_argument] unless
+    [1 <= base_ms <= cap_ms]. *)
 
 val close : t -> unit

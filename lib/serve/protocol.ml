@@ -30,7 +30,7 @@ type graph_spec =
   | Torus of int * int
   | Expander of { n : int; cycles : int; seed : int }
 
-type property = Coloring of int | Robust_two_col
+type property = Coloring of int | Robust_two_col | Raising_probe
 
 type query = Accepts of Game.player | Check of Lph_graph.Certificates.t list
 
@@ -96,6 +96,7 @@ let build_graph spec =
 let property_name = function
   | Coloring k -> Printf.sprintf "%d-coloring" k
   | Robust_two_col -> "robust-2-coloring"
+  | Raising_probe -> "raising-probe"
 
 let arbiter = function
   | Coloring k ->
@@ -103,10 +104,26 @@ let arbiter = function
         Error.protocol_error ~what "coloring arity %d is out of the servable range" k;
       Arbiter.of_local_algo ~id_radius:(if k = 2 then 1 else 2) (Candidates.color_verifier k)
   | Robust_two_col -> Arbiter.of_local_algo ~id_radius:1 Candidates.robust_two_col_verifier
+  | Raising_probe ->
+      (* A diagnostic arbiter that raises an untyped exception on every
+         evaluation: the catalog entry the scheduler-hardening
+         regression tests aim at a live daemon. Its failure must come
+         back as a typed error response for that request alone. *)
+      {
+        Arbiter.name = "raising-probe";
+        levels = 0;
+        id_radius = 0;
+        cert_bound = None;
+        locality = Arbiter.Opaque;
+        verdicts = None;
+        checker = Arbiter.opaque_checker;
+        accepts = (fun _ ~ids:_ ~certs:_ -> failwith "raising-probe: deliberate arbiter failure");
+      }
 
 let universes = function
   | Coloring k -> [ Candidates.color_universe k ]
   | Robust_two_col -> [ Candidates.color_universe 2; Candidates.color_universe 2 ]
+  | Raising_probe -> []
 
 let key req = property_name req.property ^ "@" ^ spec_to_string req.graph
 
@@ -160,12 +177,14 @@ let property_codec =
     ~enc:(fun b prop ->
       match prop with
       | Coloring k -> enc_int b 0; enc_int b k
-      | Robust_two_col -> enc_int b 1)
+      | Robust_two_col -> enc_int b 1
+      | Raising_probe -> enc_int b 2)
     ~dec:(fun s p ->
       let tag, p = dec_int s p in
       match tag with
       | 0 -> let k, p = dec_int s p in (Coloring k, p)
       | 1 -> (Robust_two_col, p)
+      | 2 -> (Raising_probe, p)
       | t -> bad_tag "property" t)
 
 let engine_tag : Game.engine -> int = function
@@ -245,7 +264,10 @@ let error_codec =
       | Error.Protocol_error { what; detail; round; node } ->
           enc_int b 1; enc_str b what; enc_str b detail; enc_opt_nat b round; enc_opt_nat b node
       | Error.Resource_exhausted { what; limit; detail } ->
-          enc_int b 2; enc_str b what; enc_int b (max 0 limit); enc_str b detail)
+          enc_int b 2; enc_str b what; enc_int b (max 0 limit); enc_str b detail
+      | Error.Overloaded { what; detail } -> enc_int b 3; enc_str b what; enc_str b detail
+      | Error.Deadline_exceeded { what; deadline_ms; detail } ->
+          enc_int b 4; enc_str b what; enc_int b (max 0 deadline_ms); enc_str b detail)
     ~dec:(fun s p ->
       let tag, p = dec_int s p in
       match tag with
@@ -264,6 +286,15 @@ let error_codec =
           let limit, p = dec_int s p in
           let detail, p = dec_str s p in
           (Error.Resource_exhausted { what; limit; detail }, p)
+      | 3 ->
+          let what, p = dec_str s p in
+          let detail, p = dec_str s p in
+          (Error.Overloaded { what; detail }, p)
+      | 4 ->
+          let what, p = dec_str s p in
+          let deadline_ms, p = dec_int s p in
+          let detail, p = dec_str s p in
+          (Error.Deadline_exceeded { what; deadline_ms; detail }, p)
       | t -> bad_tag "error" t)
 
 let response_codec =

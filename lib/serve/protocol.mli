@@ -32,6 +32,12 @@ type property =
   | Coloring of int  (** Σ1: {!Lph_hierarchy.Candidates.color_verifier} *)
   | Robust_two_col
       (** Σ2: {!Lph_hierarchy.Candidates.robust_two_col_verifier} *)
+  | Raising_probe
+      (** diagnostic: a 0-level arbiter that raises an untyped
+          exception on every evaluation — the target of the
+          scheduler-hardening regression tests, which require its
+          failure to come back as a typed error response for that
+          request only *)
 
 type query =
   | Accepts of Lph_hierarchy.Game.player

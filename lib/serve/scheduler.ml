@@ -45,7 +45,11 @@ type entry = {
   mutable cost : int;  (** estimated resident bytes, re-costed per batch *)
 }
 
-type job = { req : P.request; reply : P.response -> unit }
+type job = {
+  req : P.request;
+  reply : P.response -> unit;
+  deadline : (float * int) option;  (** absolute expiry (epoch seconds) and the ms budget *)
+}
 
 type stats = {
   requests : int;
@@ -54,6 +58,8 @@ type stats = {
   cache_misses : int;
   evictions : int;
   entries : int;
+  overloads : int;
+  expired : int;
 }
 
 type t = {
@@ -63,6 +69,9 @@ type t = {
   mutable stop : bool;
   cache : (string, entry) Hashtbl.t;
   cap_bytes : int;
+  queue_cap : int option;  (** submissions beyond this many queued jobs are refused *)
+  mutable s_overloads : int;
+  mutable s_expired : int;
   mutable tick : int;
   mutable s_requests : int;
   mutable s_batches : int;
@@ -81,6 +90,25 @@ let cache_mb_env () =
       match int_of_string_opt (String.trim s) with
       | Some m when m >= 1 -> m
       | _ -> invalid_arg "Scheduler: LPH_SERVE_CACHE_MB must be a positive integer")
+
+(* The ambient per-request deadline: unset or empty means none, [0] is
+   a deadline that is already expired at submission (the deterministic
+   handle the timeout tests grip). *)
+let timeout_ms_env () =
+  match Sys.getenv_opt "LPH_SERVE_TIMEOUT_MS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 -> Some v
+      | _ -> invalid_arg "Scheduler: LPH_SERVE_TIMEOUT_MS must be a non-negative integer")
+
+let queue_cap_env () =
+  match Sys.getenv_opt "LPH_SERVE_QUEUE_CAP" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some v
+      | _ -> invalid_arg "Scheduler: LPH_SERVE_QUEUE_CAP must be a positive integer")
 
 (* ---- cost model ----------------------------------------------------
 
@@ -181,21 +209,42 @@ let answer entry (req : P.request) =
         certs;
       Result.Ok (entry.arbiter.Arbiter.accepts entry.graph ~ids:entry.ids ~certs)
 
-let run_job entry hit { req; reply } =
-  let t0 = Unix.gettimeofday () in
-  let outcome =
-    match answer entry req with
-    | r -> r
-    | exception Error.Error e -> Result.Error e
-    | exception e ->
-        Result.Error
-          (Error.Protocol_error
-             { what; detail = "engine failure: " ^ Printexc.to_string e; round = None; node = None })
-  in
-  let micros = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-  reply { P.id = req.P.id; outcome; cache_hit = hit; micros = max 0 micros }
+let expired job now =
+  match job.deadline with Some (at, _) -> now >= at | None -> false
 
-let fail_job err { req; reply } =
+let run_job t entry hit ({ req; reply; _ } as job) =
+  let t0 = Unix.gettimeofday () in
+  if expired job t0 then begin
+    let ms = match job.deadline with Some (_, ms) -> ms | None -> 0 in
+    Mutex.lock t.mutex;
+    t.s_expired <- t.s_expired + 1;
+    Mutex.unlock t.mutex;
+    reply
+      {
+        P.id = req.P.id;
+        outcome =
+          Result.Error
+            (Error.Deadline_exceeded
+               { what; deadline_ms = ms; detail = "request expired before execution" });
+        cache_hit = false;
+        micros = 0;
+      }
+  end
+  else begin
+    let outcome =
+      match answer entry req with
+      | r -> r
+      | exception Error.Error e -> Result.Error e
+      | exception e ->
+          Result.Error
+            (Error.Protocol_error
+               { what; detail = "engine failure: " ^ Printexc.to_string e; round = None; node = None })
+    in
+    let micros = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    reply { P.id = req.P.id; outcome; cache_hit = hit; micros = max 0 micros }
+  end
+
+let fail_job err { req; reply; _ } =
   reply { P.id = req.P.id; outcome = Result.Error err; cache_hit = false; micros = 0 }
 
 (* One drained batch: group by key (arrival order kept inside groups),
@@ -218,13 +267,31 @@ let process t batch =
   ignore
     (Parallel.map
        (fun jobs ->
-         match jobs with
-         | [] -> ()
-         | first :: _ -> (
-             match resolve_entry t first.req with
-             | Result.Ok (entry, hit) ->
-                 List.iteri (fun i job -> run_job entry (hit || i > 0) job) jobs
-             | Result.Error err -> List.iter (fail_job err) jobs))
+         (* One group's failure — typed or not — must stay that group's:
+            every job still gets a typed response and the dispatcher
+            keeps draining the other groups. *)
+         try
+           match jobs with
+           | [] -> ()
+           | first :: _ -> (
+               match resolve_entry t first.req with
+               | Result.Ok (entry, hit) ->
+                   List.iteri (fun i job -> run_job t entry (hit || i > 0) job) jobs
+               | Result.Error err -> List.iter (fail_job err) jobs)
+         with e ->
+           let err =
+             match e with
+             | Error.Error err -> err
+             | e ->
+                 Error.Protocol_error
+                   {
+                     what;
+                     detail = "group failure: " ^ Printexc.to_string e;
+                     round = None;
+                     node = None;
+                   }
+           in
+           List.iter (fun job -> try fail_job err job with _ -> ()) jobs)
        grouped);
   (* re-cost what this batch touched, then enforce the bound *)
   Mutex.lock t.mutex;
@@ -246,15 +313,22 @@ let dispatch_loop t () =
       t.s_batches <- t.s_batches + 1;
       t.s_requests <- t.s_requests + List.length batch;
       Mutex.unlock t.mutex;
-      process t batch;
+      (* last-ditch: the per-group handler already answers every job,
+         so anything reaching here is re-costing noise — never let it
+         kill the dispatcher *)
+      (try process t batch with _ -> ());
       loop ()
     end
   in
   loop ()
 
-let create ?cache_mb () =
+let create ?cache_mb ?queue_cap () =
   let mb = match cache_mb with Some m -> m | None -> cache_mb_env () in
   if mb < 1 then invalid_arg "Scheduler.create: cache_mb must be positive";
+  let queue_cap = match queue_cap with Some _ as c -> c | None -> queue_cap_env () in
+  (match queue_cap with
+  | Some c when c < 1 -> invalid_arg "Scheduler.create: queue_cap must be positive"
+  | _ -> ());
   Parallel.prewarm ();
   let t =
     {
@@ -264,6 +338,9 @@ let create ?cache_mb () =
       stop = false;
       cache = Hashtbl.create 16;
       cap_bytes = mb * 1024 * 1024;
+      queue_cap;
+      s_overloads = 0;
+      s_expired = 0;
       tick = 0;
       s_requests = 0;
       s_batches = 0;
@@ -276,19 +353,32 @@ let create ?cache_mb () =
   t.dispatcher <- Some (Thread.create (dispatch_loop t) ());
   t
 
-let submit t req ~reply =
+let submit ?deadline_ms t req ~reply =
+  let deadline_ms = match deadline_ms with Some _ as d -> d | None -> timeout_ms_env () in
+  let deadline =
+    match deadline_ms with
+    | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.), ms)
+    | None -> None
+  in
+  let job = { req; reply; deadline } in
   Mutex.lock t.mutex;
   if t.stop then begin
     Mutex.unlock t.mutex;
     fail_job
       (Error.Protocol_error { what; detail = "scheduler is shut down"; round = None; node = None })
-      { req; reply }
+      job
   end
-  else begin
-    t.queue <- { req; reply } :: t.queue;
-    Condition.signal t.wake;
-    Mutex.unlock t.mutex
-  end
+  else
+    match t.queue_cap with
+    | Some cap when List.length t.queue >= cap ->
+        t.s_overloads <- t.s_overloads + 1;
+        Mutex.unlock t.mutex;
+        fail_job (Error.Overloaded { what; detail = Printf.sprintf "queue is at its cap of %d" cap })
+          job
+    | _ ->
+        t.queue <- job :: t.queue;
+        Condition.signal t.wake;
+        Mutex.unlock t.mutex
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -311,6 +401,8 @@ let stats t =
       cache_misses = t.s_misses;
       evictions = t.s_evictions;
       entries = Hashtbl.length t.cache;
+      overloads = t.s_overloads;
+      expired = t.s_expired;
     }
   in
   Mutex.unlock t.mutex;

@@ -22,16 +22,28 @@
 
 type t
 
-val create : ?cache_mb:int -> unit -> t
+val create : ?cache_mb:int -> ?queue_cap:int -> unit -> t
 (** Start a scheduler (spawns the dispatcher thread, prewarms the
     shared domain pool). [cache_mb] overrides [LPH_SERVE_CACHE_MB];
-    raises [Invalid_argument] when either is non-positive. *)
+    [queue_cap] overrides [LPH_SERVE_QUEUE_CAP] (default: unbounded)
+    and bounds how many jobs may wait in the queue — submissions beyond
+    it are refused with a typed [Overloaded] response. Raises
+    [Invalid_argument] when any is non-positive. *)
 
-val submit : t -> Protocol.request -> reply:(Protocol.response -> unit) -> unit
+val submit : ?deadline_ms:int -> t -> Protocol.request -> reply:(Protocol.response -> unit) -> unit
 (** Enqueue a request. [reply] is invoked exactly once, from a
     dispatcher-pool thread; it must not block for long and must not
     raise. After {!shutdown}, replies immediately with a
-    [Protocol_error] outcome. *)
+    [Protocol_error] outcome.
+
+    [deadline_ms] (default: the ambient [LPH_SERVE_TIMEOUT_MS], unset
+    meaning none) is the request's time budget from submission: a job
+    whose deadline has passed when a worker picks it up is answered
+    with a typed [Deadline_exceeded] response instead of being run.
+    [0] expires immediately — the deterministic handle for tests. A
+    full queue never blocks: beyond [queue_cap] the reply is a typed
+    [Overloaded] response, so the serve path stays live under load it
+    cannot absorb. *)
 
 val shutdown : t -> unit
 (** Stop accepting work, finish the batches already queued (every
@@ -44,6 +56,8 @@ type stats = {
   cache_misses : int;  (** requests that had to materialise their entry *)
   evictions : int;  (** entries dropped by the LRU bound *)
   entries : int;  (** entries currently resident *)
+  overloads : int;  (** submissions refused by the queue cap *)
+  expired : int;  (** jobs answered [Deadline_exceeded] unrun *)
 }
 
 val stats : t -> stats

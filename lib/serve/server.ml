@@ -17,7 +17,12 @@ module P = Protocol
 module Codec = Lph_util.Codec
 module Error = Lph_util.Error
 
-type conn = { fd : Unix.file_descr; write_mutex : Mutex.t; mutable thread : Thread.t option }
+type conn = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable thread : Thread.t option;
+  mutable last_active : float;  (** last frame read off this connection *)
+}
 
 type t = {
   sched : Scheduler.t;
@@ -28,7 +33,18 @@ type t = {
   mutable next_conn : int;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
+  mutable reaper_thread : Thread.t option;
 }
+
+(* Idle-connection reaping: unset or empty means connections live until
+   they close themselves. *)
+let idle_ms_env () =
+  match Sys.getenv_opt "LPH_SERVE_IDLE_MS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some v
+      | _ -> invalid_arg "Server: LPH_SERVE_IDLE_MS must be a positive integer")
 
 let send conn ~wire resp =
   Mutex.lock conn.write_mutex;
@@ -41,6 +57,7 @@ let conn_loop t id conn () =
     match P.read_frame conn.fd with
     | None -> () (* clean EOF *)
     | Some (wire, payload) ->
+        conn.last_active <- Unix.gettimeofday ();
         (match P.parse ~wire P.request_codec payload with
         | req -> Scheduler.submit t.sched req ~reply:(fun resp -> send conn ~wire resp)
         | exception Error.Error err ->
@@ -63,7 +80,9 @@ let accept_loop t () =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        let conn = { fd; write_mutex = Mutex.create (); thread = None } in
+        let conn =
+          { fd; write_mutex = Mutex.create (); thread = None; last_active = Unix.gettimeofday () }
+        in
         Mutex.lock t.conns_mutex;
         let id = t.next_conn in
         t.next_conn <- id + 1;
@@ -81,7 +100,25 @@ let accept_loop t () =
   in
   loop ()
 
-let start ?cache_mb ~socket () =
+(* Sweep connections whose last frame is older than the idle bound and
+   shut their read side down; the reader thread sees EOF and runs its
+   normal teardown (in-flight replies drain first). Short sleeps keep
+   [stop] responsive. *)
+let reaper_loop t idle_ms () =
+  let idle_s = float_of_int idle_ms /. 1000. in
+  while not t.stopping do
+    Thread.delay (min 0.05 (idle_s /. 2.));
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.conns_mutex;
+    Hashtbl.iter
+      (fun _ conn ->
+        if now -. conn.last_active > idle_s then
+          try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.conns;
+    Mutex.unlock t.conns_mutex
+  done
+
+let start ?cache_mb ?queue_cap ?idle_ms ~socket () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if Sys.file_exists socket then Unix.unlink socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -91,9 +128,13 @@ let start ?cache_mb ~socket () =
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
+  let idle_ms = match idle_ms with Some _ as v -> v | None -> idle_ms_env () in
+  (match idle_ms with
+  | Some v when v < 1 -> invalid_arg "Server.start: idle_ms must be positive"
+  | _ -> ());
   let t =
     {
-      sched = Scheduler.create ?cache_mb ();
+      sched = Scheduler.create ?cache_mb ?queue_cap ();
       listen_fd;
       path = socket;
       conns = Hashtbl.create 8;
@@ -101,9 +142,13 @@ let start ?cache_mb ~socket () =
       next_conn = 0;
       stopping = false;
       accept_thread = None;
+      reaper_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  (match idle_ms with
+  | Some ms -> t.reaper_thread <- Some (Thread.create (reaper_loop t ms) ())
+  | None -> ());
   t
 
 let socket_path t = t.path
@@ -125,6 +170,11 @@ let stop t =
     (match t.accept_thread with
     | Some th ->
         t.accept_thread <- None;
+        Thread.join th
+    | None -> ());
+    (match t.reaper_thread with
+    | Some th ->
+        t.reaper_thread <- None;
         Thread.join th
     | None -> ());
     let threads =

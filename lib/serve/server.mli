@@ -13,12 +13,18 @@
 
 type t
 
-val start : ?cache_mb:int -> socket:string -> unit -> t
+val start : ?cache_mb:int -> ?queue_cap:int -> ?idle_ms:int -> socket:string -> unit -> t
 (** Bind and listen on a Unix-domain socket path (an existing file at
     that path is unlinked first), start the scheduler and the accept
-    thread, and return immediately. [cache_mb] as in
-    {!Scheduler.create}. SIGPIPE is set to ignore — writes to dead
-    peers must surface as catchable [EPIPE], not kill the daemon. *)
+    thread, and return immediately. [cache_mb] and [queue_cap] as in
+    {!Scheduler.create}. [idle_ms] (default: the ambient
+    [LPH_SERVE_IDLE_MS], unset meaning never) starts a reaper thread
+    that shuts down the read side of connections whose last frame is
+    older than the bound — the reader drains its in-flight replies and
+    tears down as on a client close, so an abandoned connection cannot
+    hold its thread and descriptor forever. SIGPIPE is set to ignore —
+    writes to dead peers must surface as catchable [EPIPE], not kill
+    the daemon. *)
 
 val stop : t -> unit
 (** Stop accepting, wake and join every connection reader, drain the

@@ -16,6 +16,8 @@ type t =
   | Decode_error of { what : string; detail : string }
   | Protocol_error of { what : string; detail : string; round : int option; node : int option }
   | Resource_exhausted of { what : string; limit : int; detail : string }
+  | Overloaded of { what : string; detail : string }
+  | Deadline_exceeded of { what : string; deadline_ms : int; detail : string }
 
 exception Error of t
 
@@ -32,6 +34,9 @@ let to_string = function
       Printf.sprintf "%s: protocol error%s: %s" what ctx detail
   | Resource_exhausted { what; limit; detail } ->
       Printf.sprintf "%s: resource exhausted (limit %d): %s" what limit detail
+  | Overloaded { what; detail } -> Printf.sprintf "%s: overloaded: %s" what detail
+  | Deadline_exceeded { what; deadline_ms; detail } ->
+      Printf.sprintf "%s: deadline exceeded (%d ms): %s" what deadline_ms detail
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
@@ -47,6 +52,12 @@ let protocol_error ~what ?round ?node fmt =
 
 let resource_exhausted ~what ~limit fmt =
   Printf.ksprintf (fun detail -> raise (Error (Resource_exhausted { what; limit; detail }))) fmt
+
+let overloaded ~what fmt =
+  Printf.ksprintf (fun detail -> raise (Error (Overloaded { what; detail }))) fmt
+
+let deadline_exceeded ~what ~deadline_ms fmt =
+  Printf.ksprintf (fun detail -> raise (Error (Deadline_exceeded { what; deadline_ms; detail }))) fmt
 
 (* Register a printer so uncaught errors (and OCAMLRUNPARAM=b backtraces
    in CI) show the structured message instead of an opaque constructor. *)

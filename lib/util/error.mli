@@ -32,6 +32,14 @@ type t =
   | Resource_exhausted of { what : string; limit : int; detail : string }
       (** A configured budget refused the work (e.g. the SAT compiler's
           [LPH_SAT_BUDGET] tabulation cap). *)
+  | Overloaded of { what : string; detail : string }
+      (** A component refused new work because its queue or capacity is
+          full (e.g. the serve scheduler's request queue); the caller
+          should back off and retry. *)
+  | Deadline_exceeded of { what : string; deadline_ms : int; detail : string }
+      (** Work was abandoned because its per-request deadline
+          ([deadline_ms], e.g. [LPH_SERVE_TIMEOUT_MS]) expired before
+          it ran to completion. *)
 
 exception Error of t
 
@@ -49,3 +57,7 @@ val protocol_error :
   what:string -> ?round:int -> ?node:int -> ('a, unit, string, 'b) format4 -> 'a
 
 val resource_exhausted : what:string -> limit:int -> ('a, unit, string, 'b) format4 -> 'a
+
+val overloaded : what:string -> ('a, unit, string, 'b) format4 -> 'a
+
+val deadline_exceeded : what:string -> deadline_ms:int -> ('a, unit, string, 'b) format4 -> 'a

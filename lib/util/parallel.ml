@@ -24,11 +24,11 @@ let default_cap = 4
 
 let jobs () =
   match Sys.getenv_opt "LPH_JOBS" with
+  | None | Some "" -> min default_cap (Domain.recommended_domain_count ())
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> j
       | _ -> invalid_arg "Parallel: LPH_JOBS must be a positive integer")
-  | None -> min default_cap (Domain.recommended_domain_count ())
 
 let inside_pool = Domain.DLS.new_key (fun () -> false)
 

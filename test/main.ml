@@ -3,4 +3,5 @@ let () =
     (Test_util.suites @ Test_graph.suites @ Test_logic.suites @ Test_restrictor.suites @ Test_machine.suites @ Test_hierarchy.suites
     @ Test_boolean.suites @ Test_reductions.suites @ Test_fagin.suites
     @ Test_picture.suites @ Test_automata.suites @ Test_robustness.suites @ Test_engine.suites
-    @ Test_wire.suites @ Test_faults.suites @ Test_analysis.suites @ Test_serve.suites)
+    @ Test_wire.suites @ Test_faults.suites @ Test_analysis.suites @ Test_serve.suites
+    @ Test_faultlab.suites)

@@ -29,6 +29,11 @@ let with_mode m f =
 let run_repr (r : Runner.result) =
   (Graph.labels r.Runner.output, r.Runner.stats.Runner.rounds, r.Runner.stats.Runner.charges)
 
+let astr_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* Fault plans: spec grammar, determinism, firing semantics *)
 
@@ -51,13 +56,31 @@ let plan_suite =
             (fun k -> check_bool (Fault_plan.kind_name k) true (Fault_plan.has p k))
             Fault_plan.all_kinds;
           check_string "spec" "all:7" (Fault_plan.to_spec p));
-      quick "malformed specs are rejected as configuration errors" (fun () ->
+      quick "malformed specs raise a typed Protocol_error naming the token" (fun () ->
           List.iter
-            (fun spec ->
+            (fun (spec, token) ->
               match Fault_plan.parse spec with
               | _ -> Alcotest.failf "parse %S should have raised" spec
-              | exception Invalid_argument _ -> ())
-            [ ""; "all"; "all:x"; "bogus:3"; "all@2:3"; "all@x:1"; "corrupt,:5" ]);
+              | exception Error.Error (Error.Protocol_error { what; detail; _ }) ->
+                  check_string "what" "Fault_plan.parse" what;
+                  if token <> "" && not (astr_contains detail token) then
+                    Alcotest.failf "parse %S: detail %S does not name token %S" spec detail token
+              | exception e ->
+                  Alcotest.failf "parse %S raised untyped %s" spec (Printexc.to_string e))
+            [
+              ("", "no seed");
+              ("all", "no seed");
+              ("all:x", "\"x\"");
+              ("bogus:3", "\"bogus\"");
+              ("all@2:3", "\"2\"");
+              ("all@x:1", "\"x\"");
+              ("corrupt,:5", "\"\"");
+              ("crash!:5", "empty target");
+              ("crash!a:5", "\"a\"");
+              ("drop^-1:5", "\"-1\"");
+              ("=crash/one/0:5", "crash/one/0");
+              ("=meteor/1/0:5", "\"meteor\"");
+            ]);
       quick "LPH_FAULTS drives the ambient plan" (fun () ->
           with_env "LPH_FAULTS" "corrupt@0.5:9" (fun () ->
               match Fault_plan.of_env () with
@@ -123,7 +146,7 @@ let outcome_suite =
           let base = Runner.run Candidates.constant_label_decider g ~ids () in
           match Runner.run_outcome Candidates.constant_label_decider g ~ids () with
           | Runner.Completed r -> check_bool "identical" true (run_repr r = run_repr base)
-          | Runner.Faulted _ -> Alcotest.fail "no plan, no faults");
+          | Runner.Faulted _ | Runner.Degraded _ -> Alcotest.fail "no plan, no faults");
       quick "a zero-rate plan is a provable no-op" (fun () ->
           let g = Generators.cycle 6 in
           let ids = global_ids g in
@@ -131,7 +154,7 @@ let outcome_suite =
           let plan = Fault_plan.make ~rate:0.0 ~kinds:Fault_plan.all_kinds 3 in
           match Runner.run_outcome ~faults:plan Candidates.constant_label_decider g ~ids () with
           | Runner.Completed r -> check_bool "identical" true (run_repr r = run_repr base)
-          | Runner.Faulted _ -> Alcotest.fail "zero-rate plans never fire");
+          | Runner.Faulted _ | Runner.Degraded _ -> Alcotest.fail "zero-rate plans never fire");
       quick "the ambient plan threads through Runner.run" (fun () ->
           let saved = Runner.fault_plan () in
           Fun.protect
@@ -144,7 +167,7 @@ let outcome_suite =
                 (Some (Fault_plan.make ~rate:0.0 ~kinds:Fault_plan.all_kinds 11));
               match Runner.run_outcome Candidates.constant_label_decider g ~ids () with
               | Runner.Completed r -> check_bool "identical" true (run_repr r = run_repr base)
-              | Runner.Faulted _ -> Alcotest.fail "zero-rate plans never fire"));
+              | Runner.Faulted _ | Runner.Degraded _ -> Alcotest.fail "zero-rate plans never fire"));
       quick "crash-stop degrades to an explicit Faulted report" (fun () ->
           let g = Generators.cycle 8 in
           let ids = global_ids g in
@@ -154,6 +177,7 @@ let outcome_suite =
             let plan = Fault_plan.make ~rate:1.0 ~kinds:[ Fault_plan.Crash ] seed in
             match Runner.run_outcome ~faults:plan Candidates.constant_label_decider g ~ids () with
             | Runner.Completed r -> check_bool "no-op seed" true (run_repr r = run_repr base)
+            | Runner.Degraded _ -> Alcotest.fail "Degraded requires quorum mode"
             | Runner.Faulted rep ->
                 incr faulted;
                 check_bool "crash recorded" true (rep.Runner.faults <> []);
@@ -176,6 +200,7 @@ let outcome_suite =
             let plan = Fault_plan.make ~rate:1.0 ~kinds:[ Fault_plan.Dup_id ] seed in
             match Runner.run_outcome ~faults:plan Candidates.constant_label_decider g ~ids () with
             | Runner.Completed _ -> Alcotest.fail "rate-1 dup-id always fires"
+            | Runner.Degraded _ -> Alcotest.fail "Degraded requires quorum mode"
             | Runner.Faulted rep -> (
                 check_bool "dup-id recorded" true
                   (List.exists (fun f -> f.Error.fault_kind = "dup-id") rep.Runner.faults);
@@ -193,6 +218,7 @@ let outcome_suite =
           let plan = Fault_plan.make ~rate:0.3 ~kinds:Fault_plan.all_kinds seed in
           match Runner.run_outcome ~round_limit:50 ~faults:plan algo g ~ids ~cert_list:certs () with
           | Runner.Completed r -> run_repr r = run_repr base
+          | Runner.Degraded _ -> false
           | Runner.Faulted rep ->
               (* a Faulted report always explains itself *)
               rep.Runner.faults <> [] || rep.Runner.error <> None || rep.Runner.diverged <> None);
