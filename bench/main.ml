@@ -65,6 +65,19 @@ type serving_entry = {
 
 let serving_entries : serving_entry list ref = ref []
 
+type certification_entry = {
+  c_spec : string;
+  c_family : string;
+  c_size : int;
+  c_ms : float;  (** wall-clock of the full search (both engines) *)
+  c_verdict : string;  (** "optimum" / "rejected" / "unsupported" *)
+  c_bits : int option;  (** searched optimum, when one exists *)
+  c_declared : int option;  (** the spec's declared budget on the instance *)
+  c_agree : bool;  (** [`Sat] and [`Cegar] agreed at the boundary *)
+}
+
+let certification_entries : certification_entry list ref = ref []
+
 type fault_axis_entry = {
   fa_workload : string;
   fa_model : string;
@@ -103,7 +116,7 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"lph-bench-8\",\n  \"smoke\": %b,\n" !smoke;
+  out "{\n  \"schema\": \"lph-bench-9\",\n  \"smoke\": %b,\n" !smoke;
   out "  \"sections_wall_clock_s\": {\n";
   let sections = List.rev !section_times in
   List.iteri
@@ -177,6 +190,18 @@ let write_bench_json path =
         e.s_warm_p99_ms e.s_qps e.s_speedup e.s_match
         (if i = List.length sv - 1 then "" else ","))
     sv;
+  out "  ],\n  \"certification\": [\n";
+  let ce = List.rev !certification_entries in
+  let opt_int = function Some v -> string_of_int v | None -> "null" in
+  List.iteri
+    (fun i e ->
+      out
+        "    {\"spec\": \"%s\", \"family\": \"%s\", \"size\": %d, \"ms\": %.6f, \"verdict\": \
+         \"%s\", \"bits\": %s, \"declared\": %s, \"agree\": %b}%s\n"
+        (json_escape e.c_spec) (json_escape e.c_family) e.c_size e.c_ms (json_escape e.c_verdict)
+        (opt_int e.c_bits) (opt_int e.c_declared) e.c_agree
+        (if i = List.length ce - 1 then "" else ","))
+    ce;
   out "  ],\n  \"bechamel_ns_per_run\": {\n";
   let rows = List.sort compare !bechamel_rows in
   List.iteri
@@ -440,6 +465,65 @@ let fault_axis_gate baseline_path =
               end)
         baseline;
       if !ok then row "[gate] no shared fault-axis verdict changed vs %s\n" baseline_path;
+      !ok
+
+(* The [certification] array, same one-entry-per-line discipline. The
+   gate is double: a changed verdict on a shared (spec, family, size)
+   row is a semantic regression (a lost optimum or a broken engine),
+   and a search more than 2x AND more than 25ms slower is a wall-clock
+   regression. Baselines older than schema 9 have no such section; the
+   gate passes vacuously and activates on the next rotation. *)
+let read_baseline_certification path =
+  try
+    let ic = open_in path in
+    let entries = ref [] in
+    let in_section = ref false in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if !in_section then begin
+           if String.length line > 0 && line.[0] = ']' then raise Exit;
+           try
+             Scanf.sscanf line
+               "{\"spec\": %S, \"family\": %S, \"size\": %d, \"ms\": %f, \"verdict\": %S"
+               (fun spec family size ms verdict ->
+                 entries := ((spec, family, size), (ms, verdict)) :: !entries)
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+         end
+         else if line = "\"certification\": [" then in_section := true
+       done
+     with End_of_file | Exit -> ());
+    close_in ic;
+    if !in_section then Some (List.rev !entries) else None
+  with Sys_error _ -> None
+
+let certification_gate baseline_path =
+  match read_baseline_certification baseline_path with
+  | None ->
+      row "[gate] baseline %s has no certification section; check activates next rotation\n"
+        baseline_path;
+      true
+  | Some baseline ->
+      let ok = ref true in
+      List.iter
+        (fun ((spec, family, size) as key, (old_ms, old_verdict)) ->
+          match
+            List.find_opt (fun e -> (e.c_spec, e.c_family, e.c_size) = key) !certification_entries
+          with
+          | None -> ()
+          | Some e ->
+              if e.c_verdict <> old_verdict then begin
+                ok := false;
+                row "[gate] REGRESSION certification %s on %s/%d: verdict %s vs baseline %s\n" spec
+                  family size e.c_verdict old_verdict
+              end
+              else if e.c_ms > 2.0 *. old_ms && e.c_ms -. old_ms > 25. then begin
+                ok := false;
+                row "[gate] REGRESSION certification %s on %s/%d: %.2f ms vs baseline %.2f ms (> 2x)\n"
+                  spec family size e.c_ms old_ms
+              end)
+        baseline;
+      if !ok then row "[gate] no shared certification row regressed vs %s\n" baseline_path;
       !ok
 
 let rand_graphs ~count ~max_nodes ~extra seed =
@@ -1624,6 +1708,61 @@ let scale_smoke_run () =
   row "[scale-smoke] OK: %.1f s (cap %.0f s)\n" elapsed cap
 
 (* ------------------------------------------------------------------ *)
+(* Certification: optimum-vs-declared budget curves (ISSUE 10).        *)
+
+(* For each probed verifier, the minimal certificate budget found by
+   the optimiser next to the budget the spec declares, across the
+   cycle/torus/expander families — the executable version of the
+   "how tight are the shipped proof-labeling schemes" question. Both
+   engines cross-check every boundary; the verdict and wall-clock per
+   row feed the certification regression gate. *)
+let exp_certification () =
+  section "Certification: searched optimum vs declared budget per graph family";
+  let sizes = if !smoke then [ 4 ] else Optimum.family_sizes ~default:[ 4; 9; 16 ] in
+  let plan = [ "eulerian-decider"; "2-color-verifier"; "3-color-verifier" ] in
+  let fams = [ "cycle"; "torus"; "expander" ] in
+  let specs = (Lint_registry.builtin ()).Lint_registry.arbiters in
+  row "%-20s %-10s %-6s %-12s %-6s %-10s %-7s %10s\n" "spec" "family" "n" "verdict" "bits"
+    "declared" "agree" "ms";
+  List.iter
+    (fun name ->
+      match List.find_opt (fun s -> s.Lint_registry.a_name = name) specs with
+      | None -> row "%-20s (not in the registry; skipped)\n" name
+      | Some spec ->
+          List.iter
+            (fun fam_name ->
+              let fam = Option.get (Optimum.family fam_name) in
+              List.iter
+                (fun size ->
+                  let r =
+                    Optimum.search ~name ~arbiter:spec.Lint_registry.arbiter
+                      ~universes:spec.Lint_registry.universes ~family:fam ~size ()
+                  in
+                  let opt_cell = function Some v -> string_of_int v | None -> "--" in
+                  row "%-20s %-10s %-6d %-12s %-6s %-10s %-7b %10.2f\n" name r.Optimum.r_family
+                    r.Optimum.r_size
+                    (Optimum.verdict_string r.Optimum.r_verdict)
+                    (opt_cell (Optimum.verdict_bits r.Optimum.r_verdict))
+                    (opt_cell r.Optimum.r_declared) r.Optimum.r_engines_agree
+                    r.Optimum.r_search_ms;
+                  certification_entries :=
+                    {
+                      c_spec = name;
+                      c_family = r.Optimum.r_family;
+                      c_size = r.Optimum.r_size;
+                      c_ms = r.Optimum.r_search_ms;
+                      c_verdict = Optimum.verdict_string r.Optimum.r_verdict;
+                      c_bits = Optimum.verdict_bits r.Optimum.r_verdict;
+                      c_declared = r.Optimum.r_declared;
+                      c_agree = r.Optimum.r_engines_agree;
+                    }
+                    :: !certification_entries)
+                sizes)
+            fams)
+    plan;
+  row "  a declared budget >= 2x the searched optimum trips budget/slack in lint.exe --optimize.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 
 let bechamel_suite () =
@@ -1787,6 +1926,7 @@ let () =
   timed "scaling" exp_scaling;
   timed "scaling-curves" exp_scaling_curves;
   timed "serving" exp_serving;
+  timed "certification" exp_certification;
   timed "bechamel" bechamel_suite;
   let baseline = newest_bench () in
   let report = Printf.sprintf "BENCH_%d.json" (baseline + 1) in
@@ -1798,5 +1938,7 @@ let () =
     let scaling_ok = scaling_gate base in
     let serving_ok = serving_gate base in
     let fault_axis_ok = fault_axis_gate base in
-    if not (bechamel_ok && scaling_ok && serving_ok && fault_axis_ok) then exit 1
+    let certification_ok = certification_gate base in
+    if not (bechamel_ok && scaling_ok && serving_ok && fault_axis_ok && certification_ok) then
+      exit 1
   end

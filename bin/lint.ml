@@ -3,33 +3,51 @@
    diagnostics.
 
    Exit codes: 0 = no error-severity finding, 1 = at least one error,
-   2 = usage / internal failure. CI runs both `lint.exe --json` (must
-   exit 0) and `lint.exe --fixtures` (must exit 1). *)
+   2 = usage / internal failure. CI runs `lint.exe --json` and
+   `lint.exe --optimize --json` (must exit 0) and `lint.exe --fixtures`
+   / `lint.exe --fixtures --optimize` (must exit 1). *)
 
 module Lint = Lph_core.Lint
+module D = Lph_core.Diagnostic
 
 let usage () =
   prerr_endline
-    "usage: lint.exe [--json] [--fixtures]\n\
-    \  --json      emit the lph-lint-1 JSON report instead of text\n\
-    \  --fixtures  analyse the seeded violation fixtures instead of the registry";
+    "usage: lint.exe [--json] [--fixtures] [--optimize] [--rules]\n\
+    \  --json      emit the lph-lint-2 JSON report instead of text\n\
+    \  --fixtures  analyse the seeded violation fixtures instead of the registry\n\
+    \  --optimize  additionally run the certificate-budget optimiser rules\n\
+    \              (budget/slack, budget/reduction-consistency, budget/lower-bound-replay)\n\
+    \  --rules     print the rule catalogue (id, severity, theorem) and exit 0";
   exit 2
 
+let print_rules () =
+  List.iter
+    (fun rule ->
+      let explanation, theorem = D.rule_doc rule in
+      Printf.printf "%-28s %-7s %s\n    %s\n" (D.rule_id rule)
+        (D.severity_to_string (D.rule_severity rule))
+        theorem explanation)
+    D.all_rules;
+  exit 0
+
 let () =
-  let json = ref false and fixtures = ref false in
+  let json = ref false and fixtures = ref false and optimize = ref false and rules = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--json" -> json := true
         | "--fixtures" -> fixtures := true
+        | "--optimize" -> optimize := true
+        | "--rules" -> rules := true
         | _ -> usage ())
     Sys.argv;
+  if !rules then print_rules ();
   match
     let registry =
       if !fixtures then Lph_core.Lint_fixtures.violations () else Lph_core.Lint_registry.builtin ()
     in
-    Lint.run registry
+    Lint.run ~optimize:!optimize registry
   with
   | report ->
       if !json then print_endline (Lph_core.Json.pretty (Lint.report_to_json report))

@@ -15,6 +15,9 @@ type rule =
   | Cluster_radius
   | Output_poly
   | Fault_spec
+  | Budget_slack
+  | Reduction_consistency
+  | Lower_bound_replay
 
 let all_rules =
   [
@@ -30,6 +33,9 @@ let all_rules =
     Cluster_radius;
     Output_poly;
     Fault_spec;
+    Budget_slack;
+    Reduction_consistency;
+    Lower_bound_replay;
   ]
 
 let rule_id = function
@@ -45,8 +51,19 @@ let rule_id = function
   | Cluster_radius -> "reduction/cluster-radius"
   | Output_poly -> "reduction/output-poly"
   | Fault_spec -> "faults/spec-parse"
+  | Budget_slack -> "budget/slack"
+  | Reduction_consistency -> "budget/reduction-consistency"
+  | Lower_bound_replay -> "budget/lower-bound-replay"
 
 let rule_of_id id = List.find_opt (fun r -> rule_id r = id) all_rules
+
+(* the severity a violation of the rule is reported at (--rules) *)
+let rule_severity = function
+  | Radius_tight | Budget_slack -> Warning
+  | Radius_declared | Radius_sound | Radius_expected | Stratification | Bounded_quantifiers
+  | Certificate_budget | Message_size | Cost_accounting | Cluster_radius | Output_poly
+  | Fault_spec | Reduction_consistency | Lower_bound_replay ->
+      Error
 
 let rule_doc = function
   | Radius_declared ->
@@ -99,6 +116,22 @@ let rule_doc = function
          typed grammar and survive a spec round-trip: replayability of faulted campaigns \
          (CI matrices, faultlab replay lines) depends on these strings staying valid",
         "fault-axis experiments (CC-PH robustness)" )
+  | Budget_slack ->
+      ( "a spec's declared certificate budget should not be at least twice the searched \
+         optimum on its probe families: over-declared budgets inflate every game the spec \
+         appears in and misstate the property's certification complexity",
+        "Section 6 (proof-labeling budgets)" )
+  | Reduction_consistency ->
+      ( "each certification reduction's budget-transfer function must dominate direct search: \
+         a source optimum above the transferred image optimum (or a YES/NO mismatch between a \
+         source and its image, or the two engines disagreeing on an optimum) falsifies the \
+         reduction's certification claim",
+        "Theorems 19/20 (Section 8)" )
+  | Lower_bound_replay ->
+      ( "every reported optimum's lower-bound witness must stand on its own: the UNSAT core \
+         must be a subset of the recorded assumptions and must replay to UNSAT in a fresh \
+         solver loaded with only the compiled game clauses",
+        "Section 6 (machine-checkable lower bounds)" )
 
 type t = { spec : string; rule : rule; severity : severity; message : string }
 

@@ -26,11 +26,20 @@ type rule =
   | Cluster_radius  (** reduction id_radius covers its gather radius *)
   | Output_poly  (** per-node reduction output fits the declared poly *)
   | Fault_spec  (** registered fault fixtures parse and round-trip *)
+  | Budget_slack  (** declared budget at least twice the searched optimum *)
+  | Reduction_consistency  (** budget transfers dominate direct search *)
+  | Lower_bound_replay  (** UNSAT-core witnesses replay in a fresh solver *)
+
+val all_rules : rule list
+(** Every rule, in declaration order — the [--rules] catalogue. *)
 
 val rule_id : rule -> string
 (** Stable string form, e.g. ["arbiter/radius-sound"]. *)
 
 val rule_of_id : string -> rule option
+
+val rule_severity : rule -> severity
+(** The severity a violation of the rule is reported at. *)
 
 val rule_doc : rule -> string * string
 (** [(explanation, theorem)] — e.g.

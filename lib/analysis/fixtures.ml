@@ -1,9 +1,11 @@
 module Gen = Lph_graph.Generators
 module LA = Lph_machine.Local_algo
+module Arbiter = Lph_hierarchy.Arbiter
 module Candidates = Lph_hierarchy.Candidates
 module GF = Lph_logic.Graph_formulas
 module F = Lph_logic.Formula
 module Cluster = Lph_reductions.Cluster
+module Poly = Lph_util.Poly
 
 (* A correct radius-1 machine re-declared at radius 0: probing must
    find the label flip at distance 1 that changes the verdict. *)
@@ -40,6 +42,65 @@ let misdeclared_sigma2 =
 let bad_reduction () =
   { Lph_reductions.Eulerian_red.reduction with Cluster.name = "fixture:bad-reduction"; id_radius = 1 }
 
+(* A correct 2-colour verifier declaring a constant budget of 4 bits:
+   one bit is enough on even cycles, so the declaration carries >= 2x
+   slack and the optimiser must warn. *)
+let slack_budget () =
+  Registry.arbiter_spec ~name:"fixture:slack-budget"
+    ~algo:(Candidates.color_verifier 2)
+    ~universes:(fun _g _ids -> [ Candidates.color_universe 2 ])
+    ~extra_samples:[ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "0"; "1" |] ] } ]
+    ~probes:[ Gen.cycle 4; Gen.path 3 ]
+    ~opt_probes:[ ("even-cycle", [ 4 ]) ]
+    (Arbiter.of_local_algo ~id_radius:2
+       ~cert_bound:{ Lph_graph.Certificates.radius = 1; poly = Poly.const 4 }
+       (Candidates.color_verifier 2))
+
+(* A correct relabelling reduction paired with a transfer function that
+   claims certificates vanish: direct search finds a 1-bit source
+   optimum, falsifying the transferred bound of 0. *)
+let inconsistent_reduction () =
+  let two_col =
+    {
+      Cert_reduction.cs_name = "fixture:2col";
+      cs_arbiter = Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 2);
+      cs_universes = Some (fun _g _ids -> [ Candidates.color_universe 2 ]);
+    }
+  in
+  {
+    Cert_reduction.cr_name = "fixture:inconsistent-reduction";
+    cr_source = two_col;
+    cr_target = two_col;
+    cr_via =
+      Lph_reductions.To_all_selected.reduction ~name:"fixture:relabel" ~radius:1
+        ~decide:(fun _ctx _ball -> true);
+    cr_transfer = (fun _ -> 0);
+    cr_transfer_doc = "falsely claims the image needs no certificates at all";
+    cr_instances = [ ("C4", Gen.cycle 4) ];
+  }
+
+(* A genuine search result whose recorded UNSAT core is emptied out:
+   replaying the empty assumption set leaves the game satisfiable, so
+   the stored lower bound no longer stands. *)
+let bad_replay_result () =
+  let family =
+    match Optimum.family "even-cycle" with Some f -> f | None -> assert false
+  in
+  let r =
+    Optimum.search ~name:"fixture:bad-replay"
+      ~arbiter:(Arbiter.of_local_algo ~id_radius:2 (Candidates.color_verifier 2))
+      ~universes:(Some (fun _g _ids -> [ Candidates.color_universe 2 ]))
+      ~family ~size:4 ()
+  in
+  match r.Optimum.r_verdict with
+  | Optimum.Optimum { bits; proof = Optimum.Core p } ->
+      {
+        r with
+        Optimum.r_verdict =
+          Optimum.Optimum { bits; proof = Optimum.Core { p with Optimum.core = [] } };
+      }
+  | _ -> r
+
 let rename name (spec : Registry.arbiter_spec) = { spec with Registry.a_name = name }
 
 let violations () =
@@ -49,6 +110,7 @@ let violations () =
         rename "fixture:under-declared" (under_declared ());
         rename "fixture:opaque" (opaque ());
         rename "fixture:over-declared" (over_declared ());
+        slack_budget ();
       ];
     formulas =
       [
@@ -93,6 +155,8 @@ let violations () =
         { Registry.fx_name = "fixture:missing-seed"; fx_lang = Registry.Plan_spec; fx_spec = "all@0.3" };
         { Registry.fx_name = "fixture:unknown-model"; fx_lang = Registry.Model_spec; fx_spec = "heisenberg/f1" };
       ];
+    cert_reductions = [ inconsistent_reduction () ];
+    opt_stored = [ bad_replay_result () ];
   }
 
 let expectations =
@@ -108,4 +172,12 @@ let expectations =
     ("fixture:rate-out-of-range", Diagnostic.Fault_spec, Diagnostic.Error);
     ("fixture:missing-seed", Diagnostic.Fault_spec, Diagnostic.Error);
     ("fixture:unknown-model", Diagnostic.Fault_spec, Diagnostic.Error);
+  ]
+
+(* tripped only under Lint.run ~optimize:true *)
+let opt_expectations =
+  [
+    ("fixture:slack-budget", Diagnostic.Budget_slack, Diagnostic.Warning);
+    ("fixture:inconsistent-reduction", Diagnostic.Reduction_consistency, Diagnostic.Error);
+    ("fixture:bad-replay", Diagnostic.Lower_bound_replay, Diagnostic.Error);
   ]

@@ -15,8 +15,17 @@ val violations : unit -> Registry.t
     - a Σ3 sentence claimed at level Σ1;
     - a sentence whose matrix uses an unbounded existential
       first-order quantifier (not LFO);
-    - a reduction whose id_radius is below its gather radius + 1. *)
+    - a reduction whose id_radius is below its gather radius + 1;
+    - and, for [Lint.run ~optimize:true]: a correct 2-colour verifier
+      declaring a 4-bit budget where 1 bit suffices (slack), a
+      certification reduction whose transfer function claims budget 0
+      (inconsistent with direct search), and a stored optimiser result
+      whose UNSAT core was emptied (fails replay). *)
 
 val expectations : (string * Diagnostic.rule * Diagnostic.severity) list
 (** For each fixture spec name, the rule it must trip and the expected
-    severity. *)
+    severity (under the default [Lint.run]). *)
+
+val opt_expectations : (string * Diagnostic.rule * Diagnostic.severity) list
+(** The fixtures only [Lint.run ~optimize:true] can see: the expected
+    [budget/*] rule and severity for each. *)

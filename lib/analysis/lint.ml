@@ -18,6 +18,8 @@ type report = {
   codecs : int;
   faults : int;
   diagnostics : D.t list;
+  optima : Optimum.result list;
+  reduction_checks : Cert_reduction.check list;
 }
 
 let collector spec =
@@ -342,14 +344,100 @@ let analyze_fault (fx : Registry.fault_fixture) =
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
+(* the certificate-budget optimiser rules (--optimize): minimal-budget
+   search over each spec's probe families, replay validation of every
+   lower-bound witness, and the reduction consistency cross-checks *)
 
-let run (registry : Registry.t) =
-  let diagnostics =
+let verify_proof add ~where (proof : Optimum.proof) =
+  match proof with
+  | Optimum.Core p ->
+      if not (Optimum.core_subset p) then
+        addf add D.Lower_bound_replay D.Error
+          "%s: the UNSAT core names a literal outside the recorded assumptions" where
+      else if not (Optimum.replay p) then
+        addf add D.Lower_bound_replay D.Error
+          "%s: the UNSAT core (budget %d, %d literal(s)) fails to replay in a fresh solver"
+          where p.Optimum.p_budget
+          (List.length p.Optimum.core)
+  | Optimum.Refuted_by_game _ | Optimum.Floor -> ()
+
+let verify_result add (r : Optimum.result) =
+  let where = Printf.sprintf "%s/%d" r.Optimum.r_family r.Optimum.r_size in
+  if not r.Optimum.r_engines_agree then
+    addf add D.Lower_bound_replay D.Error
+      "%s: the SAT and CEGAR engines disagree at the reported budget boundary" where;
+  match r.Optimum.r_verdict with
+  | Optimum.Optimum { bits; proof } ->
+      verify_proof add ~where proof;
+      (match r.Optimum.r_declared with
+      | Some declared when declared > bits && declared >= 2 * bits ->
+          addf add D.Budget_slack D.Warning
+            "%s: declared budget %d is at least twice the searched optimum %d%s" where declared
+            bits
+            (match Optimum.proof_size proof with
+            | Some n -> Printf.sprintf " (lower bound certified by a %d-literal UNSAT core)" n
+            | None -> "")
+      | Some _ | None -> ())
+  | Optimum.Rejected { proof; _ } -> verify_proof add ~where proof
+  | Optimum.Unsupported _ -> ()
+
+let analyze_arbiter_optimum (spec : Registry.arbiter_spec) =
+  let diags, add = collector spec.Registry.a_name in
+  let results =
+    List.concat_map
+      (fun (fname, sizes) ->
+        match Optimum.family fname with
+        | None ->
+            addf add D.Reduction_consistency D.Error
+              "optimiser probe names unknown graph family %S" fname;
+            []
+        | Some family ->
+            List.map
+              (fun size ->
+                Optimum.search ~name:spec.Registry.a_name ~arbiter:spec.Registry.arbiter
+                  ~universes:spec.Registry.universes ~family ~size ())
+              (Optimum.family_sizes ~default:sizes))
+      spec.Registry.opt_probes
+  in
+  List.iter (verify_result add) results;
+  (results, List.rev !diags)
+
+let analyze_cert_reduction (red : Cert_reduction.t) =
+  let diags, add = collector red.Cert_reduction.cr_name in
+  let checks = Cert_reduction.check red in
+  List.iter
+    (fun (ck : Cert_reduction.check) ->
+      if not ck.Cert_reduction.ck_consistent then
+        addf add D.Reduction_consistency D.Error "instance %s: %s"
+          ck.Cert_reduction.ck_instance ck.Cert_reduction.ck_detail)
+    checks;
+  (checks, List.rev !diags)
+
+let analyze_stored (r : Optimum.result) =
+  let diags, add = collector r.Optimum.r_spec in
+  verify_result add r;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(optimize = false) (registry : Registry.t) =
+  let base_diagnostics =
     List.concat_map analyze_arbiter registry.Registry.arbiters
     @ List.concat_map analyze_formula registry.Registry.formulas
     @ List.concat_map analyze_reduction registry.Registry.reductions
     @ List.concat_map analyze_codec registry.Registry.codecs
     @ List.concat_map analyze_fault registry.Registry.faults
+  in
+  let optima, reduction_checks, opt_diagnostics =
+    if not optimize then ([], [], [])
+    else begin
+      let searched = List.map analyze_arbiter_optimum registry.Registry.arbiters in
+      let checked = List.map analyze_cert_reduction registry.Registry.cert_reductions in
+      let stored_diags = List.concat_map analyze_stored registry.Registry.opt_stored in
+      ( List.concat_map fst searched @ registry.Registry.opt_stored,
+        List.concat_map fst checked,
+        List.concat_map snd searched @ List.concat_map snd checked @ stored_diags )
+    end
   in
   {
     arbiters = List.length registry.Registry.arbiters;
@@ -357,17 +445,53 @@ let run (registry : Registry.t) =
     reductions = List.length registry.Registry.reductions;
     codecs = List.length registry.Registry.codecs;
     faults = List.length registry.Registry.faults;
-    diagnostics;
+    diagnostics = base_diagnostics @ opt_diagnostics;
+    optima;
+    reduction_checks;
   }
 
 let errors r = List.filter D.is_error r.diagnostics
 let warnings r = List.filter (fun (d : D.t) -> d.D.severity = D.Warning) r.diagnostics
 let has_errors r = errors r <> []
 
+let json_of_int_opt = function Some n -> Json.Int n | None -> Json.Null
+
+let optimum_to_json (r : Optimum.result) =
+  Json.Obj
+    [
+      ("spec", Json.String r.Optimum.r_spec);
+      ("family", Json.String r.Optimum.r_family);
+      ("size", Json.Int r.Optimum.r_size);
+      ("verdict", Json.String (Optimum.verdict_string r.Optimum.r_verdict));
+      ("bits", json_of_int_opt (Optimum.verdict_bits r.Optimum.r_verdict));
+      ("declared", json_of_int_opt r.Optimum.r_declared);
+      ( "proof_size",
+        json_of_int_opt
+          (match r.Optimum.r_verdict with
+          | Optimum.Optimum { proof; _ } | Optimum.Rejected { proof; _ } ->
+              Optimum.proof_size proof
+          | Optimum.Unsupported _ -> None) );
+      ("engines_agree", Json.Bool r.Optimum.r_engines_agree);
+      ("probes", Json.Int r.Optimum.r_probes);
+      ("search_ms", Json.Int (int_of_float (Float.round r.Optimum.r_search_ms)));
+    ]
+
+let check_to_json (ck : Cert_reduction.check) =
+  Json.Obj
+    [
+      ("reduction", Json.String ck.Cert_reduction.ck_reduction);
+      ("instance", Json.String ck.Cert_reduction.ck_instance);
+      ("source_bits", json_of_int_opt ck.Cert_reduction.ck_source_bits);
+      ("target_bits", json_of_int_opt ck.Cert_reduction.ck_target_bits);
+      ("transferred", json_of_int_opt ck.Cert_reduction.ck_transferred);
+      ("consistent", Json.Bool ck.Cert_reduction.ck_consistent);
+      ("detail", Json.String ck.Cert_reduction.ck_detail);
+    ]
+
 let report_to_json r =
   Json.Obj
     [
-      ("schema", Json.String "lph-lint-1");
+      ("schema", Json.String "lph-lint-2");
       ( "specs",
         Json.Obj
           [
@@ -380,13 +504,31 @@ let report_to_json r =
       ("errors", Json.Int (List.length (errors r)));
       ("warnings", Json.Int (List.length (warnings r)));
       ("diagnostics", Json.List (List.map D.to_json r.diagnostics));
+      ("optima", Json.List (List.map optimum_to_json r.optima));
+      ("reduction_checks", Json.List (List.map check_to_json r.reduction_checks));
     ]
 
 let pp_report fmt r =
   List.iter (fun d -> Format.fprintf fmt "%a@." D.pp d) r.diagnostics;
+  List.iter
+    (fun (o : Optimum.result) ->
+      Format.fprintf fmt "optimum %s on %s/%d: %s%s%s@." o.Optimum.r_spec o.Optimum.r_family
+        o.Optimum.r_size
+        (Optimum.verdict_string o.Optimum.r_verdict)
+        (match Optimum.verdict_bits o.Optimum.r_verdict with
+        | Some b -> Printf.sprintf " at %d bit(s)" b
+        | None -> "")
+        (match o.Optimum.r_declared with
+        | Some d -> Printf.sprintf " (declared %d)" d
+        | None -> ""))
+    r.optima;
   Format.fprintf fmt "%d spec(s) analysed (%d arbiters, %d formulas, %d reductions, %d \
                       codecs, %d fault fixtures): %d error(s), %d warning(s)@."
     (r.arbiters + r.formulas + r.reductions + r.codecs + r.faults)
     r.arbiters r.formulas r.reductions r.codecs r.faults
     (List.length (errors r))
-    (List.length (warnings r))
+    (List.length (warnings r));
+  if r.optima <> [] || r.reduction_checks <> [] then
+    Format.fprintf fmt "certificate-budget optimiser: %d search(es), %d reduction check(s)@."
+      (List.length r.optima)
+      (List.length r.reduction_checks)

@@ -19,7 +19,15 @@
     - fault-fixture rules (the fault axis): every registered fault
       spec string — plan or model grammar — parses under the typed
       parsers and survives a spec round-trip, so recorded campaigns
-      (CI matrices, faultlab replay lines) stay replayable.
+      (CI matrices, faultlab replay lines) stay replayable;
+    - certificate-budget rules ([--optimize] only, Section 6 read as a
+      proof-labeling programme): the optimiser searches each probed
+      spec's minimal certificate budget ({!Optimum}), warns when the
+      declared budget is at least twice the optimum ([budget/slack]),
+      re-validates every UNSAT-core lower bound in a fresh solver
+      ([budget/lower-bound-replay]), and cross-checks the certification
+      reductions' budget transfers against direct search
+      ([budget/reduction-consistency]).
 
     The analyzer is empirical where it must be (probing opaque code)
     and symbolic where it can be (quantifier structure, codec
@@ -32,6 +40,12 @@ type report = {
   codecs : int;
   faults : int;  (** how many specs of each kind were analysed *)
   diagnostics : Diagnostic.t list;  (** in registry order *)
+  optima : Optimum.result list;
+      (** optimiser searches: probed specs first, then the registry's
+          stored results; empty unless [run ~optimize:true] *)
+  reduction_checks : Cert_reduction.check list;
+      (** certification-reduction cross-checks; empty unless
+          [run ~optimize:true] *)
 }
 
 val analyze_arbiter : Registry.arbiter_spec -> Diagnostic.t list
@@ -40,7 +54,21 @@ val analyze_reduction : Registry.reduction_spec -> Diagnostic.t list
 val analyze_codec : Registry.codec_spec -> Diagnostic.t list
 val analyze_fault : Registry.fault_fixture -> Diagnostic.t list
 
-val run : Registry.t -> report
+val analyze_arbiter_optimum :
+  Registry.arbiter_spec -> Optimum.result list * Diagnostic.t list
+(** Search the spec's [opt_probes] and validate every verdict:
+    engine agreement, proof replay, budget slack. *)
+
+val analyze_cert_reduction :
+  Cert_reduction.t -> Cert_reduction.check list * Diagnostic.t list
+
+val analyze_stored : Optimum.result -> Diagnostic.t list
+(** Re-validate a precomputed result's lower-bound witness. *)
+
+val run : ?optimize:bool -> Registry.t -> report
+(** [optimize] (default [false]) additionally runs the
+    certificate-budget rules; the default run never searches, so lint
+    stays fast and deterministic for the radius/cost rules alone. *)
 
 val has_errors : report -> bool
 
@@ -48,8 +76,10 @@ val errors : report -> Diagnostic.t list
 val warnings : report -> Diagnostic.t list
 
 val report_to_json : report -> Json.t
-(** Schema ["lph-lint-1"]: spec counts, error/warning totals, and the
-    diagnostic list ({!Diagnostic.to_json}). *)
+(** Schema ["lph-lint-2"]: spec counts, error/warning totals, the
+    diagnostic list ({!Diagnostic.to_json}), and the optimiser's
+    [optima] and [reduction_checks] arrays (empty outside
+    [--optimize]). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable: one line per diagnostic plus a summary line. *)

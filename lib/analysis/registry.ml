@@ -26,6 +26,7 @@ type arbiter_spec = {
   expectation : radius_expectation;
   msg_bound : Poly.t option;
   max_radius : int;
+  opt_probes : (string * int list) list;
 }
 
 (* The gather layer re-broadcasts its whole table every round, and the
@@ -36,19 +37,30 @@ type arbiter_spec = {
 let default_msg_bound = Poly.monomial ~coeff:64 ~degree:2
 
 let arbiter_spec ?algo ?universes ?(extra_samples = []) ?(expectation = Probed) ?msg_bound
-    ?(max_radius = 3) ~name ~probes arbiter =
+    ?(max_radius = 3) ?(opt_probes = []) ~name ~probes arbiter =
   let msg_bound =
     match (msg_bound, algo) with
     | (Some _ as b), _ -> b
     | None, Some _ -> Some default_msg_bound
     | None, None -> None
   in
-  { a_name = name; arbiter; algo; probes; universes; extra_samples; expectation; msg_bound; max_radius }
+  {
+    a_name = name;
+    arbiter;
+    algo;
+    probes;
+    universes;
+    extra_samples;
+    expectation;
+    msg_bound;
+    max_radius;
+    opt_probes;
+  }
 
-let of_algo ?universes ?extra_samples ?expectation ?msg_bound ?max_radius ?(id_radius = 2)
-    ~probes packed =
+let of_algo ?universes ?extra_samples ?expectation ?msg_bound ?max_radius ?opt_probes
+    ?(id_radius = 2) ~probes packed =
   arbiter_spec ~algo:packed ?universes ?extra_samples ?expectation ?msg_bound ?max_radius
-    ~name:(LA.name packed) ~probes
+    ?opt_probes ~name:(LA.name packed) ~probes
     (Arbiter.of_local_algo ~id_radius packed)
 
 type polarity = Sigma | Pi
@@ -81,6 +93,8 @@ type t = {
   reductions : reduction_spec list;
   codecs : codec_spec list;
   faults : fault_fixture list;
+  cert_reductions : Cert_reduction.t list;
+  opt_stored : Optimum.result list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -120,11 +134,14 @@ let builtin_arbiters () =
   [
     (* hand-written machines: full probe-based radius inference *)
     of_algo Candidates.all_selected_decider ~probes:[ path_mixed (); Gen.cycle 4 ];
-    of_algo Candidates.eulerian_decider ~probes:[ Gen.cycle 4; Gen.star 4; Gen.path 3 ];
+    of_algo Candidates.eulerian_decider
+      ~probes:[ Gen.cycle 4; Gen.star 4; Gen.path 3 ]
+      ~opt_probes:[ ("cycle", [ 4; 8 ]) ];
     of_algo Candidates.constant_label_decider ~probes:[ Gen.cycle 4; nearly_ones () ];
     of_algo
       (Candidates.local_two_col_decider ~radius:1)
-      ~probes:[ Gen.path 4; Gen.complete 3; Gen.cycle 5 ];
+      ~probes:[ Gen.path 4; Gen.complete 3; Gen.cycle 5 ]
+      ~opt_probes:[ ("even-cycle", [ 6 ]) ];
     of_algo
       (Candidates.local_two_col_decider ~radius:2)
       ~probes:[ Gen.path 4; Gen.complete 3; Gen.cycle 5 ];
@@ -132,7 +149,8 @@ let builtin_arbiters () =
       ~universes:(fun _g _ids -> [ Candidates.color_universe 2 ])
       ~extra_samples:
         [ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "0"; "1" |] ] } ]
-      ~probes:[ Gen.cycle 4; Gen.path 3 ];
+      ~probes:[ Gen.cycle 4; Gen.path 3 ]
+      ~opt_probes:[ ("even-cycle", [ 4; 6 ]); ("odd-cycle", [ 5; 7 ]) ];
     (* the CEGAR engine's scaling probe: two alternation levels, so the
        honest sample carries one certificate array per level *)
     of_algo Candidates.robust_two_col_verifier
@@ -145,12 +163,17 @@ let builtin_arbiters () =
             certs = [ [| "0"; "1"; "0"; "1" |]; [| "1"; "0"; "1"; "0" |] ];
           };
         ]
-      ~probes:[ Gen.cycle 4; Gen.path 3 ];
+      ~probes:[ Gen.cycle 4; Gen.path 3 ]
+      ~opt_probes:[ ("even-cycle", [ 4 ]) ];
     of_algo (Candidates.color_verifier 3)
       ~universes:(fun _g _ids -> [ Candidates.color_universe 3 ])
       ~extra_samples:
         [ { Probe.graph = Gen.cycle 4; certs = [ [| "0"; "1"; "10"; "1" |] ] } ]
-      ~probes:[ Gen.cycle 4; Gen.path 3 ];
+      ~probes:[ Gen.cycle 4; Gen.path 3 ]
+      (* the shipped slack example: 3-COL's natural universe pays two
+         bits per node but even cycles are 2-colourable, so one bit is
+         enough — declared 2 >= 2 * optimum 1 *)
+      ~opt_probes:[ ("even-cycle", [ 4; 6 ]) ];
     of_algo
       (Candidates.exact_counter_verifier ~cap:4)
       ~universes:(fun _g _ids -> [ Candidates.counter_universe ~bound:5 ])
@@ -161,7 +184,8 @@ let builtin_arbiters () =
             certs = [ [| B.of_int 0; B.of_int 1; B.of_int 2; B.of_int 1 |] ];
           };
         ]
-      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1" |] 4; Gen.cycle 4 ];
+      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1" |] 4; Gen.cycle 4 ]
+      ~opt_probes:[ ("marked-cycle", [ 6 ]) ];
     of_algo
       (Candidates.mod_counter_verifier ~period:3)
       ~universes:(fun _g _ids -> [ Candidates.counter_universe ~bound:3 ])
@@ -172,7 +196,8 @@ let builtin_arbiters () =
             certs = [ Candidates.honest_mod_certs ~period:3 ~n:6 ];
           };
         ]
-      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1"; "1"; "1" |] 6 ];
+      ~probes:[ Gen.cycle ~labels:[| "0"; "1"; "1"; "1"; "1"; "1" |] 6 ]
+      ~opt_probes:[ ("marked-cycle", [ 6 ]) ];
     of_algo Candidates.sat_graph_verifier
       ~universes:(fun g _ids -> [ Candidates.sat_graph_universe g ])
       ~extra_samples:[ { Probe.graph = sat_probe (); certs = [ [| "1"; "10" |] ] } ]
@@ -305,4 +330,6 @@ let builtin () =
     reductions = builtin_reductions ();
     codecs = builtin_codecs ();
     faults = builtin_faults ();
+    cert_reductions = Cert_reduction.builtin ();
+    opt_stored = [];
   }

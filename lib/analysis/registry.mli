@@ -40,6 +40,10 @@ type arbiter_spec = {
       (** per-round per-node message cost as a polynomial of the
           declared-radius ball information; [None] skips the rule *)
   max_radius : int;  (** probe cap for {!Probe.infer} *)
+  opt_probes : (string * int list) list;
+      (** certificate-budget probe plan: ({!Optimum.family} name,
+          sizes) pairs the optimiser searches in [--optimize] mode and
+          the certification bench sweeps; [[]] skips the spec *)
 }
 
 val arbiter_spec :
@@ -52,12 +56,14 @@ val arbiter_spec :
   ?expectation:radius_expectation ->
   ?msg_bound:Lph_util.Poly.t ->
   ?max_radius:int ->
+  ?opt_probes:(string * int list) list ->
   name:string ->
   probes:Lph_graph.Labeled_graph.t list ->
   Lph_hierarchy.Arbiter.t ->
   arbiter_spec
-(** Defaults: [Probed], no universes, no extras, [max_radius] 3, and
-    (when [algo] is given) the message bound [64 * info^2]. *)
+(** Defaults: [Probed], no universes, no extras, [max_radius] 3, no
+    optimiser probes, and (when [algo] is given) the message bound
+    [64 * info^2]. *)
 
 val of_algo :
   ?universes:
@@ -68,6 +74,7 @@ val of_algo :
   ?expectation:radius_expectation ->
   ?msg_bound:Lph_util.Poly.t ->
   ?max_radius:int ->
+  ?opt_probes:(string * int list) list ->
   ?id_radius:int ->
   probes:Lph_graph.Labeled_graph.t list ->
   Lph_machine.Local_algo.packed ->
@@ -125,9 +132,17 @@ type t = {
   reductions : reduction_spec list;
   codecs : codec_spec list;
   faults : fault_fixture list;
+  cert_reductions : Cert_reduction.t list;
+      (** certification reductions the [budget/reduction-consistency]
+          rule cross-checks in [--optimize] mode *)
+  opt_stored : Optimum.result list;
+      (** precomputed optimiser results whose lower-bound witnesses the
+          [budget/lower-bound-replay] rule re-validates ([[]] for the
+          builtin registry — the fixtures seed corrupted entries) *)
 }
 
 val builtin : unit -> t
-(** Every shipped arbiter, sentence, reduction and wire codec. Built on
+(** Every shipped arbiter, sentence, reduction and wire codec, plus
+    the certification reductions ({!Cert_reduction.builtin}). Built on
     demand — compiling the Fagin entries is not free, and binaries that
     merely link the library should not pay for it. *)

@@ -50,6 +50,9 @@ type t = {
   mutable qhead : int;
   mutable var_inc : float;
   mutable root_conflict : bool;
+  mutable last_core : int list option;
+      (* failed-assumption subset of the last UNSAT [solve_with];
+         [None] after a SAT answer (or before any solve) *)
   mutable s_decisions : int;
   mutable s_propagations : int;
   mutable s_conflicts : int;
@@ -77,6 +80,7 @@ let create () =
     qhead = 0;
     var_inc = 1.0;
     root_conflict = false;
+    last_core = None;
     s_decisions = 0;
     s_propagations = 0;
     s_conflicts = 0;
@@ -139,6 +143,7 @@ let copy s =
     qhead = s.qhead;
     var_inc = s.var_inc;
     root_conflict = s.root_conflict;
+    last_core = s.last_core;
     s_decisions = 0;
     s_propagations = 0;
     s_conflicts = 0;
@@ -401,6 +406,32 @@ let add_clause s (clause : Cnf.clause) =
 
 (* ---- search ------------------------------------------------------- *)
 
+(* MiniSat's analyzeFinal: called when the next assumption [p] is
+   already false under the assumptions asserted so far. Walk the trail
+   top-down from the seen-marked falsifying assignment, expanding
+   reasons; every reason-less literal above level 0 met on the way is
+   an earlier assumption decision that [~p] depends on. Together with
+   [p] itself they form a subset of the assumptions whose conjunction
+   with the clause database is unsatisfiable. Root-level literals are
+   assumption-free and stay out of the core. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  if s.dlevel > 0 then begin
+    s.seen.(var_of p) <- true;
+    for i = s.trail_n - 1 downto s.trail_lim.(0) do
+      let v = var_of s.trail.(i) in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+        | None -> if s.level.(v) > 0 then core := s.trail.(i) :: !core
+        | Some c ->
+            Array.iter (fun q -> if s.level.(var_of q) > 0 then s.seen.(var_of q) <- true) c.lits);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(var_of p) <- false
+  end;
+  !core
+
 let extract_model s =
   let model = Array.sub s.assign 0 s.nvars in
   let ids = Hashtbl.copy s.ids in
@@ -408,11 +439,18 @@ let extract_model s =
     match Hashtbl.find_opt ids name with Some v -> model.(v) = 1 | None -> false
 
 let solve_with ?(assumptions : Cnf.clause = []) s =
-  if s.root_conflict then None
+  if s.root_conflict then begin
+    (* the clause database alone is unsatisfiable: the empty core *)
+    s.last_core <- Some [];
+    None
+  end
   else begin
     backtrack s 0;
     let assumptions = Array.of_list (List.map (lit_of_cnf (intern s)) assumptions) in
     let n_assumed = Array.length assumptions in
+    (* pessimistic default: every UNSAT exit other than a failed
+       assumption is a root conflict, where the empty core is right *)
+    s.last_core <- Some [];
     let result = ref None and running = ref true in
     (* geometric restarts: every learned clause is kept, so a restart
        only abandons the current decision stack and lets VSIDS +
@@ -451,7 +489,11 @@ let solve_with ?(assumptions : Cnf.clause = []) s =
             let p = assumptions.(s.dlevel) in
             match value s p with
             | 1 -> new_decision_level s (* already holds: dummy level *)
-            | 0 -> running := false (* UNSAT under the assumptions *)
+            | 0 ->
+                (* UNSAT under the assumptions; the failed-assumption
+                   core must be read off before the trail is rewound *)
+                s.last_core <- Some (analyze_final s p);
+                running := false
             | _ ->
                 s.s_decisions <- s.s_decisions + 1;
                 new_decision_level s;
@@ -470,8 +512,19 @@ let solve_with ?(assumptions : Cnf.clause = []) s =
           end
     done;
     backtrack s 0;
+    if !result <> None then s.last_core <- None;
     !result
   end
+
+let unsat_core s =
+  match s.last_core with
+  | None -> invalid_arg "Solver.unsat_core: last solve was satisfiable (or no solve has run)"
+  | Some core ->
+      List.rev_map
+        (fun l ->
+          let name = s.names.(var_of l) in
+          if l land 1 = 0 then Cnf.pos name else Cnf.neg name)
+        core
 
 let root_value s name =
   match Hashtbl.find_opt s.ids name with

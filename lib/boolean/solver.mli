@@ -43,6 +43,18 @@ val solve_with : ?assumptions:Cnf.clause -> t -> (Bool_formula.var -> bool) opti
     calls with different assumptions are cheap (phase saving steers the
     search back to the previous model). *)
 
+val unsat_core : t -> Cnf.clause
+(** After a {!solve_with} that returned [None]: a subset of the
+    assumptions passed to that call whose conjunction with the clause
+    database is already unsatisfiable (MiniSat's final-conflict
+    analysis over the assumption decisions). The empty list means the
+    clause database alone is unsatisfiable. Replaying the core as the
+    only assumptions in a fresh solver holding the same clauses must
+    answer UNSAT again — the certificate-budget optimiser's
+    lower-bound proofs are validated exactly this way. Raises
+    [Invalid_argument] if the last solve produced a model or no solve
+    has run yet. *)
+
 val root_value : t -> Bool_formula.var -> bool option
 (** The variable's value if it is fixed at decision level 0 — i.e.
     forced by unit propagation alone, independent of any assumptions —

@@ -98,6 +98,8 @@ module Radius_probe = Lph_analysis.Probe
 module Lint = Lph_analysis.Lint
 module Lint_registry = Lph_analysis.Registry
 module Lint_fixtures = Lph_analysis.Fixtures
+module Optimum = Lph_analysis.Optimum
+module Cert_reduction = Lph_analysis.Cert_reduction
 
 (** {1 Pictures and tiling systems (Section 9.2)} *)
 

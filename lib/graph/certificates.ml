@@ -29,6 +29,9 @@ let max_length_row g ~ids b =
 
 let max_length g ~ids b u = (max_length_row g ~ids b).(u)
 
+let declared_cap g ~ids b =
+  Array.fold_left max 0 (max_length_row g ~ids b)
+
 let is_bounded g ~ids b certs =
   let row = max_length_row g ~ids b in
   G.fold_nodes g ~init:true ~f:(fun acc u -> acc && String.length certs.(u) <= row.(u))

@@ -20,6 +20,11 @@ val max_length : Labeled_graph.t -> ids:Identifiers.t -> bound -> int -> int
 (** [max_length g ~ids b u]: the largest certificate length allowed at
     node [u] under bound [b]. *)
 
+val declared_cap : Labeled_graph.t -> ids:Identifiers.t -> bound -> int
+(** The graph-wide declared certificate budget: the largest
+    {!max_length} over all nodes. The certificate-budget optimiser
+    compares this declaration against the empirical optimum it finds. *)
+
 val is_bounded : Labeled_graph.t -> ids:Identifiers.t -> bound -> t -> bool
 
 val list_assignment : t list -> t

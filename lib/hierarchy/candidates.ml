@@ -174,6 +174,56 @@ let sat_graph_verifier =
                                vs))
                    (ball_neighbours ball)))
 
+(* ------------------------------------------------------------------ *)
+(* 2-FACTOR (spanning disjoint union of cycles): the level-1
+   certificate at u names two distinct neighbours of u by identifier,
+   as the concatenation of their two equal-width identifiers (lower
+   one first). u accepts iff both halves are identifiers of genuine
+   neighbours and each named neighbour's certificate names u back —
+   symmetric selection of exactly two incident edges per node is a
+   2-regular spanning subgraph. This is the certificate side of the
+   HAMILTONIAN reduction targets: a Hamiltonian cycle is a 2-factor,
+   and the pendant gadgets the reduction attaches to unselected nodes
+   kill every 2-factor. Completeness needs equal-width identifiers
+   (e.g. {!Lph_graph.Identifiers.make_global}); under ragged ones the
+   fixed-midpoint parse only ever fails closed. *)
+
+let two_factor_pair cert =
+  let n = String.length cert in
+  if n = 0 || n mod 2 = 1 then None
+  else
+    let a = String.sub cert 0 (n / 2) and b = String.sub cert (n / 2) (n / 2) in
+    if a = b then None else Some (a, b)
+
+let two_factor_verifier =
+  Gather.algo ~name:"two-factor-verifier" ~radius:1 ~levels:1 ~decide:(fun ctx ball ->
+      ctx.LA.charge (List.length ball.Gather.entries);
+      let first_level c =
+        match Lph_util.Bitstring.split_hash c with c :: _ -> c | [] -> ""
+      in
+      match two_factor_pair (first_level (ball_self ball).Gather.cert) with
+      | None -> false
+      | Some (a, b) ->
+          let nbrs = ball_neighbours ball in
+          let named id = List.find_opt (fun e -> e.Gather.ident = id) nbrs in
+          let names_me e =
+            match two_factor_pair (first_level e.Gather.cert) with
+            | Some (a', b') -> a' = ctx.LA.ident || b' = ctx.LA.ident
+            | None -> false
+          in
+          (match (named a, named b) with
+          | Some ea, Some eb -> names_me ea && names_me eb
+          | _ -> false))
+
+let two_factor_universe g (ids : Lph_graph.Identifiers.t) u =
+  let rec pairs = function
+    | [] -> []
+    | v :: rest -> List.map (fun w -> (v, w)) rest @ pairs rest
+  in
+  match pairs (List.sort_uniq compare (List.map (Array.get ids) (G.neighbours g u))) with
+  | [] -> [ "0" ] (* degree < 2: no valid selection; a cert the verifier rejects *)
+  | ps -> List.map (fun (a, b) -> a ^ b) ps
+
 let sat_graph_universe g u =
   match sat_graph_formula (G.label g u) with
   | None -> [ "" ]

@@ -84,3 +84,17 @@ val sat_graph_verifier : Lph_machine.Local_algo.packed
 val sat_graph_universe : Lph_boolean.Boolean_graph.t -> Game.universe
 (** The matching certificate universe: all bit strings with one bit per
     variable of the node's formula ([ [""] ] for malformed labels). *)
+
+val two_factor_verifier : Lph_machine.Local_algo.packed
+(** Verifier for 2-FACTOR (a spanning 2-regular subgraph, i.e. a
+    disjoint cycle cover): the certificate concatenates the equal-width
+    identifiers of two distinct neighbours, and a node accepts iff both
+    are genuine neighbours whose own certificates name it back. The
+    certificate side of the HAMILTONIAN reduction targets — a
+    Hamiltonian cycle is a 2-factor, and the reduction's pendant
+    gadgets kill every 2-factor on NO instances. Completeness requires
+    equal-width identifiers ({!Lph_graph.Identifiers.make_global}). *)
+
+val two_factor_universe : Lph_graph.Labeled_graph.t -> Lph_graph.Identifiers.t -> Game.universe
+(** The matching universe: one candidate per unordered pair of distinct
+    neighbour identifiers (a rejected dummy for nodes of degree < 2). *)

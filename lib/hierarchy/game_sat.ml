@@ -47,6 +47,7 @@ type t = {
   radius : int;  (** the arbiter's declared ball radius *)
   choices : string list array array;  (** level -> node -> candidates *)
   table_entries : int;  (** total tabulated ball configurations *)
+  cnf : Cnf.t;  (** every clause the compilation added, in order *)
 }
 
 let sel l u i = Printf.sprintf "s%d_%d_%d" l u i
@@ -135,6 +136,14 @@ let compile_uncached (a : Arbiter.t) g ~ids ~universes =
              })
       else begin
         let solver = Solver.create () in
+        (* the compiled clauses double as the instance's exportable CNF:
+           lower-bound proofs replay assumption cores against it in a
+           fresh solver, so it must be exactly what the solver saw *)
+        let recorded = ref [] in
+        let add_clause solver c =
+          recorded := c :: !recorded;
+          Solver.add_clause solver c
+        in
         (* acceptance definitions: a_u <-> (ball of u accepts) *)
         let defs =
           List.init n (fun u ->
@@ -148,23 +157,31 @@ let compile_uncached (a : Arbiter.t) g ~ids ~universes =
               in
               BF.iff (BF.Var (acc u)) accept_formula)
         in
-        List.iter (Solver.add_clause solver) (Tseytin.transform ~fresh_prefix:"x" (BF.conj defs));
+        List.iter (add_clause solver) (Tseytin.transform ~fresh_prefix:"x" (BF.conj defs));
         (* the finite universes: exactly one candidate per level and node *)
         Array.iteri
           (fun l per_node ->
             Array.iteri
               (fun u cands ->
-                List.iter (Solver.add_clause solver)
+                List.iter (add_clause solver)
                   (exactly_one (List.mapi (fun i _ -> Cnf.pos (sel l u i)) cands)))
               per_node)
           choices;
         (* mode selection: m forces all-accept, ~m forces a rejection *)
         List.iter
-          (fun u -> Solver.add_clause solver [ Cnf.neg mode; Cnf.pos (acc u) ])
+          (fun u -> add_clause solver [ Cnf.neg mode; Cnf.pos (acc u) ])
           (List.init n Fun.id);
-        Solver.add_clause solver (Cnf.pos mode :: List.init n (fun u -> Cnf.neg (acc u)));
+        add_clause solver (Cnf.pos mode :: List.init n (fun u -> Cnf.neg (acc u)));
         Result.Ok
-          { solver; lock = Mutex.create (); levels; radius = r; choices; table_entries = total }
+          {
+            solver;
+            lock = Mutex.create ();
+            levels;
+            radius = r;
+            choices;
+            table_entries = total;
+            cnf = List.rev !recorded;
+          }
       end
 
 (* Compiled instances are reused across game solves (sweeps and
@@ -319,3 +336,36 @@ let fork_solver t ~eve =
 let table_entries t = t.table_entries
 
 let solver_stats t = Solver.stats t.solver
+
+let cnf t = t.cnf
+
+(* Negative selector assumptions banning every candidate certificate
+   longer than [budget] at the given levels: together with the
+   exactly-one constraints this is the budget-restricted universe,
+   expressed without recompiling — so a binary search over budgets is
+   a sequence of incremental solves on one instance, and an UNSAT
+   answer carries a failed-assumption core naming the bans (and the
+   mode literal) that the refutation actually used. *)
+let budget_assumptions t ~budget ~levels =
+  List.concat_map
+    (fun l ->
+      if l < 0 || l >= t.levels then
+        invalid_arg (Printf.sprintf "Game_sat.budget_assumptions: level %d out of range" l);
+      List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun u cands ->
+                List.concat
+                  (List.mapi
+                     (fun i c -> if String.length c > budget then [ Cnf.neg (sel l u i) ] else [])
+                     cands))
+              t.choices.(l))))
+    levels
+
+let solve_constrained t ~assumptions ~eve =
+  let mode_lit = if eve then Cnf.pos mode else Cnf.neg mode in
+  let assumptions = mode_lit :: assumptions in
+  Mutex.protect t.lock (fun () ->
+      match Solver.solve_with ~assumptions t.solver with
+      | Some model -> `Model model
+      | None -> `Unsat (Solver.unsat_core t.solver, assumptions))

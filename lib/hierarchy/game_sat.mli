@@ -133,3 +133,38 @@ val fork_solver : t -> eve:bool -> Lph_boolean.Solver.t
 val solver_stats : t -> Lph_boolean.Solver.stats
 (** Counters of the underlying solver, cumulative over every leaf
     solved on this instance. *)
+
+(** {1 Budget-restricted solving}
+
+    The certificate-budget optimiser ({!Lph_analysis}) decides "does
+    the game still accept when every level-[l] certificate is at most
+    [b] bits?" without recompiling: the budget is a set of negative
+    selector assumptions, and an UNSAT answer yields the
+    failed-assumption core that is the machine-checkable lower-bound
+    proof. *)
+
+val cnf : t -> Lph_boolean.Cnf.t
+(** Every clause the compilation added, in insertion order: acceptance
+    definitions, exactly-one constraints and mode clauses. Replaying an
+    assumption core against these clauses in a fresh solver is how
+    lower-bound proofs are validated independently of this instance's
+    learned clauses. *)
+
+val budget_assumptions : t -> budget:int -> levels:int list -> Lph_boolean.Cnf.clause
+(** Negative selector literals banning every candidate certificate
+    longer than [budget] characters at each of the given levels — the
+    assumption form of restricting those universes to the budget.
+    Raises [Invalid_argument] on a level outside the instance. *)
+
+val solve_constrained :
+  t ->
+  assumptions:Lph_boolean.Cnf.clause ->
+  eve:bool ->
+  [ `Model of Lph_boolean.Bool_formula.var -> bool
+  | `Unsat of Lph_boolean.Cnf.clause * Lph_boolean.Cnf.clause ]
+(** Solve the instance under the mode literal ([eve:true] = every node
+    accepts, [eve:false] = some node rejects) plus arbitrary extra
+    assumptions — typically {!budget_assumptions}. [`Unsat (core, assumed)]
+    carries the failed-assumption core ({!Lph_boolean.Solver.unsat_core})
+    and the full assumption list actually passed (mode literal
+    included), captured before the lock is released. *)

@@ -4,4 +4,4 @@ let () =
     @ Test_boolean.suites @ Test_reductions.suites @ Test_fagin.suites
     @ Test_picture.suites @ Test_automata.suites @ Test_robustness.suites @ Test_engine.suites
     @ Test_wire.suites @ Test_faults.suites @ Test_analysis.suites @ Test_serve.suites
-    @ Test_faultlab.suites)
+    @ Test_faultlab.suites @ Test_optimum.suites)

@@ -172,6 +172,9 @@ let arb_diagnostic =
       D.Cost_accounting;
       D.Cluster_radius;
       D.Output_poly;
+      D.Budget_slack;
+      D.Reduction_consistency;
+      D.Lower_bound_replay;
     ]
   in
   QCheck.make
@@ -197,7 +200,7 @@ let json_tests =
         let report = Lint.run (Lint_fixtures.violations ()) in
         let json = Json.of_string (Json.pretty (Lint.report_to_json report)) in
         (match Json.member "schema" json with
-        | Some (Json.String s) -> check_string "schema" "lph-lint-1" s
+        | Some (Json.String s) -> check_string "schema" "lph-lint-2" s
         | _ -> Alcotest.fail "missing schema");
         match Json.member "diagnostics" json with
         | Some (Json.List l) ->

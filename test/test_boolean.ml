@@ -252,6 +252,69 @@ let cdcl_tests =
         | Some v -> check_bool "model is real" true (Cnf.eval v sat_instance));
   ]
 
+let unsat_core_tests =
+  [
+    quick "core names only the relevant assumptions" (fun () ->
+        (* a forces c which is banned; d is irrelevant and must not
+           pollute the core *)
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.neg "a"; Cnf.pos "b" ];
+        Sat_solver.add_clause s [ Cnf.neg "b"; Cnf.pos "c" ];
+        Sat_solver.add_clause s [ Cnf.neg "c" ];
+        check_bool "unsat under a, d" true
+          (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a"; Cnf.pos "d" ] s = None);
+        let core = Sat_solver.unsat_core s in
+        check_bool "a in core" true (List.mem (Cnf.pos "a") core);
+        check_bool "d not in core" false (List.mem (Cnf.pos "d") core);
+        check_bool "core within assumptions" true
+          (List.for_all (fun l -> List.mem l [ Cnf.pos "a"; Cnf.pos "d" ]) core));
+    quick "core replays to unsat in a fresh solver" (fun () ->
+        let clauses =
+          [ [ Cnf.neg "a"; Cnf.pos "b" ]; [ Cnf.neg "b"; Cnf.pos "c" ]; [ Cnf.neg "c" ] ]
+        in
+        let s = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause s) clauses;
+        check_bool "unsat" true (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a" ] s = None);
+        let core = Sat_solver.unsat_core s in
+        let fresh = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause fresh) clauses;
+        check_bool "replay unsat" true (Sat_solver.solve_with ~assumptions:core fresh = None));
+    quick "root-level unsat yields an empty core" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.pos "x" ];
+        Sat_solver.add_clause s [ Cnf.neg "x" ];
+        check_bool "unsat without assumptions" true
+          (Sat_solver.solve_with ~assumptions:[ Cnf.pos "y" ] s = None);
+        check_bool "empty core" true (Sat_solver.unsat_core s = []));
+    quick "core unavailable after a satisfiable solve" (fun () ->
+        let s = Sat_solver.create () in
+        Sat_solver.add_clause s [ Cnf.pos "a"; Cnf.pos "b" ];
+        check_bool "sat" true (Sat_solver.solve_with ~assumptions:[ Cnf.pos "a" ] s <> None);
+        match Sat_solver.unsat_core s with
+        | _ -> Alcotest.fail "unsat_core after SAT must raise"
+        | exception Invalid_argument _ -> ());
+    qcheck ~count:100 "cores are subsets of the assumptions and replay"
+      QCheck.(pair (arb_bool_formula ~depth:3 ()) (small_list bool))
+      (fun (f, phases) ->
+        let cnf = Tseytin.transform ~fresh_prefix:"aux" f in
+        let vars = List.filteri (fun i _ -> i < List.length phases) (Cnf.vars cnf) in
+        let assumptions =
+          List.map2 (fun v positive -> if positive then Cnf.pos v else Cnf.neg v) vars
+            (List.filteri (fun i _ -> i < List.length vars) phases)
+        in
+        let s = Sat_solver.create () in
+        List.iter (Sat_solver.add_clause s) cnf;
+        match Sat_solver.solve_with ~assumptions s with
+        | Some _ -> true
+        | None ->
+            let core = Sat_solver.unsat_core s in
+            List.for_all (fun l -> List.mem l assumptions) core
+            &&
+            let fresh = Sat_solver.create () in
+            List.iter (Sat_solver.add_clause fresh) cnf;
+            Sat_solver.solve_with ~assumptions:core fresh = None);
+  ]
+
 let boolean_graph_tests =
   let p = BF.Var "p" and q = BF.Var "q" in
   [
@@ -304,5 +367,6 @@ let suites =
     ("boolean:tseytin", tseytin_tests);
     ("boolean:solver", solver_tests);
     ("boolean:cdcl", cdcl_tests);
+    ("boolean:unsat-core", unsat_core_tests);
     ("boolean:graph", boolean_graph_tests);
   ]
